@@ -1,0 +1,97 @@
+// Shared infrastructure for the paper-reproduction benches.
+//
+// Each bench binary registers one google-benchmark per experimental
+// configuration (run exactly once, manually timed with the solver-side
+// synthesis time, as §4.3 measures), collects per-configuration outcomes in
+// a global registry, and prints the paper-style table after the benchmark
+// run. Repetition counts follow the paper (9) where runtime allows and can
+// be overridden with the COMPSYNTH_REPS environment variable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "synth/experiment.h"
+#include "util/table.h"
+
+namespace compsynth::bench {
+
+/// Repetitions for a bench: the paper's default unless COMPSYNTH_REPS is set.
+inline int repetitions(int paper_default) {
+  if (const char* env = std::getenv("COMPSYNTH_REPS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return paper_default;
+}
+
+/// One experiment outcome row, labelled for the final table.
+struct Row {
+  std::string label;
+  synth::ExperimentOutcome outcome;
+};
+
+/// Global registry the benchmarks append to; main() prints it.
+inline std::vector<Row>& rows() {
+  static std::vector<Row> r;
+  return r;
+}
+
+/// Runs the experiment, records a labelled row, and feeds benchmark state
+/// (manual time = mean total solver seconds per run; counters carry the
+/// headline stats).
+inline void run_and_record(benchmark::State& state, const std::string& label,
+                           const synth::ExperimentSpec& spec) {
+  for (auto _ : state) {
+    const synth::ExperimentOutcome out = synth::run_experiment(spec);
+    state.SetIterationTime(out.total_seconds.mean);
+    state.counters["iters_mean"] = out.iterations.mean;
+    state.counters["time_per_iter_s"] = out.avg_iteration_seconds.mean;
+    state.counters["total_s"] = out.total_seconds.mean;
+    state.counters["correct"] = out.correct_runs;
+    state.counters["converged"] = out.converged_runs;
+    rows().push_back({label, out});
+  }
+}
+
+/// Prints the collected rows in the shape of the paper's figures: one line
+/// per configuration with iteration/time statistics.
+inline void print_series(const std::string& title,
+                         const std::vector<std::string>& note_lines = {}) {
+  std::cout << "\n=== " << title << " ===\n";
+  for (const std::string& line : note_lines) std::cout << line << '\n';
+  util::Table t({"config", "runs", "iters avg", "iters med", "iters SIQR",
+                 "s/iter avg", "total s avg", "total s med", "total s SIQR",
+                 "converged", "correct"});
+  for (const Row& r : rows()) {
+    t.add_row({r.label, std::to_string(r.outcome.runs.size()),
+               util::format_number(r.outcome.iterations.mean),
+               util::format_number(r.outcome.iterations.median),
+               util::format_number(r.outcome.iterations.siqr),
+               util::format_number(r.outcome.avg_iteration_seconds.mean, 3),
+               util::format_number(r.outcome.total_seconds.mean),
+               util::format_number(r.outcome.total_seconds.median),
+               util::format_number(r.outcome.total_seconds.siqr),
+               std::to_string(r.outcome.converged_runs),
+               std::to_string(r.outcome.correct_runs)});
+  }
+  std::cout << t.to_string();
+}
+
+/// Standard bench main: run benchmarks, then print the table via `print`.
+#define COMPSYNTH_BENCH_MAIN(PRINT_FN)                        \
+  int main(int argc, char** argv) {                           \
+    ::benchmark::Initialize(&argc, argv);                     \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                               \
+    ::benchmark::RunSpecifiedBenchmarks();                    \
+    ::benchmark::Shutdown();                                  \
+    PRINT_FN();                                               \
+    return 0;                                                 \
+  }
+
+}  // namespace compsynth::bench

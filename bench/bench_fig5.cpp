@@ -1,0 +1,35 @@
+// Figure 5 of the paper: effect of the number of initial random scenarios
+// (0, 2, 5, 7, 10). More initial scenarios seed the preference graph with
+// more constraints: the paper observed fewer interactions but slower
+// per-iteration synthesis (each query carries more constraints from the
+// start).
+#include "bench_common.h"
+#include "sketch/library.h"
+
+namespace compsynth::bench {
+namespace {
+
+void BM_Fig5(benchmark::State& state) {
+  const int initial = static_cast<int>(state.range(0));
+  synth::ExperimentSpec spec{.sketch = sketch::swan_sketch(),
+                             .target = sketch::swan_target()};
+  spec.backend = synth::Backend::kZ3;
+  spec.repetitions = repetitions(3);
+  spec.config.seed = 9900 + static_cast<std::uint64_t>(initial);
+  spec.config.initial_scenarios = initial;
+  run_and_record(state, std::to_string(initial) + " initial scenario(s)", spec);
+}
+BENCHMARK(BM_Fig5)->Arg(0)->Arg(2)->Arg(5)->Arg(7)->Arg(10)
+    ->Iterations(1)->UseManualTime()->Unit(benchmark::kSecond);
+
+void print_fig5() {
+  print_series(
+      "Figure 5: number of initial random scenarios (0, 2, 5, 7, 10)",
+      {"paper: more initial scenarios -> fewer interactions but slower",
+       "per-iteration synthesis."});
+}
+
+}  // namespace
+}  // namespace compsynth::bench
+
+COMPSYNTH_BENCH_MAIN(compsynth::bench::print_fig5)

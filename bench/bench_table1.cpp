@@ -1,0 +1,59 @@
+// Table 1 of the paper: synthesize the Fig. 2b SWAN objective with the
+// baseline protocol (5 initial random scenarios, 1 pair ranked per
+// iteration, Z3 back-end, ideal oracle) over nine runs and report the
+// average / median / SIQR of the iteration count, the per-iteration
+// synthesis time and the total synthesis time.
+//
+// Paper reference values (2.9 GHz dual-core laptop, 2019 Z3):
+//   # Iterations                31.33 / 30 / 4.25
+//   Synthesis time per iter (s)  2.45 / 2.37 / 0.12
+//   Total synthesis time (s)    76.13 / 71.67 / 11.16
+// The reproduction target is the *shape*: tens of iterations, sub-linear
+// growth of per-iteration time, total in the tens of seconds.
+#include "bench_common.h"
+#include "sketch/library.h"
+
+namespace compsynth::bench {
+namespace {
+
+synth::ExperimentSpec baseline_spec() {
+  synth::ExperimentSpec spec{.sketch = sketch::swan_sketch(),
+                             .target = sketch::swan_target()};
+  spec.backend = synth::Backend::kZ3;
+  spec.repetitions = repetitions(9);
+  spec.config.seed = 20190101;
+  return spec;
+}
+
+void BM_Table1_Baseline(benchmark::State& state) {
+  run_and_record(state, "baseline (Fig 2b target)", baseline_spec());
+}
+BENCHMARK(BM_Table1_Baseline)->Iterations(1)->UseManualTime()->Unit(benchmark::kSecond);
+
+void print_table1() {
+  const Row& r = rows().front();
+  std::cout << "\n=== Table 1: Summary of experimental results ===\n"
+            << "(paper: iterations 31.33/30/4.25, s/iter 2.45/2.37/0.12, "
+               "total 76.13/71.67/11.16; format avg/median/SIQR)\n";
+  util::Table t({"Metrics", "Average", "Median", "SIQR"});
+  t.add_row_numeric("# Iterations",
+                    {r.outcome.iterations.mean, r.outcome.iterations.median,
+                     r.outcome.iterations.siqr});
+  t.add_row_numeric("Synthesis Time per Iteration (s)",
+                    {r.outcome.avg_iteration_seconds.mean,
+                     r.outcome.avg_iteration_seconds.median,
+                     r.outcome.avg_iteration_seconds.siqr});
+  t.add_row_numeric("Total Synthesis Time (s)",
+                    {r.outcome.total_seconds.mean, r.outcome.total_seconds.median,
+                     r.outcome.total_seconds.siqr});
+  std::cout << t.to_string();
+  std::cout << "runs: " << r.outcome.runs.size()
+            << ", converged: " << r.outcome.converged_runs
+            << ", ranking-equivalent to target: " << r.outcome.correct_runs
+            << "\n";
+}
+
+}  // namespace
+}  // namespace compsynth::bench
+
+COMPSYNTH_BENCH_MAIN(compsynth::bench::print_table1)

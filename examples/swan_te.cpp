@@ -1,0 +1,79 @@
+// SWAN traffic-engineering walkthrough (paper §2 + §6.1 "tractability").
+//
+// The architect cannot write down how she trades throughput against
+// latency, but she *can* compare concrete outcomes. This example:
+//
+//   1. builds the Abilene backbone and a random inter-PoP workload;
+//   2. generates candidate designs with tractable LP objectives — an
+//      Eq. (2.1) epsilon sweep and a Danna fairness sweep — using the
+//      in-repo simplex solver;
+//   3. learns the architect's objective from preference queries alone
+//      (simulated architect with a latent SWAN-sketch intent);
+//   4. uses the learned objective to pick the final design, and compares
+//      that with the latent intent's own pick.
+//
+// Build & run:  ./build/examples/swan_te
+#include <cstdio>
+
+#include "oracle/ground_truth.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "sketch/printer.h"
+#include "synth/synthesizer.h"
+#include "te/scenario_gen.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+int main() {
+  using namespace compsynth;
+
+  // 1. Network + workload.
+  const te::Topology topo = te::abilene();
+  util::Rng rng(4242);
+  const std::vector<te::FlowRequest> requests =
+      te::random_workload(topo, rng, 12, 1, 6);
+  std::printf("Abilene: %zu nodes, %zu links; %zu flows, T_opt = %.2f Gbps\n\n",
+              topo.node_count(), topo.link_count(), requests.size(),
+              te::optimal_throughput(topo, requests));
+
+  // 2. Candidate designs from tractable LP objectives.
+  const std::vector<double> epsilons{0, 0.002, 0.005, 0.01, 0.02, 0.04, 0.08};
+  std::vector<te::CandidateDesign> designs =
+      te::sweep_epsilon(topo, requests, epsilons);
+  const std::vector<double> q_fairs{0.5, 1.0};
+  const auto fair_designs = te::sweep_fairness(topo, requests, q_fairs);
+  designs.insert(designs.end(), fair_designs.begin(), fair_designs.end());
+
+  util::Table table({"design", "throughput (Gbps)", "weighted latency (ms)"});
+  for (const auto& d : designs) {
+    table.add_row({d.label,
+                   util::format_number(d.allocation.total_throughput_gbps),
+                   util::format_number(d.allocation.weighted_latency_ms)});
+  }
+  std::printf("Candidate designs (each an LP solve):\n%s\n",
+              table.to_string().c_str());
+
+  // 3. Learn the architect's objective from comparisons only.
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  const sketch::HoleAssignment latent = sketch::swan_target_with(3, 40, 1, 4);
+  synth::SynthesisConfig config;
+  config.seed = 77;
+  synth::Synthesizer synthesizer = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, latent, config.finder.tie_tolerance);
+  const synth::SynthesisResult learned = synthesizer.run(architect);
+  if (!learned.objective) {
+    std::printf("synthesis failed\n");
+    return 1;
+  }
+  std::printf("Learned objective after %d interactions:\n  %s\n\n",
+              learned.interactions,
+              sketch::print_instantiated(sk, *learned.objective).c_str());
+
+  // 4. Pick the design.
+  const std::size_t picked = te::pick_best(sk, *learned.objective, designs);
+  const std::size_t truth = te::pick_best(sk, latent, designs);
+  std::printf("learned objective picks:  %s\n", designs[picked].label.c_str());
+  std::printf("latent intent would pick: %s\n", designs[truth].label.c_str());
+  std::printf("agreement: %s\n", picked == truth ? "YES" : "NO");
+  return picked == truth ? 0 : 1;
+}

@@ -1,0 +1,103 @@
+#include "abr/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace compsynth::abr {
+
+double harmonic_mean_tail(const std::vector<double>& xs, std::size_t window) {
+  if (xs.empty()) return 0;
+  const std::size_t n = std::min(window, xs.size());
+  double inv_sum = 0;
+  for (std::size_t i = xs.size() - n; i < xs.size(); ++i) {
+    inv_sum += 1.0 / std::max(xs[i], 1e-9);
+  }
+  return static_cast<double>(n) / inv_sum;
+}
+
+std::size_t FixedAbr::choose(const AbrObservation&, const Video& video) {
+  return std::min(rung_, video.ladder_mbps.size() - 1);
+}
+
+std::size_t RateBasedAbr::choose(const AbrObservation& obs, const Video& video) {
+  const double predicted =
+      harmonic_mean_tail(obs.throughput_history_mbps, window_);
+  if (predicted <= 0) return 0;  // no history yet: start safe
+  const double budget = safety_ * predicted;
+  std::size_t rung = 0;
+  for (std::size_t i = 0; i < video.ladder_mbps.size(); ++i) {
+    if (video.ladder_mbps[i] <= budget) rung = i;
+  }
+  return rung;
+}
+
+std::size_t BufferBasedAbr::choose(const AbrObservation& obs, const Video& video) {
+  const double b = obs.buffer_seconds;
+  if (b <= reservoir_) return 0;
+  if (b >= cushion_) return video.ladder_mbps.size() - 1;
+  const double frac = (b - reservoir_) / (cushion_ - reservoir_);
+  const auto rung = static_cast<std::size_t>(
+      frac * static_cast<double>(video.ladder_mbps.size() - 1) + 0.5);
+  return std::min(rung, video.ladder_mbps.size() - 1);
+}
+
+BolaAbr::BolaAbr(double buffer_target_seconds)
+    : buffer_target_(buffer_target_seconds) {
+  if (buffer_target_ <= 0) {
+    throw std::invalid_argument("BolaAbr: buffer target must be positive");
+  }
+}
+
+std::size_t BolaAbr::choose(const AbrObservation& obs, const Video& video) {
+  // Utilities: u_r = ln(S_r / S_min); chunk sizes are proportional to
+  // bitrates, so the ratio of rates works directly.
+  const double s_min = video.ladder_mbps.front();
+  const double u_max = std::log(video.ladder_mbps.back() / s_min);
+  // Calibrate V and gamma so the top rung is chosen when the buffer reaches
+  // the target and the bottom rung near empty (BOLA-BASIC's derivation with
+  // Q measured in chunks).
+  const double q_target = buffer_target_ / video.chunk_seconds;
+  const double gamma = 1.0;
+  const double v = std::max(1e-9, (q_target - 1.0) / (u_max + gamma));
+
+  const double q = obs.buffer_seconds / video.chunk_seconds;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < video.ladder_mbps.size(); ++r) {
+    const double size = video.ladder_mbps[r];  // proportional to bits
+    const double utility = std::log(size / s_min);
+    const double score = (v * (utility + gamma) - q) / size;
+    if (score > best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+std::size_t HybridAbr::choose(const AbrObservation& obs, const Video& video) {
+  const double predicted =
+      harmonic_mean_tail(obs.throughput_history_mbps, 5);
+  if (predicted <= 0) return 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t r = 0; r < video.ladder_mbps.size(); ++r) {
+    const double rate = video.ladder_mbps[r];
+    const double dl = rate * video.chunk_seconds / predicted;
+    const double stall = std::max(0.0, dl - obs.buffer_seconds);
+    const double switch_cost =
+        obs.next_chunk == 0
+            ? 0
+            : std::abs(rate - video.ladder_mbps[obs.last_rung]);
+    const double score =
+        rate - rebuffer_weight_ * stall - switch_weight_ * switch_cost;
+    if (score > best_score) {
+      best_score = score;
+      best = r;
+    }
+  }
+  return best;
+}
+
+}  // namespace compsynth::abr

@@ -1,0 +1,85 @@
+// Standard ABR policies (the state of the art the paper's §6.2 references).
+#pragma once
+
+#include <cstddef>
+
+#include "abr/simulator.h"
+
+namespace compsynth::abr {
+
+/// Always streams one fixed rung (debug/baseline).
+class FixedAbr final : public AbrAlgorithm {
+ public:
+  explicit FixedAbr(std::size_t rung) : rung_(rung) {}
+  std::size_t choose(const AbrObservation&, const Video& video) override;
+  const char* name() const override { return "fixed"; }
+
+ private:
+  std::size_t rung_;
+};
+
+/// Rate-based: highest rung below safety * harmonic mean of the last k
+/// observed download throughputs (the classic throughput-rule).
+class RateBasedAbr final : public AbrAlgorithm {
+ public:
+  explicit RateBasedAbr(double safety = 0.9, std::size_t window = 5)
+      : safety_(safety), window_(window) {}
+  std::size_t choose(const AbrObservation& obs, const Video& video) override;
+  const char* name() const override { return "rate"; }
+
+ private:
+  double safety_;
+  std::size_t window_;
+};
+
+/// Buffer-based (BBA-0): linear map from buffer occupancy to the ladder
+/// between a reservoir and a cushion.
+class BufferBasedAbr final : public AbrAlgorithm {
+ public:
+  BufferBasedAbr(double reservoir_seconds = 5, double cushion_seconds = 20)
+      : reservoir_(reservoir_seconds), cushion_(cushion_seconds) {}
+  std::size_t choose(const AbrObservation& obs, const Video& video) override;
+  const char* name() const override { return "buffer"; }
+
+ private:
+  double reservoir_;
+  double cushion_;
+};
+
+/// MPC-lite: greedy one-step lookahead that scores each rung with a linear
+/// QoE estimate (bitrate - rebuffer-risk - switch penalty) under the
+/// harmonic-mean bandwidth prediction. The linear weights are exactly the
+/// kind of ad-hoc composite the paper argues should be *learned* instead.
+class HybridAbr final : public AbrAlgorithm {
+ public:
+  HybridAbr(double rebuffer_weight = 4.0, double switch_weight = 1.0)
+      : rebuffer_weight_(rebuffer_weight), switch_weight_(switch_weight) {}
+  std::size_t choose(const AbrObservation& obs, const Video& video) override;
+  const char* name() const override { return "hybrid"; }
+
+ private:
+  double rebuffer_weight_;
+  double switch_weight_;
+};
+
+/// BOLA-BASIC (Spiteri et al.): a Lyapunov-drift controller that needs no
+/// bandwidth prediction at all. Each chunk picks the rung maximizing
+///   (V * (utility_r + gamma) - Q) / size_r
+/// where utility_r = ln(size_r / size_min), Q is the buffer level in chunks,
+/// V and gamma derive from the buffer target. Buffer-only control like BBA,
+/// but with a principled objective.
+class BolaAbr final : public AbrAlgorithm {
+ public:
+  /// `buffer_target_seconds` sets how much buffer BOLA tries to hold.
+  explicit BolaAbr(double buffer_target_seconds = 15);
+  std::size_t choose(const AbrObservation& obs, const Video& video) override;
+  const char* name() const override { return "bola"; }
+
+ private:
+  double buffer_target_;
+};
+
+/// Harmonic mean of the last `window` entries (0 when empty).
+double harmonic_mean_tail(const std::vector<double>& xs, std::size_t window);
+
+}  // namespace compsynth::abr

@@ -1,0 +1,69 @@
+#include "abr/qoe.h"
+
+#include <limits>
+#include <stdexcept>
+
+#include "abr/algorithms.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+
+namespace compsynth::abr {
+
+std::vector<PortfolioEntry> standard_portfolio() {
+  return {
+      {"fixed-sd", [] { return std::make_unique<FixedAbr>(1); }},
+      {"rate", [] { return std::make_unique<RateBasedAbr>(); }},
+      {"buffer", [] { return std::make_unique<BufferBasedAbr>(); }},
+      {"bola", [] { return std::make_unique<BolaAbr>(); }},
+      {"hybrid", [] { return std::make_unique<HybridAbr>(); }},
+  };
+}
+
+std::vector<AbrCandidate> evaluate_portfolio(
+    const Video& video, std::span<const Trace> traces,
+    std::span<const PortfolioEntry> portfolio, SimulatorConfig config) {
+  if (traces.empty()) throw std::invalid_argument("evaluate_portfolio: no traces");
+  std::vector<AbrCandidate> out;
+  out.reserve(portfolio.size());
+  for (const PortfolioEntry& entry : portfolio) {
+    AbrCandidate c;
+    c.label = entry.label;
+    for (const Trace& trace : traces) {
+      const std::unique_ptr<AbrAlgorithm> algo = entry.make();
+      const SessionMetrics m = simulate(video, trace, *algo, config);
+      c.mean_metrics.average_bitrate_mbps += m.average_bitrate_mbps;
+      c.mean_metrics.rebuffer_ratio_percent += m.rebuffer_ratio_percent;
+      c.mean_metrics.switch_count += m.switch_count;
+      c.mean_metrics.startup_seconds += m.startup_seconds;
+      c.mean_metrics.total_stall_seconds += m.total_stall_seconds;
+    }
+    const auto n = static_cast<double>(traces.size());
+    c.mean_metrics.average_bitrate_mbps /= n;
+    c.mean_metrics.rebuffer_ratio_percent /= n;
+    c.mean_metrics.switch_count /= n;
+    c.mean_metrics.startup_seconds /= n;
+    c.mean_metrics.total_stall_seconds /= n;
+    c.scenario = to_scenario(c.mean_metrics);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::size_t pick_best(const sketch::Sketch& sketch,
+                      const sketch::HoleAssignment& objective,
+                      std::span<const AbrCandidate> candidates) {
+  if (candidates.empty()) throw std::invalid_argument("pick_best: no candidates");
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double v =
+        sketch::eval(sketch, objective, candidates[i].scenario.metrics);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace compsynth::abr

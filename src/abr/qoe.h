@@ -1,0 +1,47 @@
+// QoE-driven comparison of ABR algorithm portfolios.
+//
+// Runs a set of ABR policies over a set of traces, averages each policy's
+// session metrics into one scenario, and lets a (learned) QoE objective pick
+// the winner — the §6.2 workflow: the publisher learns a QoE function from
+// preference feedback, then uses it to choose/configure the ABR algorithm.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abr/simulator.h"
+#include "sketch/ast.h"
+
+namespace compsynth::abr {
+
+struct AbrCandidate {
+  std::string label;
+  SessionMetrics mean_metrics;  // averaged across traces
+  pref::Scenario scenario;
+};
+
+/// A policy entry: a label plus a factory (algorithms are stateful per
+/// session, so each simulation gets a fresh instance).
+struct PortfolioEntry {
+  std::string label;
+  std::function<std::unique_ptr<AbrAlgorithm>()> make;
+};
+
+/// The four standard policies with default parameters.
+std::vector<PortfolioEntry> standard_portfolio();
+
+/// Simulates every portfolio entry over every trace; metrics are averaged
+/// per entry across traces.
+std::vector<AbrCandidate> evaluate_portfolio(
+    const Video& video, std::span<const Trace> traces,
+    std::span<const PortfolioEntry> portfolio, SimulatorConfig config = {});
+
+/// Index of the candidate the objective ranks highest.
+std::size_t pick_best(const sketch::Sketch& sketch,
+                      const sketch::HoleAssignment& objective,
+                      std::span<const AbrCandidate> candidates);
+
+}  // namespace compsynth::abr

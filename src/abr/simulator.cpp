@@ -1,0 +1,92 @@
+#include "abr/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sketch/library.h"
+
+namespace compsynth::abr {
+
+SessionMetrics simulate(const Video& video, const Trace& trace,
+                        AbrAlgorithm& algorithm, SimulatorConfig config) {
+  if (video.ladder_mbps.empty() || video.chunk_count == 0) {
+    throw std::invalid_argument("simulate: empty video");
+  }
+  if (!std::is_sorted(video.ladder_mbps.begin(), video.ladder_mbps.end())) {
+    throw std::invalid_argument("simulate: bitrate ladder must ascend");
+  }
+  if (config.startup_buffer_seconds < video.chunk_seconds) {
+    config.startup_buffer_seconds = video.chunk_seconds;  // need >= 1 chunk
+  }
+
+  SessionMetrics m;
+  AbrObservation obs;
+  obs.chunks_total = video.chunk_count;
+
+  double clock = 0;            // wall time
+  double buffer = 0;           // seconds of video buffered
+  bool playing = false;
+  double bitrate_sum = 0;
+
+  for (std::size_t chunk = 0; chunk < video.chunk_count; ++chunk) {
+    obs.buffer_seconds = buffer;
+    obs.next_chunk = chunk;
+    std::size_t rung = algorithm.choose(obs, video);
+    rung = std::min(rung, video.ladder_mbps.size() - 1);
+
+    if (chunk > 0 && rung != obs.last_rung) m.switch_count += 1;
+    obs.last_rung = rung;
+    m.rung_choices.push_back(rung);
+    bitrate_sum += video.ladder_mbps[rung];
+
+    const double megabits = video.ladder_mbps[rung] * video.chunk_seconds;
+    const double dl = trace.download_seconds(megabits, clock);
+    clock += dl;
+
+    if (playing) {
+      if (dl > buffer) {
+        // Buffer ran dry mid-download: playback stalled.
+        m.total_stall_seconds += dl - buffer;
+        buffer = 0;
+      } else {
+        buffer -= dl;
+      }
+    }
+    buffer += video.chunk_seconds;
+    obs.throughput_history_mbps.push_back(dl > 0 ? megabits / dl : megabits);
+
+    if (!playing && buffer >= config.startup_buffer_seconds) {
+      playing = true;
+      m.startup_seconds = clock;
+    }
+
+    // Buffer-full backpressure: wait (while playback drains) before fetching
+    // the next chunk.
+    if (playing && buffer > config.max_buffer_seconds) {
+      const double wait = buffer - config.max_buffer_seconds;
+      clock += wait;
+      buffer -= wait;
+    }
+  }
+  if (!playing) m.startup_seconds = clock;  // tiny videos: start at the end
+
+  m.average_bitrate_mbps = bitrate_sum / static_cast<double>(video.chunk_count);
+  const double play_seconds =
+      static_cast<double>(video.chunk_count) * video.chunk_seconds;
+  m.rebuffer_ratio_percent =
+      100.0 * m.total_stall_seconds / (play_seconds + m.total_stall_seconds);
+  return m;
+}
+
+pref::Scenario to_scenario(const SessionMetrics& m) {
+  const sketch::Sketch& sk = sketch::abr_qoe_sketch();
+  pref::Scenario s;
+  s.metrics = {m.average_bitrate_mbps, m.rebuffer_ratio_percent, m.switch_count,
+               m.startup_seconds};
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    s.metrics[i] = std::clamp(s.metrics[i], sk.metrics()[i].lo, sk.metrics()[i].hi);
+  }
+  return s;
+}
+
+}  // namespace compsynth::abr

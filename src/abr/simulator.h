@@ -1,0 +1,69 @@
+// Chunk-level HTTP adaptive-streaming simulator (paper §6.2, application 1).
+//
+// Standard ABR model (as in BBA / MPC / Pensieve): a video is a sequence of
+// fixed-duration chunks encoded at a ladder of bitrates; before each chunk
+// the ABR algorithm picks a rung using the observed download history and the
+// current playback buffer. Downloading faster than playback grows the
+// buffer; draining it stalls playback (rebuffering). The session summary
+// feeds the QoE sketch's four metrics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "abr/trace.h"
+#include "pref/scenario.h"
+
+namespace compsynth::abr {
+
+/// The encoded video: `ladder_mbps` ascending bitrates.
+struct Video {
+  std::vector<double> ladder_mbps{0.3, 0.75, 1.2, 1.85, 2.85, 4.3};
+  double chunk_seconds = 4;
+  std::size_t chunk_count = 60;
+};
+
+/// What an ABR algorithm sees before choosing the next chunk's rung.
+struct AbrObservation {
+  double buffer_seconds = 0;
+  /// Measured throughput of past downloads, most recent last (Mbps).
+  std::vector<double> throughput_history_mbps;
+  std::size_t next_chunk = 0;       // index of the chunk about to be fetched
+  std::size_t chunks_total = 0;
+  std::size_t last_rung = 0;        // rung used for the previous chunk
+};
+
+/// Pure decision function: returns the rung index for the next chunk.
+class AbrAlgorithm {
+ public:
+  virtual ~AbrAlgorithm() = default;
+  virtual std::size_t choose(const AbrObservation& obs, const Video& video) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// Per-session quality-of-experience summary.
+struct SessionMetrics {
+  double average_bitrate_mbps = 0;
+  double rebuffer_ratio_percent = 0;  // stall time / (stall + play) * 100
+  double switch_count = 0;            // number of rung changes
+  double startup_seconds = 0;         // time to fill the initial buffer
+  double total_stall_seconds = 0;
+  std::vector<std::size_t> rung_choices;
+};
+
+struct SimulatorConfig {
+  /// Playback starts once this much video is buffered.
+  double startup_buffer_seconds = 4;
+  /// Downloads pause when the buffer is full.
+  double max_buffer_seconds = 30;
+};
+
+/// Runs one streaming session of `video` over `trace` driven by `algorithm`.
+SessionMetrics simulate(const Video& video, const Trace& trace,
+                        AbrAlgorithm& algorithm, SimulatorConfig config = {});
+
+/// Projects session metrics onto the abr_qoe_sketch metric space
+/// (bitrate, rebuffer %, switches, startup), clamped to the sketch ranges.
+pref::Scenario to_scenario(const SessionMetrics& m);
+
+}  // namespace compsynth::abr

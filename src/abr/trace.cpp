@@ -1,0 +1,89 @@
+#include "abr/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace compsynth::abr {
+
+Trace::Trace(std::vector<double> bandwidth_mbps, double segment_seconds)
+    : bandwidth_mbps_(std::move(bandwidth_mbps)), segment_seconds_(segment_seconds) {
+  if (bandwidth_mbps_.empty()) throw std::invalid_argument("Trace: empty trace");
+  if (segment_seconds_ <= 0) throw std::invalid_argument("Trace: non-positive segment");
+  for (const double b : bandwidth_mbps_) {
+    if (b <= 0) throw std::invalid_argument("Trace: non-positive bandwidth sample");
+  }
+}
+
+double Trace::bandwidth_at(double t_seconds) const {
+  if (t_seconds < 0) t_seconds = 0;
+  const auto idx = static_cast<std::size_t>(t_seconds / segment_seconds_);
+  return bandwidth_mbps_[std::min(idx, bandwidth_mbps_.size() - 1)];
+}
+
+double Trace::download_seconds(double megabits, double start_seconds) const {
+  if (megabits <= 0) return 0;
+  double remaining = megabits;
+  double t = std::max(0.0, start_seconds);
+  // Walk segment by segment; the final segment extends to infinity.
+  for (;;) {
+    const double bw = bandwidth_at(t);
+    const auto idx = static_cast<std::size_t>(t / segment_seconds_);
+    if (idx >= bandwidth_mbps_.size() - 1) {
+      return (t - start_seconds) + remaining / bw;
+    }
+    const double segment_end = static_cast<double>(idx + 1) * segment_seconds_;
+    const double window = segment_end - t;
+    const double can_fetch = bw * window;
+    if (can_fetch >= remaining) {
+      return (t - start_seconds) + remaining / bw;
+    }
+    remaining -= can_fetch;
+    t = segment_end;
+  }
+}
+
+double Trace::mean_mbps() const {
+  return std::accumulate(bandwidth_mbps_.begin(), bandwidth_mbps_.end(), 0.0) /
+         static_cast<double>(bandwidth_mbps_.size());
+}
+
+Trace constant_trace(double mbps, double duration_seconds) {
+  const auto n = static_cast<std::size_t>(std::max(1.0, duration_seconds));
+  return Trace(std::vector<double>(n, mbps), 1.0);
+}
+
+Trace square_trace(double high_mbps, double low_mbps, double period_seconds,
+                   double duration_seconds) {
+  if (period_seconds <= 0) throw std::invalid_argument("square_trace: bad period");
+  std::vector<double> samples;
+  const auto n = static_cast<std::size_t>(std::max(1.0, duration_seconds));
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool high =
+        std::fmod(static_cast<double>(i), 2 * period_seconds) < period_seconds;
+    samples.push_back(high ? high_mbps : low_mbps);
+  }
+  return Trace(std::move(samples), 1.0);
+}
+
+Trace random_walk_trace(util::Rng& rng, double start_mbps, double floor_mbps,
+                        double cap_mbps, double duration_seconds,
+                        double volatility) {
+  if (floor_mbps <= 0 || cap_mbps < floor_mbps) {
+    throw std::invalid_argument("random_walk_trace: bad bounds");
+  }
+  std::vector<double> samples;
+  const auto n = static_cast<std::size_t>(std::max(1.0, duration_seconds));
+  samples.reserve(n);
+  double bw = std::clamp(start_mbps, floor_mbps, cap_mbps);
+  for (std::size_t i = 0; i < n; ++i) {
+    samples.push_back(bw);
+    bw *= std::exp(rng.gaussian(0.0, volatility) - volatility * volatility / 2);
+    bw = std::clamp(bw, floor_mbps, cap_mbps);
+  }
+  return Trace(std::move(samples), 1.0);
+}
+
+}  // namespace compsynth::abr

@@ -1,0 +1,52 @@
+// Synthetic network bandwidth traces for the ABR simulator.
+//
+// Production throughput traces (FCC / Norway datasets used by the ABR papers
+// the paper cites) are not available offline, so we generate synthetic
+// traces that reproduce their qualitative regimes: stable links, periodic
+// drops (wifi contention), and bursty random walks (cellular). See DESIGN.md
+// "Substitutions".
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace compsynth::abr {
+
+/// Piecewise-constant available bandwidth over time.
+class Trace {
+ public:
+  /// `segment_seconds` is the duration of each bandwidth sample.
+  Trace(std::vector<double> bandwidth_mbps, double segment_seconds);
+
+  /// Bandwidth at absolute time t (clamps to the last segment, so traces
+  /// effectively extend forever).
+  double bandwidth_at(double t_seconds) const;
+
+  /// Seconds needed to download `megabits` starting at `start_seconds`,
+  /// integrating across segment boundaries.
+  double download_seconds(double megabits, double start_seconds) const;
+
+  double segment_seconds() const { return segment_seconds_; }
+  const std::vector<double>& samples() const { return bandwidth_mbps_; }
+  double mean_mbps() const;
+
+ private:
+  std::vector<double> bandwidth_mbps_;
+  double segment_seconds_;
+};
+
+/// Constant-bandwidth link.
+Trace constant_trace(double mbps, double duration_seconds = 600);
+
+/// Alternates between `high` and `low` every `period_seconds` (wifi-like
+/// periodic contention).
+Trace square_trace(double high_mbps, double low_mbps, double period_seconds,
+                   double duration_seconds = 600);
+
+/// Multiplicative random walk clamped to [floor, cap] (cellular-like).
+Trace random_walk_trace(util::Rng& rng, double start_mbps, double floor_mbps,
+                        double cap_mbps, double duration_seconds = 600,
+                        double volatility = 0.25);
+
+}  // namespace compsynth::abr

@@ -1,0 +1,134 @@
+#include "homenet/policy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "sketch/eval.h"
+#include "sketch/library.h"
+
+namespace compsynth::homenet {
+
+std::vector<double> class_demands(std::span<const AppDemand> apps) {
+  std::vector<double> demand(kClassCount, 0.0);
+  for (const AppDemand& a : apps) {
+    if (a.demand_mbps < 0) throw std::invalid_argument("class_demands: negative demand");
+    demand[static_cast<std::size_t>(a.traffic_class)] += a.demand_mbps;
+  }
+  return demand;
+}
+
+ClassAllocation allocate(std::span<const AppDemand> apps, double capacity_mbps,
+                         const Policy& policy) {
+  if (capacity_mbps <= 0) throw std::invalid_argument("allocate: non-positive capacity");
+  for (const double w : policy.weight) {
+    if (w < 0) throw std::invalid_argument("allocate: negative weight");
+  }
+  const std::vector<double> demand = class_demands(apps);
+
+  ClassAllocation out;
+  double remaining = capacity_mbps;
+
+  // Pass 1: minimum guarantees, clipped to demand, granted in class order
+  // (interactive first) while capacity lasts.
+  for (std::size_t c = 0; c < kClassCount; ++c) {
+    const double want = std::min(policy.guarantee_mbps[c], demand[c]);
+    const double grant = std::min(want, remaining);
+    out.rate_mbps[c] = grant;
+    remaining -= grant;
+  }
+
+  // Pass 2: weighted water-filling of the remainder over unmet demand.
+  for (;;) {
+    double weight_sum = 0;
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (out.rate_mbps[c] < demand[c] && policy.weight[c] > 0) {
+        weight_sum += policy.weight[c];
+      }
+    }
+    if (weight_sum <= 0 || remaining <= 1e-12) break;
+
+    // Smallest per-weight level at which some class saturates its demand.
+    double level = remaining / weight_sum;
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (out.rate_mbps[c] < demand[c] && policy.weight[c] > 0) {
+        level = std::min(level, (demand[c] - out.rate_mbps[c]) / policy.weight[c]);
+      }
+    }
+    for (std::size_t c = 0; c < kClassCount; ++c) {
+      if (out.rate_mbps[c] < demand[c] && policy.weight[c] > 0) {
+        const double grant = level * policy.weight[c];
+        out.rate_mbps[c] += grant;
+        remaining -= grant;
+      }
+    }
+    if (level <= 1e-12) break;  // all active classes saturated
+  }
+  return out;
+}
+
+pref::Scenario to_scenario(const ClassAllocation& alloc) {
+  const sketch::Sketch& sk = sketch::homenet_sketch();
+  pref::Scenario s;
+  s.metrics = {alloc.rate_mbps[0], alloc.rate_mbps[1], alloc.rate_mbps[2]};
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    s.metrics[i] = std::clamp(s.metrics[i], sk.metrics()[i].lo, sk.metrics()[i].hi);
+  }
+  return s;
+}
+
+std::vector<Policy> standard_policies() {
+  std::vector<Policy> out;
+  out.push_back(Policy{.label = "equal", .weight = {1, 1, 1}});
+  out.push_back(Policy{.label = "call-first", .weight = {8, 3, 1}});
+  out.push_back(Policy{.label = "streaming-heavy", .weight = {2, 6, 1}});
+  out.push_back(Policy{.label = "guaranteed-calls",
+                       .weight = {1, 1, 1},
+                       .guarantee_mbps = {15, 0, 0}});
+  out.push_back(Policy{.label = "bulk-throttled", .weight = {4, 4, 0.5}});
+  return out;
+}
+
+std::vector<AppDemand> random_household(util::Rng& rng, std::size_t devices) {
+  std::vector<AppDemand> out;
+  out.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    AppDemand d;
+    d.device = "dev" + std::to_string(i);
+    const auto cls = rng.index(kClassCount);
+    d.traffic_class = static_cast<TrafficClass>(cls);
+    switch (d.traffic_class) {
+      case TrafficClass::kInteractive:
+        d.demand_mbps = rng.uniform_real(2, 8);     // calls / gaming
+        break;
+      case TrafficClass::kStreaming:
+        d.demand_mbps = rng.uniform_real(5, 25);    // HD/4K streams
+        break;
+      case TrafficClass::kBulk:
+        d.demand_mbps = rng.uniform_real(10, 60);   // backups / downloads
+        break;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::size_t pick_best(const sketch::Sketch& sketch,
+                      const sketch::HoleAssignment& objective,
+                      std::span<const AppDemand> apps, double capacity_mbps,
+                      std::span<const Policy> policies) {
+  if (policies.empty()) throw std::invalid_argument("pick_best: no policies");
+  std::size_t best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    const pref::Scenario s = to_scenario(allocate(apps, capacity_mbps, policies[i]));
+    const double v = sketch::eval(sketch, objective, s.metrics);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  return best;
+}
+
+}  // namespace compsynth::homenet

@@ -1,0 +1,71 @@
+// Home-network bandwidth policy substrate (paper §6.2, application 2).
+//
+// A home uplink is shared by competing application classes (interactive:
+// video calls / gaming; streaming: video on demand; bulk: backups, IoT
+// uploads). A policy assigns each class a weight and an optional minimum
+// guarantee; allocation is weighted max-min (water-filling) over class
+// demands. The comparative synthesizer learns which trade-offs the
+// household actually prefers — instead of asking a lay user for weights.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pref/scenario.h"
+#include "sketch/ast.h"
+#include "util/rng.h"
+
+namespace compsynth::homenet {
+
+enum class TrafficClass : std::size_t { kInteractive = 0, kStreaming = 1, kBulk = 2 };
+constexpr std::size_t kClassCount = 3;
+
+/// One device's demand in a given class.
+struct AppDemand {
+  std::string device;
+  TrafficClass traffic_class = TrafficClass::kBulk;
+  double demand_mbps = 0;
+};
+
+/// A candidate sharing policy: per-class weights plus per-class guaranteed
+/// minimum rates (granted before weighted sharing, capped by demand).
+struct Policy {
+  std::string label;
+  double weight[kClassCount] = {1, 1, 1};
+  double guarantee_mbps[kClassCount] = {0, 0, 0};
+};
+
+/// Per-class allocated rates (Mbps).
+struct ClassAllocation {
+  double rate_mbps[kClassCount] = {0, 0, 0};
+  double total() const { return rate_mbps[0] + rate_mbps[1] + rate_mbps[2]; }
+};
+
+/// Aggregates demands per class.
+std::vector<double> class_demands(std::span<const AppDemand> apps);
+
+/// Weighted max-min allocation of `capacity_mbps` across classes:
+/// guarantees first (clipped to demand and capacity), then water-filling by
+/// weight on the remainder. Throws std::invalid_argument on non-positive
+/// capacity or negative demands.
+ClassAllocation allocate(std::span<const AppDemand> apps, double capacity_mbps,
+                         const Policy& policy);
+
+/// Projects an allocation onto the homenet sketch metric space
+/// (interactive, streaming, bulk shares in Mbps), clamped to sketch ranges.
+pref::Scenario to_scenario(const ClassAllocation& alloc);
+
+/// A small portfolio of plausible household policies to choose among.
+std::vector<Policy> standard_policies();
+
+/// A random evening-household workload (calls + streams + backups).
+std::vector<AppDemand> random_household(util::Rng& rng, std::size_t devices);
+
+/// Index of the policy whose allocation the objective ranks highest.
+std::size_t pick_best(const sketch::Sketch& sketch,
+                      const sketch::HoleAssignment& objective,
+                      std::span<const AppDemand> apps, double capacity_mbps,
+                      std::span<const Policy> policies);
+
+}  // namespace compsynth::homenet

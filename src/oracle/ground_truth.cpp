@@ -1,0 +1,71 @@
+#include "oracle/ground_truth.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "sketch/eval.h"
+#include "sketch/typecheck.h"
+
+namespace compsynth::oracle {
+
+GroundTruthOracle::GroundTruthOracle(sketch::Sketch sketch,
+                                     const sketch::HoleAssignment& target,
+                                     double tie_tolerance)
+    : sketch_(std::move(sketch)),
+      hole_values_(sketch_.hole_values(target)),
+      tie_tolerance_(tie_tolerance) {}
+
+GroundTruthOracle::GroundTruthOracle(sketch::Sketch sketch,
+                                     sketch::ExprPtr target_body,
+                                     double tie_tolerance)
+    : sketch_(std::move(sketch)),
+      target_body_(std::move(target_body)),
+      tie_tolerance_(tie_tolerance) {
+  sketch::typecheck_expr(*target_body_, sketch_.metrics().size(),
+                         /*hole_count=*/0, /*expect_numeric=*/true);
+}
+
+double GroundTruthOracle::target_value(const pref::Scenario& s) const {
+  if (target_body_ != nullptr) {
+    return sketch::eval_numeric(*target_body_, s.metrics, {});
+  }
+  return sketch::eval_with_values(sketch_, hole_values_, s.metrics);
+}
+
+Preference GroundTruthOracle::do_compare(const pref::Scenario& a,
+                                         const pref::Scenario& b) {
+  const double va = target_value(a);
+  const double vb = target_value(b);
+  if (std::abs(va - vb) <= tie_tolerance_) return Preference::kTie;
+  return va > vb ? Preference::kFirst : Preference::kSecond;
+}
+
+RankingResponse GroundTruthOracle::do_rank(
+    std::span<const pref::Scenario> scenarios) {
+  // Exact sort by latent value (the ideal user of §4.3), then adjacent-chain
+  // relations with ties collapsed.
+  std::vector<std::size_t> order(scenarios.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> values(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    values[i] = target_value(scenarios[i]);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t i, std::size_t j) { return values[i] > values[j]; });
+
+  RankingResponse out;
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    const std::size_t hi = order[k];
+    const std::size_t lo = order[k + 1];
+    if (std::abs(values[hi] - values[lo]) <= tie_tolerance_) {
+      out.ties.push_back({hi, lo});
+    } else {
+      out.preferences.push_back({hi, lo});
+    }
+  }
+  return out;
+}
+
+}  // namespace compsynth::oracle

@@ -1,0 +1,42 @@
+// The paper's ideal user: answers by evaluating a latent target objective.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "oracle/oracle.h"
+#include "sketch/ast.h"
+
+namespace compsynth::oracle {
+
+/// Evaluates every scenario with a fixed target function (the ground truth
+/// of Fig. 2b) and prefers the higher value. Differences within
+/// `tie_tolerance` are reported as ties — this must match the synthesizer's
+/// FinderConfig::tie_tolerance for the loop-progress guarantee to hold.
+class GroundTruthOracle final : public Oracle {
+ public:
+  /// Target defined by a hole assignment of `sketch`.
+  GroundTruthOracle(sketch::Sketch sketch, const sketch::HoleAssignment& target,
+                    double tie_tolerance = 1e-4);
+
+  /// Target defined by an arbitrary expression over the sketch's metrics
+  /// (may lie outside the sketch's candidate space — used to study behaviour
+  /// when the user's intent is not expressible).
+  GroundTruthOracle(sketch::Sketch sketch, sketch::ExprPtr target_body,
+                    double tie_tolerance = 1e-4);
+
+  /// The latent objective value of a scenario (test/diagnostic access).
+  double target_value(const pref::Scenario& s) const;
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+  RankingResponse do_rank(std::span<const pref::Scenario> scenarios) override;
+
+ private:
+  sketch::Sketch sketch_;
+  sketch::ExprPtr target_body_;        // used when hole_values_ empty
+  std::vector<double> hole_values_;    // used otherwise
+  double tie_tolerance_;
+};
+
+}  // namespace compsynth::oracle

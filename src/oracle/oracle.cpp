@@ -1,0 +1,46 @@
+#include "oracle/oracle.h"
+
+#include <vector>
+
+namespace compsynth::oracle {
+
+RankingResponse Oracle::do_rank(std::span<const pref::Scenario> scenarios) {
+  // Generic ranking via comparisons only. NOTE: noisy users make the
+  // comparison relation inconsistent (not a strict weak order), so feeding
+  // it to std::sort would be undefined behaviour. A hand-rolled insertion
+  // ranking is safe under arbitrary (even contradictory) answers.
+  std::vector<std::size_t> order;
+  order.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    std::size_t pos = 0;
+    while (pos < order.size() &&
+           do_compare(scenarios[i], scenarios[order[pos]]) != Preference::kFirst) {
+      ++pos;
+    }
+    order.insert(order.begin() + static_cast<std::ptrdiff_t>(pos), i);
+  }
+
+  // Report the adjacent relations of the chain; transitivity of the
+  // synthesized objective makes the chain as informative as all O(n^2)
+  // pairs.
+  RankingResponse out;
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    const std::size_t hi = order[k];
+    const std::size_t lo = order[k + 1];
+    switch (do_compare(scenarios[hi], scenarios[lo])) {
+      case Preference::kFirst:
+        out.preferences.push_back({hi, lo});
+        break;
+      case Preference::kSecond:
+        // Inconsistent answers (noise) are recorded as given.
+        out.preferences.push_back({lo, hi});
+        break;
+      case Preference::kTie:
+        out.ties.push_back({hi, lo});
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace compsynth::oracle

@@ -1,0 +1,80 @@
+// User models for comparative synthesis.
+//
+// The paper evaluates with "an oracle playing the role of an ideal user"
+// (§4.3): it evaluates scenarios with the latent ground-truth objective and
+// answers preference queries accordingly. This header defines the oracle
+// interface; concrete oracles (ground truth, noisy, indifferent,
+// interactive) live in the sibling headers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "pref/scenario.h"
+
+namespace compsynth::oracle {
+
+/// Answer to a two-scenario comparison.
+enum class Preference {
+  kFirst,   // the first scenario is preferred
+  kSecond,  // the second scenario is preferred
+  kTie,     // indistinguishable / incomparable (partial ranking, §4.2)
+};
+
+/// A (partial) ranking over a scenario set, expressed as index pairs.
+struct RankingResponse {
+  struct RankedPair {
+    std::size_t better = 0;
+    std::size_t worse = 0;
+  };
+  struct TiePair {
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+  std::vector<RankedPair> preferences;
+  std::vector<TiePair> ties;
+};
+
+/// Abstract user. Non-virtual public API counts interactions (the paper's
+/// cost metric for the human in the loop); subclasses implement do_compare /
+/// do_rank.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  Oracle(const Oracle&) = delete;
+  Oracle& operator=(const Oracle&) = delete;
+
+  /// Compares two scenarios. Counts as one interaction.
+  Preference compare(const pref::Scenario& a, const pref::Scenario& b) {
+    ++comparisons_;
+    return do_compare(a, b);
+  }
+
+  /// Ranks a set of scenarios (e.g. the initial random batch). Counts as one
+  /// interaction regardless of set size — the user answers in one sitting.
+  RankingResponse rank(std::span<const pref::Scenario> scenarios) {
+    if (!scenarios.empty()) ++rankings_;
+    return do_rank(scenarios);
+  }
+
+  long comparisons() const { return comparisons_; }
+  long rankings() const { return rankings_; }
+
+ protected:
+  Oracle() = default;
+
+  virtual Preference do_compare(const pref::Scenario& a,
+                                const pref::Scenario& b) = 0;
+
+  /// Default ranking: chain the scenarios via insertion using do_compare.
+  /// Ground-truth oracles override this with an exact sort.
+  virtual RankingResponse do_rank(std::span<const pref::Scenario> scenarios);
+
+ private:
+  long comparisons_ = 0;
+  long rankings_ = 0;
+};
+
+}  // namespace compsynth::oracle

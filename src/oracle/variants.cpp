@@ -1,0 +1,85 @@
+#include "oracle/variants.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace compsynth::oracle {
+
+NoisyOracle::NoisyOracle(std::unique_ptr<Oracle> inner, double flip_probability,
+                         std::uint64_t seed)
+    : inner_(std::move(inner)), flip_probability_(flip_probability), rng_(seed) {
+  if (inner_ == nullptr) throw std::invalid_argument("NoisyOracle: null inner oracle");
+  if (flip_probability_ < 0 || flip_probability_ > 1) {
+    throw std::invalid_argument("NoisyOracle: flip probability outside [0,1]");
+  }
+}
+
+Preference NoisyOracle::do_compare(const pref::Scenario& a, const pref::Scenario& b) {
+  const Preference truth = inner_->compare(a, b);
+  if (truth == Preference::kTie || !rng_.bernoulli(flip_probability_)) return truth;
+  ++flips_;
+  return truth == Preference::kFirst ? Preference::kSecond : Preference::kFirst;
+}
+
+IndifferentOracle::IndifferentOracle(std::unique_ptr<Oracle> inner,
+                                     double indifference, std::uint64_t seed)
+    : inner_(std::move(inner)), indifference_(indifference), rng_(seed) {
+  if (inner_ == nullptr) {
+    throw std::invalid_argument("IndifferentOracle: null inner oracle");
+  }
+  if (indifference_ < 0 || indifference_ > 1) {
+    throw std::invalid_argument("IndifferentOracle: indifference outside [0,1]");
+  }
+}
+
+Preference IndifferentOracle::do_compare(const pref::Scenario& a,
+                                         const pref::Scenario& b) {
+  const Preference truth = inner_->compare(a, b);
+  if (truth == Preference::kTie || !rng_.bernoulli(indifference_)) return truth;
+  ++abstentions_;
+  return Preference::kTie;
+}
+
+DriftingOracle::DriftingOracle(std::unique_ptr<Oracle> before,
+                               std::unique_ptr<Oracle> after, long drift_after)
+    : before_(std::move(before)), after_(std::move(after)), drift_after_(drift_after) {
+  if (before_ == nullptr || after_ == nullptr) {
+    throw std::invalid_argument("DriftingOracle: null inner oracle");
+  }
+  if (drift_after_ < 0) {
+    throw std::invalid_argument("DriftingOracle: negative drift point");
+  }
+}
+
+Preference DriftingOracle::do_compare(const pref::Scenario& a,
+                                      const pref::Scenario& b) {
+  Oracle& active = answered_ < drift_after_ ? *before_ : *after_;
+  ++answered_;
+  return active.compare(a, b);
+}
+
+InteractiveOracle::InteractiveOracle(sketch::Sketch sketch, std::istream& in,
+                                     std::ostream& out)
+    : sketch_(std::move(sketch)), in_(in), out_(out) {}
+
+Preference InteractiveOracle::do_compare(const pref::Scenario& a,
+                                         const pref::Scenario& b) {
+  out_ << "\nWhich scenario do you prefer?\n"
+       << "  [1] " << pref::to_string(a, sketch_) << '\n'
+       << "  [2] " << pref::to_string(b, sketch_) << '\n'
+       << "  [=] indistinguishable\n"
+       << "> " << std::flush;
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line == "1") return Preference::kFirst;
+    if (line == "2") return Preference::kSecond;
+    if (line == "=" || line == "tie") return Preference::kTie;
+    out_ << "please answer 1, 2 or =\n> " << std::flush;
+  }
+  // Input exhausted (EOF): treat as indifference so synthesis can wind down.
+  return Preference::kTie;
+}
+
+}  // namespace compsynth::oracle

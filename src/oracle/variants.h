@@ -1,0 +1,97 @@
+// Imperfect and interactive user models (paper §6.1: "Robustness to user
+// inputs" — architects can provide inconsistent or vague preferences).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <utility>
+
+#include "oracle/oracle.h"
+#include "sketch/ast.h"
+#include "util/rng.h"
+
+namespace compsynth::oracle {
+
+/// Wraps another oracle and flips each *strict* answer with probability
+/// `flip_probability` (ties pass through). Models a user who occasionally
+/// misjudges close calls; drives the noise-robustness ablation.
+class NoisyOracle final : public Oracle {
+ public:
+  NoisyOracle(std::unique_ptr<Oracle> inner, double flip_probability,
+              std::uint64_t seed);
+
+  long flips() const { return flips_; }
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+
+ private:
+  std::unique_ptr<Oracle> inner_;
+  double flip_probability_;
+  util::Rng rng_;
+  long flips_ = 0;
+};
+
+/// Wraps another oracle and answers "tie" whenever the inner oracle's
+/// latent values are closer than a coarse indifference band — a vague user
+/// who only distinguishes clearly different scenarios. Implemented by
+/// delegating to the inner oracle with its own (tight) tolerance and
+/// coarsening: any strict answer is downgraded to a tie with probability
+/// `indifference` when scenarios are near each other in metric space.
+class IndifferentOracle final : public Oracle {
+ public:
+  /// `indifference` in [0,1]: probability of abstaining on a strict call.
+  IndifferentOracle(std::unique_ptr<Oracle> inner, double indifference,
+                    std::uint64_t seed);
+
+  long abstentions() const { return abstentions_; }
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+
+ private:
+  std::unique_ptr<Oracle> inner_;
+  double indifference_;
+  util::Rng rng_;
+  long abstentions_ = 0;
+};
+
+/// A user whose latent intent *changes* after a given number of answers —
+/// e.g. an architect who recalibrates what "acceptable latency" means
+/// halfway through a session. Early answers then contradict later ones,
+/// which exercises the §6.1 repair machinery end to end.
+class DriftingOracle final : public Oracle {
+ public:
+  /// Answers the first `drift_after` comparisons with `before`, the rest
+  /// with `after`. Both oracles are owned.
+  DriftingOracle(std::unique_ptr<Oracle> before, std::unique_ptr<Oracle> after,
+                 long drift_after);
+
+  bool drifted() const { return answered_ >= drift_after_; }
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+
+ private:
+  std::unique_ptr<Oracle> before_;
+  std::unique_ptr<Oracle> after_;
+  long drift_after_;
+  long answered_ = 0;
+};
+
+/// A human at a terminal: prints both scenarios (named metrics) and reads
+/// "1", "2" or "=" from the input stream. Used by examples/interactive.
+class InteractiveOracle final : public Oracle {
+ public:
+  InteractiveOracle(sketch::Sketch sketch, std::istream& in, std::ostream& out);
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+
+ private:
+  sketch::Sketch sketch_;
+  std::istream& in_;
+  std::ostream& out_;
+};
+
+}  // namespace compsynth::oracle

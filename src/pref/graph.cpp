@@ -1,0 +1,195 @@
+#include "pref/graph.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace compsynth::pref {
+
+VertexId PreferenceGraph::intern(const Scenario& s) {
+  if (const auto existing = find(s)) return *existing;
+  scenarios_.push_back(s);
+  return scenarios_.size() - 1;
+}
+
+std::optional<VertexId> PreferenceGraph::find(const Scenario& s) const {
+  for (VertexId v = 0; v < scenarios_.size(); ++v) {
+    if (scenarios_[v] == s) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> PreferenceGraph::edge_index(VertexId better,
+                                                       VertexId worse) const {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].better == better && edges_[i].worse == worse) return i;
+  }
+  return std::nullopt;
+}
+
+AddResult PreferenceGraph::add_preference(VertexId better, VertexId worse,
+                                          double weight) {
+  if (better >= scenarios_.size() || worse >= scenarios_.size()) {
+    throw std::out_of_range("add_preference: unknown vertex");
+  }
+  if (better == worse) return AddResult::kSelfLoop;
+  if (const auto i = edge_index(better, worse)) {
+    edges_[*i].weight += weight;
+    return AddResult::kDuplicate;
+  }
+  if (!allow_inconsistent_ && reachable(worse, better)) return AddResult::kCycle;
+  edges_.push_back(Edge{better, worse, weight});
+  return AddResult::kAdded;
+}
+
+bool PreferenceGraph::add_tie(VertexId u, VertexId v) {
+  if (u >= scenarios_.size() || v >= scenarios_.size()) {
+    throw std::out_of_range("add_tie: unknown vertex");
+  }
+  if (u == v) return false;
+  if (u > v) std::swap(u, v);
+  const std::pair<VertexId, VertexId> key{u, v};
+  if (std::find(ties_.begin(), ties_.end(), key) != ties_.end()) return false;
+  ties_.push_back(key);
+  return true;
+}
+
+bool PreferenceGraph::reachable(VertexId from, VertexId to) const {
+  return reachable_over(from, to, edges_);
+}
+
+bool PreferenceGraph::reachable_over(VertexId from, VertexId to,
+                                     const std::vector<Edge>& edges) const {
+  if (from == to) return true;
+  std::vector<bool> seen(scenarios_.size(), false);
+  std::vector<VertexId> stack{from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    for (const Edge& e : edges) {
+      if (e.better != v || seen[e.worse]) continue;
+      if (e.worse == to) return true;
+      seen[e.worse] = true;
+      stack.push_back(e.worse);
+    }
+  }
+  return false;
+}
+
+bool PreferenceGraph::has_cycle() const { return find_cycle_edges().has_value(); }
+
+std::vector<VertexId> PreferenceGraph::topological_order() const {
+  std::vector<std::size_t> indegree(scenarios_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.worse];
+
+  std::vector<VertexId> ready;
+  for (VertexId v = 0; v < scenarios_.size(); ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(scenarios_.size());
+  while (!ready.empty()) {
+    const VertexId v = ready.back();
+    ready.pop_back();
+    order.push_back(v);
+    for (const Edge& e : edges_) {
+      if (e.better == v && --indegree[e.worse] == 0) ready.push_back(e.worse);
+    }
+  }
+  if (order.size() != scenarios_.size()) return {};  // cycle
+  return order;
+}
+
+std::optional<std::vector<std::size_t>> PreferenceGraph::find_cycle_edges() const {
+  // Iterative DFS with colors; returns the edge indices along one cycle.
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(scenarios_.size(), Color::kWhite);
+  std::vector<std::size_t> parent_edge(scenarios_.size(),
+                                       std::numeric_limits<std::size_t>::max());
+
+  for (VertexId root = 0; root < scenarios_.size(); ++root) {
+    if (color[root] != Color::kWhite) continue;
+    // Stack of (vertex, next edge index to scan).
+    std::vector<std::pair<VertexId, std::size_t>> stack{{root, 0}};
+    color[root] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [v, next] = stack.back();
+      bool descended = false;
+      for (std::size_t i = next; i < edges_.size(); ++i) {
+        if (edges_[i].better != v) continue;
+        const VertexId w = edges_[i].worse;
+        next = i + 1;
+        if (color[w] == Color::kGray) {
+          // Found a back edge w ... v -> w: collect the cycle edges.
+          std::vector<std::size_t> cycle{i};
+          VertexId cur = v;
+          while (cur != w) {
+            const std::size_t pe = parent_edge[cur];
+            cycle.push_back(pe);
+            cur = edges_[pe].better;
+          }
+          return cycle;
+        }
+        if (color[w] == Color::kWhite) {
+          color[w] = Color::kGray;
+          parent_edge[w] = i;
+          stack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[v] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Edge> PreferenceGraph::drop_lightest_edge() {
+  if (edges_.empty()) return std::nullopt;
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < edges_.size(); ++i) {
+    if (edges_[i].weight < edges_[victim].weight) victim = i;
+  }
+  const Edge removed = edges_[victim];
+  edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(victim));
+  return removed;
+}
+
+std::size_t PreferenceGraph::transitive_reduce() {
+  if (has_cycle()) {
+    throw std::logic_error("transitive_reduce: graph has a cycle; repair first");
+  }
+  std::size_t removed = 0;
+  // Quadratic-ish but fine at session scale (tens of edges). An edge is
+  // redundant when its head still reaches its tail without it.
+  for (std::size_t i = 0; i < edges_.size();) {
+    const Edge e = edges_[i];
+    edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(i));
+    if (reachable(e.better, e.worse)) {
+      ++removed;  // implied by the remaining edges; keep it out
+    } else {
+      edges_.insert(edges_.begin() + static_cast<std::ptrdiff_t>(i), e);
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::vector<Edge> PreferenceGraph::repair() {
+  std::vector<Edge> removed;
+  while (const auto cycle = find_cycle_edges()) {
+    // Drop the lowest-weight edge on the cycle (least-trusted answer).
+    std::size_t victim = (*cycle)[0];
+    for (const std::size_t i : *cycle) {
+      if (edges_[i].weight < edges_[victim].weight) victim = i;
+    }
+    removed.push_back(edges_[victim]);
+    edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  return removed;
+}
+
+}  // namespace compsynth::pref

@@ -1,0 +1,108 @@
+// The preference graph G of paper §4.2.
+//
+// Vertices are concrete scenarios; a directed edge u -> v records that the
+// user prefers u over v, so any synthesized objective f must satisfy
+// f(u) > f(v). Tie pairs record "indistinguishable" answers (the paper notes
+// users need not give a full rank); for a tie {u, v} the synthesizer requires
+// |f(u) - f(v)| <= margin, which both preserves the ground truth and
+// eliminates the two candidates whose disagreement produced the query —
+// guaranteeing loop progress.
+//
+// A consistent user yields a DAG. Edges that would close a cycle are either
+// rejected (default) or recorded for later repair (noisy-user mode, §6.1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "pref/scenario.h"
+
+namespace compsynth::pref {
+
+using VertexId = std::size_t;
+
+/// A strict preference: `better` is preferred over `worse`.
+/// `weight` expresses confidence and guides cycle repair (heavier survives).
+struct Edge {
+  VertexId better = 0;
+  VertexId worse = 0;
+  double weight = 1.0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Outcome of inserting a preference.
+enum class AddResult {
+  kAdded,      // new edge recorded
+  kDuplicate,  // identical edge already present (weight merged)
+  kCycle,      // rejected: would contradict existing preferences
+  kSelfLoop,   // rejected: a scenario cannot be preferred over itself
+};
+
+class PreferenceGraph {
+ public:
+  /// If `allow_inconsistent` is true, cycle-closing edges are recorded
+  /// instead of rejected; call repair() before solving.
+  explicit PreferenceGraph(bool allow_inconsistent = false)
+      : allow_inconsistent_(allow_inconsistent) {}
+
+  /// Interns a scenario, returning its vertex id (deduplicates exact matches).
+  VertexId intern(const Scenario& s);
+
+  /// Returns the id of an already-interned scenario, if present.
+  std::optional<VertexId> find(const Scenario& s) const;
+
+  const Scenario& scenario(VertexId v) const { return scenarios_.at(v); }
+  std::size_t vertex_count() const { return scenarios_.size(); }
+
+  /// Records `better > worse`. Duplicates accumulate weight.
+  AddResult add_preference(VertexId better, VertexId worse, double weight = 1.0);
+
+  /// Records that the user could not distinguish u and v. Symmetric;
+  /// self-ties and duplicates are ignored. Returns true if newly recorded.
+  bool add_tie(VertexId u, VertexId v);
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const std::vector<std::pair<VertexId, VertexId>>& ties() const { return ties_; }
+
+  /// True when `to` is reachable from `from` along preference edges.
+  bool reachable(VertexId from, VertexId to) const;
+
+  /// True when the strict-preference relation contains a cycle.
+  bool has_cycle() const;
+
+  /// A topological order of the vertices (most-preferred groups first).
+  /// Empty when the graph has a cycle.
+  std::vector<VertexId> topological_order() const;
+
+  /// Removes a cheapest-in-cycle set of edges until acyclic (greedy feedback
+  /// edge heuristic; §6.1 robustness). Returns the removed edges.
+  std::vector<Edge> repair();
+
+  /// Drops the single lowest-weight edge (least-trusted answer); used when
+  /// an acyclic graph is still unsatisfiable over the sketch space.
+  /// Returns the removed edge, or nullopt when the graph has no edges.
+  std::optional<Edge> drop_lightest_edge();
+
+  /// Removes edges implied by transitivity (u -> v when u still reaches v
+  /// through other edges). Sound for constraint purposes — f(u) > f(w) and
+  /// f(w) > f(v) already force f(u) > f(v) — and shrinks every subsequent
+  /// solver query. Returns the number of edges removed. Requires an acyclic
+  /// graph (throws std::logic_error otherwise).
+  std::size_t transitive_reduce();
+
+ private:
+  std::optional<std::size_t> edge_index(VertexId better, VertexId worse) const;
+  bool reachable_over(VertexId from, VertexId to,
+                      const std::vector<Edge>& edges) const;
+  std::optional<std::vector<std::size_t>> find_cycle_edges() const;
+
+  bool allow_inconsistent_;
+  std::vector<Scenario> scenarios_;
+  std::vector<Edge> edges_;
+  std::vector<std::pair<VertexId, VertexId>> ties_;
+};
+
+}  // namespace compsynth::pref

@@ -1,0 +1,32 @@
+#include "pref/scenario.h"
+
+#include <sstream>
+
+#include "util/table.h"
+
+namespace compsynth::pref {
+
+std::string to_string(const Scenario& s, const sketch::Sketch& context) {
+  std::ostringstream os;
+  os << '(';
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    if (i > 0) os << ", ";
+    const std::string name = i < context.metrics().size()
+                                 ? context.metrics()[i].name
+                                 : "m" + std::to_string(i);
+    os << name << " = " << util::format_number(s.metrics[i], 3);
+  }
+  os << ')';
+  return os.str();
+}
+
+bool in_range(const Scenario& s, const sketch::Sketch& context) {
+  if (s.metrics.size() != context.metrics().size()) return false;
+  for (std::size_t i = 0; i < s.metrics.size(); ++i) {
+    const auto& m = context.metrics()[i];
+    if (s.metrics[i] < m.lo || s.metrics[i] > m.hi) return false;
+  }
+  return true;
+}
+
+}  // namespace compsynth::pref

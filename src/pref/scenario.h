@@ -1,0 +1,29 @@
+// Scenarios: concrete metric combinations shown to the user for ranking.
+//
+// In the SWAN case study a scenario is a (throughput, latency) pair; in
+// general it is one value per metric declared by the sketch (paper §3 calls
+// each distinct metric combination a "scenario").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sketch/ast.h"
+
+namespace compsynth::pref {
+
+/// One concrete metric combination, in sketch metric order.
+struct Scenario {
+  std::vector<double> metrics;
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+/// Renders e.g. "(throughput = 2, latency = 100)" using the sketch's names.
+std::string to_string(const Scenario& s, const sketch::Sketch& context);
+
+/// True when every metric value lies within the sketch's ClosedInRange
+/// bounds (inclusive).
+bool in_range(const Scenario& s, const sketch::Sketch& context);
+
+}  // namespace compsynth::pref

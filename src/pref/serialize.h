@@ -1,0 +1,41 @@
+// Plain-text persistence for preference graphs.
+//
+// A real architect answers preference queries over multiple sittings, so a
+// session's accumulated knowledge — the preference graph G — must survive
+// restarts. The format is line-oriented and diff-friendly:
+//
+//   # comment
+//   scenario <id> <metric0> <metric1> ...
+//   prefer <better-id> <worse-id> <weight>
+//   tie <id> <id>
+//
+// Scenario ids must be dense and in order (they are vertex ids). Doubles are
+// rendered with round-trip precision (%.17g), so serialize/deserialize is
+// lossless.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "pref/graph.h"
+
+namespace compsynth::pref {
+
+/// Thrown on malformed input (unknown directive, bad ids, parse failure).
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes the graph in the format above.
+void serialize(const PreferenceGraph& graph, std::ostream& out);
+std::string serialize(const PreferenceGraph& graph);
+
+/// Parses a graph. `allow_inconsistent` configures the returned graph (and
+/// permits cycle-closing `prefer` lines). Throws SerializeError on malformed
+/// input; duplicate preferences merge weight as in live recording.
+PreferenceGraph deserialize(std::istream& in, bool allow_inconsistent = false);
+PreferenceGraph deserialize(const std::string& text, bool allow_inconsistent = false);
+
+}  // namespace compsynth::pref

@@ -1,0 +1,217 @@
+#include "sketch/ast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sketch/typecheck.h"
+
+namespace compsynth::sketch {
+
+namespace {
+
+ExprPtr make_node(Expr node) { return std::make_shared<const Expr>(std::move(node)); }
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(what);
+}
+
+}  // namespace
+
+bool is_numeric_kind(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kIte:
+    case Expr::Kind::kChoice:
+      return true;
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kBoolBinary:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kBoolConst:
+      return false;
+  }
+  return false;
+}
+
+ExprPtr constant(double value) {
+  Expr e;
+  e.kind = Expr::Kind::kConst;
+  e.literal = value;
+  return make_node(std::move(e));
+}
+
+ExprPtr bool_constant(bool value) {
+  Expr e;
+  e.kind = Expr::Kind::kBoolConst;
+  e.literal = value ? 1 : 0;
+  return make_node(std::move(e));
+}
+
+ExprPtr metric(MetricId id) {
+  Expr e;
+  e.kind = Expr::Kind::kMetric;
+  e.metric = id;
+  return make_node(std::move(e));
+}
+
+ExprPtr hole(HoleId id) {
+  Expr e;
+  e.kind = Expr::Kind::kHole;
+  e.hole = id;
+  return make_node(std::move(e));
+}
+
+ExprPtr neg(ExprPtr operand) {
+  require(operand != nullptr, "neg: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kNeg;
+  e.children = {std::move(operand)};
+  return make_node(std::move(e));
+}
+
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
+  require(lhs != nullptr && rhs != nullptr, "binary: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kBinary;
+  e.bin_op = op;
+  e.children = {std::move(lhs), std::move(rhs)};
+  return make_node(std::move(e));
+}
+
+ExprPtr ite(ExprPtr condition, ExprPtr then_branch, ExprPtr else_branch) {
+  require(condition != nullptr && then_branch != nullptr && else_branch != nullptr,
+          "ite: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kIte;
+  e.children = {std::move(condition), std::move(then_branch), std::move(else_branch)};
+  return make_node(std::move(e));
+}
+
+ExprPtr choice(HoleId selector, std::vector<ExprPtr> alternatives) {
+  require(alternatives.size() >= 2, "choice: need at least two alternatives");
+  for (const ExprPtr& alt : alternatives) {
+    require(alt != nullptr, "choice: null alternative");
+  }
+  Expr e;
+  e.kind = Expr::Kind::kChoice;
+  e.hole = selector;
+  e.children = std::move(alternatives);
+  return make_node(std::move(e));
+}
+
+ExprPtr compare(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  require(lhs != nullptr && rhs != nullptr, "compare: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kCmp;
+  e.cmp_op = op;
+  e.children = {std::move(lhs), std::move(rhs)};
+  return make_node(std::move(e));
+}
+
+ExprPtr bool_binary(BoolOp op, ExprPtr lhs, ExprPtr rhs) {
+  require(lhs != nullptr && rhs != nullptr, "bool_binary: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kBoolBinary;
+  e.bool_op = op;
+  e.children = {std::move(lhs), std::move(rhs)};
+  return make_node(std::move(e));
+}
+
+ExprPtr logical_not(ExprPtr operand) {
+  require(operand != nullptr, "not: null operand");
+  Expr e;
+  e.kind = Expr::Kind::kNot;
+  e.children = {std::move(operand)};
+  return make_node(std::move(e));
+}
+
+ExprPtr add(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kAdd, std::move(lhs), std::move(rhs)); }
+ExprPtr sub(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kSub, std::move(lhs), std::move(rhs)); }
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kMul, std::move(lhs), std::move(rhs)); }
+
+double HoleSpec::value_at(std::int64_t i) const {
+  if (i < 0 || i >= count) throw std::out_of_range("HoleSpec::value_at: index outside grid");
+  return lo + static_cast<double>(i) * step;
+}
+
+std::int64_t HoleSpec::nearest_index(double v) const {
+  if (count <= 1 || step == 0) return 0;
+  const double raw = (v - lo) / step;
+  const auto i = static_cast<std::int64_t>(std::llround(raw));
+  return std::clamp<std::int64_t>(i, 0, count - 1);
+}
+
+Sketch::Sketch(std::string name, std::vector<MetricSpec> metrics,
+               std::vector<HoleSpec> holes, ExprPtr body)
+    : name_(std::move(name)),
+      metrics_(std::move(metrics)),
+      holes_(std::move(holes)),
+      body_(std::move(body)) {
+  require(body_ != nullptr, "Sketch: null body");
+  require(!metrics_.empty(), "Sketch: at least one metric required");
+  for (const auto& m : metrics_) {
+    require(!m.name.empty(), "Sketch: metric name empty");
+    require(m.lo <= m.hi, "Sketch: metric range inverted");
+  }
+  for (const auto& h : holes_) {
+    require(!h.name.empty(), "Sketch: hole name empty");
+    require(h.count >= 1, "Sketch: hole grid must be non-empty");
+    require(h.count == 1 || h.step > 0, "Sketch: hole grid step must be positive");
+  }
+  // Reject duplicate names across both namespaces: the DSL has one scope.
+  std::vector<std::string_view> names;
+  for (const auto& m : metrics_) names.push_back(m.name);
+  for (const auto& h : holes_) names.push_back(h.name);
+  std::sort(names.begin(), names.end());
+  require(std::adjacent_find(names.begin(), names.end()) == names.end(),
+          "Sketch: duplicate metric/hole name");
+  typecheck(*this);  // throws TypeError on ill-typed bodies
+}
+
+std::size_t Sketch::metric_index(std::string_view name) const {
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (metrics_[i].name == name) return i;
+  }
+  return npos;
+}
+
+std::size_t Sketch::hole_index(std::string_view name) const {
+  for (std::size_t i = 0; i < holes_.size(); ++i) {
+    if (holes_[i].name == name) return i;
+  }
+  return npos;
+}
+
+std::int64_t Sketch::candidate_space_size() const {
+  std::int64_t total = 1;
+  for (const auto& h : holes_) {
+    if (total > std::numeric_limits<std::int64_t>::max() / h.count) {
+      return std::numeric_limits<std::int64_t>::max();
+    }
+    total *= h.count;
+  }
+  return total;
+}
+
+std::vector<double> Sketch::hole_values(const HoleAssignment& a) const {
+  if (a.index.size() != holes_.size()) {
+    throw std::invalid_argument("hole_values: assignment arity mismatch");
+  }
+  std::vector<double> out(holes_.size());
+  for (std::size_t i = 0; i < holes_.size(); ++i) out[i] = holes_[i].value_at(a.index[i]);
+  return out;
+}
+
+bool Sketch::valid_assignment(const HoleAssignment& a) const {
+  if (a.index.size() != holes_.size()) return false;
+  for (std::size_t i = 0; i < holes_.size(); ++i) {
+    if (a.index[i] < 0 || a.index[i] >= holes_[i].count) return false;
+  }
+  return true;
+}
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,170 @@
+// Abstract syntax for objective-function sketches (paper §4.1).
+//
+// An objective function is represented as a *program*: an arithmetic
+// expression over named metrics (throughput, latency, ...) that may contain
+// *holes* — unknown constants the synthesizer must fill. A Sketch bundles the
+// expression body with the declarations of its metrics (with the paper's
+// ClosedInRange bounds) and its holes (each ranging over a finite value
+// grid, which is what makes "UNSAT => unique solution" reachable; see
+// DESIGN.md §6).
+//
+// Expression nodes are immutable and shared via shared_ptr<const Expr>, so
+// sub-expressions may be reused freely and Sketch objects are cheap to copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace compsynth::sketch {
+
+/// Index of a metric within a Sketch's metric declarations.
+using MetricId = std::size_t;
+/// Index of a hole within a Sketch's hole declarations.
+using HoleId = std::size_t;
+
+/// Binary arithmetic operators.
+enum class BinOp { kAdd, kSub, kMul, kDiv, kMin, kMax };
+
+/// Comparison operators (produce booleans).
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Binary boolean connectives.
+enum class BoolOp { kAnd, kOr };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// A single immutable AST node. The static type of a node (numeric vs
+/// boolean) is implied by its kind; Typecheck (typecheck.h) validates that
+/// children have the expected types.
+struct Expr {
+  enum class Kind {
+    kConst,      // numeric literal                      -> numeric
+    kMetric,     // reference to a metric argument       -> numeric
+    kHole,       // reference to an unknown hole         -> numeric
+    kNeg,        // unary minus                          -> numeric
+    kBinary,     // + - * / min max                      -> numeric
+    kIte,        // if <bool> then <num> else <num>      -> numeric
+    kChoice,     // choose <hole> { e0 | e1 | ... }      -> numeric
+                 // structural hole: the selector hole (an integer grid
+                 // 0..N-1) picks which alternative *is* the expression —
+                 // the paper's "exact functions left unspecified"
+    kCmp,        // < <= > >= == !=                      -> boolean
+    kBoolBinary, // && ||                                -> boolean
+    kNot,        // !                                    -> boolean
+    kBoolConst,  // true / false                         -> boolean
+  };
+
+  Kind kind;
+  double literal = 0;          // kConst; for kBoolConst: 0 = false, 1 = true
+  MetricId metric = 0;         // kMetric
+  HoleId hole = 0;             // kHole
+  BinOp bin_op = BinOp::kAdd;  // kBinary
+  CmpOp cmp_op = CmpOp::kLt;   // kCmp
+  BoolOp bool_op = BoolOp::kAnd;  // kBoolBinary
+  std::vector<ExprPtr> children;  // arity depends on kind
+};
+
+/// True if nodes of this kind denote numeric values.
+bool is_numeric_kind(Expr::Kind kind);
+
+// --- Node constructors -----------------------------------------------------
+
+ExprPtr constant(double value);
+ExprPtr bool_constant(bool value);
+ExprPtr metric(MetricId id);
+ExprPtr hole(HoleId id);
+ExprPtr neg(ExprPtr operand);
+ExprPtr binary(BinOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr ite(ExprPtr condition, ExprPtr then_branch, ExprPtr else_branch);
+/// Structural hole: `selector` indexes into `alternatives` (>= 2 of them).
+/// The selector hole must be an integer grid {0, 1, ..., N-1}; the Sketch
+/// constructor validates this.
+ExprPtr choice(HoleId selector, std::vector<ExprPtr> alternatives);
+ExprPtr compare(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr bool_binary(BoolOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr logical_not(ExprPtr operand);
+
+// Shorthand numeric builders.
+ExprPtr add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr mul(ExprPtr lhs, ExprPtr rhs);
+
+// --- Declarations ----------------------------------------------------------
+
+/// A metric argument of the objective: a name plus the paper's ClosedInRange
+/// bounds within which scenario values (and distinguishing scenarios created
+/// by the synthesizer) must lie.
+struct MetricSpec {
+  std::string name;
+  double lo = 0;
+  double hi = 0;
+};
+
+/// A hole ranging over the finite arithmetic grid
+///   { lo, lo + step, ..., lo + (count-1) * step }.
+/// Finite hole domains keep the candidate space a finite version space.
+struct HoleSpec {
+  std::string name;
+  double lo = 0;
+  double step = 1;
+  std::int64_t count = 0;
+
+  /// The value at grid index i. Requires 0 <= i < count.
+  double value_at(std::int64_t i) const;
+
+  /// Index of the grid point nearest to v (clamped to the grid).
+  std::int64_t nearest_index(double v) const;
+
+  double max_value() const { return value_at(count - 1); }
+};
+
+/// Concrete values for every hole of a sketch, stored as grid indices so
+/// equality is exact. assignment.index[h] selects HoleSpec::value_at.
+struct HoleAssignment {
+  std::vector<std::int64_t> index;
+
+  friend bool operator==(const HoleAssignment&, const HoleAssignment&) = default;
+};
+
+/// A sketch: the partial program of Fig. 2a. Immutable after construction;
+/// construction validates well-formedness (see sketch.cpp) and throws
+/// std::invalid_argument on malformed input.
+class Sketch {
+ public:
+  Sketch(std::string name, std::vector<MetricSpec> metrics,
+         std::vector<HoleSpec> holes, ExprPtr body);
+
+  const std::string& name() const { return name_; }
+  const std::vector<MetricSpec>& metrics() const { return metrics_; }
+  const std::vector<HoleSpec>& holes() const { return holes_; }
+  const ExprPtr& body() const { return body_; }
+
+  /// Looks up a metric/hole by name; returns npos when absent.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t metric_index(std::string_view name) const;
+  std::size_t hole_index(std::string_view name) const;
+
+  /// Total number of points in the hole grid (product of counts).
+  /// Saturates at int64 max.
+  std::int64_t candidate_space_size() const;
+
+  /// Maps a HoleAssignment to concrete hole values.
+  std::vector<double> hole_values(const HoleAssignment& a) const;
+
+  /// True if every index in `a` is within its hole's grid.
+  bool valid_assignment(const HoleAssignment& a) const;
+
+ private:
+  std::string name_;
+  std::vector<MetricSpec> metrics_;
+  std::vector<HoleSpec> holes_;
+  ExprPtr body_;
+};
+
+}  // namespace compsynth::sketch

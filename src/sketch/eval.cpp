@@ -1,0 +1,113 @@
+#include "sketch/eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace compsynth::sketch {
+
+double eval_numeric(const Expr& e, std::span<const double> metrics,
+                    std::span<const double> holes) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      return e.literal;
+    case Expr::Kind::kMetric:
+      assert(e.metric < metrics.size());
+      return metrics[e.metric];
+    case Expr::Kind::kHole:
+      assert(e.hole < holes.size());
+      return holes[e.hole];
+    case Expr::Kind::kNeg:
+      return -eval_numeric(*e.children[0], metrics, holes);
+    case Expr::Kind::kBinary: {
+      const double a = eval_numeric(*e.children[0], metrics, holes);
+      const double b = eval_numeric(*e.children[1], metrics, holes);
+      switch (e.bin_op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv:
+          if (b == 0) throw EvalError("division by zero");
+          return a / b;
+        case BinOp::kMin: return std::min(a, b);
+        case BinOp::kMax: return std::max(a, b);
+      }
+      break;
+    }
+    case Expr::Kind::kIte:
+      return eval_bool(*e.children[0], metrics, holes)
+                 ? eval_numeric(*e.children[1], metrics, holes)
+                 : eval_numeric(*e.children[2], metrics, holes);
+    case Expr::Kind::kChoice: {
+      assert(e.hole < holes.size());
+      const auto raw = static_cast<std::int64_t>(std::llround(holes[e.hole]));
+      const auto idx = static_cast<std::size_t>(std::clamp<std::int64_t>(
+          raw, 0, static_cast<std::int64_t>(e.children.size()) - 1));
+      return eval_numeric(*e.children[idx], metrics, holes);
+    }
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kBoolBinary:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kBoolConst:
+      break;
+  }
+  throw EvalError("eval_numeric: boolean node in numeric position");
+}
+
+bool eval_bool(const Expr& e, std::span<const double> metrics,
+               std::span<const double> holes) {
+  switch (e.kind) {
+    case Expr::Kind::kBoolConst:
+      return e.literal != 0;
+    case Expr::Kind::kCmp: {
+      const double a = eval_numeric(*e.children[0], metrics, holes);
+      const double b = eval_numeric(*e.children[1], metrics, holes);
+      switch (e.cmp_op) {
+        case CmpOp::kLt: return a < b;
+        case CmpOp::kLe: return a <= b;
+        case CmpOp::kGt: return a > b;
+        case CmpOp::kGe: return a >= b;
+        case CmpOp::kEq: return a == b;
+        case CmpOp::kNe: return a != b;
+      }
+      break;
+    }
+    case Expr::Kind::kBoolBinary: {
+      // No short-circuiting: both operands are pure, and evaluating both
+      // keeps the semantics aligned with the Z3 encoding.
+      const bool a = eval_bool(*e.children[0], metrics, holes);
+      const bool b = eval_bool(*e.children[1], metrics, holes);
+      return e.bool_op == BoolOp::kAnd ? (a && b) : (a || b);
+    }
+    case Expr::Kind::kNot:
+      return !eval_bool(*e.children[0], metrics, holes);
+    case Expr::Kind::kConst:
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kIte:
+    case Expr::Kind::kChoice:
+      break;
+  }
+  throw EvalError("eval_bool: numeric node in boolean position");
+}
+
+double eval(const Sketch& sketch, const HoleAssignment& assignment,
+            std::span<const double> metrics) {
+  const std::vector<double> holes = sketch.hole_values(assignment);
+  return eval_with_values(sketch, holes, metrics);
+}
+
+double eval_with_values(const Sketch& sketch, std::span<const double> hole_values,
+                        std::span<const double> metrics) {
+  if (metrics.size() != sketch.metrics().size()) {
+    throw EvalError("eval: scenario arity does not match sketch metrics");
+  }
+  if (hole_values.size() != sketch.holes().size()) {
+    throw EvalError("eval: hole values arity does not match sketch holes");
+  }
+  return eval_numeric(*sketch.body(), metrics, hole_values);
+}
+
+}  // namespace compsynth::sketch

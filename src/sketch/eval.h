@@ -1,0 +1,43 @@
+// Concrete interpreter for sketch expressions.
+//
+// Evaluates a sketch body over concrete metric values (a scenario) and
+// concrete hole values (a candidate). This is the reference semantics; the
+// Z3 encoder (solver/z3_encoder.h) mirrors it symbolically and the two are
+// differentially tested against each other.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "sketch/ast.h"
+
+namespace compsynth::sketch {
+
+/// Thrown on runtime evaluation faults (currently: division by zero).
+class EvalError : public std::runtime_error {
+ public:
+  explicit EvalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Evaluates a numeric expression. `metrics[i]` supplies Kind::kMetric nodes
+/// with id i, `holes[i]` supplies Kind::kHole nodes. The expression must be
+/// well-typed (see typecheck.h); ill-typed trees trigger undefined lookups
+/// guarded only by assertions.
+double eval_numeric(const Expr& e, std::span<const double> metrics,
+                    std::span<const double> holes);
+
+/// Evaluates a boolean expression under the same environment.
+bool eval_bool(const Expr& e, std::span<const double> metrics,
+               std::span<const double> holes);
+
+/// Evaluates a sketch at a scenario under a hole assignment.
+/// `metrics.size()` must equal sketch.metrics().size().
+double eval(const Sketch& sketch, const HoleAssignment& assignment,
+            std::span<const double> metrics);
+
+/// Same, with hole values given directly (e.g. from a ground-truth target).
+double eval_with_values(const Sketch& sketch, std::span<const double> hole_values,
+                        std::span<const double> metrics);
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,202 @@
+#include "sketch/lexer.h"
+
+#include <cctype>
+#include <charconv>
+
+namespace compsynth::sketch {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEqEq: return "'=='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kAndAnd: return "'&&'";
+    case TokenKind::kOrOr: return "'||'";
+    case TokenKind::kBang: return "'!'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+ParseError::ParseError(std::size_t line, std::size_t column, const std::string& what)
+    : std::runtime_error(std::to_string(line) + ":" + std::to_string(column) +
+                         ": " + what),
+      line_(line),
+      column_(column) {}
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : src_(source) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skip_whitespace_and_comments();
+      Token t = next_token();
+      const bool done = t.kind == TokenKind::kEnd;
+      out.push_back(std::move(t));
+      if (done) return out;
+    }
+  }
+
+ private:
+  bool at_end() const { return pos_ >= src_.size(); }
+  char peek() const { return src_[pos_]; }
+
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool match(char expected) {
+    if (at_end() || peek() != expected) return false;
+    advance();
+    return true;
+  }
+
+  void skip_whitespace_and_comments() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c == '#') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(TokenKind kind, std::size_t line, std::size_t column) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.column = column;
+    return t;
+  }
+
+  Token next_token() {
+    const std::size_t line = line_;
+    const std::size_t column = column_;
+    if (at_end()) return make(TokenKind::kEnd, line, column);
+
+    const char c = advance();
+    switch (c) {
+      case '(': return make(TokenKind::kLParen, line, column);
+      case ')': return make(TokenKind::kRParen, line, column);
+      case '{': return make(TokenKind::kLBrace, line, column);
+      case '}': return make(TokenKind::kRBrace, line, column);
+      case '[': return make(TokenKind::kLBracket, line, column);
+      case ']': return make(TokenKind::kRBracket, line, column);
+      case ',': return make(TokenKind::kComma, line, column);
+      case ';': return make(TokenKind::kSemicolon, line, column);
+      case '+': return make(TokenKind::kPlus, line, column);
+      case '-': return make(TokenKind::kMinus, line, column);
+      case '*': return make(TokenKind::kStar, line, column);
+      case '/': return make(TokenKind::kSlash, line, column);
+      case '<': return make(match('=') ? TokenKind::kLe : TokenKind::kLt, line, column);
+      case '>': return make(match('=') ? TokenKind::kGe : TokenKind::kGt, line, column);
+      case '=':
+        if (match('=')) return make(TokenKind::kEqEq, line, column);
+        throw ParseError(line, column, "expected '==' (assignment is not part of the DSL)");
+      case '!':
+        return make(match('=') ? TokenKind::kNe : TokenKind::kBang, line, column);
+      case '&':
+        if (match('&')) return make(TokenKind::kAndAnd, line, column);
+        throw ParseError(line, column, "expected '&&'");
+      case '|':
+        if (match('|')) return make(TokenKind::kOrOr, line, column);
+        throw ParseError(line, column, "expected '||'");
+      default:
+        break;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && !at_end() && std::isdigit(static_cast<unsigned char>(peek())))) {
+      return lex_number(c, line, column);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_ident(c, line, column);
+    }
+    throw ParseError(line, column, std::string("unexpected character '") + c + "'");
+  }
+
+  Token lex_number(char first, std::size_t line, std::size_t column) {
+    std::string text(1, first);
+    auto take_digits = [&] {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        text += advance();
+      }
+    };
+    take_digits();
+    if (!at_end() && peek() == '.') {
+      text += advance();
+      take_digits();
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      text += advance();
+      if (!at_end() && (peek() == '+' || peek() == '-')) text += advance();
+      if (at_end() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        throw ParseError(line, column, "malformed exponent in number '" + text + "'");
+      }
+      take_digits();
+    }
+    double value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(text.data(), text.data() + text.size(), value);
+    if (ec != std::errc{} || ptr != text.data() + text.size()) {
+      throw ParseError(line, column, "malformed number '" + text + "'");
+    }
+    Token t = make(TokenKind::kNumber, line, column);
+    t.text = std::move(text);
+    t.number = value;
+    return t;
+  }
+
+  Token lex_ident(char first, std::size_t line, std::size_t column) {
+    std::string text(1, first);
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+      text += advance();
+    }
+    Token t = make(TokenKind::kIdent, line, column);
+    t.text = std::move(text);
+    return t;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace compsynth::sketch

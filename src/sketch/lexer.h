@@ -1,0 +1,52 @@
+// Tokenizer for the sketch DSL (see parser.h for the grammar).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compsynth::sketch {
+
+enum class TokenKind {
+  kIdent,    // identifiers and keywords (keywords resolved by the parser)
+  kNumber,   // decimal literal, optional fraction/exponent
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kComma, kSemicolon,
+  kPlus, kMinus, kStar, kSlash,
+  kLt, kLe, kGt, kGe, kEqEq, kNe,
+  kAndAnd, kOrOr, kBang,
+  kEnd,      // end of input
+};
+
+/// Human-readable token-kind name for diagnostics.
+std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // identifier spelling / number spelling
+  double number = 0;     // parsed value for kNumber
+  std::size_t line = 1;  // 1-based source position
+  std::size_t column = 1;
+};
+
+/// Thrown on malformed input (bad character, bad number, unterminated token)
+/// and by the parser on grammar violations; carries a "line:col" prefix.
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, std::size_t column, const std::string& what);
+
+  std::size_t line() const { return line_; }
+  std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// Tokenizes the whole input. `#` starts a comment running to end-of-line.
+/// Always ends with a kEnd token. Throws ParseError on invalid input.
+std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,186 @@
+#include "sketch/library.h"
+
+#include "sketch/parser.h"
+
+namespace compsynth::sketch {
+
+namespace {
+
+Sketch parse_or_die(const char* source) { return parse_sketch(source); }
+
+constexpr const char* kSwanSource = R"(
+# The SWAN objective sketch of Fig. 2a. Satisfying scenarios (throughput at
+# least tp_thrsh AND latency at most l_thrsh) earn a +1000 bonus; the two
+# regions weigh the throughput*latency penalty with independent slopes.
+sketch swan(throughput in [0, 10], latency in [0, 200]) {
+  hole tp_thrsh in grid(0, 1, 11);
+  hole l_thrsh  in grid(0, 5, 41);
+  hole slope1   in grid(0, 1, 11);
+  hole slope2   in grid(0, 1, 11);
+  if throughput >= tp_thrsh && latency <= l_thrsh
+  then throughput - slope1*throughput*latency + 1000
+  else throughput - slope2*throughput*latency
+}
+)";
+
+constexpr const char* kSwanMultiRegionSource = R"(
+# Three-region generalization: a "great" region (both thresholds met with
+# margin), a "good" region, and the rest, each with its own slope.
+sketch swan3(throughput in [0, 10], latency in [0, 200]) {
+  hole tp_hi   in grid(0, 1, 11);
+  hole l_lo    in grid(0, 10, 21);
+  hole tp_lo   in grid(0, 1, 11);
+  hole l_hi    in grid(0, 10, 21);
+  hole slope1  in grid(0, 1, 6);
+  hole slope2  in grid(0, 1, 6);
+  hole slope3  in grid(0, 1, 6);
+  if throughput >= tp_hi && latency <= l_lo
+  then throughput - slope1*throughput*latency + 2000
+  else if throughput >= tp_lo && latency <= l_hi
+       then throughput - slope2*throughput*latency + 1000
+       else throughput - slope3*throughput*latency
+}
+)";
+
+constexpr const char* kSwanFormSource = R"(
+# Structural-hole variant: even the *form* of the latency penalty is left
+# unspecified (paper 4.1: "the exact functions in the summarization could be
+# left unspecified"). The selector hole `form` picks among a
+# throughput-proportional penalty, an additive penalty, and a capped one.
+sketch swan_form(throughput in [0, 10], latency in [0, 200]) {
+  hole form    in grid(0, 1, 3);
+  hole slope   in grid(0, 1, 6);
+  hole l_thrsh in grid(0, 10, 21);
+  choose form {
+    throughput - slope*throughput*latency,
+    10*throughput - slope*latency,
+    throughput - min(slope*latency, 100)
+  } + if latency <= l_thrsh then 1000 else 0
+}
+)";
+
+constexpr const char* kSwanFairSource = R"(
+# Flow-level extension (paper 3: metrics "could include the throughput and
+# latency of individual flows"). Alongside the aggregate throughput and
+# latency, min_frac is the worst-served flow's delivered fraction of its
+# demand; the satisfaction region also requires a fairness floor, and the
+# learned weight w_fair trades aggregate throughput against the worst flow.
+sketch swan_fair(throughput in [0, 100], latency in [0, 200], min_frac in [0, 1]) {
+  hole tp_thrsh in grid(0, 10, 11);
+  hole l_thrsh  in grid(0, 10, 21);
+  hole f_thrsh  in grid(0, 0.1, 11);
+  hole slope    in grid(0, 1, 6);
+  hole w_fair   in grid(0, 10, 6);
+  if throughput >= tp_thrsh && latency <= l_thrsh && min_frac >= f_thrsh
+  then throughput - slope*latency + w_fair*10*min_frac + 10000
+  else throughput - slope*latency + w_fair*10*min_frac
+}
+)";
+
+constexpr const char* kSwanPrioritySource = R"(
+# Multi-class extension (paper 2: "rather than strict priority, a weighted
+# max-min fair allocation may be more reflective of designer intent").
+# Metrics are the aggregate throughput of the high-priority class, of the
+# low-priority class, and the traffic-weighted latency. The high-class
+# weight is pinned to 10 (rankings are scale-invariant); w_lo expresses how
+# much the architect values background traffic, and hi_floor is an absolute
+# requirement on the interactive class.
+sketch swan_priority(hi_tput in [0, 50], lo_tput in [0, 50], latency in [0, 200]) {
+  hole hi_floor in grid(0, 2, 11);
+  hole w_lo     in grid(0, 1, 11);
+  hole slope    in grid(0, 0.5, 5);
+  if hi_tput >= hi_floor
+  then 10*hi_tput + w_lo*lo_tput - slope*latency + 10000
+  else 10*hi_tput + w_lo*lo_tput - slope*latency
+}
+)";
+
+constexpr const char* kAbrQoeSource = R"(
+# QoE objective for HTTP adaptive streaming (paper 6.2). Sessions that keep
+# rebuffering under a tolerable threshold get a bonus; otherwise rebuffering
+# is punished at double weight.
+sketch abr_qoe(bitrate in [0, 8], rebuf in [0, 100],
+               switches in [0, 20], startup in [0, 10]) {
+  hole rb_thrsh  in grid(0, 1, 11);
+  hole w_rebuf   in grid(0, 0.5, 9);
+  hole w_switch  in grid(0, 0.25, 9);
+  hole w_startup in grid(0, 0.25, 9);
+  if rebuf <= rb_thrsh
+  then bitrate - w_rebuf*rebuf - w_switch*switches - w_startup*startup + 100
+  else bitrate - 2*w_rebuf*rebuf - w_switch*switches - w_startup*startup
+}
+)";
+
+constexpr const char* kHomenetSource = R"(
+# Home-network bandwidth policy (paper 6.2). The interactive-class weight is
+# pinned to 10 (rankings are invariant under positive scaling), and meeting a
+# minimum interactive guarantee earns a bonus.
+sketch homenet(interactive in [0, 100], streaming in [0, 100], bulk in [0, 100]) {
+  hole min_interactive in grid(0, 5, 11);
+  hole w_streaming     in grid(0, 1, 11);
+  hole w_bulk          in grid(0, 1, 11);
+  if interactive >= min_interactive
+  then 10*interactive + w_streaming*streaming + w_bulk*bulk + 10000
+  else 10*interactive + w_streaming*streaming + w_bulk*bulk
+}
+)";
+
+}  // namespace
+
+const Sketch& swan_sketch() {
+  static const Sketch sketch = parse_or_die(kSwanSource);
+  return sketch;
+}
+
+HoleAssignment swan_target() { return swan_target_with(1, 50, 1, 5); }
+
+HoleAssignment swan_target_with(double tp_thrsh, double l_thrsh, double slope1,
+                                double slope2) {
+  const Sketch& s = swan_sketch();
+  HoleAssignment a;
+  a.index = {s.holes()[0].nearest_index(tp_thrsh),
+             s.holes()[1].nearest_index(l_thrsh),
+             s.holes()[2].nearest_index(slope1),
+             s.holes()[3].nearest_index(slope2)};
+  return a;
+}
+
+const Sketch& swan_multi_region_sketch() {
+  static const Sketch sketch = parse_or_die(kSwanMultiRegionSource);
+  return sketch;
+}
+
+const Sketch& swan_form_sketch() {
+  static const Sketch sketch = parse_or_die(kSwanFormSource);
+  return sketch;
+}
+
+HoleAssignment swan_form_target(std::int64_t form, double slope, double l_thrsh) {
+  const Sketch& s = swan_form_sketch();
+  HoleAssignment a;
+  a.index = {form, s.holes()[1].nearest_index(slope),
+             s.holes()[2].nearest_index(l_thrsh)};
+  return a;
+}
+
+const Sketch& swan_fair_sketch() {
+  static const Sketch sketch = parse_or_die(kSwanFairSource);
+  return sketch;
+}
+
+const Sketch& swan_priority_sketch() {
+  static const Sketch sketch = parse_or_die(kSwanPrioritySource);
+  return sketch;
+}
+
+const Sketch& abr_qoe_sketch() {
+  static const Sketch sketch = parse_or_die(kAbrQoeSource);
+  return sketch;
+}
+
+const Sketch& homenet_sketch() {
+  static const Sketch sketch = parse_or_die(kHomenetSource);
+  return sketch;
+}
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,64 @@
+// Built-in sketches and targets used across examples, tests and benches.
+//
+// All sketches here are authored in the DSL itself and parsed at first use,
+// which keeps a single source of truth and continuously exercises the parser.
+#pragma once
+
+#include "sketch/ast.h"
+
+namespace compsynth::sketch {
+
+/// The paper's Fig. 2a SWAN sketch over (throughput, latency) with the
+/// paper's ClosedInRange bounds (throughput <= 10 Gbps, latency <= 200 ms).
+/// Hole grids: tp_thrsh in {0..10} step 1, l_thrsh in {0..200} step 5,
+/// slope1/slope2 in {0..10} step 1. The grids cover every target variant in
+/// Fig. 3 (l_thrsh in [20,80], the others in [1,5]).
+const Sketch& swan_sketch();
+
+/// The paper's Fig. 2b target: (tp_thrsh, l_thrsh, slope1, slope2) = (1, 50, 1, 5).
+HoleAssignment swan_target();
+
+/// A target assignment with the given hole values snapped to the grid —
+/// used by the Fig. 3 variant sweep.
+HoleAssignment swan_target_with(double tp_thrsh, double l_thrsh, double slope1,
+                                double slope2);
+
+/// A generalization with three satisfaction regions (the paper notes the
+/// sketch "can be generalized to support multiple regions").
+const Sketch& swan_multi_region_sketch();
+
+/// A structural-hole generalization: a `choose` hole selects the very *form*
+/// of the latency penalty (throughput-proportional vs additive vs capped),
+/// alongside a slope and a bonus threshold. Exercises categorical holes.
+const Sketch& swan_form_sketch();
+
+/// Target assignment for swan_form_sketch: `form` in {0, 1, 2} picks the
+/// penalty alternative; slope/l_thrsh are snapped to their grids.
+HoleAssignment swan_form_target(std::int64_t form, double slope, double l_thrsh);
+
+/// Flow-level SWAN extension over three metrics: aggregate throughput,
+/// traffic-weighted latency, and the worst flow's delivered demand fraction
+/// (paper §3's "throughput and latency of individual flows" direction).
+/// Pairs with te::to_fair_scenario.
+const Sketch& swan_fair_sketch();
+
+/// Multi-class extension over (high-class throughput, low-class throughput,
+/// latency): learns how the architect trades interactive traffic against
+/// background traffic — strict priority and plain fairness are both special
+/// cases (paper §2's priority discussion). Pairs with te::to_class_scenario.
+const Sketch& swan_priority_sketch();
+
+/// QoE sketch for adaptive-bitrate video (paper §6.2): metrics are average
+/// bitrate (Mbps), rebuffering ratio (%), bitrate switches per session and
+/// startup delay (s); holes weigh the penalties, with a bonus region for
+/// sessions whose rebuffering stays under a tolerable threshold.
+const Sketch& abr_qoe_sketch();
+
+/// Home-network policy sketch (paper §6.2): metrics are per-class bandwidth
+/// shares (Mbps) for interactive, streaming and bulk traffic; the interactive
+/// weight is pinned (an objective is only identified up to monotone scaling,
+/// so one weight can be fixed without loss of expressiveness) and a bonus
+/// fires when interactive traffic meets a minimum guarantee.
+const Sketch& homenet_sketch();
+
+}  // namespace compsynth::sketch

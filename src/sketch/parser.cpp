@@ -1,0 +1,299 @@
+#include "sketch/parser.h"
+
+#include <cmath>
+#include <optional>
+#include <utility>
+
+namespace compsynth::sketch {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
+
+  Sketch parse_sketch_def() {
+    expect_keyword("sketch");
+    std::string name = expect_ident("sketch name");
+    expect(TokenKind::kLParen);
+    do {
+      parse_metric_decl();
+    } while (consume_if(TokenKind::kComma));
+    expect(TokenKind::kRParen);
+    expect(TokenKind::kLBrace);
+    while (peek_keyword("hole")) parse_hole_decl();
+    ExprPtr body = parse_expr_rule();
+    expect(TokenKind::kRBrace);
+    expect(TokenKind::kEnd);
+    return Sketch(std::move(name), std::move(metrics_), std::move(holes_),
+                  std::move(body));
+  }
+
+  ExprPtr parse_standalone_expr(const Sketch& context) {
+    metrics_ = context.metrics();
+    holes_ = context.holes();
+    ExprPtr e = parse_expr_rule();
+    expect(TokenKind::kEnd);
+    return e;
+  }
+
+ private:
+  // --- token plumbing -------------------------------------------------------
+
+  const Token& peek() const { return tokens_[pos_]; }
+
+  Token advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(peek().line, peek().column, what);
+  }
+
+  bool consume_if(TokenKind kind) {
+    if (peek().kind != kind) return false;
+    advance();
+    return true;
+  }
+
+  Token expect(TokenKind kind) {
+    if (peek().kind != kind) {
+      fail("expected " + std::string(token_kind_name(kind)) + ", found " +
+           describe(peek()));
+    }
+    return advance();
+  }
+
+  std::string expect_ident(const std::string& role) {
+    if (peek().kind != TokenKind::kIdent) {
+      fail("expected " + role + ", found " + describe(peek()));
+    }
+    return advance().text;
+  }
+
+  bool peek_keyword(std::string_view kw) const {
+    return peek().kind == TokenKind::kIdent && peek().text == kw;
+  }
+
+  void expect_keyword(std::string_view kw) {
+    if (!peek_keyword(kw)) {
+      fail("expected keyword '" + std::string(kw) + "', found " + describe(peek()));
+    }
+    advance();
+  }
+
+  static std::string describe(const Token& t) {
+    if (t.kind == TokenKind::kIdent) return "'" + t.text + "'";
+    if (t.kind == TokenKind::kNumber) return "number '" + t.text + "'";
+    return std::string(token_kind_name(t.kind));
+  }
+
+  // --- declarations ---------------------------------------------------------
+
+  double parse_signed_number() {
+    const bool negate = consume_if(TokenKind::kMinus);
+    const Token t = expect(TokenKind::kNumber);
+    return negate ? -t.number : t.number;
+  }
+
+  void parse_metric_decl() {
+    MetricSpec m;
+    m.name = expect_ident("metric name");
+    expect_keyword("in");
+    expect(TokenKind::kLBracket);
+    m.lo = parse_signed_number();
+    expect(TokenKind::kComma);
+    m.hi = parse_signed_number();
+    expect(TokenKind::kRBracket);
+    metrics_.push_back(std::move(m));
+  }
+
+  void parse_hole_decl() {
+    expect_keyword("hole");
+    HoleSpec h;
+    const Token name_tok = peek();
+    h.name = expect_ident("hole name");
+    expect_keyword("in");
+    expect_keyword("grid");
+    expect(TokenKind::kLParen);
+    h.lo = parse_signed_number();
+    expect(TokenKind::kComma);
+    h.step = parse_signed_number();
+    expect(TokenKind::kComma);
+    const Token count_tok = expect(TokenKind::kNumber);
+    expect(TokenKind::kRParen);
+    expect(TokenKind::kSemicolon);
+    if (count_tok.number < 1 || count_tok.number != std::floor(count_tok.number)) {
+      throw ParseError(count_tok.line, count_tok.column,
+                       "grid count must be a positive integer");
+    }
+    h.count = static_cast<std::int64_t>(count_tok.number);
+    if (h.count > 1 && h.step <= 0) {
+      throw ParseError(name_tok.line, name_tok.column,
+                       "grid step must be positive for hole '" + h.name + "'");
+    }
+    holes_.push_back(std::move(h));
+  }
+
+  // --- expressions ----------------------------------------------------------
+
+  ExprPtr parse_expr_rule() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (consume_if(TokenKind::kOrOr)) {
+      e = bool_binary(BoolOp::kOr, std::move(e), parse_and());
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_cmp();
+    while (consume_if(TokenKind::kAndAnd)) {
+      e = bool_binary(BoolOp::kAnd, std::move(e), parse_cmp());
+    }
+    return e;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr e = parse_add();
+    const std::optional<CmpOp> op = peek_cmp_op();
+    if (!op) return e;
+    advance();
+    return compare(*op, std::move(e), parse_add());
+  }
+
+  std::optional<CmpOp> peek_cmp_op() const {
+    switch (peek().kind) {
+      case TokenKind::kLt: return CmpOp::kLt;
+      case TokenKind::kLe: return CmpOp::kLe;
+      case TokenKind::kGt: return CmpOp::kGt;
+      case TokenKind::kGe: return CmpOp::kGe;
+      case TokenKind::kEqEq: return CmpOp::kEq;
+      case TokenKind::kNe: return CmpOp::kNe;
+      default: return std::nullopt;
+    }
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr e = parse_mul();
+    for (;;) {
+      if (consume_if(TokenKind::kPlus)) {
+        e = binary(BinOp::kAdd, std::move(e), parse_mul());
+      } else if (consume_if(TokenKind::kMinus)) {
+        e = binary(BinOp::kSub, std::move(e), parse_mul());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr e = parse_unary();
+    for (;;) {
+      if (consume_if(TokenKind::kStar)) {
+        e = binary(BinOp::kMul, std::move(e), parse_unary());
+      } else if (consume_if(TokenKind::kSlash)) {
+        e = binary(BinOp::kDiv, std::move(e), parse_unary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (consume_if(TokenKind::kMinus)) return neg(parse_unary());
+    if (consume_if(TokenKind::kBang)) return logical_not(parse_unary());
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token t = peek();
+    switch (t.kind) {
+      case TokenKind::kNumber:
+        advance();
+        return constant(t.number);
+      case TokenKind::kLParen: {
+        advance();
+        ExprPtr e = parse_expr_rule();
+        expect(TokenKind::kRParen);
+        return e;
+      }
+      case TokenKind::kIdent:
+        return parse_ident_primary();
+      default:
+        fail("expected an expression, found " + describe(t));
+    }
+  }
+
+  ExprPtr parse_ident_primary() {
+    const Token t = advance();
+    const std::string& id = t.text;
+    if (id == "true") return bool_constant(true);
+    if (id == "false") return bool_constant(false);
+    if (id == "min" || id == "max") {
+      expect(TokenKind::kLParen);
+      ExprPtr a = parse_expr_rule();
+      expect(TokenKind::kComma);
+      ExprPtr b = parse_expr_rule();
+      expect(TokenKind::kRParen);
+      return binary(id == "min" ? BinOp::kMin : BinOp::kMax, std::move(a),
+                    std::move(b));
+    }
+    if (id == "if") {
+      ExprPtr cond = parse_expr_rule();
+      expect_keyword("then");
+      ExprPtr then_branch = parse_expr_rule();
+      expect_keyword("else");
+      ExprPtr else_branch = parse_expr_rule();
+      return ite(std::move(cond), std::move(then_branch), std::move(else_branch));
+    }
+    if (id == "choose") {
+      // choose <hole> { expr | expr | ... }  — structural hole.
+      const Token sel_tok = peek();
+      const std::string sel_name = expect_ident("choice selector hole");
+      std::size_t selector = holes_.size();
+      for (std::size_t i = 0; i < holes_.size(); ++i) {
+        if (holes_[i].name == sel_name) selector = i;
+      }
+      if (selector == holes_.size()) {
+        throw ParseError(sel_tok.line, sel_tok.column,
+                         "choice selector '" + sel_name + "' is not a declared hole");
+      }
+      expect(TokenKind::kLBrace);
+      std::vector<ExprPtr> alternatives;
+      alternatives.push_back(parse_expr_rule());
+      while (consume_if(TokenKind::kComma)) {
+        alternatives.push_back(parse_expr_rule());
+      }
+      expect(TokenKind::kRBrace);
+      if (alternatives.size() < 2) {
+        throw ParseError(sel_tok.line, sel_tok.column,
+                         "choose needs at least two alternatives");
+      }
+      return choice(selector, std::move(alternatives));
+    }
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      if (metrics_[i].name == id) return metric(i);
+    }
+    for (std::size_t i = 0; i < holes_.size(); ++i) {
+      if (holes_[i].name == id) return hole(i);
+    }
+    throw ParseError(t.line, t.column, "unknown identifier '" + id + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  std::vector<MetricSpec> metrics_;
+  std::vector<HoleSpec> holes_;
+};
+
+}  // namespace
+
+Sketch parse_sketch(std::string_view source) {
+  return Parser(source).parse_sketch_def();
+}
+
+ExprPtr parse_expr(std::string_view source, const Sketch& context) {
+  return Parser(source).parse_standalone_expr(context);
+}
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,60 @@
+// Recursive-descent parser for the sketch DSL.
+//
+// Grammar (EBNF; '#' comments run to end of line):
+//
+//   sketch    := "sketch" IDENT "(" metric { "," metric } ")"
+//                "{" { holedecl } expr "}"
+//   metric    := IDENT "in" "[" num "," num "]"
+//   holedecl  := "hole" IDENT "in" "grid" "(" num "," num "," NUMBER ")" ";"
+//                                            -- lo, step, count
+//   expr      := orexpr
+//   orexpr    := andexpr { "||" andexpr }
+//   andexpr   := cmpexpr { "&&" cmpexpr }
+//   cmpexpr   := addexpr [ ("<"|"<="|">"|">="|"=="|"!=") addexpr ]
+//   addexpr   := mulexpr { ("+"|"-") mulexpr }
+//   mulexpr   := unary { ("*"|"/") unary }
+//   unary     := "-" unary | "!" unary | primary
+//   primary   := NUMBER | "true" | "false" | IDENT | "(" expr ")"
+//              | ("min"|"max") "(" expr "," expr ")"
+//              | "if" expr "then" expr "else" expr
+//              | "choose" IDENT "{" expr { "," expr } "}"
+//   num       := [ "-" ] NUMBER
+//
+// "choose" is a *structural hole*: the named hole (which must be declared
+// as grid(0, 1, N) for N alternatives) selects which alternative expression
+// the objective uses — the §4.1 generalization where "even the exact
+// functions ... could be left unspecified".
+//
+// Example (the paper's Fig. 2a SWAN sketch):
+//
+//   sketch swan(throughput in [0, 10], latency in [0, 200]) {
+//     hole tp_thrsh in grid(0, 1, 11);
+//     hole l_thrsh  in grid(0, 10, 21);
+//     hole slope1   in grid(0, 1, 11);
+//     hole slope2   in grid(0, 1, 11);
+//     if throughput >= tp_thrsh && latency <= l_thrsh
+//     then throughput - slope1*throughput*latency + 1000
+//     else throughput - slope2*throughput*latency
+//   }
+//
+// Identifiers in the body must name a declared metric or hole. The parsed
+// sketch is type-checked by the Sketch constructor, so parse_sketch either
+// returns a well-formed sketch or throws ParseError/TypeError.
+#pragma once
+
+#include <string_view>
+
+#include "sketch/ast.h"
+#include "sketch/lexer.h"
+
+namespace compsynth::sketch {
+
+/// Parses a complete sketch definition. Throws ParseError on grammar errors
+/// (with source position) and TypeError on ill-typed bodies.
+Sketch parse_sketch(std::string_view source);
+
+/// Parses a standalone expression against existing declarations — used to
+/// build oracles/targets over the same metric vocabulary as a sketch.
+ExprPtr parse_expr(std::string_view source, const Sketch& context);
+
+}  // namespace compsynth::sketch

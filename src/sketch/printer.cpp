@@ -1,0 +1,217 @@
+#include "sketch/printer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+#include "util/table.h"
+
+namespace compsynth::sketch {
+
+namespace {
+
+// Binding strength, loosest (1) to tightest. Mirrors the parser's grammar:
+// || < && < comparison < +- < */ < unary < primary.
+int precedence_of(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kBoolBinary:
+      return e.bool_op == BoolOp::kOr ? 1 : 2;
+    case Expr::Kind::kCmp:
+      return 3;
+    case Expr::Kind::kBinary:
+      switch (e.bin_op) {
+        case BinOp::kAdd:
+        case BinOp::kSub: return 4;
+        case BinOp::kMul:
+        case BinOp::kDiv: return 5;
+        case BinOp::kMin:
+        case BinOp::kMax: return 7;  // rendered as calls; never need parens
+      }
+      return 4;
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kNot:
+      return 6;
+    case Expr::Kind::kIte:
+      return 0;  // always parenthesized when nested
+    case Expr::Kind::kConst:
+      // A negative literal prints with a leading '-', so it binds like a
+      // unary minus: "-(-2.5)" round-trips, "--2.5" would re-parse as a
+      // double negation and print differently.
+      return e.literal < 0 ? 6 : 7;
+    case Expr::Kind::kBoolConst:
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+    case Expr::Kind::kChoice:  // brace-delimited; never needs parens
+      return 7;
+  }
+  return 7;
+}
+
+const char* bin_op_text(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return " + ";
+    case BinOp::kSub: return " - ";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMin: return "min";
+    case BinOp::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* cmp_op_text(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return " < ";
+    case CmpOp::kLe: return " <= ";
+    case CmpOp::kGt: return " > ";
+    case CmpOp::kGe: return " >= ";
+    case CmpOp::kEq: return " == ";
+    case CmpOp::kNe: return " != ";
+  }
+  return "?";
+}
+
+class Printer {
+ public:
+  Printer(const Sketch& context, const HoleAssignment* substitution)
+      : context_(context), substitution_(substitution) {}
+
+  std::string print(const Expr& e) {
+    std::ostringstream os;
+    emit(os, e, /*parent_prec=*/0, /*rhs_of_same=*/false);
+    return os.str();
+  }
+
+ private:
+  void emit(std::ostringstream& os, const Expr& e, int parent_prec,
+            bool rhs_of_same) {
+    const int prec = precedence_of(e);
+    // Parenthesize when binding looser than the context requires, or when a
+    // same-precedence node sits on the right of a left-associative operator
+    // (e.g. a - (b + c)).
+    const bool parens = prec < parent_prec || (prec == parent_prec && rhs_of_same);
+    if (parens) os << '(';
+    emit_node(os, e, prec);
+    if (parens) os << ')';
+  }
+
+  void emit_node(std::ostringstream& os, const Expr& e, int prec) {
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+        os << util::format_number(e.literal, 6);
+        return;
+      case Expr::Kind::kBoolConst:
+        os << (e.literal != 0 ? "true" : "false");
+        return;
+      case Expr::Kind::kMetric:
+        os << context_.metrics()[e.metric].name;
+        return;
+      case Expr::Kind::kHole:
+        if (substitution_ != nullptr) {
+          os << util::format_number(
+              context_.holes()[e.hole].value_at(substitution_->index[e.hole]), 6);
+        } else {
+          os << context_.holes()[e.hole].name;
+        }
+        return;
+      case Expr::Kind::kNeg:
+        os << '-';
+        emit(os, *e.children[0], prec, /*rhs_of_same=*/true);
+        return;
+      case Expr::Kind::kNot:
+        os << '!';
+        emit(os, *e.children[0], prec, /*rhs_of_same=*/true);
+        return;
+      case Expr::Kind::kBinary:
+        if (e.bin_op == BinOp::kMin || e.bin_op == BinOp::kMax) {
+          os << bin_op_text(e.bin_op) << '(';
+          emit(os, *e.children[0], 0, false);
+          os << ", ";
+          emit(os, *e.children[1], 0, false);
+          os << ')';
+          return;
+        }
+        emit(os, *e.children[0], prec, /*rhs_of_same=*/false);
+        os << bin_op_text(e.bin_op);
+        emit(os, *e.children[1], prec, /*rhs_of_same=*/true);
+        return;
+      case Expr::Kind::kCmp:
+        emit(os, *e.children[0], prec, false);
+        os << cmp_op_text(e.cmp_op);
+        emit(os, *e.children[1], prec, /*rhs_of_same=*/true);
+        return;
+      case Expr::Kind::kBoolBinary:
+        emit(os, *e.children[0], prec, false);
+        os << (e.bool_op == BoolOp::kAnd ? " && " : " || ");
+        emit(os, *e.children[1], prec, false);  // associative: no rhs parens
+        return;
+      case Expr::Kind::kIte:
+        os << "if ";
+        emit(os, *e.children[0], 1, false);
+        os << " then ";
+        emit(os, *e.children[1], 1, false);
+        os << " else ";
+        emit(os, *e.children[2], 1, false);
+        return;
+      case Expr::Kind::kChoice:
+        if (substitution_ != nullptr) {
+          // Solution view: print only the chosen alternative.
+          const std::int64_t raw = substitution_->index[e.hole];
+          const auto idx = static_cast<std::size_t>(std::clamp<std::int64_t>(
+              raw, 0, static_cast<std::int64_t>(e.children.size()) - 1));
+          emit(os, *e.children[idx], prec, false);
+          return;
+        }
+        os << "choose " << context_.holes()[e.hole].name << " { ";
+        for (std::size_t j = 0; j < e.children.size(); ++j) {
+          if (j > 0) os << ", ";
+          emit(os, *e.children[j], 0, false);
+        }
+        os << " }";
+        return;
+    }
+  }
+
+  const Sketch& context_;
+  const HoleAssignment* substitution_;
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& e, const Sketch& context) {
+  return Printer(context, nullptr).print(e);
+}
+
+std::string print_sketch(const Sketch& sketch) {
+  std::ostringstream os;
+  os << "sketch " << sketch.name() << '(';
+  for (std::size_t i = 0; i < sketch.metrics().size(); ++i) {
+    const MetricSpec& m = sketch.metrics()[i];
+    if (i > 0) os << ", ";
+    os << m.name << " in [" << util::format_number(m.lo, 6) << ", "
+       << util::format_number(m.hi, 6) << ']';
+  }
+  os << ") {\n";
+  for (const HoleSpec& h : sketch.holes()) {
+    os << "  hole " << h.name << " in grid(" << util::format_number(h.lo, 6)
+       << ", " << util::format_number(h.step, 6) << ", " << h.count << ");\n";
+  }
+  os << "  " << print_expr(*sketch.body(), sketch) << "\n}\n";
+  return os.str();
+}
+
+std::string print_instantiated(const Sketch& sketch, const HoleAssignment& a) {
+  if (!sketch.valid_assignment(a)) {
+    throw std::invalid_argument("print_instantiated: invalid assignment");
+  }
+  std::ostringstream os;
+  os << sketch.name() << '(';
+  for (std::size_t i = 0; i < sketch.metrics().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << sketch.metrics()[i].name;
+  }
+  os << ") = " << Printer(sketch, &a).print(*sketch.body());
+  return os.str();
+}
+
+}  // namespace compsynth::sketch

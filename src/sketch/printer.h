@@ -1,0 +1,27 @@
+// Pretty-printing of sketches and expressions back to DSL syntax.
+//
+// print_sketch(parse_sketch(s)) re-parses to a structurally identical sketch
+// (a round-trip property the tests enforce). print_instantiated renders the
+// *solution* view of Fig. 2b: the sketch body with every hole replaced by its
+// synthesized value.
+#pragma once
+
+#include <string>
+
+#include "sketch/ast.h"
+
+namespace compsynth::sketch {
+
+/// Renders an expression in DSL concrete syntax. Parenthesizes exactly where
+/// precedence demands it. Metric/hole references are printed by name using
+/// the supplying sketch's declarations.
+std::string print_expr(const Expr& e, const Sketch& context);
+
+/// Renders a full sketch definition (declarations + body).
+std::string print_sketch(const Sketch& sketch);
+
+/// Renders the body with holes substituted by assignment values — the
+/// "solution" form shown in the paper's Fig. 2b.
+std::string print_instantiated(const Sketch& sketch, const HoleAssignment& a);
+
+}  // namespace compsynth::sketch

@@ -1,0 +1,131 @@
+#include "sketch/typecheck.h"
+
+#include <span>
+
+namespace compsynth::sketch {
+
+namespace {
+
+void fail(const std::string& what) { throw TypeError("typecheck: " + what); }
+
+void expect_arity(const Expr& e, std::size_t n, const char* what) {
+  if (e.children.size() != n) fail(std::string(what) + ": wrong arity");
+  for (const auto& c : e.children) {
+    if (c == nullptr) fail(std::string(what) + ": null child");
+  }
+}
+
+// Returns true when the expression is numeric, false when boolean.
+// `holes` may be empty-with-unknown-specs: hole_count governs range checks;
+// specs (when provided) additionally validate choice selector grids.
+bool check(const Expr& e, std::size_t metric_count, std::size_t hole_count,
+           std::span<const HoleSpec> specs) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      expect_arity(e, 0, "const");
+      return true;
+    case Expr::Kind::kBoolConst:
+      expect_arity(e, 0, "bool const");
+      return false;
+    case Expr::Kind::kMetric:
+      expect_arity(e, 0, "metric ref");
+      if (e.metric >= metric_count) fail("metric reference out of range");
+      return true;
+    case Expr::Kind::kHole:
+      expect_arity(e, 0, "hole ref");
+      if (e.hole >= hole_count) fail("hole reference out of range");
+      return true;
+    case Expr::Kind::kNeg:
+      expect_arity(e, 1, "negation");
+      if (!check(*e.children[0], metric_count, hole_count, specs)) {
+        fail("negation of a boolean");
+      }
+      return true;
+    case Expr::Kind::kBinary:
+      expect_arity(e, 2, "binary op");
+      for (const auto& c : e.children) {
+        if (!check(*c, metric_count, hole_count, specs)) fail("arithmetic on a boolean");
+      }
+      return true;
+    case Expr::Kind::kIte:
+      expect_arity(e, 3, "if-then-else");
+      if (check(*e.children[0], metric_count, hole_count, specs)) {
+        fail("if condition must be boolean");
+      }
+      if (!check(*e.children[1], metric_count, hole_count, specs)) {
+        fail("then branch must be numeric");
+      }
+      if (!check(*e.children[2], metric_count, hole_count, specs)) {
+        fail("else branch must be numeric");
+      }
+      return true;
+    case Expr::Kind::kChoice: {
+      if (e.children.size() < 2) fail("choice: need at least two alternatives");
+      for (const auto& c : e.children) {
+        if (c == nullptr) fail("choice: null alternative");
+        if (!check(*c, metric_count, hole_count, specs)) {
+          fail("choice alternatives must be numeric");
+        }
+      }
+      if (e.hole >= hole_count) fail("choice selector hole out of range");
+      if (!specs.empty()) {
+        const HoleSpec& h = specs[e.hole];
+        if (h.lo != 0 || h.step != 1 ||
+            h.count != static_cast<std::int64_t>(e.children.size())) {
+          fail("choice selector '" + h.name + "' must be grid(0, 1, " +
+               std::to_string(e.children.size()) + ")");
+        }
+      }
+      return true;
+    }
+    case Expr::Kind::kCmp:
+      expect_arity(e, 2, "comparison");
+      for (const auto& c : e.children) {
+        if (!check(*c, metric_count, hole_count, specs)) fail("comparison of booleans");
+      }
+      return false;
+    case Expr::Kind::kBoolBinary:
+      expect_arity(e, 2, "boolean op");
+      for (const auto& c : e.children) {
+        if (check(*c, metric_count, hole_count, specs)) fail("&&/|| applied to a number");
+      }
+      return false;
+    case Expr::Kind::kNot:
+      expect_arity(e, 1, "negation (!)");
+      if (check(*e.children[0], metric_count, hole_count, specs)) {
+        fail("! applied to a number");
+      }
+      return false;
+  }
+  fail("unknown node kind");
+  return false;  // unreachable
+}
+
+void run_check(const Expr& root, std::size_t metric_count, std::size_t hole_count,
+               std::span<const HoleSpec> specs, bool expect_numeric) {
+  const bool numeric = check(root, metric_count, hole_count, specs);
+  if (numeric != expect_numeric) {
+    fail(expect_numeric ? "expected a numeric expression"
+                        : "expected a boolean expression");
+  }
+}
+
+}  // namespace
+
+void typecheck_expr(const Expr& root, std::size_t metric_count,
+                    std::size_t hole_count, bool expect_numeric) {
+  run_check(root, metric_count, hole_count, {}, expect_numeric);
+}
+
+void typecheck_expr(const Expr& root, std::size_t metric_count,
+                    std::span<const HoleSpec> holes, bool expect_numeric) {
+  run_check(root, metric_count, holes.size(), holes, expect_numeric);
+}
+
+void typecheck(const Sketch& sketch) {
+  typecheck_expr(*sketch.body(), sketch.metrics().size(),
+                 std::span<const HoleSpec>(sketch.holes()),
+                 /*expect_numeric=*/true);
+}
+
+}  // namespace compsynth::sketch

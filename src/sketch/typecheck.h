@@ -1,0 +1,40 @@
+// Static validation of sketch bodies.
+//
+// Checks that the body is a numeric expression, that every node has the
+// arity and operand types its kind requires, and that metric/hole references
+// are within the sketch's declarations. Runs automatically from the Sketch
+// constructor, so a constructed Sketch is always well-typed.
+#pragma once
+
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "sketch/ast.h"
+
+namespace compsynth::sketch {
+
+/// Thrown when a sketch body is ill-typed (wrong arity, boolean where a
+/// number is required, out-of-range metric/hole reference, ...).
+class TypeError : public std::invalid_argument {
+ public:
+  explicit TypeError(const std::string& what) : std::invalid_argument(what) {}
+};
+
+/// Validates `sketch`'s body; throws TypeError on the first violation.
+void typecheck(const Sketch& sketch);
+
+/// Validates a standalone expression against declaration counts.
+/// `expect_numeric` selects the required result type of the root.
+/// NOTE: without hole specs, kChoice selectors are only range-checked; use
+/// the hole-spec overload (or a full Sketch) to validate selector grids.
+void typecheck_expr(const Expr& root, std::size_t metric_count,
+                    std::size_t hole_count, bool expect_numeric);
+
+/// Full validation including choice-selector grids: a kChoice selector's
+/// hole must be the integer grid {0, 1, ..., N-1} where N is the number of
+/// alternatives.
+void typecheck_expr(const Expr& root, std::size_t metric_count,
+                    std::span<const HoleSpec> holes, bool expect_numeric);
+
+}  // namespace compsynth::sketch

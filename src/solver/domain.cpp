@@ -1,0 +1,26 @@
+#include "solver/finder.h"
+
+#include "sketch/eval.h"
+#include "sketch/typecheck.h"
+
+namespace compsynth::solver {
+
+void validate_domain(const sketch::Sketch& sketch, const ScenarioDomain& domain) {
+  if (domain.constraint == nullptr) return;
+  // Boolean over metrics only: hole_count = 0 rejects any hole reference.
+  sketch::typecheck_expr(*domain.constraint, sketch.metrics().size(),
+                         /*hole_count=*/0, /*expect_numeric=*/false);
+}
+
+bool domain_contains(const sketch::Sketch& sketch, const ScenarioDomain& domain,
+                     std::span<const double> metrics) {
+  if (metrics.size() != sketch.metrics().size()) return false;
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const sketch::MetricSpec& m = sketch.metrics()[i];
+    if (metrics[i] < m.lo || metrics[i] > m.hi) return false;
+  }
+  if (domain.constraint == nullptr) return true;
+  return sketch::eval_bool(*domain.constraint, metrics, {});
+}
+
+}  // namespace compsynth::solver

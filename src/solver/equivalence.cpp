@@ -1,0 +1,78 @@
+#include "solver/equivalence.h"
+
+#include <z3++.h>
+
+#include <string>
+
+#include "solver/z3_encoder.h"
+
+namespace compsynth::solver {
+
+std::optional<DistinguishingPair> find_ranking_difference(
+    const sketch::Sketch& sketch, const sketch::HoleAssignment& a,
+    const sketch::HoleAssignment& b, const FinderConfig& config) {
+  z3::context ctx;
+  z3::solver solver(ctx);
+  if (config.timeout_ms > 0) {
+    z3::params p(ctx);
+    p.set("timeout", config.timeout_ms);
+    solver.set(p);
+  }
+
+  auto hole_numerals = [&](const sketch::HoleAssignment& assignment) {
+    std::vector<z3::expr> out;
+    for (const double v : sketch.hole_values(assignment)) {
+      out.push_back(real_of_double(ctx, v));
+    }
+    return out;
+  };
+  const std::vector<z3::expr> ha = hole_numerals(a);
+  const std::vector<z3::expr> hb = hole_numerals(b);
+
+  auto make_scenario_vars = [&](const char* tag) {
+    std::vector<z3::expr> vars;
+    for (const sketch::MetricSpec& m : sketch.metrics()) {
+      z3::expr v = ctx.real_const((std::string(tag) + "_" + m.name).c_str());
+      solver.add(v >= real_of_double(ctx, m.lo));
+      solver.add(v <= real_of_double(ctx, m.hi));
+      vars.push_back(std::move(v));
+    }
+    return vars;
+  };
+  const std::vector<z3::expr> s1 = make_scenario_vars("s1");
+  const std::vector<z3::expr> s2 = make_scenario_vars("s2");
+
+  // Both orientations of the disagreement are covered by the existential
+  // choice of (s1, s2): swapping the pair swaps the roles of a and b.
+  const z3::expr margin = real_of_double(ctx, config.distinguish_margin);
+  const z3::expr fa1 = encode_numeric(ctx, *sketch.body(), s1, ha);
+  const z3::expr fa2 = encode_numeric(ctx, *sketch.body(), s2, ha);
+  const z3::expr fb1 = encode_numeric(ctx, *sketch.body(), s1, hb);
+  const z3::expr fb2 = encode_numeric(ctx, *sketch.body(), s2, hb);
+  solver.add(fa1 >= fa2 + margin);
+  solver.add(fb2 >= fb1 + margin);
+
+  z3::check_result r = solver.check();
+  if (r == z3::unknown) {
+    z3::solver nl = z3::tactic(ctx, "qfnra-nlsat").mk_solver();
+    for (const z3::expr& assertion : solver.assertions()) nl.add(assertion);
+    r = nl.check();
+    if (r == z3::sat) solver = std::move(nl);
+  }
+  if (r != z3::sat) return std::nullopt;
+
+  const z3::model model = solver.get_model();
+  DistinguishingPair pair;
+  for (const z3::expr& v : s1) pair.preferred_by_a.metrics.push_back(value_of(model, v));
+  for (const z3::expr& v : s2) pair.preferred_by_b.metrics.push_back(value_of(model, v));
+  return pair;
+}
+
+bool ranking_equivalent(const sketch::Sketch& sketch,
+                        const sketch::HoleAssignment& a,
+                        const sketch::HoleAssignment& b,
+                        const FinderConfig& config) {
+  return !find_ranking_difference(sketch, a, b, config).has_value();
+}
+
+}  // namespace compsynth::solver

@@ -1,0 +1,30 @@
+// Ranking-equivalence checks between two concrete objective functions.
+//
+// Synthesis is correct when the learned candidate is *ranking-equivalent* to
+// the user's latent target: no pair of in-range scenarios exists that the two
+// functions order in opposite directions (by at least the distinguishing
+// margin). This is the success criterion behind the paper's claim that all
+// Fig. 3 variants were "successfully synthesized".
+#pragma once
+
+#include <optional>
+
+#include "solver/finder.h"
+
+namespace compsynth::solver {
+
+/// Searches (exactly, via Z3) for a scenario pair that candidates `a` and
+/// `b` of `sketch` order in opposite directions with at least
+/// `config.distinguish_margin` separation. Returns the witness pair when one
+/// exists, nullopt when the two candidates are ranking-equivalent.
+std::optional<DistinguishingPair> find_ranking_difference(
+    const sketch::Sketch& sketch, const sketch::HoleAssignment& a,
+    const sketch::HoleAssignment& b, const FinderConfig& config = {});
+
+/// True when no margin-separated ranking disagreement exists.
+bool ranking_equivalent(const sketch::Sketch& sketch,
+                        const sketch::HoleAssignment& a,
+                        const sketch::HoleAssignment& b,
+                        const FinderConfig& config = {});
+
+}  // namespace compsynth::solver

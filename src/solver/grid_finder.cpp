@@ -1,0 +1,330 @@
+#include "solver/grid_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sketch/eval.h"
+#include "util/log.h"
+
+namespace compsynth::solver {
+
+namespace {
+
+constexpr std::int64_t kMaxEnumerableCandidates = 4'000'000;
+
+}  // namespace
+
+GridFinder::GridFinder(sketch::Sketch sketch, GridFinderConfig config,
+                       Viability viability, ScenarioDomain domain)
+    : sketch_(std::move(sketch)),
+      config_(config),
+      viability_(std::move(viability)),
+      domain_(std::move(domain)),
+      rng_(config.seed) {
+  validate_domain(sketch_, domain_);
+  if (config_.base.distinguish_margin <= config_.base.tie_tolerance) {
+    throw std::invalid_argument(
+        "GridFinder: distinguish_margin must exceed tie_tolerance");
+  }
+  if (sketch_.candidate_space_size() > kMaxEnumerableCandidates) {
+    throw std::invalid_argument(
+        "GridFinder: hole grid too large to enumerate; use Z3Finder");
+  }
+}
+
+bool GridFinder::consistent(const sketch::HoleAssignment& a,
+                            const pref::PreferenceGraph& graph,
+                            std::size_t first_edge, std::size_t first_tie) const {
+  const std::vector<double> values = sketch_.hole_values(a);
+  const double tie_bound = config_.base.tie_tolerance + 1e-9;
+  const auto& edges = graph.edges();
+  for (std::size_t i = first_edge; i < edges.size(); ++i) {
+    const double better = sketch::eval_with_values(
+        sketch_, values, graph.scenario(edges[i].better).metrics);
+    const double worse = sketch::eval_with_values(
+        sketch_, values, graph.scenario(edges[i].worse).metrics);
+    if (!(better > worse)) return false;
+  }
+  const auto& ties = graph.ties();
+  for (std::size_t i = first_tie; i < ties.size(); ++i) {
+    const double fu =
+        sketch::eval_with_values(sketch_, values, graph.scenario(ties[i].first).metrics);
+    const double fv =
+        sketch::eval_with_values(sketch_, values, graph.scenario(ties[i].second).metrics);
+    if (std::abs(fu - fv) > tie_bound) return false;
+  }
+  return true;
+}
+
+void GridFinder::sync(const pref::PreferenceGraph& graph) {
+  const bool shrunk =
+      graph.edges().size() < edges_seen_ || graph.ties().size() < ties_seen_;
+  if (!initialized_ || shrunk) {
+    survivors_.clear();
+    sketch::HoleAssignment cursor;
+    cursor.index.assign(sketch_.holes().size(), 0);
+    for (;;) {
+      const bool viable = !viability_.concrete ||
+                          viability_.concrete(sketch_.hole_values(cursor));
+      if (viable && consistent(cursor, graph, 0, 0)) survivors_.push_back(cursor);
+      // Odometer increment over the grid.
+      std::size_t pos = 0;
+      while (pos < cursor.index.size()) {
+        if (++cursor.index[pos] < sketch_.holes()[pos].count) break;
+        cursor.index[pos] = 0;
+        ++pos;
+      }
+      if (pos == cursor.index.size()) break;
+    }
+    initialized_ = true;
+  } else {
+    std::erase_if(survivors_, [&](const sketch::HoleAssignment& a) {
+      return !consistent(a, graph, edges_seen_, ties_seen_);
+    });
+  }
+  edges_seen_ = graph.edges().size();
+  ties_seen_ = graph.ties().size();
+  util::log(util::LogLevel::kDebug, "GridFinder: version space size ",
+            survivors_.size());
+}
+
+std::vector<double> GridFinder::boundary_values(const sketch::HoleAssignment& a,
+                                                std::size_t metric) const {
+  const sketch::MetricSpec& m = sketch_.metrics()[metric];
+  const double nudge = (m.hi - m.lo) * 1e-3;
+  std::vector<double> out{m.lo, m.hi};
+  for (const double v : sketch_.hole_values(a)) {
+    if (v > m.lo && v < m.hi) {
+      out.push_back(v);
+      out.push_back(std::min(m.hi, v + nudge));
+      out.push_back(std::max(m.lo, v - nudge));
+    }
+  }
+  return out;
+}
+
+std::optional<DistinguishingPair> GridFinder::distinguish(
+    const sketch::HoleAssignment& a, const sketch::HoleAssignment& b) {
+  const std::vector<double> va = sketch_.hole_values(a);
+  const std::vector<double> vb = sketch_.hole_values(b);
+  const double margin = config_.base.distinguish_margin;
+  const std::size_t n_metrics = sketch_.metrics().size();
+
+  // Boundary candidates per metric: hole values of either candidate (where
+  // piecewise objectives flip regions), nudged to both sides, plus range
+  // endpoints and midpoints.
+  std::vector<std::vector<double>> boundaries(n_metrics);
+  std::size_t cross_size = 1;
+  for (std::size_t m = 0; m < n_metrics; ++m) {
+    boundaries[m] = boundary_values(a, m);
+    const std::vector<double> more = boundary_values(b, m);
+    boundaries[m].insert(boundaries[m].end(), more.begin(), more.end());
+    const sketch::MetricSpec& spec = sketch_.metrics()[m];
+    boundaries[m].push_back((spec.lo + spec.hi) / 2);
+    std::sort(boundaries[m].begin(), boundaries[m].end());
+    boundaries[m].erase(std::unique(boundaries[m].begin(), boundaries[m].end()),
+                        boundaries[m].end());
+    cross_size *= boundaries[m].size();
+  }
+
+  auto check = [&](const pref::Scenario& s1, const pref::Scenario& s2)
+      -> std::optional<DistinguishingPair> {
+    const double fa1 = sketch::eval_with_values(sketch_, va, s1.metrics);
+    const double fa2 = sketch::eval_with_values(sketch_, va, s2.metrics);
+    const double fb1 = sketch::eval_with_values(sketch_, vb, s1.metrics);
+    const double fb2 = sketch::eval_with_values(sketch_, vb, s2.metrics);
+    if (fa1 >= fa2 + margin && fb2 >= fb1 + margin) {
+      return DistinguishingPair{s1, s2};
+    }
+    if (fa2 >= fa1 + margin && fb1 >= fb2 + margin) {
+      return DistinguishingPair{s2, s1};
+    }
+    return std::nullopt;
+  };
+
+  // Deterministic pass: for objectives that are piecewise products of the
+  // metrics (the SWAN family), any ranking disagreement is witnessed at the
+  // cross product of boundary values. Enumerate it when small enough.
+  if (cross_size <= 1024) {
+    std::vector<pref::Scenario> grid_points;
+    grid_points.reserve(cross_size);
+    std::vector<std::size_t> idx(n_metrics, 0);
+    for (;;) {
+      pref::Scenario s;
+      s.metrics.reserve(n_metrics);
+      for (std::size_t m = 0; m < n_metrics; ++m) {
+        s.metrics.push_back(boundaries[m][idx[m]]);
+      }
+      if (domain_contains(sketch_, domain_, s.metrics)) {
+        grid_points.push_back(std::move(s));
+      }
+      std::size_t pos = 0;
+      while (pos < n_metrics && ++idx[pos] == boundaries[pos].size()) {
+        idx[pos++] = 0;
+      }
+      if (pos == n_metrics) break;
+    }
+    // Cache both candidates' values so each pair test is two comparisons.
+    std::vector<double> fa(grid_points.size()), fb(grid_points.size());
+    for (std::size_t i = 0; i < grid_points.size(); ++i) {
+      fa[i] = sketch::eval_with_values(sketch_, va, grid_points[i].metrics);
+      fb[i] = sketch::eval_with_values(sketch_, vb, grid_points[i].metrics);
+    }
+    // Randomize the scan order so repeated calls surface different pairs
+    // (the synthesizer wants fresh scenarios each iteration).
+    std::vector<std::size_t> order(grid_points.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.shuffle(order);
+    for (const std::size_t i : order) {
+      for (const std::size_t j : order) {
+        if (fa[i] >= fa[j] + margin && fb[j] >= fb[i] + margin) {
+          return DistinguishingPair{grid_points[i], grid_points[j]};
+        }
+      }
+    }
+  }
+
+  // Randomized fallback for sketch families whose disagreements are not
+  // boundary-witnessed (or whose boundary cross product is too large).
+  auto sample_scenario = [&] {
+    pref::Scenario s;
+    s.metrics.reserve(n_metrics);
+    for (std::size_t m = 0; m < n_metrics; ++m) {
+      const sketch::MetricSpec& spec = sketch_.metrics()[m];
+      if (rng_.bernoulli(0.5)) {
+        s.metrics.push_back(rng_.uniform_real(spec.lo, spec.hi));
+      } else {
+        s.metrics.push_back(boundaries[m][rng_.index(boundaries[m].size())]);
+      }
+    }
+    return s;
+  };
+  for (int i = 0; i < config_.scenario_samples; ++i) {
+    const pref::Scenario s1 = sample_scenario();
+    const pref::Scenario s2 = sample_scenario();
+    if (domain_.constraint != nullptr &&
+        (!domain_contains(sketch_, domain_, s1.metrics) ||
+         !domain_contains(sketch_, domain_, s2.metrics))) {
+      continue;
+    }
+    if (auto hit = check(s1, s2)) return hit;
+  }
+  return std::nullopt;
+}
+
+FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
+                                             int num_pairs) {
+  if (num_pairs < 1) throw std::invalid_argument("find_distinguishing: num_pairs < 1");
+  sync(graph);
+  if (survivors_.empty()) { FinderResult res; res.status = FinderStatus::kNoCandidate; return res; }
+  if (survivors_.size() == 1) {
+    FinderResult res;
+    res.status = FinderStatus::kUniqueRanking;
+    res.candidate_a = survivors_.front();
+    return res;
+  }
+
+  // Candidate pair schedule: exhaustive for small version spaces (so the
+  // "unique ranking" verdict is as strong as possible), random otherwise.
+  std::vector<std::pair<std::size_t, std::size_t>> schedule;
+  if (survivors_.size() <= 48) {
+    for (std::size_t i = 0; i < survivors_.size(); ++i) {
+      for (std::size_t j = i + 1; j < survivors_.size(); ++j) {
+        schedule.emplace_back(i, j);
+      }
+    }
+    rng_.shuffle(schedule);
+  } else {
+    for (int attempt = 0; attempt < config_.candidate_pair_budget; ++attempt) {
+      const std::size_t ia = rng_.index(survivors_.size());
+      std::size_t ib = rng_.index(survivors_.size() - 1);
+      if (ib >= ia) ++ib;
+      schedule.emplace_back(ia, ib);
+    }
+  }
+
+  // Collect disagreement witnesses. Under kFirstFound the first one wins
+  // (mirroring an SMT solver's arbitrary model); under kBisection several
+  // are scored by how evenly the user's answer would split the version
+  // space, and the most informative one is asked.
+  struct Witness {
+    std::size_t ia = 0, ib = 0;
+    DistinguishingPair pair;
+  };
+  std::vector<Witness> witnesses;
+  const int wanted =
+      config_.strategy == QueryStrategy::kBisection ? config_.bisection_samples : 1;
+
+  for (const auto& [ia, ib] : schedule) {
+    if (static_cast<int>(witnesses.size()) >= wanted) break;
+    if (auto pair = distinguish(survivors_[ia], survivors_[ib])) {
+      witnesses.push_back(Witness{ia, ib, *std::move(pair)});
+    }
+  }
+
+  if (witnesses.empty()) {
+    // No disagreement among the survivors: report (approximate) ranking
+    // uniqueness with an arbitrary representative.
+    FinderResult res;
+    res.status = FinderStatus::kUniqueRanking;
+    res.candidate_a = survivors_.front();
+    return res;
+  }
+
+  std::size_t chosen = 0;
+  if (witnesses.size() > 1) {
+    // Guaranteed elimination of an answer = survivors inconsistent with it;
+    // the worst case over the two strict answers is the witness's value.
+    long best_score = -1;
+    for (std::size_t w = 0; w < witnesses.size(); ++w) {
+      const auto& p = witnesses[w].pair;
+      long prefer_1 = 0, prefer_2 = 0;
+      for (const sketch::HoleAssignment& cand : survivors_) {
+        const std::vector<double> values = sketch_.hole_values(cand);
+        const double f1 =
+            sketch::eval_with_values(sketch_, values, p.preferred_by_a.metrics);
+        const double f2 =
+            sketch::eval_with_values(sketch_, values, p.preferred_by_b.metrics);
+        if (f1 > f2) ++prefer_1;
+        else if (f2 > f1) ++prefer_2;
+      }
+      const long score = std::min(prefer_1, prefer_2);
+      if (score > best_score) {
+        best_score = score;
+        chosen = w;
+      }
+    }
+  }
+
+  FinderResult res;
+  res.status = FinderStatus::kFound;
+  res.candidate_a = survivors_[witnesses[chosen].ia];
+  res.candidate_b = survivors_[witnesses[chosen].ib];
+  res.pairs.push_back(std::move(witnesses[chosen].pair));
+
+  // Additional pairs (Fig. 4 protocol) come from the same candidate pair.
+  for (int tries = 0;
+       static_cast<int>(res.pairs.size()) < num_pairs && tries < 4 * num_pairs;
+       ++tries) {
+    const auto pair = distinguish(res.candidate_a, res.candidate_b);
+    if (!pair) break;
+    const bool duplicate = std::any_of(
+        res.pairs.begin(), res.pairs.end(), [&](const DistinguishingPair& p) {
+          return p.preferred_by_a == pair->preferred_by_a &&
+                 p.preferred_by_b == pair->preferred_by_b;
+        });
+    if (!duplicate) res.pairs.push_back(*pair);
+  }
+  return res;
+}
+
+std::optional<sketch::HoleAssignment> GridFinder::find_consistent(
+    const pref::PreferenceGraph& graph) {
+  sync(graph);
+  if (survivors_.empty()) return std::nullopt;
+  return survivors_.front();
+}
+
+}  // namespace compsynth::solver

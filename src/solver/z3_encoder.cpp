@@ -1,0 +1,191 @@
+#include "solver/z3_encoder.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace compsynth::solver {
+
+namespace {
+
+// Builds 2^n (n may be negative) as an exact Z3 real by repeated squaring.
+// Only used for doubles outside the int64 fast path.
+z3::expr power_of_two(z3::context& ctx, int n) {
+  const bool invert = n < 0;
+  unsigned k = static_cast<unsigned>(invert ? -n : n);
+  z3::expr base = ctx.real_val(2);
+  z3::expr acc = ctx.real_val(1);
+  while (k > 0) {
+    if (k & 1u) acc = acc * base;
+    base = base * base;
+    k >>= 1u;
+  }
+  return invert ? (ctx.real_val(1) / acc) : acc;
+}
+
+}  // namespace
+
+z3::expr real_of_double(z3::context& ctx, double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("real_of_double: non-finite value");
+  }
+  if (value == 0) return ctx.real_val(0);
+
+  // Every finite double is mantissa * 2^exp exactly. Z3's int/int numeral
+  // constructors are 32-bit, so rationals are passed as "num/den" strings.
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // |frac| in [0.5, 1)
+  const auto mantissa = static_cast<std::int64_t>(std::ldexp(frac, 53));
+  const int shift = exp - 53;
+
+  if (shift >= 0 && shift <= 10) {
+    return ctx.real_val(std::to_string(mantissa << shift).c_str());
+  }
+  if (shift < 0 && shift >= -62) {
+    const std::string text = std::to_string(mantissa) + "/" +
+                             std::to_string(std::int64_t{1} << (-shift));
+    return ctx.real_val(text.c_str());
+  }
+  return ctx.real_val(std::to_string(mantissa).c_str()) * power_of_two(ctx, shift);
+}
+
+z3::expr encode_numeric(z3::context& ctx, const sketch::Expr& e,
+                        std::span<const z3::expr> metrics,
+                        std::span<const z3::expr> holes) {
+  using sketch::BinOp;
+  using Kind = sketch::Expr::Kind;
+  switch (e.kind) {
+    case Kind::kConst:
+      return real_of_double(ctx, e.literal);
+    case Kind::kMetric:
+      return metrics[e.metric];
+    case Kind::kHole:
+      return holes[e.hole];
+    case Kind::kNeg:
+      return -encode_numeric(ctx, *e.children[0], metrics, holes);
+    case Kind::kBinary: {
+      const z3::expr a = encode_numeric(ctx, *e.children[0], metrics, holes);
+      const z3::expr b = encode_numeric(ctx, *e.children[1], metrics, holes);
+      switch (e.bin_op) {
+        case BinOp::kAdd: return a + b;
+        case BinOp::kSub: return a - b;
+        case BinOp::kMul: return a * b;
+        case BinOp::kDiv: return a / b;
+        case BinOp::kMin: return z3::ite(a <= b, a, b);
+        case BinOp::kMax: return z3::ite(a >= b, a, b);
+      }
+      break;
+    }
+    case Kind::kIte:
+      return z3::ite(encode_bool(ctx, *e.children[0], metrics, holes),
+                     encode_numeric(ctx, *e.children[1], metrics, holes),
+                     encode_numeric(ctx, *e.children[2], metrics, holes));
+    case Kind::kChoice: {
+      // Nested ite chain over the selector hole (an integer grid 0..N-1).
+      const z3::expr& sel = holes[e.hole];
+      z3::expr out = encode_numeric(ctx, *e.children.back(), metrics, holes);
+      for (std::size_t j = e.children.size() - 1; j-- > 0;) {
+        out = z3::ite(sel == real_of_double(ctx, static_cast<double>(j)),
+                      encode_numeric(ctx, *e.children[j], metrics, holes), out);
+      }
+      return out;
+    }
+    case Kind::kCmp:
+    case Kind::kBoolBinary:
+    case Kind::kNot:
+    case Kind::kBoolConst:
+      break;
+  }
+  throw std::invalid_argument("encode_numeric: boolean node in numeric position");
+}
+
+z3::expr encode_bool(z3::context& ctx, const sketch::Expr& e,
+                     std::span<const z3::expr> metrics,
+                     std::span<const z3::expr> holes) {
+  using sketch::BoolOp;
+  using sketch::CmpOp;
+  using Kind = sketch::Expr::Kind;
+  switch (e.kind) {
+    case Kind::kBoolConst:
+      return ctx.bool_val(e.literal != 0);
+    case Kind::kCmp: {
+      const z3::expr a = encode_numeric(ctx, *e.children[0], metrics, holes);
+      const z3::expr b = encode_numeric(ctx, *e.children[1], metrics, holes);
+      switch (e.cmp_op) {
+        case CmpOp::kLt: return a < b;
+        case CmpOp::kLe: return a <= b;
+        case CmpOp::kGt: return a > b;
+        case CmpOp::kGe: return a >= b;
+        case CmpOp::kEq: return a == b;
+        case CmpOp::kNe: return a != b;
+      }
+      break;
+    }
+    case Kind::kBoolBinary: {
+      const z3::expr a = encode_bool(ctx, *e.children[0], metrics, holes);
+      const z3::expr b = encode_bool(ctx, *e.children[1], metrics, holes);
+      return e.bool_op == BoolOp::kAnd ? (a && b) : (a || b);
+    }
+    case Kind::kNot:
+      return !encode_bool(ctx, *e.children[0], metrics, holes);
+    case Kind::kConst:
+    case Kind::kMetric:
+    case Kind::kHole:
+    case Kind::kNeg:
+    case Kind::kBinary:
+    case Kind::kIte:
+    case Kind::kChoice:
+      break;
+  }
+  throw std::invalid_argument("encode_bool: numeric node in boolean position");
+}
+
+std::vector<z3::expr> make_hole_vars(z3::context& ctx,
+                                     const sketch::Sketch& sketch,
+                                     const std::string& prefix) {
+  std::vector<z3::expr> vars;
+  vars.reserve(sketch.holes().size());
+  for (const auto& h : sketch.holes()) {
+    vars.push_back(ctx.real_const((prefix + h.name).c_str()));
+  }
+  return vars;
+}
+
+z3::expr hole_domain_constraint(z3::context& ctx, const sketch::Sketch& sketch,
+                                std::span<const z3::expr> hole_vars) {
+  z3::expr all = ctx.bool_val(true);
+  for (std::size_t i = 0; i < sketch.holes().size(); ++i) {
+    const sketch::HoleSpec& h = sketch.holes()[i];
+    z3::expr member = ctx.bool_val(false);
+    for (std::int64_t j = 0; j < h.count; ++j) {
+      member = member || (hole_vars[i] == real_of_double(ctx, h.value_at(j)));
+    }
+    all = all && member;
+  }
+  return all;
+}
+
+std::vector<z3::expr> encode_scenario(z3::context& ctx,
+                                      std::span<const double> metrics) {
+  std::vector<z3::expr> out;
+  out.reserve(metrics.size());
+  for (const double v : metrics) out.push_back(real_of_double(ctx, v));
+  return out;
+}
+
+double value_of(const z3::model& model, const z3::expr& var) {
+  const z3::expr v = model.eval(var, /*model_completion=*/true);
+  // Exact path: rationals whose numerator/denominator fit in int64.
+  std::int64_t num = 0, den = 0;
+  if (Z3_get_numeral_rational_int64(v.ctx(), v, &num, &den) && den != 0) {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  // Fallback: high-precision decimal rendering ('?' marks truncation).
+  std::string s = v.get_decimal_string(40);
+  if (!s.empty() && s.back() == '?') s.pop_back();
+  return std::strtod(s.c_str(), nullptr);
+}
+
+}  // namespace compsynth::solver

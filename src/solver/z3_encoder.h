@@ -1,0 +1,52 @@
+// Translation of sketch expressions into Z3 real-arithmetic terms.
+//
+// Mirrors the concrete interpreter in sketch/eval.h node for node; the two
+// are differentially tested. All numbers are encoded as exact rationals
+// (doubles convert exactly via their binary mantissa/exponent), so the SMT
+// side never suffers floating-point rounding.
+#pragma once
+
+#include <z3++.h>
+
+#include <span>
+#include <vector>
+
+#include "sketch/ast.h"
+
+namespace compsynth::solver {
+
+/// Exact conversion of a finite double into a Z3 real numeral.
+/// Every finite double is num / 2^k exactly; huge magnitudes fall back to a
+/// high-precision decimal string.
+z3::expr real_of_double(z3::context& ctx, double value);
+
+/// Encodes a numeric sketch expression. `metrics[i]` / `holes[i]` supply the
+/// Z3 terms standing for metric i / hole i (they may be variables or
+/// numerals). The expression must be well-typed.
+z3::expr encode_numeric(z3::context& ctx, const sketch::Expr& e,
+                        std::span<const z3::expr> metrics,
+                        std::span<const z3::expr> holes);
+
+/// Encodes a boolean sketch expression under the same environment.
+z3::expr encode_bool(z3::context& ctx, const sketch::Expr& e,
+                     std::span<const z3::expr> metrics,
+                     std::span<const z3::expr> holes);
+
+/// Creates one fresh real variable per hole, named `<prefix><holename>`.
+std::vector<z3::expr> make_hole_vars(z3::context& ctx,
+                                     const sketch::Sketch& sketch,
+                                     const std::string& prefix);
+
+/// The grid-membership constraint for hole variables: each variable equals
+/// one of its HoleSpec's grid values. Keeps the formula in pure QF_NRA.
+z3::expr hole_domain_constraint(z3::context& ctx, const sketch::Sketch& sketch,
+                                std::span<const z3::expr> hole_vars);
+
+/// Converts concrete metric values into Z3 numerals.
+std::vector<z3::expr> encode_scenario(z3::context& ctx,
+                                      std::span<const double> metrics);
+
+/// Extracts a double from a numeral in a model (model completion on).
+double value_of(const z3::model& model, const z3::expr& var);
+
+}  // namespace compsynth::solver

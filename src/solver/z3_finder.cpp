@@ -1,0 +1,276 @@
+#include "solver/z3_finder.h"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "solver/z3_encoder.h"
+#include "util/log.h"
+
+namespace compsynth::solver {
+
+namespace {
+
+constexpr int kMaxViabilityBlocks = 256;
+
+void set_timeout(z3::context& ctx, z3::solver& s, unsigned timeout_ms) {
+  if (timeout_ms == 0) return;
+  z3::params p(ctx);
+  p.set("timeout", timeout_ms);
+  s.set(p);
+}
+
+// The queries we emit are pure QF_NRA, for which the nlsat tactic is a
+// complete decision procedure — and measurably faster here than the default
+// portfolio (the final uniqueness proof drops ~10x). nlsat is primary.
+z3::solver make_solver(z3::context& ctx, unsigned timeout_ms) {
+  z3::solver s = z3::tactic(ctx, "qfnra-nlsat").mk_solver();
+  set_timeout(ctx, s, timeout_ms);
+  return s;
+}
+
+// Retry an `unknown` (timeout / resource-out) with the default portfolio
+// solver, which sometimes succeeds where a single tactic stalls.
+z3::check_result check_with_fallback(z3::context& ctx, z3::solver& s,
+                                     unsigned timeout_ms) {
+  const z3::check_result r = s.check();
+  if (r != z3::unknown) return r;
+  util::log(util::LogLevel::kDebug, "nlsat returned unknown; retrying with default solver");
+  z3::solver fallback(ctx);
+  set_timeout(ctx, fallback, timeout_ms);
+  for (const z3::expr& a : s.assertions()) fallback.add(a);
+  const z3::check_result r2 = fallback.check();
+  if (r2 != z3::unknown) s = std::move(fallback);  // expose the model via `s`
+  return r2;
+}
+
+// Encodes the sketch body at a concrete scenario under the given hole vars.
+z3::expr objective_at(z3::context& ctx, const sketch::Sketch& sk,
+                      const std::vector<z3::expr>& hole_vars,
+                      const pref::Scenario& scenario) {
+  const std::vector<z3::expr> metrics = encode_scenario(ctx, scenario.metrics);
+  return encode_numeric(ctx, *sk.body(), metrics, hole_vars);
+}
+
+// Adds G's constraints (edges strict, ties within tolerance) for one
+// candidate's hole variables.
+void add_graph_constraints(z3::context& ctx, z3::solver& s,
+                           const sketch::Sketch& sk,
+                           const pref::PreferenceGraph& graph,
+                           const std::vector<z3::expr>& hole_vars,
+                           double tie_bound) {
+  for (const pref::Edge& e : graph.edges()) {
+    const z3::expr better = objective_at(ctx, sk, hole_vars, graph.scenario(e.better));
+    const z3::expr worse = objective_at(ctx, sk, hole_vars, graph.scenario(e.worse));
+    s.add(better > worse);
+  }
+  const z3::expr bound = real_of_double(ctx, tie_bound);
+  for (const auto& [u, v] : graph.ties()) {
+    const z3::expr fu = objective_at(ctx, sk, hole_vars, graph.scenario(u));
+    const z3::expr fv = objective_at(ctx, sk, hole_vars, graph.scenario(v));
+    s.add(fu - fv <= bound);
+    s.add(fv - fu <= bound);
+  }
+}
+
+}  // namespace
+
+Z3Finder::Z3Finder(sketch::Sketch sketch, FinderConfig config, Viability viability,
+                   ScenarioDomain domain)
+    : sketch_(std::move(sketch)),
+      config_(config),
+      viability_(std::move(viability)),
+      domain_(std::move(domain)) {
+  validate_domain(sketch_, domain_);
+  if (config_.distinguish_margin <= config_.tie_tolerance) {
+    throw std::invalid_argument(
+        "Z3Finder: distinguish_margin must exceed tie_tolerance "
+        "(otherwise an oracle tie answer cannot eliminate candidates)");
+  }
+}
+
+void Z3Finder::log_query(z3::solver& solver, const char* kind) {
+  if (query_log_ == nullptr) return;
+  *query_log_ << "; compsynth query " << query_count_ << " (" << kind << ")\n"
+              << solver.to_smt2() << "\n";
+}
+
+FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
+                                           int num_pairs) {
+  if (num_pairs < 1) throw std::invalid_argument("find_distinguishing: num_pairs < 1");
+
+  z3::context ctx;
+  z3::solver solver = make_solver(ctx, config_.timeout_ms);
+
+  const std::vector<z3::expr> ha = make_hole_vars(ctx, sketch_, "a_");
+  const std::vector<z3::expr> hb = make_hole_vars(ctx, sketch_, "b_");
+  solver.add(hole_domain_constraint(ctx, sketch_, ha));
+  solver.add(hole_domain_constraint(ctx, sketch_, hb));
+
+  // Tie bound gets a hair of slack over the oracle's tolerance so that exact
+  // rational arithmetic never rejects the (double-evaluated) ground truth.
+  const double tie_bound = config_.tie_tolerance + 1e-9;
+  add_graph_constraints(ctx, solver, sketch_, graph, ha, tie_bound);
+  add_graph_constraints(ctx, solver, sketch_, graph, hb, tie_bound);
+
+  // Fresh scenario variables for each requested distinguishing pair.
+  const z3::expr margin = real_of_double(ctx, config_.distinguish_margin);
+  std::vector<std::vector<z3::expr>> s1_vars, s2_vars;
+  for (int p = 0; p < num_pairs; ++p) {
+    auto make_scenario_vars = [&](const char* tag) {
+      std::vector<z3::expr> vars;
+      for (const sketch::MetricSpec& m : sketch_.metrics()) {
+        const std::string name = "p" + std::to_string(p) + "_" + tag + "_" + m.name;
+        z3::expr v = ctx.real_const(name.c_str());
+        solver.add(v >= real_of_double(ctx, m.lo));
+        solver.add(v <= real_of_double(ctx, m.hi));
+        vars.push_back(std::move(v));
+      }
+      if (domain_.constraint != nullptr) {
+        solver.add(encode_bool(ctx, *domain_.constraint, vars, {}));
+      }
+      return vars;
+    };
+    s1_vars.push_back(make_scenario_vars("s1"));
+    s2_vars.push_back(make_scenario_vars("s2"));
+
+    const z3::expr fa1 = encode_numeric(ctx, *sketch_.body(), s1_vars.back(), ha);
+    const z3::expr fa2 = encode_numeric(ctx, *sketch_.body(), s2_vars.back(), ha);
+    const z3::expr fb1 = encode_numeric(ctx, *sketch_.body(), s1_vars.back(), hb);
+    const z3::expr fb2 = encode_numeric(ctx, *sketch_.body(), s2_vars.back(), hb);
+    solver.add(fa1 >= fa2 + margin);
+    solver.add(fb2 >= fb1 + margin);
+  }
+
+  // Multiple pairs must be genuinely different questions: each pair's
+  // preferred scenario must differ from every earlier pair's by at least 1%
+  // of some metric's range. (Without this the solver happily returns k
+  // copies of one disagreement and the extra answers teach nothing.) The
+  // over-constrained query going UNSAT does NOT prove ranking uniqueness —
+  // fewer than k separated witnesses may remain — so that case re-checks
+  // with a single pair.
+  for (int p = 1; p < num_pairs; ++p) {
+    for (int q = 0; q < p; ++q) {
+      z3::expr separated = ctx.bool_val(false);
+      for (std::size_t m = 0; m < sketch_.metrics().size(); ++m) {
+        const sketch::MetricSpec& spec = sketch_.metrics()[m];
+        const z3::expr delta = real_of_double(ctx, (spec.hi - spec.lo) * 0.01);
+        separated = separated || (s1_vars[p][m] - s1_vars[q][m] >= delta) ||
+                    (s1_vars[q][m] - s1_vars[p][m] >= delta);
+      }
+      solver.add(separated);
+    }
+  }
+
+  for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
+    ++query_count_;
+    log_query(solver, "distinguishing");
+    const z3::check_result r = check_with_fallback(ctx, solver, config_.timeout_ms);
+    if (r == z3::unsat) {
+      if (num_pairs > 1) return find_distinguishing(graph, 1);
+      // Distinguish "no candidate at all" from "unique ranking", and carry
+      // the unique ranking's representative out to the caller.
+      FinderResult res;
+      if (auto representative = find_consistent(graph)) {
+        res.status = FinderStatus::kUniqueRanking;
+        res.candidate_a = *std::move(representative);
+      } else {
+        res.status = FinderStatus::kNoCandidate;
+      }
+      return res;
+    }
+    if (r == z3::unknown) { FinderResult res; res.status = FinderStatus::kUnknown; return res; }
+
+    const z3::model model = solver.get_model();
+    auto extract_assignment = [&](const std::vector<z3::expr>& vars) {
+      sketch::HoleAssignment a;
+      for (std::size_t i = 0; i < vars.size(); ++i) {
+        a.index.push_back(sketch_.holes()[i].nearest_index(value_of(model, vars[i])));
+      }
+      return a;
+    };
+    FinderResult res;
+    res.status = FinderStatus::kFound;
+    res.candidate_a = extract_assignment(ha);
+    res.candidate_b = extract_assignment(hb);
+
+    if (viability_.concrete) {
+      const std::vector<double> va = sketch_.hole_values(res.candidate_a);
+      const std::vector<double> vb = sketch_.hole_values(res.candidate_b);
+      z3::expr block = ctx.bool_val(false);
+      bool blocked = false;
+      auto block_assignment = [&](const std::vector<z3::expr>& vars,
+                                  const std::vector<double>& vals) {
+        z3::expr same = ctx.bool_val(true);
+        for (std::size_t i = 0; i < vars.size(); ++i) {
+          same = same && (vars[i] == real_of_double(ctx, vals[i]));
+        }
+        block = block || !same;
+      };
+      if (!viability_.concrete(va)) {
+        block_assignment(ha, va);
+        blocked = true;
+      }
+      if (!viability_.concrete(vb)) {
+        block_assignment(hb, vb);
+        blocked = true;
+      }
+      if (blocked) {
+        solver.add(block);
+        continue;  // re-check with the non-viable assignment(s) excluded
+      }
+    }
+
+    for (int p = 0; p < num_pairs; ++p) {
+      DistinguishingPair pair;
+      for (const z3::expr& v : s1_vars[p]) {
+        pair.preferred_by_a.metrics.push_back(value_of(model, v));
+      }
+      for (const z3::expr& v : s2_vars[p]) {
+        pair.preferred_by_b.metrics.push_back(value_of(model, v));
+      }
+      res.pairs.push_back(std::move(pair));
+    }
+    return res;
+  }
+  util::log(util::LogLevel::kWarn, "Z3Finder: viability blocking budget exhausted");
+  { FinderResult res; res.status = FinderStatus::kUnknown; return res; }
+}
+
+std::optional<sketch::HoleAssignment> Z3Finder::find_consistent(
+    const pref::PreferenceGraph& graph) {
+  z3::context ctx;
+  z3::solver solver = make_solver(ctx, config_.timeout_ms);
+  const std::vector<z3::expr> holes = make_hole_vars(ctx, sketch_, "h_");
+  solver.add(hole_domain_constraint(ctx, sketch_, holes));
+  add_graph_constraints(ctx, solver, sketch_, graph, holes,
+                        config_.tie_tolerance + 1e-9);
+
+  for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
+    ++query_count_;
+    log_query(solver, "consistent");
+    if (check_with_fallback(ctx, solver, config_.timeout_ms) != z3::sat) {
+      return std::nullopt;
+    }
+    const z3::model model = solver.get_model();
+    sketch::HoleAssignment a;
+    for (std::size_t i = 0; i < holes.size(); ++i) {
+      a.index.push_back(sketch_.holes()[i].nearest_index(value_of(model, holes[i])));
+    }
+    if (!viability_.concrete || viability_.concrete(sketch_.hole_values(a))) {
+      return a;
+    }
+    z3::expr same = ctx.bool_val(true);
+    const std::vector<double> vals = sketch_.hole_values(a);
+    for (std::size_t i = 0; i < holes.size(); ++i) {
+      same = same && (holes[i] == real_of_double(ctx, vals[i]));
+    }
+    solver.add(!same);
+  }
+  util::log(util::LogLevel::kWarn, "Z3Finder: viability blocking budget exhausted");
+  return std::nullopt;
+}
+
+}  // namespace compsynth::solver

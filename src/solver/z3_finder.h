@@ -1,0 +1,60 @@
+// The paper's SMT-backed candidate finder (native Z3 C++ API).
+//
+// Encodes exactly the §4.2 query:
+//
+//   exists fa, fb, s1, s2 .
+//        Viable(fa) /\ Viable(fb)
+//     /\ for every edge (u > v) in G:  fa(u) > fa(v)  /\  fb(u) > fb(v)
+//     /\ fa(s1) > fa(s2)  /\  fb(s2) > fb(s1)        (with margin)
+//     /\ ClosedInRange(s1) /\ ClosedInRange(s2)
+//
+// Hole variables are reals constrained to their finite grids (pure QF_NRA),
+// so UNSAT exactly means "all viable G-consistent candidates induce the same
+// margin-separated ranking" and synthesis can stop.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+
+#include "solver/finder.h"
+
+namespace z3 {
+class solver;  // from z3++.h; kept out of this header deliberately
+}
+
+namespace compsynth::solver {
+
+class Z3Finder final : public CandidateFinder {
+ public:
+  /// Binds the finder to a sketch (copied; sketches are cheap shared-body
+  /// values). `viability.concrete` is enforced via model blocking, which is
+  /// sound and complete over the finite hole grid.
+  explicit Z3Finder(sketch::Sketch sketch, FinderConfig config = {},
+                    Viability viability = {}, ScenarioDomain domain = {});
+
+  FinderResult find_distinguishing(const pref::PreferenceGraph& graph,
+                                   int num_pairs) override;
+
+  std::optional<sketch::HoleAssignment> find_consistent(
+      const pref::PreferenceGraph& graph) override;
+
+  /// Number of solver checks issued so far (for benchmarking/diagnostics).
+  long query_count() const { return query_count_; }
+
+  /// Streams every emitted query as SMT-LIB2 text to `log` (nullptr
+  /// disables). Useful for debugging encodings and replaying queries with
+  /// other solvers. The stream must outlive the finder.
+  void set_query_log(std::ostream* log) { query_log_ = log; }
+
+ private:
+  void log_query(z3::solver& solver, const char* kind);
+
+  sketch::Sketch sketch_;
+  FinderConfig config_;
+  Viability viability_;
+  ScenarioDomain domain_;
+  long query_count_ = 0;
+  std::ostream* query_log_ = nullptr;
+};
+
+}  // namespace compsynth::solver

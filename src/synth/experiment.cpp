@@ -1,0 +1,75 @@
+#include "synth/experiment.h"
+
+#include <memory>
+
+#include "oracle/ground_truth.h"
+#include "oracle/variants.h"
+#include "solver/equivalence.h"
+
+namespace compsynth::synth {
+
+namespace {
+
+Synthesizer make_synthesizer(const ExperimentSpec& spec, const SynthesisConfig& config) {
+  switch (spec.backend) {
+    case Backend::kGrid:
+      return make_grid_synthesizer(spec.sketch, config);
+    case Backend::kGridBisection:
+      return make_bisection_synthesizer(spec.sketch, config);
+    case Backend::kZ3:
+      break;
+  }
+  return make_z3_synthesizer(spec.sketch, config);
+}
+
+}  // namespace
+
+ExperimentOutcome run_experiment(const ExperimentSpec& spec) {
+  ExperimentOutcome outcome;
+  std::vector<double> iterations, interactions, totals, averages;
+
+  for (int rep = 0; rep < spec.repetitions; ++rep) {
+    SynthesisConfig config = spec.config;
+    config.seed = spec.config.seed + static_cast<std::uint64_t>(rep) * 7919;
+
+    Synthesizer synthesizer = make_synthesizer(spec, config);
+
+    auto truth = std::make_unique<oracle::GroundTruthOracle>(
+        spec.sketch, spec.target, config.finder.tie_tolerance);
+    std::unique_ptr<oracle::Oracle> user = std::move(truth);
+    if (spec.oracle_flip_probability > 0) {
+      user = std::make_unique<oracle::NoisyOracle>(
+          std::move(user), spec.oracle_flip_probability, config.seed ^ 0xabcdef);
+    }
+
+    const SynthesisResult result = synthesizer.run(*user);
+
+    RunOutcome run;
+    run.status = result.status;
+    run.iterations = result.iterations;
+    run.interactions = result.interactions;
+    run.total_seconds = result.total_solver_seconds;
+    run.avg_iteration_seconds = result.average_iteration_seconds;
+    run.oracle_comparisons = result.oracle_comparisons;
+    if (result.status == SynthesisStatus::kConverged) ++outcome.converged_runs;
+    if (result.objective.has_value() && spec.verify_equivalence) {
+      run.correct = solver::ranking_equivalent(spec.sketch, *result.objective,
+                                               spec.target, config.finder);
+      if (run.correct) ++outcome.correct_runs;
+    }
+
+    iterations.push_back(run.iterations);
+    interactions.push_back(run.interactions);
+    totals.push_back(run.total_seconds);
+    averages.push_back(run.avg_iteration_seconds);
+    outcome.runs.push_back(run);
+  }
+
+  outcome.iterations = util::summarize(iterations);
+  outcome.interactions = util::summarize(interactions);
+  outcome.total_seconds = util::summarize(totals);
+  outcome.avg_iteration_seconds = util::summarize(averages);
+  return outcome;
+}
+
+}  // namespace compsynth::synth

@@ -1,0 +1,57 @@
+// Repetition harness shared by the benches and integration tests.
+//
+// The paper runs every configuration nine times (random initial scenarios
+// make runs non-deterministic) and reports average / median / SIQR of the
+// iteration count and synthesis times. This harness reproduces that
+// protocol: it builds a fresh synthesizer + ground-truth oracle per
+// repetition, varies the seed, and aggregates.
+#pragma once
+
+#include <vector>
+
+#include "synth/synthesizer.h"
+#include "util/stats.h"
+
+namespace compsynth::synth {
+
+enum class Backend { kZ3, kGrid, kGridBisection };
+
+struct ExperimentSpec {
+  sketch::Sketch sketch;
+  sketch::HoleAssignment target;  // the latent user intent
+  SynthesisConfig config;
+  Backend backend = Backend::kZ3;
+  int repetitions = 9;  // the paper's count
+
+  /// When set, each learned objective is checked (via Z3) to be
+  /// ranking-equivalent to the target; reported as `correct` per run.
+  bool verify_equivalence = true;
+
+  /// Optional user imperfection: probability of flipping a strict answer.
+  double oracle_flip_probability = 0;
+};
+
+struct RunOutcome {
+  SynthesisStatus status = SynthesisStatus::kSolverGaveUp;
+  int iterations = 0;
+  int interactions = 0;
+  double total_seconds = 0;
+  double avg_iteration_seconds = 0;
+  long oracle_comparisons = 0;
+  bool correct = false;
+};
+
+struct ExperimentOutcome {
+  std::vector<RunOutcome> runs;
+  util::Summary iterations;
+  util::Summary interactions;
+  util::Summary total_seconds;
+  util::Summary avg_iteration_seconds;
+  int converged_runs = 0;
+  int correct_runs = 0;
+};
+
+/// Runs `spec.repetitions` independent synthesis runs and aggregates.
+ExperimentOutcome run_experiment(const ExperimentSpec& spec);
+
+}  // namespace compsynth::synth

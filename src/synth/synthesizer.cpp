@@ -1,0 +1,235 @@
+#include "synth/synthesizer.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "solver/grid_finder.h"
+#include "solver/z3_finder.h"
+#include "util/log.h"
+#include "util/timer.h"
+
+namespace compsynth::synth {
+
+namespace {
+
+constexpr int kMaxRepairRounds = 64;
+
+}  // namespace
+
+Synthesizer::Synthesizer(sketch::Sketch sketch,
+                         std::unique_ptr<solver::CandidateFinder> finder,
+                         SynthesisConfig config)
+    : sketch_(std::move(sketch)), finder_(std::move(finder)), config_(config) {
+  if (finder_ == nullptr) throw std::invalid_argument("Synthesizer: null finder");
+  solver::validate_domain(sketch_, config_.scenario_domain);
+  if (config_.initial_scenarios < 0) {
+    throw std::invalid_argument("Synthesizer: negative initial_scenarios");
+  }
+  if (config_.pairs_per_iteration < 1) {
+    throw std::invalid_argument("Synthesizer: pairs_per_iteration < 1");
+  }
+  if (config_.max_iterations < 1) {
+    throw std::invalid_argument("Synthesizer: max_iterations < 1");
+  }
+}
+
+void Synthesizer::seed_graph(pref::PreferenceGraph& graph, oracle::Oracle& user,
+                             util::Rng& rng) const {
+  if (config_.initial_scenarios == 0) return;
+  std::vector<pref::Scenario> batch;
+  batch.reserve(static_cast<std::size_t>(config_.initial_scenarios));
+  const int max_tries = 1000 * config_.initial_scenarios;
+  for (int tries = 0;
+       static_cast<int>(batch.size()) < config_.initial_scenarios &&
+       tries < max_tries;
+       ++tries) {
+    pref::Scenario s;
+    for (const sketch::MetricSpec& m : sketch_.metrics()) {
+      s.metrics.push_back(rng.uniform_real(m.lo, m.hi));
+    }
+    // Rejection-sample against the (optional) scenario-domain constraint.
+    if (!solver::domain_contains(sketch_, config_.scenario_domain, s.metrics)) {
+      continue;
+    }
+    batch.push_back(std::move(s));
+  }
+  if (batch.empty()) {
+    util::log(util::LogLevel::kWarn,
+              "scenario domain too tight for random seeding; starting cold");
+    return;
+  }
+
+  const oracle::RankingResponse response = user.rank(batch);
+  std::vector<pref::VertexId> ids;
+  ids.reserve(batch.size());
+  for (const pref::Scenario& s : batch) ids.push_back(graph.intern(s));
+  for (const auto& p : response.preferences) {
+    const pref::AddResult r = graph.add_preference(ids[p.better], ids[p.worse]);
+    if (r == pref::AddResult::kCycle) {
+      util::log(util::LogLevel::kWarn, "seed ranking contained a contradiction; dropped");
+    }
+  }
+  for (const auto& t : response.ties) graph.add_tie(ids[t.a], ids[t.b]);
+}
+
+void Synthesizer::record_answer(pref::PreferenceGraph& graph, pref::VertexId v1,
+                                pref::VertexId v2, oracle::Preference answer,
+                                IterationRecord& record) const {
+  switch (answer) {
+    case oracle::Preference::kFirst:
+    case oracle::Preference::kSecond: {
+      const pref::VertexId better = answer == oracle::Preference::kFirst ? v1 : v2;
+      const pref::VertexId worse = answer == oracle::Preference::kFirst ? v2 : v1;
+      switch (graph.add_preference(better, worse)) {
+        case pref::AddResult::kAdded:
+          ++record.edges_added;
+          break;
+        case pref::AddResult::kDuplicate:
+        case pref::AddResult::kSelfLoop:
+          break;
+        case pref::AddResult::kCycle:
+          util::log(util::LogLevel::kWarn,
+                    "contradictory preference dropped (enable "
+                    "tolerate_inconsistency to keep and repair)");
+          break;
+      }
+      break;
+    }
+    case oracle::Preference::kTie:
+      if (graph.add_tie(v1, v2)) ++record.ties_added;
+      break;
+  }
+}
+
+SynthesisResult Synthesizer::run(oracle::Oracle& user) {
+  return run(user, pref::PreferenceGraph(config_.tolerate_inconsistency));
+}
+
+SynthesisResult Synthesizer::run(oracle::Oracle& user,
+                                 pref::PreferenceGraph graph) {
+  SynthesisResult result;
+  util::Rng rng(config_.seed);
+  const long comparisons_before = user.comparisons();
+
+  // A resumed session already carries preference knowledge; only a fresh
+  // graph gets the up-front random-scenario ranking.
+  if (graph.vertex_count() == 0) seed_graph(graph, user, rng);
+
+  int repair_rounds = 0;
+  bool done = false;
+  while (!done && result.iterations < config_.max_iterations) {
+    IterationRecord record;
+    record.index = result.iterations + 1;
+
+    util::Stopwatch watch;
+    const solver::FinderResult fr =
+        finder_->find_distinguishing(graph, config_.pairs_per_iteration);
+    record.solver_seconds = watch.elapsed_seconds();
+    ++result.iterations;
+
+    switch (fr.status) {
+      case solver::FinderStatus::kUniqueRanking:
+        result.status = SynthesisStatus::kConverged;
+        result.objective = fr.candidate_a;
+        done = true;
+        break;
+
+      case solver::FinderStatus::kNoCandidate:
+        if (config_.tolerate_inconsistency && repair_rounds < kMaxRepairRounds) {
+          ++repair_rounds;
+          std::vector<pref::Edge> removed = graph.repair();
+          if (removed.empty()) {
+            // Acyclic yet unsatisfiable: some answer contradicts the sketch
+            // space; drop the least-trusted one and retry.
+            if (!graph.drop_lightest_edge()) {
+              result.status = SynthesisStatus::kNoCandidate;
+              done = true;
+            }
+          }
+          util::log(util::LogLevel::kInfo, "repaired preference graph (round ",
+                    repair_rounds, ")");
+        } else {
+          result.status = SynthesisStatus::kNoCandidate;
+          done = true;
+        }
+        break;
+
+      case solver::FinderStatus::kUnknown:
+        result.status = SynthesisStatus::kSolverGaveUp;
+        done = true;
+        break;
+
+      case solver::FinderStatus::kFound: {
+        ++result.interactions;
+        for (const solver::DistinguishingPair& pair : fr.pairs) {
+          const pref::VertexId v1 = graph.intern(pair.preferred_by_a);
+          const pref::VertexId v2 = graph.intern(pair.preferred_by_b);
+          const oracle::Preference answer =
+              user.compare(pair.preferred_by_a, pair.preferred_by_b);
+          record_answer(graph, v1, v2, answer, record);
+          ++record.pairs_presented;
+        }
+        break;
+      }
+    }
+
+    result.total_solver_seconds += record.solver_seconds;
+    if (config_.keep_transcript) result.transcript.push_back(record);
+  }
+
+  if (!done) {
+    result.status = SynthesisStatus::kIterationLimit;
+    result.objective = finder_->find_consistent(graph);
+  }
+  if (result.iterations > 0) {
+    result.average_iteration_seconds =
+        result.total_solver_seconds / result.iterations;
+  }
+  result.oracle_comparisons = user.comparisons() - comparisons_before;
+  result.graph = std::move(graph);
+  return result;
+}
+
+Synthesizer make_z3_synthesizer(const sketch::Sketch& sketch,
+                                SynthesisConfig config,
+                                solver::Viability viability) {
+  return Synthesizer(sketch,
+                     std::make_unique<solver::Z3Finder>(
+                         sketch, config.finder, std::move(viability),
+                         config.scenario_domain),
+                     config);
+}
+
+namespace {
+
+Synthesizer make_grid_based(const sketch::Sketch& sketch, SynthesisConfig config,
+                            solver::Viability viability,
+                            solver::QueryStrategy strategy) {
+  solver::GridFinderConfig grid_config;
+  grid_config.base = config.finder;
+  grid_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  grid_config.strategy = strategy;
+  return Synthesizer(sketch,
+                     std::make_unique<solver::GridFinder>(
+                         sketch, grid_config, std::move(viability),
+                         config.scenario_domain),
+                     config);
+}
+
+}  // namespace
+
+Synthesizer make_grid_synthesizer(const sketch::Sketch& sketch,
+                                  SynthesisConfig config,
+                                  solver::Viability viability) {
+  return make_grid_based(sketch, config, std::move(viability),
+                         solver::QueryStrategy::kFirstFound);
+}
+
+Synthesizer make_bisection_synthesizer(const sketch::Sketch& sketch,
+                                       SynthesisConfig config,
+                                       solver::Viability viability) {
+  return make_grid_based(sketch, config, std::move(viability),
+                         solver::QueryStrategy::kBisection);
+}
+
+}  // namespace compsynth::synth

@@ -1,0 +1,142 @@
+// The comparative synthesizer: the paper's §3/§4 interaction loop.
+//
+//   1. Sample `initial_scenarios` random in-range scenarios and ask the user
+//      to rank them; seed the preference graph G with the answers.
+//   2. Repeat: ask the candidate finder for two G-consistent candidates that
+//      disagree on `pairs_per_iteration` fresh scenario pairs; present each
+//      pair to the user; record the answers in G.
+//   3. Stop when the finder reports that all consistent candidates rank
+//      identically (the paper's UNSAT case) and return one of them.
+//
+// Timing follows §4.3: per-iteration synthesis time measures solver work
+// only ("we omit the time spent by the oracle").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "oracle/oracle.h"
+#include "pref/graph.h"
+#include "sketch/ast.h"
+#include "solver/finder.h"
+#include "util/rng.h"
+
+namespace compsynth::synth {
+
+struct SynthesisConfig {
+  /// Random scenarios ranked once up front (5 in the paper; Fig. 5 sweeps
+  /// 0..10).
+  int initial_scenarios = 5;
+
+  /// Distinguishing pairs the user ranks per iteration (1 in the paper;
+  /// Fig. 4 sweeps 1..5).
+  int pairs_per_iteration = 1;
+
+  /// Safety valve on the interaction loop.
+  int max_iterations = 500;
+
+  /// Seed for the initial scenario sampler.
+  std::uint64_t seed = 1;
+
+  /// Margins; tie_tolerance must match the oracle's.
+  solver::FinderConfig finder;
+
+  /// Where scenarios may live: the sketch's metric box, optionally narrowed
+  /// by a boolean constraint over the metrics (solver::ScenarioDomain) —
+  /// e.g. an achievable throughput/latency frontier. Applies to both the
+  /// initial random scenarios and the solver-proposed distinguishing ones.
+  solver::ScenarioDomain scenario_domain;
+
+  /// Noise handling (§6.1): record contradictory answers instead of
+  /// rejecting them, and greedily repair cycles / drop least-trusted answers
+  /// when G becomes unsatisfiable.
+  bool tolerate_inconsistency = false;
+
+  /// Per-iteration records kept in the result (costs a little memory).
+  bool keep_transcript = true;
+};
+
+enum class SynthesisStatus {
+  kConverged,        // unique ranking reached; objective holds the solution
+  kIterationLimit,   // max_iterations hit; objective is a best-effort pick
+  kNoCandidate,      // no sketch instance is consistent with the user
+  kSolverGaveUp,     // the finder returned unknown
+};
+
+/// One interaction-loop step, for transcripts and the per-iteration timing
+/// columns of Table 1 / Figs. 3-5.
+struct IterationRecord {
+  int index = 0;              // 1-based
+  double solver_seconds = 0;  // finder time for this step
+  int pairs_presented = 0;    // scenario pairs the user ranked
+  int edges_added = 0;
+  int ties_added = 0;
+};
+
+struct SynthesisResult {
+  SynthesisStatus status = SynthesisStatus::kSolverGaveUp;
+  std::optional<sketch::HoleAssignment> objective;
+
+  /// Number of interaction-loop iterations executed, *including* the final
+  /// converging query (the query that proves uniqueness still runs the
+  /// solver even though the user is not consulted) — matching the paper's
+  /// "# Iterations" accounting.
+  int iterations = 0;
+
+  /// Iterations in which the user was actually shown scenarios.
+  int interactions = 0;
+
+  double total_solver_seconds = 0;
+  double average_iteration_seconds = 0;
+
+  long oracle_comparisons = 0;   // individual pairwise answers
+  std::vector<IterationRecord> transcript;
+  pref::PreferenceGraph graph{true};  // final preference graph (by value)
+};
+
+class Synthesizer {
+ public:
+  /// Takes ownership of the finder (the solver back-end strategy).
+  Synthesizer(sketch::Sketch sketch, std::unique_ptr<solver::CandidateFinder> finder,
+              SynthesisConfig config = {});
+
+  /// Runs the full interaction loop against `user`.
+  SynthesisResult run(oracle::Oracle& user);
+
+  /// Resumes from a previously recorded preference graph (see
+  /// pref/serialize.h): the initial random-scenario phase is skipped when
+  /// `initial` already has vertices, and the loop continues from there.
+  SynthesisResult run(oracle::Oracle& user, pref::PreferenceGraph initial);
+
+  const SynthesisConfig& config() const { return config_; }
+
+ private:
+  void seed_graph(pref::PreferenceGraph& graph, oracle::Oracle& user,
+                  util::Rng& rng) const;
+  void record_answer(pref::PreferenceGraph& graph, pref::VertexId v1,
+                     pref::VertexId v2, oracle::Preference answer,
+                     IterationRecord& record) const;
+
+  sketch::Sketch sketch_;
+  std::unique_ptr<solver::CandidateFinder> finder_;
+  SynthesisConfig config_;
+};
+
+/// Convenience factories wiring the standard back-ends.
+Synthesizer make_z3_synthesizer(const sketch::Sketch& sketch,
+                                SynthesisConfig config = {},
+                                solver::Viability viability = {});
+Synthesizer make_grid_synthesizer(const sketch::Sketch& sketch,
+                                  SynthesisConfig config = {},
+                                  solver::Viability viability = {});
+
+/// Grid back-end with the active-learning bisection query strategy: each
+/// question is chosen to split the surviving candidate set most evenly,
+/// reducing the number of user interactions (see bench_ablation_query).
+Synthesizer make_bisection_synthesizer(const sketch::Sketch& sketch,
+                                       SynthesisConfig config = {},
+                                       solver::Viability viability = {});
+
+}  // namespace compsynth::synth

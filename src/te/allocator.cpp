@@ -1,0 +1,325 @@
+#include "te/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "te/lp/simplex.h"
+
+namespace compsynth::te {
+
+namespace {
+
+constexpr double kEps = 1e-7;
+
+// Flat variable layout: one LP variable per (flow, tunnel) pair, flows in
+// request order, tunnels in declaration order. `extra` trailing variables
+// can be appended (e.g. the max-min "t").
+struct VarMap {
+  std::vector<std::size_t> offset;
+  std::size_t tunnel_vars = 0;
+
+  static VarMap build(const std::vector<FlowRequest>& requests) {
+    VarMap m;
+    m.offset.reserve(requests.size());
+    for (const FlowRequest& r : requests) {
+      m.offset.push_back(m.tunnel_vars);
+      m.tunnel_vars += r.tunnels.size();
+    }
+    return m;
+  }
+
+  std::size_t at(std::size_t flow, std::size_t tunnel) const {
+    return offset[flow] + tunnel;
+  }
+};
+
+void validate(const std::vector<FlowRequest>& requests) {
+  for (const FlowRequest& r : requests) {
+    if (r.tunnels.empty()) throw std::invalid_argument("allocator: flow with no tunnels");
+    if (r.flow.demand_gbps < 0) throw std::invalid_argument("allocator: negative demand");
+    if (r.flow.weight <= 0) throw std::invalid_argument("allocator: non-positive weight");
+  }
+}
+
+// Demand and link-capacity constraints shared by every policy.
+// `capacity` overrides the topology's capacities (residuals for priority
+// layering); must have one entry per link.
+void add_base_constraints(lp::LinearProgram& prog, const VarMap& vars,
+                          const std::vector<FlowRequest>& requests,
+                          const std::vector<double>& capacity) {
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    std::vector<double> row(prog.num_vars, 0.0);
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      row[vars.at(f, t)] = 1.0;
+    }
+    prog.add_le(std::move(row), requests[f].flow.demand_gbps);
+  }
+
+  std::map<LinkId, std::vector<double>> link_rows;
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      for (const LinkId l : requests[f].tunnels[t].links) {
+        auto [it, inserted] =
+            link_rows.try_emplace(l, std::vector<double>(prog.num_vars, 0.0));
+        it->second[vars.at(f, t)] += 1.0;
+      }
+    }
+  }
+  for (auto& [link, row] : link_rows) {
+    prog.add_le(std::move(row), capacity[link]);
+  }
+}
+
+std::vector<double> topo_capacities(const Topology& topo) {
+  std::vector<double> caps;
+  caps.reserve(topo.link_count());
+  for (const Link& l : topo.links()) caps.push_back(l.capacity_gbps);
+  return caps;
+}
+
+Allocation extract_allocation(const std::vector<FlowRequest>& requests,
+                              const VarMap& vars, const lp::Solution& sol) {
+  Allocation out;
+  if (sol.status != lp::SolveStatus::kOptimal) return out;
+  out.feasible = true;
+  out.tunnel_rates.resize(requests.size());
+  out.flow_rates.assign(requests.size(), 0.0);
+  double latency_mass = 0;
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    out.tunnel_rates[f].resize(requests[f].tunnels.size(), 0.0);
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      const double rate = std::max(0.0, sol.x[vars.at(f, t)]);
+      out.tunnel_rates[f][t] = rate;
+      out.flow_rates[f] += rate;
+      out.total_throughput_gbps += rate;
+      latency_mass += rate * requests[f].tunnels[t].latency_ms;
+    }
+  }
+  if (out.total_throughput_gbps > 0) {
+    out.weighted_latency_ms = latency_mass / out.total_throughput_gbps;
+  }
+  return out;
+}
+
+Allocation solve_swan(const std::vector<FlowRequest>& requests,
+                      const std::vector<double>& capacity, double epsilon) {
+  const VarMap vars = VarMap::build(requests);
+  lp::LinearProgram prog(vars.tunnel_vars);
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      // Eq. (2.1): throughput minus epsilon-weighted latency penalty.
+      prog.objective[vars.at(f, t)] =
+          1.0 - epsilon * requests[f].tunnels[t].latency_ms;
+    }
+  }
+  add_base_constraints(prog, vars, requests, capacity);
+  return extract_allocation(requests, vars, lp::solve(prog));
+}
+
+Allocation solve_max_min(const std::vector<FlowRequest>& requests,
+                         const std::vector<double>& capacity) {
+  const VarMap vars = VarMap::build(requests);
+  const std::size_t n = requests.size();
+  std::vector<double> frozen(n, -1.0);  // -1 = still active
+
+  auto flow_row = [&](std::size_t f, std::size_t num_vars) {
+    std::vector<double> row(num_vars, 0.0);
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      row[vars.at(f, t)] = 1.0;
+    }
+    return row;
+  };
+
+  while (std::any_of(frozen.begin(), frozen.end(), [](double v) { return v < 0; })) {
+    // Maximize the common share t of all active flows.
+    lp::LinearProgram prog(vars.tunnel_vars + 1);
+    const std::size_t t_var = vars.tunnel_vars;
+    prog.objective[t_var] = 1.0;
+    add_base_constraints(prog, vars, requests, capacity);
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f] >= 0) {
+        prog.add_ge(flow_row(f, prog.num_vars), frozen[f]);
+      } else {
+        // flow_rate_f - weight_f * t >= 0
+        std::vector<double> row = flow_row(f, prog.num_vars);
+        row[t_var] = -requests[f].flow.weight;
+        prog.add_ge(std::move(row), 0.0);
+        // Demand caps the share a flow can claim; without this the common
+        // share could exceed a small flow's demand and go infeasible.
+        std::vector<double> cap_row(prog.num_vars, 0.0);
+        cap_row[t_var] = requests[f].flow.weight;
+        prog.add_le(std::move(cap_row),
+                    std::max(requests[f].flow.demand_gbps, 0.0));
+      }
+    }
+    const lp::Solution sol = lp::solve(prog);
+    if (sol.status != lp::SolveStatus::kOptimal) return Allocation{};
+    const double share = sol.objective;
+
+    // Freeze demand-limited flows first (cheap test).
+    bool froze = false;
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f] >= 0) continue;
+      if (requests[f].flow.weight * share >= requests[f].flow.demand_gbps - kEps) {
+        frozen[f] = requests[f].flow.demand_gbps;
+        froze = true;
+      }
+    }
+
+    // Bottleneck test: an active flow is frozen at its share when it cannot
+    // be pushed above it while everyone else keeps theirs.
+    for (std::size_t f = 0; f < n; ++f) {
+      if (frozen[f] >= 0) continue;
+      lp::LinearProgram probe(vars.tunnel_vars);
+      probe.objective = flow_row(f, probe.num_vars);
+      add_base_constraints(probe, vars, requests, capacity);
+      for (std::size_t g = 0; g < n; ++g) {
+        if (g == f) continue;
+        const double floor_rate =
+            frozen[g] >= 0 ? frozen[g] : requests[g].flow.weight * share;
+        probe.add_ge(flow_row(g, probe.num_vars), floor_rate);
+      }
+      const lp::Solution best = lp::solve(probe);
+      if (best.status != lp::SolveStatus::kOptimal) return Allocation{};
+      if (best.objective <= requests[f].flow.weight * share + kEps) {
+        frozen[f] = requests[f].flow.weight * share;
+        froze = true;
+      }
+    }
+
+    if (!froze) {
+      // Degenerate numerical corner: freeze everything at the current share.
+      for (std::size_t f = 0; f < n; ++f) {
+        if (frozen[f] < 0) frozen[f] = requests[f].flow.weight * share;
+      }
+    }
+  }
+
+  // Final rates: cap each flow at its frozen rate and fill (the fill cannot
+  // exceed the caps, so the optimum realizes exactly the max-min vector).
+  lp::LinearProgram fin(vars.tunnel_vars);
+  for (std::size_t j = 0; j < vars.tunnel_vars; ++j) fin.objective[j] = 1.0;
+  add_base_constraints(fin, vars, requests, capacity);
+  for (std::size_t f = 0; f < n; ++f) {
+    fin.add_le(flow_row(f, fin.num_vars), frozen[f]);
+  }
+  return extract_allocation(requests, vars, lp::solve(fin));
+}
+
+}  // namespace
+
+Allocation max_throughput(const Topology& topo,
+                          const std::vector<FlowRequest>& requests) {
+  validate(requests);
+  return solve_swan(requests, topo_capacities(topo), 0.0);
+}
+
+double optimal_throughput(const Topology& topo,
+                          const std::vector<FlowRequest>& requests) {
+  return max_throughput(topo, requests).total_throughput_gbps;
+}
+
+Allocation swan_allocation(const Topology& topo,
+                           const std::vector<FlowRequest>& requests,
+                           double epsilon) {
+  if (epsilon < 0) throw std::invalid_argument("swan_allocation: negative epsilon");
+  validate(requests);
+  return solve_swan(requests, topo_capacities(topo), epsilon);
+}
+
+Allocation max_min_fair(const Topology& topo,
+                        const std::vector<FlowRequest>& requests) {
+  validate(requests);
+  if (requests.empty()) { Allocation empty; empty.feasible = true; return empty; }
+  return solve_max_min(requests, topo_capacities(topo));
+}
+
+Allocation danna_balanced(const Topology& topo,
+                          const std::vector<FlowRequest>& requests,
+                          double q_fair) {
+  if (q_fair < 0 || q_fair > 1) {
+    throw std::invalid_argument("danna_balanced: q_fair outside [0,1]");
+  }
+  validate(requests);
+  if (requests.empty()) { Allocation empty; empty.feasible = true; return empty; }
+
+  const Allocation fair = max_min_fair(topo, requests);
+  if (!fair.feasible) return Allocation{};
+
+  const VarMap vars = VarMap::build(requests);
+  lp::LinearProgram prog(vars.tunnel_vars);
+  for (std::size_t j = 0; j < vars.tunnel_vars; ++j) prog.objective[j] = 1.0;
+  add_base_constraints(prog, vars, requests, topo_capacities(topo));
+  for (std::size_t f = 0; f < requests.size(); ++f) {
+    std::vector<double> row(prog.num_vars, 0.0);
+    for (std::size_t t = 0; t < requests[f].tunnels.size(); ++t) {
+      row[vars.at(f, t)] = 1.0;
+    }
+    prog.add_ge(std::move(row), q_fair * fair.flow_rates[f]);
+  }
+  return extract_allocation(requests, vars, lp::solve(prog));
+}
+
+Allocation priority_layered(const Topology& topo,
+                            const std::vector<FlowRequest>& requests,
+                            const ClassAllocator& base) {
+  validate(requests);
+  std::vector<int> classes;
+  for (const FlowRequest& r : requests) classes.push_back(r.flow.priority);
+  std::sort(classes.begin(), classes.end(), std::greater<>());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+
+  Allocation combined;
+  combined.feasible = true;
+  combined.tunnel_rates.resize(requests.size());
+  combined.flow_rates.assign(requests.size(), 0.0);
+
+  std::vector<double> residual = topo_capacities(topo);
+  double latency_mass = 0;
+
+  for (const int cls : classes) {
+    std::vector<FlowRequest> layer;
+    std::vector<std::size_t> layer_index;
+    for (std::size_t f = 0; f < requests.size(); ++f) {
+      if (requests[f].flow.priority == cls) {
+        layer.push_back(requests[f]);
+        layer_index.push_back(f);
+      }
+    }
+
+    // Allocate this class against a residual-capacity topology.
+    Topology shadow;
+    for (std::size_t i = 0; i < topo.node_count(); ++i) {
+      shadow.add_node(topo.node(i).name);
+    }
+    for (std::size_t l = 0; l < topo.link_count(); ++l) {
+      const Link& link = topo.link(l);
+      shadow.add_link(link.from, link.to, std::max(residual[l], kEps),
+                      link.latency_ms);
+    }
+    const Allocation layer_alloc = base(shadow, layer);
+    if (!layer_alloc.feasible) return Allocation{};
+
+    for (std::size_t i = 0; i < layer.size(); ++i) {
+      const std::size_t f = layer_index[i];
+      combined.tunnel_rates[f] = layer_alloc.tunnel_rates[i];
+      combined.flow_rates[f] = layer_alloc.flow_rates[i];
+      combined.total_throughput_gbps += layer_alloc.flow_rates[i];
+      for (std::size_t t = 0; t < layer[i].tunnels.size(); ++t) {
+        const double rate = layer_alloc.tunnel_rates[i][t];
+        latency_mass += rate * layer[i].tunnels[t].latency_ms;
+        for (const LinkId l : layer[i].tunnels[t].links) {
+          residual[l] = std::max(0.0, residual[l] - rate);
+        }
+      }
+    }
+  }
+  if (combined.total_throughput_gbps > 0) {
+    combined.weighted_latency_ms = latency_mass / combined.total_throughput_gbps;
+  }
+  return combined;
+}
+
+}  // namespace compsynth::te

@@ -1,0 +1,76 @@
+// SWAN-style bandwidth allocators over tunnels (paper §2).
+//
+// Every allocator decides, for each flow i and tunnel j, the rate b_ij to
+// send, subject to link capacities and flow demands. Implemented policies:
+//
+//   * max_throughput      — maximize total allocated rate;
+//   * swan_allocation     — the paper's Eq. (2.1): maximize
+//                           sum_i b_i - epsilon * sum_ij w_j b_ij, where the
+//                           tunnel weight w_j is its latency;
+//   * max_min_fair        — weighted, demand-capped max-min fairness via the
+//                           classic iterative freeze procedure;
+//   * danna_balanced      — the fairness/throughput balance of Danna et al.
+//                           [3]: maximize throughput subject to every flow
+//                           keeping at least a fraction q_f of its max-min
+//                           fair share;
+//   * priority layering   — strict multi-class allocation (SWAN's higher
+//                           classes first), wrapping any base policy.
+//
+// All of them reduce to LPs solved by the in-repo simplex (te/lp/simplex.h).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "te/topology.h"
+#include "te/tunnel.h"
+
+namespace compsynth::te {
+
+/// The outcome of an allocation: per-tunnel rates plus summary metrics —
+/// exactly the metric pair (throughput, latency) the synthesizer learns
+/// objectives over.
+struct Allocation {
+  bool feasible = false;
+  std::vector<std::vector<double>> tunnel_rates;  // [flow][tunnel], Gbps
+  std::vector<double> flow_rates;                 // Gbps per flow
+
+  double total_throughput_gbps = 0;
+  /// Traffic-weighted average tunnel latency (the paper's "latency" metric);
+  /// 0 when nothing is allocated.
+  double weighted_latency_ms = 0;
+};
+
+/// Maximize total throughput.
+Allocation max_throughput(const Topology& topo,
+                          const std::vector<FlowRequest>& requests);
+
+/// The throughput that ignores fairness entirely (T_opt in Danna et al.).
+double optimal_throughput(const Topology& topo,
+                          const std::vector<FlowRequest>& requests);
+
+/// The paper's Eq. (2.1) objective with latency-penalty knob epsilon >= 0.
+Allocation swan_allocation(const Topology& topo,
+                           const std::vector<FlowRequest>& requests,
+                           double epsilon);
+
+/// Weighted, demand-capped max-min fair rates (single class).
+Allocation max_min_fair(const Topology& topo,
+                        const std::vector<FlowRequest>& requests);
+
+/// Danna-style balance: maximize throughput subject to
+/// flow_rate_i >= q_fair * maxmin_i for all i, with q_fair in [0, 1].
+Allocation danna_balanced(const Topology& topo,
+                          const std::vector<FlowRequest>& requests,
+                          double q_fair);
+
+/// Strict priority layering: allocates classes from highest Flow::priority
+/// down, shrinking link capacities between classes; `base` allocates within
+/// one class (defaults to max_min_fair, matching SWAN).
+using ClassAllocator = std::function<Allocation(
+    const Topology&, const std::vector<FlowRequest>&)>;
+Allocation priority_layered(const Topology& topo,
+                            const std::vector<FlowRequest>& requests,
+                            const ClassAllocator& base = max_min_fair);
+
+}  // namespace compsynth::te

@@ -1,0 +1,243 @@
+#include "te/lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace compsynth::te::lp {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+constexpr long kMaxPivots = 200000;
+
+// Dense tableau with explicit basis bookkeeping. Columns are laid out as
+// [structural | slack/surplus | artificial]; `allowed` masks artificials out
+// of phase 2.
+class Tableau {
+ public:
+  explicit Tableau(const LinearProgram& lp) : n_struct_(lp.num_vars) {
+    const std::size_t m = lp.constraints.size();
+
+    // Count auxiliary columns. Every row gets its rhs normalized to >= 0
+    // first (flipping the relation when multiplying by -1).
+    std::vector<Constraint> rows = lp.constraints;
+    for (Constraint& c : rows) {
+      c.coeffs.resize(n_struct_, 0.0);
+      if (c.rhs < 0) {
+        for (double& v : c.coeffs) v = -v;
+        c.rhs = -c.rhs;
+        if (c.rel == Relation::kLe) c.rel = Relation::kGe;
+        else if (c.rel == Relation::kGe) c.rel = Relation::kLe;
+      }
+    }
+    std::size_t n_slack = 0, n_art = 0;
+    for (const Constraint& c : rows) {
+      if (c.rel != Relation::kEq) ++n_slack;
+      if (c.rel != Relation::kLe) ++n_art;
+    }
+    n_total_ = n_struct_ + n_slack + n_art;
+    art_begin_ = n_struct_ + n_slack;
+
+    a_.assign(m, std::vector<double>(n_total_ + 1, 0.0));
+    basis_.assign(m, 0);
+    allowed_.assign(n_total_, true);
+
+    std::size_t slack = n_struct_;
+    std::size_t art = art_begin_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const Constraint& c = rows[i];
+      for (std::size_t j = 0; j < n_struct_; ++j) a_[i][j] = c.coeffs[j];
+      a_[i][n_total_] = c.rhs;
+      switch (c.rel) {
+        case Relation::kLe:
+          a_[i][slack] = 1.0;
+          basis_[i] = slack++;
+          break;
+        case Relation::kGe:
+          a_[i][slack] = -1.0;  // surplus
+          ++slack;
+          a_[i][art] = 1.0;
+          basis_[i] = art++;
+          break;
+        case Relation::kEq:
+          a_[i][art] = 1.0;
+          basis_[i] = art++;
+          break;
+      }
+    }
+  }
+
+  std::size_t rows() const { return a_.size(); }
+  std::size_t art_begin() const { return art_begin_; }
+  std::size_t total_cols() const { return n_total_; }
+
+  /// Runs simplex with the given column costs (maximization). Returns
+  /// kOptimal/kUnbounded/kIterationLimit; the basis/tableau reflect the
+  /// final state.
+  SolveStatus optimize(const std::vector<double>& cost) {
+    for (long pivots = 0; pivots < kMaxPivots; ++pivots) {
+      // Reduced costs d_j = c_j - c_B . B^-1 A_j. Bland: entering column is
+      // the smallest allowed index with d_j > eps.
+      std::size_t enter = n_total_;
+      for (std::size_t j = 0; j < n_total_; ++j) {
+        if (!allowed_[j] || is_basic(j)) continue;
+        double d = cost[j];
+        for (std::size_t i = 0; i < rows(); ++i) {
+          d -= cost[basis_[i]] * a_[i][j];
+        }
+        if (d > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == n_total_) return SolveStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on smallest basis variable index.
+      std::size_t leave = rows();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < rows(); ++i) {
+        if (a_[i][enter] <= kEps) continue;
+        const double ratio = a_[i][n_total_] / a_[i][enter];
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == rows() || basis_[i] < basis_[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == rows()) return SolveStatus::kUnbounded;
+      pivot(leave, enter);
+    }
+    return SolveStatus::kIterationLimit;
+  }
+
+  /// Pivots any basic artificial out of the basis (or drops its row as
+  /// redundant) so that phase 2 can mask artificial columns entirely.
+  void eliminate_artificials() {
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (basis_[i] < art_begin_) continue;
+      // Find a non-artificial column with a nonzero pivot in this row.
+      std::size_t enter = n_total_;
+      for (std::size_t j = 0; j < art_begin_; ++j) {
+        if (std::abs(a_[i][j]) > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter != n_total_) {
+        pivot(i, enter);
+      } else {
+        // Row is all-zero over real columns: redundant constraint. Zero it;
+        // the artificial stays basic at value 0 and never re-enters play.
+      }
+    }
+    for (std::size_t j = art_begin_; j < n_total_; ++j) allowed_[j] = false;
+  }
+
+  double basic_value_sum(std::size_t from_col) const {
+    double s = 0;
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (basis_[i] >= from_col) s += a_[i][n_total_];
+    }
+    return s;
+  }
+
+  std::vector<double> extract(std::size_t n) const {
+    std::vector<double> x(n, 0.0);
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (basis_[i] < n) x[basis_[i]] = a_[i][n_total_];
+    }
+    return x;
+  }
+
+ private:
+  bool is_basic(std::size_t col) const {
+    for (const std::size_t b : basis_) {
+      if (b == col) return true;
+    }
+    return false;
+  }
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double p = a_[row][col];
+    for (double& v : a_[row]) v /= p;
+    for (std::size_t i = 0; i < rows(); ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (factor == 0) continue;
+      for (std::size_t j = 0; j <= n_total_; ++j) {
+        a_[i][j] -= factor * a_[row][j];
+      }
+    }
+    basis_[row] = col;
+  }
+
+  std::size_t n_struct_;
+  std::size_t n_total_ = 0;
+  std::size_t art_begin_ = 0;
+  std::vector<std::vector<double>> a_;  // m x (n_total + 1), last col = rhs
+  std::vector<std::size_t> basis_;
+  std::vector<bool> allowed_;
+};
+
+}  // namespace
+
+void LinearProgram::add(Relation rel, std::vector<double> coeffs, double rhs) {
+  if (coeffs.size() > num_vars) {
+    throw std::invalid_argument("LinearProgram::add: too many coefficients");
+  }
+  coeffs.resize(num_vars, 0.0);
+  constraints.push_back(Constraint{std::move(coeffs), rel, rhs});
+}
+
+Solution solve(const LinearProgram& lp) {
+  for (double c : lp.objective) {
+    if (!std::isfinite(c)) throw std::invalid_argument("solve: non-finite objective");
+  }
+  for (const Constraint& c : lp.constraints) {
+    if (!std::isfinite(c.rhs)) throw std::invalid_argument("solve: non-finite rhs");
+    for (double v : c.coeffs) {
+      if (!std::isfinite(v)) throw std::invalid_argument("solve: non-finite coefficient");
+    }
+  }
+
+  Tableau t(lp);
+  Solution out;
+
+  // Phase 1: maximize -(sum of artificials); feasible iff optimum is ~0.
+  if (t.art_begin() < t.total_cols()) {
+    std::vector<double> phase1_cost(t.total_cols(), 0.0);
+    for (std::size_t j = t.art_begin(); j < t.total_cols(); ++j) phase1_cost[j] = -1.0;
+    const SolveStatus s1 = t.optimize(phase1_cost);
+    if (s1 == SolveStatus::kIterationLimit) {
+      out.status = s1;
+      return out;
+    }
+    // (Phase 1 cannot be unbounded: the objective is bounded above by 0.)
+    if (t.basic_value_sum(t.art_begin()) > 1e-6) {
+      out.status = SolveStatus::kInfeasible;
+      return out;
+    }
+    t.eliminate_artificials();
+  }
+
+  // Phase 2: the real objective over structural + slack columns.
+  std::vector<double> cost(t.total_cols(), 0.0);
+  for (std::size_t j = 0; j < lp.num_vars; ++j) cost[j] = lp.objective[j];
+  const SolveStatus s2 = t.optimize(cost);
+  if (s2 != SolveStatus::kOptimal) {
+    out.status = s2;
+    return out;
+  }
+
+  out.status = SolveStatus::kOptimal;
+  out.x = t.extract(lp.num_vars);
+  out.objective = 0;
+  for (std::size_t j = 0; j < lp.num_vars; ++j) {
+    out.objective += lp.objective[j] * out.x[j];
+  }
+  return out;
+}
+
+}  // namespace compsynth::te::lp

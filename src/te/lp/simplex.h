@@ -1,0 +1,54 @@
+// A self-contained dense two-phase simplex LP solver.
+//
+// Solves   maximize c.x   subject to   A x {<=,>=,=} b,   x >= 0.
+//
+// This is the optimization substrate under every allocator in src/te (the
+// paper's motivating SWAN formulations are all LPs). Implementation: dense
+// tableau, two phases (artificial variables drive feasibility), Bland's rule
+// throughout — slower per pivot than Dantzig but provably cycle-free, which
+// matters because degenerate TE instances (parallel tunnels with equal
+// latencies) are common. Problem sizes here are tiny (tens of variables,
+// hundreds of constraints), so dense O(m*n) pivots are plenty fast.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace compsynth::te::lp {
+
+enum class Relation { kLe, kGe, kEq };
+
+struct Constraint {
+  std::vector<double> coeffs;  // padded/truncated to num_vars
+  Relation rel = Relation::kLe;
+  double rhs = 0;
+};
+
+/// maximize objective . x  subject to constraints, x >= 0.
+struct LinearProgram {
+  explicit LinearProgram(std::size_t num_vars)
+      : num_vars(num_vars), objective(num_vars, 0.0) {}
+
+  std::size_t num_vars;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+
+  void add(Relation rel, std::vector<double> coeffs, double rhs);
+  void add_le(std::vector<double> coeffs, double rhs) { add(Relation::kLe, std::move(coeffs), rhs); }
+  void add_ge(std::vector<double> coeffs, double rhs) { add(Relation::kGe, std::move(coeffs), rhs); }
+  void add_eq(std::vector<double> coeffs, double rhs) { add(Relation::kEq, std::move(coeffs), rhs); }
+};
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct Solution {
+  SolveStatus status = SolveStatus::kInfeasible;
+  double objective = 0;
+  std::vector<double> x;  // primal values, size num_vars (valid iff kOptimal)
+};
+
+/// Solves the LP. Deterministic; no allocation failure handling beyond what
+/// std::vector provides.
+Solution solve(const LinearProgram& lp);
+
+}  // namespace compsynth::te::lp

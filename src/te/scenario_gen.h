@@ -1,0 +1,74 @@
+// Bridges the TE substrate and the comparative synthesizer.
+//
+// Runs allocators over a topology/workload to produce *candidate designs*,
+// each summarized by the metric pair the SWAN sketch reasons about
+// (total throughput, traffic-weighted latency). This implements the paper's
+// §6.1 "tractability" suggestion: generate multiple good designs with
+// tractable objectives, then pick among them with the learned objective.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pref/scenario.h"
+#include "sketch/ast.h"
+#include "te/allocator.h"
+#include "util/rng.h"
+
+namespace compsynth::te {
+
+/// Projects an allocation onto the SWAN sketch's metric space.
+pref::Scenario to_scenario(const Allocation& alloc);
+
+/// Projects an allocation onto the flow-level swan_fair_sketch metric space:
+/// (total throughput, traffic-weighted latency, min over flows of
+/// delivered/demand). Zero-demand flows are ignored for the fairness floor;
+/// an allocation with no demand at all reports min_frac = 1.
+pref::Scenario to_fair_scenario(const Allocation& alloc,
+                                const std::vector<FlowRequest>& requests);
+
+/// One network design produced by a concrete allocator configuration.
+struct CandidateDesign {
+  std::string label;   // e.g. "swan eps=0.02"
+  double knob = 0;     // the parameter that produced it
+  Allocation allocation;
+  pref::Scenario scenario;
+};
+
+/// Projects an allocation onto the multi-class swan_priority_sketch metric
+/// space: (aggregate rate of flows with priority > 0, aggregate rate of
+/// priority-0 flows, traffic-weighted latency), clamped to sketch ranges.
+pref::Scenario to_class_scenario(const Allocation& alloc,
+                                 const std::vector<FlowRequest>& requests);
+
+/// Multi-class designs: for each high:low weight ratio, a *weighted*
+/// max-min allocation with high-priority flows carrying that weight; plus
+/// one strict-priority design (SWAN's default policy) labelled "strict".
+std::vector<CandidateDesign> sweep_class_weights(
+    const Topology& topo, const std::vector<FlowRequest>& requests,
+    std::span<const double> hi_class_weights);
+
+/// Eq. (2.1) designs across a sweep of the epsilon knob.
+std::vector<CandidateDesign> sweep_epsilon(const Topology& topo,
+                                           const std::vector<FlowRequest>& requests,
+                                           std::span<const double> epsilons);
+
+/// Danna-balance designs across a sweep of the q_fair knob.
+std::vector<CandidateDesign> sweep_fairness(const Topology& topo,
+                                            const std::vector<FlowRequest>& requests,
+                                            std::span<const double> q_fairs);
+
+/// Index of the design a (learned) objective ranks highest.
+/// Throws std::invalid_argument on an empty candidate list.
+std::size_t pick_best(const sketch::Sketch& sketch,
+                      const sketch::HoleAssignment& objective,
+                      std::span<const CandidateDesign> designs);
+
+/// A reproducible random workload: `flows` demands between distinct random
+/// node pairs, each with k shortest-path tunnels.
+std::vector<FlowRequest> random_workload(const Topology& topo, util::Rng& rng,
+                                         std::size_t flows, double min_demand,
+                                         double max_demand, int k_tunnels = 3);
+
+}  // namespace compsynth::te

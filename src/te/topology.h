@@ -1,0 +1,98 @@
+// WAN topology model for the traffic-engineering substrate (paper §2).
+//
+// A directed graph of point-of-presence nodes connected by capacitated,
+// latency-weighted links. The paper's motivating setting is a SWAN/B4-style
+// inter-datacenter WAN; since production topologies are proprietary, we ship
+// an Abilene-like reference topology plus a random-WAN generator (see
+// DESIGN.md "Substitutions").
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace compsynth::te {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+struct Node {
+  std::string name;
+};
+
+/// A directed link. For bidirectional physical links add both directions.
+struct Link {
+  NodeId from = 0;
+  NodeId to = 0;
+  double capacity_gbps = 0;
+  double latency_ms = 0;
+};
+
+/// An immutable-after-build directed network.
+class Topology {
+ public:
+  NodeId add_node(std::string name);
+
+  /// Adds a directed link; throws std::invalid_argument on unknown endpoints
+  /// or non-positive capacity.
+  LinkId add_link(NodeId from, NodeId to, double capacity_gbps, double latency_ms);
+
+  /// Adds both directions with the same capacity and latency.
+  void add_duplex_link(NodeId a, NodeId b, double capacity_gbps, double latency_ms);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Outgoing link ids of a node.
+  const std::vector<LinkId>& out_links(NodeId id) const { return out_.at(id); }
+
+  /// True when every node can reach every other node.
+  bool strongly_connected() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+};
+
+/// The 11-node Abilene research backbone (classic TE evaluation topology),
+/// with duplex links, ~10 Gbps trunk capacities and geographic latencies.
+Topology abilene();
+
+/// A random strongly-connected WAN: a ring backbone (guaranteeing
+/// connectivity) plus `extra_links` random chords; capacities in
+/// [min_capacity, max_capacity] Gbps and latencies in [1, 40] ms.
+Topology random_wan(util::Rng& rng, std::size_t nodes, std::size_t extra_links,
+                    double min_capacity = 2.0, double max_capacity = 10.0);
+
+/// The classic Waxman random-graph model: nodes are placed uniformly in the
+/// unit square and each node pair gets a duplex link with probability
+/// `alpha * exp(-distance / (beta * sqrt(2)))`. Link latency is proportional
+/// to Euclidean distance (scaled so the square's diagonal is
+/// `diagonal_latency_ms`), which gives geographically plausible latencies.
+/// A minimum-latency ring is added first so the result is always strongly
+/// connected.
+Topology waxman_wan(util::Rng& rng, std::size_t nodes, double alpha = 0.4,
+                    double beta = 0.4, double min_capacity = 2.0,
+                    double max_capacity = 10.0,
+                    double diagonal_latency_ms = 60.0);
+
+/// A gravity-model demand matrix: each node gets a lognormal "population"
+/// weight w_i, and the demand between i and j is proportional to w_i * w_j,
+/// normalized so all demands sum to `total_demand_gbps`. Returns the
+/// `top_pairs` largest demands as flows (the classic TE workload model).
+struct Demand {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double demand_gbps = 0;
+};
+std::vector<Demand> gravity_demands(const Topology& topo, util::Rng& rng,
+                                    double total_demand_gbps,
+                                    std::size_t top_pairs);
+
+}  // namespace compsynth::te

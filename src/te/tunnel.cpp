@@ -1,0 +1,145 @@
+#include "te/tunnel.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace compsynth::te {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Dijkstra over latency with per-call banned links/nodes (for Yen spurs).
+Tunnel dijkstra(const Topology& topo, NodeId src, NodeId dst,
+                const std::set<LinkId>& banned_links,
+                const std::set<NodeId>& banned_nodes) {
+  const std::size_t n = topo.node_count();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n, static_cast<LinkId>(-1));
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+
+  if (banned_nodes.contains(src) || banned_nodes.contains(dst)) return {};
+  dist[src] = 0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    if (v == dst) break;
+    for (const LinkId lid : topo.out_links(v)) {
+      if (banned_links.contains(lid)) continue;
+      const Link& l = topo.link(lid);
+      if (banned_nodes.contains(l.to)) continue;
+      const double nd = d + l.latency_ms;
+      if (nd < dist[l.to]) {
+        dist[l.to] = nd;
+        via[l.to] = lid;
+        heap.emplace(nd, l.to);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return {};
+
+  Tunnel t;
+  t.latency_ms = dist[dst];
+  for (NodeId v = dst; v != src;) {
+    const LinkId lid = via[v];
+    t.links.push_back(lid);
+    v = topo.link(lid).from;
+  }
+  std::reverse(t.links.begin(), t.links.end());
+  return t;
+}
+
+std::vector<NodeId> tunnel_nodes(const Topology& topo, const Tunnel& t, NodeId src) {
+  std::vector<NodeId> nodes{src};
+  for (const LinkId lid : t.links) nodes.push_back(topo.link(lid).to);
+  return nodes;
+}
+
+}  // namespace
+
+Tunnel shortest_tunnel(const Topology& topo, NodeId src, NodeId dst) {
+  if (src >= topo.node_count() || dst >= topo.node_count() || src == dst) {
+    throw std::invalid_argument("shortest_tunnel: bad endpoints");
+  }
+  return dijkstra(topo, src, dst, {}, {});
+}
+
+std::vector<Tunnel> k_shortest_tunnels(const Topology& topo, NodeId src,
+                                       NodeId dst, int k) {
+  if (k < 1) throw std::invalid_argument("k_shortest_tunnels: k < 1");
+  std::vector<Tunnel> result;
+  const Tunnel first = shortest_tunnel(topo, src, dst);
+  if (first.links.empty()) return result;
+  result.push_back(first);
+
+  // Yen's algorithm: candidates are spur deviations off each accepted path.
+  auto by_latency = [](const Tunnel& a, const Tunnel& b) {
+    return a.latency_ms < b.latency_ms ||
+           (a.latency_ms == b.latency_ms && a.links < b.links);
+  };
+  std::vector<Tunnel> candidates;
+
+  while (static_cast<int>(result.size()) < k) {
+    const Tunnel& prev = result.back();
+    const std::vector<NodeId> prev_nodes = tunnel_nodes(topo, prev, src);
+
+    for (std::size_t spur = 0; spur < prev.links.size(); ++spur) {
+      const NodeId spur_node = prev_nodes[spur];
+
+      // Root = prefix of `prev` up to the spur node.
+      Tunnel root;
+      for (std::size_t i = 0; i < spur; ++i) {
+        root.links.push_back(prev.links[i]);
+        root.latency_ms += topo.link(prev.links[i]).latency_ms;
+      }
+
+      // Ban the next link of every accepted path sharing this root, and ban
+      // root nodes (except the spur node) to keep paths loopless.
+      std::set<LinkId> banned_links;
+      for (const Tunnel& p : result) {
+        if (p.links.size() > spur &&
+            std::equal(p.links.begin(), p.links.begin() + static_cast<std::ptrdiff_t>(spur),
+                       root.links.begin(), root.links.end())) {
+          banned_links.insert(p.links[spur]);
+        }
+      }
+      std::set<NodeId> banned_nodes(prev_nodes.begin(),
+                                    prev_nodes.begin() + static_cast<std::ptrdiff_t>(spur));
+
+      const Tunnel spur_path = dijkstra(topo, spur_node, dst, banned_links, banned_nodes);
+      if (spur_path.links.empty()) continue;
+
+      Tunnel full = root;
+      full.links.insert(full.links.end(), spur_path.links.begin(), spur_path.links.end());
+      full.latency_ms += spur_path.latency_ms;
+      if (std::find(result.begin(), result.end(), full) == result.end() &&
+          std::find(candidates.begin(), candidates.end(), full) == candidates.end()) {
+        candidates.push_back(full);
+      }
+    }
+
+    if (candidates.empty()) break;
+    const auto best = std::min_element(candidates.begin(), candidates.end(), by_latency);
+    result.push_back(*best);
+    candidates.erase(best);
+  }
+  return result;
+}
+
+FlowRequest make_request(const Topology& topo, Flow flow, int k_tunnels) {
+  FlowRequest req;
+  req.tunnels = k_shortest_tunnels(topo, flow.src, flow.dst, k_tunnels);
+  if (req.tunnels.empty()) {
+    throw std::invalid_argument("make_request: destination unreachable");
+  }
+  req.flow = std::move(flow);
+  return req;
+}
+
+}  // namespace compsynth::te

@@ -1,0 +1,53 @@
+// Tunnels (pre-established paths) and flow requests.
+//
+// SWAN-style TE forwards each flow over a small set of pre-computed tunnels
+// and chooses how to split the flow's rate across them. Tunnels are computed
+// here as the k shortest loopless paths by latency (Yen's algorithm over
+// Dijkstra).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "te/topology.h"
+
+namespace compsynth::te {
+
+/// A loopless path through the network.
+struct Tunnel {
+  std::vector<LinkId> links;
+  double latency_ms = 0;  // sum of link latencies
+
+  friend bool operator==(const Tunnel&, const Tunnel&) = default;
+};
+
+/// A unidirectional traffic demand between two nodes.
+struct Flow {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double demand_gbps = 0;
+  int priority = 0;      // higher = more important (multi-class TE)
+  double weight = 1.0;   // weighted max-min share
+  std::string name;
+};
+
+/// A flow bundled with the tunnels it may use.
+struct FlowRequest {
+  Flow flow;
+  std::vector<Tunnel> tunnels;
+};
+
+/// Shortest path by latency from src to dst, or an empty tunnel when
+/// unreachable.
+Tunnel shortest_tunnel(const Topology& topo, NodeId src, NodeId dst);
+
+/// Up to k shortest loopless paths by latency (Yen's algorithm), sorted by
+/// latency ascending. Returns fewer when the graph has fewer paths.
+std::vector<Tunnel> k_shortest_tunnels(const Topology& topo, NodeId src,
+                                       NodeId dst, int k);
+
+/// Builds a FlowRequest with k tunnels; throws std::invalid_argument when
+/// src cannot reach dst.
+FlowRequest make_request(const Topology& topo, Flow flow, int k_tunnels = 3);
+
+}  // namespace compsynth::te

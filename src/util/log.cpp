@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace compsynth::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kOff: break;
+  }
+  return "OFF";
+}
+}  // namespace
+
+void set_level(LogLevel level) { g_level.store(level); }
+
+LogLevel level() { return g_level.load(); }
+
+void log_line(LogLevel lvl, const std::string& message) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::cerr << "[compsynth " << level_name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace compsynth::util

@@ -1,0 +1,40 @@
+// Minimal leveled logger.
+//
+// The synthesizer is a library: it never writes to stdout on its own. All
+// diagnostic output flows through this logger, which is off by default and
+// can be raised to Info/Debug by examples and benches via set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace compsynth::util {
+
+enum class LogLevel { kOff = 0, kError, kWarn, kInfo, kDebug };
+
+/// Sets the global threshold; messages at a more verbose level are dropped.
+void set_level(LogLevel level);
+LogLevel level();
+
+/// Emits a single log line (with level prefix) to stderr if enabled.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& first, const Rest&... rest) {
+  os << first;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: util::log(LogLevel::kInfo, "iter ", n, " time ", t).
+template <typename... Args>
+void log(LogLevel lvl, const Args&... args) {
+  if (static_cast<int>(lvl) > static_cast<int>(level())) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(lvl, os.str());
+}
+
+}  // namespace compsynth::util

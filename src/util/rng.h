@@ -1,0 +1,82 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in compsynth (initial-scenario sampling, noisy
+// oracles, topology generators, trace generators) draws from an explicitly
+// seeded Rng instance so that experiments are reproducible run-to-run. Never
+// use std::rand or an unseeded engine inside the library.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace compsynth::util {
+
+/// A seedable pseudo-random source wrapping std::mt19937_64.
+///
+/// The class is cheap to copy (copying forks the stream deterministically)
+/// and intentionally not thread-safe; give each thread its own instance.
+class Rng {
+ public:
+  /// Constructs a generator from an explicit 64-bit seed.
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in the closed interval [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in the half-open interval [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi) {
+    assert(lo <= hi);
+    if (lo == hi) return lo;
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial that succeeds with probability p in [0, 1].
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normally distributed value with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponentially distributed value with the given rate (lambda > 0).
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  /// Picks a uniformly random index in [0, size). Requires size > 0.
+  std::size_t index(std::size_t size) {
+    assert(size > 0);
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle of a vector, using this stream.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; useful to give each experiment
+  /// repetition its own stream while keeping the parent reproducible.
+  Rng fork() { return Rng(engine_()); }
+
+  /// Access to the raw engine for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace compsynth::util

@@ -1,0 +1,71 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace compsynth::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - std::floor(pos);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double siqr(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return (quantile(xs, 0.75) - quantile(xs, 0.25)) / 2.0;
+}
+
+double min(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.median = median(xs);
+  s.siqr = siqr(xs);
+  s.min = min(xs);
+  s.max = max(xs);
+  s.stddev = stddev(xs);
+  return s;
+}
+
+std::string format_summary(const Summary& s, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << s.mean << "/" << s.median << "/" << s.siqr;
+  return os.str();
+}
+
+}  // namespace compsynth::util

@@ -1,0 +1,52 @@
+// Descriptive statistics used by the experiment harnesses.
+//
+// Table 1 of the paper reports average, median and SIQR (semi-interquartile
+// range) over nine repetitions; Figures 3-5 report averages. This header
+// provides those aggregations over double samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace compsynth::util {
+
+/// Arithmetic mean. Returns 0 for an empty sample.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of the two central order statistics for even n).
+/// Returns 0 for an empty sample.
+double median(std::vector<double> xs);
+
+/// Linear-interpolation quantile, q in [0, 1]. Returns 0 for empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// Semi-interquartile range: (Q3 - Q1) / 2, the dispersion measure used in
+/// Table 1 of the paper. Returns 0 for an empty sample.
+double siqr(const std::vector<double>& xs);
+
+/// Minimum / maximum. Return 0 for an empty sample.
+double min(const std::vector<double>& xs);
+double max(const std::vector<double>& xs);
+
+/// A one-shot summary of a sample, in the shape Table 1 reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double median = 0;
+  double siqr = 0;
+  double min = 0;
+  double max = 0;
+  double stddev = 0;
+};
+
+/// Computes all Summary fields in one pass over the sample.
+Summary summarize(const std::vector<double>& xs);
+
+/// Renders "mean/median/siqr" with the given precision, e.g. "31.33/30/4.25".
+std::string format_summary(const Summary& s, int precision = 2);
+
+}  // namespace compsynth::util

@@ -1,0 +1,48 @@
+// ASCII table and CSV rendering for experiment output.
+//
+// Every bench binary prints its results in the same row/column layout as the
+// paper's tables and figure series, using this helper.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace compsynth::util {
+
+/// A rectangular text table with a header row, rendered with aligned columns.
+///
+/// Usage:
+///   Table t({"Metrics", "Average", "Median", "SIQR"});
+///   t.add_row({"# Iterations", "31.33", "30", "4.25"});
+///   std::cout << t.to_string();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; pads or truncates to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision before appending.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 2);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing separators and right-aligned numeric cells.
+  std::string to_string() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, trimming to integers when exact
+/// (e.g. 30.00 -> "30", 4.25 -> "4.25"), matching the paper's table style.
+std::string format_number(double v, int precision = 2);
+
+}  // namespace compsynth::util

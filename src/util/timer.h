@@ -1,0 +1,36 @@
+// Wall-clock stopwatch for measuring synthesis iterations.
+#pragma once
+
+#include <chrono>
+
+namespace compsynth::util {
+
+/// A simple monotonic stopwatch. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch and returns the elapsed seconds before the reset.
+  double lap() {
+    const auto now = Clock::now();
+    const double s = seconds_between(start_, now);
+    start_ = now;
+    return s;
+  }
+
+  /// Elapsed seconds since construction or the last lap(), without resetting.
+  double elapsed_seconds() const {
+    return seconds_between(start_, Clock::now());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double seconds_between(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  }
+
+  Clock::time_point start_;
+};
+
+}  // namespace compsynth::util

@@ -1,0 +1,101 @@
+// Cross-module integration: learn a QoE objective over the 4-metric ABR
+// sketch and use it to select an ABR algorithm — the paper's §6.2 video
+// workflow end to end.
+#include <gtest/gtest.h>
+
+#include "abr/qoe.h"
+#include "oracle/ground_truth.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "synth/synthesizer.h"
+#include "util/rng.h"
+
+namespace compsynth {
+namespace {
+
+sketch::HoleAssignment qoe_target(double rb_thrsh, double w_rebuf,
+                                  double w_switch, double w_startup) {
+  const auto& sk = sketch::abr_qoe_sketch();
+  sketch::HoleAssignment a;
+  a.index = {sk.holes()[0].nearest_index(rb_thrsh),
+             sk.holes()[1].nearest_index(w_rebuf),
+             sk.holes()[2].nearest_index(w_switch),
+             sk.holes()[3].nearest_index(w_startup)};
+  return a;
+}
+
+TEST(AbrSynthIntegration, FourMetricSynthesisConverges) {
+  const auto& sk = sketch::abr_qoe_sketch();
+  const auto target = qoe_target(2, 2, 0.5, 1);
+  synth::SynthesisConfig config;
+  config.seed = 606;
+  config.max_iterations = 300;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle viewer(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(viewer);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, target, config.finder));
+}
+
+TEST(AbrSynthIntegration, LearnedQoePicksSameAlgorithmAsLatent) {
+  util::Rng rng(17);
+  std::vector<abr::Trace> traces{abr::constant_trace(3.0),
+                                 abr::square_trace(6, 0.8, 15),
+                                 abr::random_walk_trace(rng, 3, 0.5, 8)};
+  const auto candidates =
+      abr::evaluate_portfolio(abr::Video{}, traces, abr::standard_portfolio());
+
+  const auto& sk = sketch::abr_qoe_sketch();
+  for (const auto& target :
+       {qoe_target(0, 4, 0, 0),       // rebuffer-phobic
+        qoe_target(5, 0.5, 0, 0),     // bitrate-hungry, stall-tolerant
+        qoe_target(2, 2, 1, 1)}) {    // balanced
+    synth::SynthesisConfig config;
+    config.seed = 1000 + static_cast<std::uint64_t>(target.index[0]);
+    config.max_iterations = 300;
+    synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+    oracle::GroundTruthOracle viewer(sk, target, config.finder.tie_tolerance);
+    const synth::SynthesisResult learned = s.run(viewer);
+    ASSERT_TRUE(learned.objective.has_value());
+
+    const std::size_t latent_pick = abr::pick_best(sk, target, candidates);
+    const std::size_t learned_pick =
+        abr::pick_best(sk, *learned.objective, candidates);
+    // Ranking-equivalent objectives agree on the argmax up to exact ties.
+    EXPECT_EQ(candidates[learned_pick].scenario, candidates[latent_pick].scenario);
+  }
+}
+
+TEST(AbrSynthIntegration, BisectionStrategyAlsoCorrectOnQoeSketch) {
+  const auto& sk = sketch::abr_qoe_sketch();
+  const auto target = qoe_target(3, 1.5, 0.25, 0.5);
+  synth::SynthesisConfig config;
+  config.seed = 21;
+  config.max_iterations = 300;
+  synth::Synthesizer s = synth::make_bisection_synthesizer(sk, config);
+  oracle::GroundTruthOracle viewer(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(viewer);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, target, config.finder));
+}
+
+TEST(AbrSynthIntegration, BisectionNeedsNoMoreInteractionsOnAverage) {
+  const auto& sk = sketch::swan_sketch();
+  const auto target = sketch::swan_target();
+  double plain = 0, bisect = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    synth::SynthesisConfig config;
+    config.seed = 3000 + seed;
+    oracle::GroundTruthOracle u1(sk, target, config.finder.tie_tolerance);
+    plain += synth::make_grid_synthesizer(sk, config).run(u1).interactions;
+    oracle::GroundTruthOracle u2(sk, target, config.finder.tie_tolerance);
+    bisect += synth::make_bisection_synthesizer(sk, config).run(u2).interactions;
+  }
+  EXPECT_LE(bisect, plain);
+}
+
+}  // namespace
+}  // namespace compsynth

@@ -1,0 +1,171 @@
+// Structural (choice) holes: parsing, typing, evaluation, printing, Z3
+// encoding agreement, and end-to-end synthesis of the penalty *form*.
+#include <gtest/gtest.h>
+
+#include <z3++.h>
+
+#include "oracle/ground_truth.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "sketch/parser.h"
+#include "sketch/printer.h"
+#include "sketch/typecheck.h"
+#include "solver/equivalence.h"
+#include "solver/z3_encoder.h"
+#include "synth/synthesizer.h"
+#include "util/rng.h"
+
+namespace compsynth {
+namespace {
+
+using sketch::HoleAssignment;
+using sketch::Sketch;
+
+const char* kTinyChoice =
+    "sketch t(x in [0, 10]) {"
+    "  hole pick in grid(0, 1, 3);"
+    "  hole w in grid(0, 1, 4);"
+    "  choose pick { x + w, x*w, 10 - x } }";
+
+TEST(Choice, ParsesAndEvaluatesEachAlternative) {
+  const Sketch s = sketch::parse_sketch(kTinyChoice);
+  ASSERT_EQ(s.holes().size(), 2u);
+  EXPECT_EQ(s.candidate_space_size(), 12);
+  // pick = 0 -> x + w
+  EXPECT_DOUBLE_EQ(sketch::eval(s, HoleAssignment{{0, 2}}, std::vector<double>{3}), 5);
+  // pick = 1 -> x * w
+  EXPECT_DOUBLE_EQ(sketch::eval(s, HoleAssignment{{1, 2}}, std::vector<double>{3}), 6);
+  // pick = 2 -> 10 - x
+  EXPECT_DOUBLE_EQ(sketch::eval(s, HoleAssignment{{2, 2}}, std::vector<double>{3}), 7);
+}
+
+TEST(Choice, SelectorMustBeDeclaredHole) {
+  EXPECT_THROW(sketch::parse_sketch("sketch t(x in [0,1]) {"
+                                    "  choose nope { x, 1 - x } }"),
+               sketch::ParseError);
+}
+
+TEST(Choice, SelectorGridMustMatchAlternativeCount) {
+  // grid(0,1,2) selector but 3 alternatives.
+  EXPECT_THROW(sketch::parse_sketch("sketch t(x in [0,1]) {"
+                                    "  hole pick in grid(0, 1, 2);"
+                                    "  choose pick { x, 1 - x, 2*x } }"),
+               sketch::TypeError);
+  // Non-integer base grid.
+  EXPECT_THROW(sketch::parse_sketch("sketch t(x in [0,1]) {"
+                                    "  hole pick in grid(0, 0.5, 3);"
+                                    "  choose pick { x, 1 - x, 2*x } }"),
+               sketch::TypeError);
+}
+
+TEST(Choice, AlternativesMustBeNumeric) {
+  EXPECT_THROW(sketch::parse_sketch("sketch t(x in [0,1]) {"
+                                    "  hole pick in grid(0, 1, 2);"
+                                    "  choose pick { x, x > 0 } }"),
+               sketch::TypeError);
+}
+
+TEST(Choice, NeedsTwoAlternatives) {
+  EXPECT_THROW(sketch::parse_sketch("sketch t(x in [0,1]) {"
+                                    "  hole pick in grid(0, 1, 1);"
+                                    "  choose pick { x } }"),
+               sketch::ParseError);
+}
+
+TEST(Choice, PrinterRoundTrips) {
+  const Sketch s = sketch::parse_sketch(kTinyChoice);
+  const std::string once = sketch::print_sketch(s);
+  EXPECT_NE(once.find("choose pick { x + w, x*w, 10 - x }"), std::string::npos);
+  const std::string twice = sketch::print_sketch(sketch::parse_sketch(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Choice, InstantiatedPrintShowsOnlySelectedAlternative) {
+  const Sketch s = sketch::parse_sketch(kTinyChoice);
+  const std::string text = sketch::print_instantiated(s, HoleAssignment{{1, 3}});
+  EXPECT_NE(text.find("x*3"), std::string::npos);
+  EXPECT_EQ(text.find("10 - x"), std::string::npos);
+  EXPECT_EQ(text.find("choose"), std::string::npos);
+}
+
+TEST(Choice, LibraryFormSketchShape) {
+  const Sketch& s = sketch::swan_form_sketch();
+  EXPECT_EQ(s.holes().size(), 3u);
+  EXPECT_EQ(s.candidate_space_size(), 3 * 6 * 21);
+  // Target helper snaps correctly.
+  const HoleAssignment t = sketch::swan_form_target(1, 3, 50);
+  EXPECT_EQ(t.index[0], 1);
+  EXPECT_DOUBLE_EQ(s.holes()[1].value_at(t.index[1]), 3);
+  EXPECT_DOUBLE_EQ(s.holes()[2].value_at(t.index[2]), 50);
+  // form=1 at (4, 30): 10*4 - 3*30 + 1000 = 950.
+  EXPECT_DOUBLE_EQ(sketch::eval(s, t, std::vector<double>{4, 30}), 950);
+  // form=2 capped penalty at (4, 90), l_thrsh 50 -> no bonus:
+  // 4 - min(3*90, 100) = -96.
+  const HoleAssignment t2 = sketch::swan_form_target(2, 3, 50);
+  EXPECT_DOUBLE_EQ(sketch::eval(s, t2, std::vector<double>{4, 90}), -96);
+}
+
+// Differential: the Z3 encoding of choice agrees with the interpreter.
+class ChoiceEncoding : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChoiceEncoding, MatchesInterpreter) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  const sketch::Sketch& sk = sketch::swan_form_sketch();
+  HoleAssignment a;
+  for (const auto& h : sk.holes()) a.index.push_back(rng.uniform_int(0, h.count - 1));
+  std::vector<double> metrics;
+  for (const auto& m : sk.metrics()) metrics.push_back(rng.uniform_real(m.lo, m.hi));
+  const double expected = sketch::eval(sk, a, metrics);
+
+  z3::context ctx;
+  std::vector<z3::expr> hole_exprs;
+  for (const double v : sk.hole_values(a)) {
+    hole_exprs.push_back(solver::real_of_double(ctx, v));
+  }
+  const auto metric_exprs = solver::encode_scenario(ctx, metrics);
+  z3::solver s(ctx);
+  const z3::expr out = ctx.real_const("out");
+  s.add(out == solver::encode_numeric(ctx, *sk.body(), metric_exprs, hole_exprs));
+  ASSERT_EQ(s.check(), z3::sat);
+  EXPECT_NEAR(solver::value_of(s.get_model(), out), expected,
+              1e-6 * std::max(1.0, std::abs(expected)));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPoints, ChoiceEncoding, ::testing::Range(0, 15));
+
+// End-to-end: learn which *form* the architect has in mind.
+class FormSynthesis : public ::testing::TestWithParam<int> {};
+
+TEST_P(FormSynthesis, GridBackendRecoversForm) {
+  const auto form = static_cast<std::int64_t>(GetParam());
+  const sketch::Sketch& sk = sketch::swan_form_sketch();
+  const HoleAssignment target = sketch::swan_form_target(form, 2, 60);
+
+  synth::SynthesisConfig config;
+  config.seed = 900 + static_cast<std::uint64_t>(form);
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(architect);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, target, config.finder))
+      << "form " << form;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllForms, FormSynthesis, ::testing::Range(0, 3));
+
+TEST(FormSynthesis, Z3BackendRecoversOneForm) {
+  const sketch::Sketch& sk = sketch::swan_form_sketch();
+  const HoleAssignment target = sketch::swan_form_target(1, 2, 60);
+  synth::SynthesisConfig config;
+  config.seed = 77;
+  synth::Synthesizer s = synth::make_z3_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(architect);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, target, config.finder));
+}
+
+}  // namespace
+}  // namespace compsynth

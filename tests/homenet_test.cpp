@@ -1,0 +1,180 @@
+// Home-network policy substrate: demand aggregation, water-filling
+// allocation (guarantees + weights), scenario projection, policy selection.
+#include <gtest/gtest.h>
+
+#include "homenet/policy.h"
+#include "sketch/library.h"
+#include "util/rng.h"
+
+namespace compsynth::homenet {
+namespace {
+
+AppDemand app(TrafficClass c, double mbps) {
+  return AppDemand{.device = "d", .traffic_class = c, .demand_mbps = mbps};
+}
+
+TEST(ClassDemands, AggregatesPerClass) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 3),
+                                    app(TrafficClass::kInteractive, 2),
+                                    app(TrafficClass::kBulk, 40)};
+  const auto d = class_demands(apps);
+  EXPECT_DOUBLE_EQ(d[0], 5);
+  EXPECT_DOUBLE_EQ(d[1], 0);
+  EXPECT_DOUBLE_EQ(d[2], 40);
+}
+
+TEST(ClassDemands, RejectsNegativeDemand) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kBulk, -1)};
+  EXPECT_THROW(class_demands(apps), std::invalid_argument);
+}
+
+TEST(Allocate, UnderloadedLinkSatisfiesEveryone) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 5),
+                                    app(TrafficClass::kStreaming, 10),
+                                    app(TrafficClass::kBulk, 20)};
+  const ClassAllocation a = allocate(apps, 100, Policy{});
+  EXPECT_DOUBLE_EQ(a.rate_mbps[0], 5);
+  EXPECT_DOUBLE_EQ(a.rate_mbps[1], 10);
+  EXPECT_DOUBLE_EQ(a.rate_mbps[2], 20);
+}
+
+TEST(Allocate, EqualWeightsSplitContendedLinkEvenly) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 50),
+                                    app(TrafficClass::kStreaming, 50),
+                                    app(TrafficClass::kBulk, 50)};
+  const ClassAllocation a = allocate(apps, 30, Policy{});
+  EXPECT_NEAR(a.rate_mbps[0], 10, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[1], 10, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[2], 10, 1e-9);
+}
+
+TEST(Allocate, WeightsSkewShares) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 100),
+                                    app(TrafficClass::kStreaming, 100),
+                                    app(TrafficClass::kBulk, 100)};
+  Policy p;
+  p.weight[0] = 6;
+  p.weight[1] = 3;
+  p.weight[2] = 1;
+  const ClassAllocation a = allocate(apps, 100, p);
+  EXPECT_NEAR(a.rate_mbps[0], 60, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[1], 30, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[2], 10, 1e-9);
+}
+
+TEST(Allocate, SaturatedClassReleasesShareToOthers) {
+  // Interactive only wants 4; the rest splits 48/48... weights equal:
+  // water level saturates interactive first, remainder split by weight.
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 4),
+                                    app(TrafficClass::kStreaming, 100),
+                                    app(TrafficClass::kBulk, 100)};
+  const ClassAllocation a = allocate(apps, 100, Policy{});
+  EXPECT_NEAR(a.rate_mbps[0], 4, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[1], 48, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[2], 48, 1e-9);
+}
+
+TEST(Allocate, GuaranteeGrantsBeforeWeights) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 20),
+                                    app(TrafficClass::kBulk, 100)};
+  Policy p;
+  p.weight[0] = 1;
+  p.weight[2] = 10;  // bulk would dominate without the guarantee
+  p.guarantee_mbps[0] = 15;
+  const ClassAllocation a = allocate(apps, 30, p);
+  EXPECT_GE(a.rate_mbps[0], 15 - 1e-9);
+  EXPECT_NEAR(a.total(), 30, 1e-9);
+}
+
+TEST(Allocate, GuaranteeClippedToDemand) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 2),
+                                    app(TrafficClass::kBulk, 100)};
+  Policy p;
+  p.guarantee_mbps[0] = 15;
+  const ClassAllocation a = allocate(apps, 30, p);
+  EXPECT_NEAR(a.rate_mbps[0], 2, 1e-9);   // only wants 2
+  EXPECT_NEAR(a.rate_mbps[2], 28, 1e-9);
+}
+
+TEST(Allocate, ZeroWeightClassOnlyGetsGuarantee) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 50),
+                                    app(TrafficClass::kBulk, 50)};
+  Policy p;
+  p.weight[2] = 0;
+  p.guarantee_mbps[2] = 5;
+  const ClassAllocation a = allocate(apps, 40, p);
+  EXPECT_NEAR(a.rate_mbps[2], 5, 1e-9);
+  EXPECT_NEAR(a.rate_mbps[0], 35, 1e-9);
+}
+
+TEST(Allocate, NeverExceedsCapacityOrDemand) {
+  util::Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const auto apps = random_household(rng, 6);
+    const auto demands = class_demands(apps);
+    for (const Policy& p : standard_policies()) {
+      const ClassAllocation a = allocate(apps, 50, p);
+      EXPECT_LE(a.total(), 50 + 1e-6);
+      for (std::size_t c = 0; c < kClassCount; ++c) {
+        EXPECT_LE(a.rate_mbps[c], demands[c] + 1e-9);
+        EXPECT_GE(a.rate_mbps[c], -1e-12);
+      }
+    }
+  }
+}
+
+TEST(Allocate, RejectsBadInputs) {
+  const std::vector<AppDemand> apps{app(TrafficClass::kBulk, 5)};
+  EXPECT_THROW(allocate(apps, 0, Policy{}), std::invalid_argument);
+  Policy p;
+  p.weight[1] = -1;
+  EXPECT_THROW(allocate(apps, 10, p), std::invalid_argument);
+}
+
+TEST(Scenario, ProjectionClampsToSketchRanges) {
+  ClassAllocation a;
+  a.rate_mbps[0] = 250;  // above the sketch's 100 Mbps bound
+  a.rate_mbps[1] = 20;
+  a.rate_mbps[2] = 0;
+  const pref::Scenario s = to_scenario(a);
+  EXPECT_TRUE(pref::in_range(s, sketch::homenet_sketch()));
+  EXPECT_DOUBLE_EQ(s.metrics[0], 100);
+}
+
+TEST(PickBest, GuaranteeLovingObjectivePrefersGuaranteedPolicy) {
+  // A household whose latent objective demands >= 20 Mbps interactive.
+  const auto& sk = sketch::homenet_sketch();
+  sketch::HoleAssignment objective;
+  objective.index = {sk.holes()[0].nearest_index(20),  // min_interactive
+                     sk.holes()[1].nearest_index(1),   // w_streaming
+                     sk.holes()[2].nearest_index(1)};  // w_bulk
+
+  // Demands: calls want 25, streaming 40, bulk 60; capacity 60.
+  const std::vector<AppDemand> apps{app(TrafficClass::kInteractive, 25),
+                                    app(TrafficClass::kStreaming, 40),
+                                    app(TrafficClass::kBulk, 60)};
+  std::vector<Policy> policies = standard_policies();
+  // Raise the guarantee policy to meet the latent 20 Mbps requirement.
+  for (Policy& p : policies) {
+    if (p.label == "guaranteed-calls") p.guarantee_mbps[0] = 20;
+  }
+  const std::size_t best = pick_best(sk, objective, apps, 60, policies);
+  const ClassAllocation chosen = allocate(apps, 60, policies[best]);
+  EXPECT_GE(chosen.rate_mbps[0], 20 - 1e-9)
+      << "picked policy '" << policies[best].label
+      << "' violates the latent interactive guarantee";
+}
+
+TEST(RandomHousehold, IsReproducibleAndClassed) {
+  util::Rng a(7), b(7);
+  const auto h1 = random_household(a, 10);
+  const auto h2 = random_household(b, 10);
+  ASSERT_EQ(h1.size(), h2.size());
+  for (std::size_t i = 0; i < h1.size(); ++i) {
+    EXPECT_EQ(h1[i].traffic_class, h2[i].traffic_class);
+    EXPECT_DOUBLE_EQ(h1[i].demand_mbps, h2[i].demand_mbps);
+  }
+}
+
+}  // namespace
+}  // namespace compsynth::homenet

@@ -1,0 +1,160 @@
+// Oracle behaviour: ground-truth comparisons/rankings, noise injection,
+// indifference, interactive I/O, and interaction counting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "oracle/ground_truth.h"
+#include "oracle/variants.h"
+#include "sketch/library.h"
+#include "sketch/parser.h"
+
+namespace compsynth::oracle {
+namespace {
+
+using pref::Scenario;
+
+Scenario sc(double t, double l) { return Scenario{{t, l}}; }
+
+GroundTruthOracle make_truth(double tie_tol = 1e-4) {
+  return GroundTruthOracle(sketch::swan_sketch(), sketch::swan_target(), tie_tol);
+}
+
+TEST(GroundTruth, PrefersPaperExampleOrdering) {
+  auto oracle = make_truth();
+  // Fig. 2b target: f(5,10) = 955, f(2,100) = -998.
+  EXPECT_EQ(oracle.compare(sc(5, 10), sc(2, 100)), Preference::kFirst);
+  EXPECT_EQ(oracle.compare(sc(2, 100), sc(5, 10)), Preference::kSecond);
+}
+
+TEST(GroundTruth, ReportsTiesWithinTolerance) {
+  auto oracle = make_truth(1e-4);
+  EXPECT_EQ(oracle.compare(sc(3, 40), sc(3, 40)), Preference::kTie);
+  // Derivative in latency at (3,40) is -slope1*3 = -3/ms; 1e-6 ms apart is
+  // ~3e-6 difference — under the tolerance.
+  EXPECT_EQ(oracle.compare(sc(3, 40), sc(3, 40 + 1e-6)), Preference::kTie);
+}
+
+TEST(GroundTruth, TargetValueMatchesEval) {
+  auto oracle = make_truth();
+  EXPECT_DOUBLE_EQ(oracle.target_value(sc(5, 10)), 955);
+  EXPECT_DOUBLE_EQ(oracle.target_value(sc(2, 100)), -998);
+}
+
+TEST(GroundTruth, RankProducesDescendingChain) {
+  auto oracle = make_truth();
+  const std::vector<Scenario> batch{sc(2, 100), sc(5, 10), sc(9, 20), sc(0.5, 5)};
+  const RankingResponse r = oracle.rank(batch);
+  // Chain over 4 scenarios: 3 adjacent relations, no ties here.
+  EXPECT_EQ(r.preferences.size() + r.ties.size(), 3u);
+  for (const auto& p : r.preferences) {
+    EXPECT_GT(oracle.target_value(batch[p.better]),
+              oracle.target_value(batch[p.worse]));
+  }
+}
+
+TEST(GroundTruth, RankReportsTiesBetweenEqualScenarios) {
+  auto oracle = make_truth();
+  const std::vector<Scenario> batch{sc(3, 40), sc(3, 40), sc(5, 10)};
+  const RankingResponse r = oracle.rank(batch);
+  EXPECT_EQ(r.ties.size(), 1u);
+}
+
+TEST(GroundTruth, ExpressionTargetOutsideSketchSpace) {
+  // A latency-only user: f = -latency. Not expressible by the SWAN sketch
+  // when slopes couple throughput and latency.
+  const auto& sk = sketch::swan_sketch();
+  GroundTruthOracle oracle(sk, sketch::parse_expr("0 - latency", sk));
+  EXPECT_EQ(oracle.compare(sc(0, 10), sc(9, 20)), Preference::kFirst);
+}
+
+TEST(Oracle, CountsComparisonsAndRankings) {
+  auto oracle = make_truth();
+  EXPECT_EQ(oracle.comparisons(), 0);
+  oracle.compare(sc(1, 1), sc(2, 2));
+  oracle.compare(sc(1, 1), sc(2, 2));
+  EXPECT_EQ(oracle.comparisons(), 2);
+  const std::vector<Scenario> batch{sc(1, 1), sc(2, 2)};
+  oracle.rank(batch);
+  EXPECT_EQ(oracle.rankings(), 1);
+}
+
+TEST(Noisy, ZeroProbabilityIsTransparent) {
+  NoisyOracle oracle(std::make_unique<GroundTruthOracle>(
+                         sketch::swan_sketch(), sketch::swan_target()),
+                     0.0, 7);
+  EXPECT_EQ(oracle.compare(sc(5, 10), sc(2, 100)), Preference::kFirst);
+  EXPECT_EQ(oracle.flips(), 0);
+}
+
+TEST(Noisy, FlipsAtExpectedRate) {
+  NoisyOracle oracle(std::make_unique<GroundTruthOracle>(
+                         sketch::swan_sketch(), sketch::swan_target()),
+                     0.5, 99);
+  int firsts = 0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    if (oracle.compare(sc(5, 10), sc(2, 100)) == Preference::kFirst) ++firsts;
+  }
+  // 50% flip on a clear call: expect roughly half, generous band.
+  EXPECT_GT(firsts, trials / 4);
+  EXPECT_LT(firsts, 3 * trials / 4);
+  EXPECT_GT(oracle.flips(), 0);
+}
+
+TEST(Noisy, NeverFlipsTies) {
+  NoisyOracle oracle(std::make_unique<GroundTruthOracle>(
+                         sketch::swan_sketch(), sketch::swan_target()),
+                     1.0, 3);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(oracle.compare(sc(3, 40), sc(3, 40)), Preference::kTie);
+  }
+  EXPECT_EQ(oracle.flips(), 0);
+}
+
+TEST(Noisy, RejectsBadArguments) {
+  EXPECT_THROW(NoisyOracle(nullptr, 0.1, 1), std::invalid_argument);
+  EXPECT_THROW(NoisyOracle(std::make_unique<GroundTruthOracle>(
+                               sketch::swan_sketch(), sketch::swan_target()),
+                           1.5, 1),
+               std::invalid_argument);
+}
+
+TEST(Indifferent, AbstainsOnStrictCalls) {
+  IndifferentOracle oracle(std::make_unique<GroundTruthOracle>(
+                               sketch::swan_sketch(), sketch::swan_target()),
+                           1.0, 5);
+  EXPECT_EQ(oracle.compare(sc(5, 10), sc(2, 100)), Preference::kTie);
+  EXPECT_EQ(oracle.abstentions(), 1);
+}
+
+TEST(Interactive, ReadsAnswersAndRepromptsOnGarbage) {
+  std::istringstream in("2\nbogus\n=\n1\n");
+  std::ostringstream out;
+  InteractiveOracle oracle(sketch::swan_sketch(), in, out);
+  EXPECT_EQ(oracle.compare(sc(1, 1), sc(2, 2)), Preference::kSecond);
+  EXPECT_EQ(oracle.compare(sc(1, 1), sc(2, 2)), Preference::kTie);
+  EXPECT_EQ(oracle.compare(sc(1, 1), sc(2, 2)), Preference::kFirst);
+  // EOF -> tie.
+  EXPECT_EQ(oracle.compare(sc(1, 1), sc(2, 2)), Preference::kTie);
+  EXPECT_NE(out.str().find("throughput = 1"), std::string::npos);
+}
+
+TEST(DefaultRank, ChainsViaPairwiseComparisons) {
+  // Exercise the base-class ranking path through an oracle that does not
+  // override do_rank: wrap ground truth in a zero-noise NoisyOracle.
+  NoisyOracle oracle(std::make_unique<GroundTruthOracle>(
+                         sketch::swan_sketch(), sketch::swan_target()),
+                     0.0, 1);
+  GroundTruthOracle truth(sketch::swan_sketch(), sketch::swan_target());
+  const std::vector<Scenario> batch{sc(2, 100), sc(9, 20), sc(5, 10)};
+  const RankingResponse r = oracle.rank(batch);
+  EXPECT_EQ(r.preferences.size() + r.ties.size(), 2u);
+  for (const auto& p : r.preferences) {
+    EXPECT_GT(truth.target_value(batch[p.better]),
+              truth.target_value(batch[p.worse]));
+  }
+}
+
+}  // namespace
+}  // namespace compsynth::oracle

@@ -1,0 +1,106 @@
+// Robustness-oriented tests: drifting user intent, query logging, and
+// homenet end-to-end synthesis.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "homenet/policy.h"
+#include "oracle/ground_truth.h"
+#include "oracle/variants.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "solver/z3_finder.h"
+#include "synth/synthesizer.h"
+
+namespace compsynth {
+namespace {
+
+using oracle::DriftingOracle;
+using oracle::GroundTruthOracle;
+using oracle::Preference;
+
+std::unique_ptr<GroundTruthOracle> truth(const sketch::HoleAssignment& target) {
+  return std::make_unique<GroundTruthOracle>(sketch::swan_sketch(), target, 1e-4);
+}
+
+TEST(Drifting, SwitchesIntentAtTheDriftPoint) {
+  // Before: throughput lover. After: latency hater.
+  DriftingOracle user(truth(sketch::swan_target_with(0, 200, 0, 0)),
+                      truth(sketch::swan_target_with(0, 200, 5, 5)), 2);
+  const pref::Scenario fast_small{{1, 5}};
+  const pref::Scenario slow_big{{9, 150}};
+  // First two answers: prefer throughput.
+  EXPECT_EQ(user.compare(slow_big, fast_small), Preference::kFirst);
+  EXPECT_EQ(user.compare(slow_big, fast_small), Preference::kFirst);
+  EXPECT_TRUE(user.drifted());
+  // Afterwards: heavy latency penalty flips the call.
+  EXPECT_EQ(user.compare(slow_big, fast_small), Preference::kSecond);
+}
+
+TEST(Drifting, RejectsBadConstruction) {
+  EXPECT_THROW(DriftingOracle(nullptr, truth(sketch::swan_target()), 1),
+               std::invalid_argument);
+  EXPECT_THROW(DriftingOracle(truth(sketch::swan_target()), nullptr, 1),
+               std::invalid_argument);
+  EXPECT_THROW(DriftingOracle(truth(sketch::swan_target()),
+                              truth(sketch::swan_target()), -1),
+               std::invalid_argument);
+}
+
+TEST(Drifting, RepairLetsSynthesisTrackTheNewIntent) {
+  const auto& sk = sketch::swan_sketch();
+  const auto final_intent = sketch::swan_target_with(2, 60, 1, 3);
+  synth::SynthesisConfig config;
+  config.seed = 77;
+  config.tolerate_inconsistency = true;
+  config.max_iterations = 120;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+
+  // The user re-calibrates after 8 answers; early answers follow a very
+  // different objective and later contradict the record.
+  DriftingOracle user(truth(sketch::swan_target_with(8, 10, 5, 0)),
+                      truth(final_intent), 8);
+  const synth::SynthesisResult r = s.run(user);
+  // The loop must terminate; with repair it usually converges, and when it
+  // converges the result is consistent with the *final* intent on the
+  // scenarios asked after the drift.
+  EXPECT_NE(r.status, synth::SynthesisStatus::kSolverGaveUp);
+  EXPECT_LE(r.iterations, 120);
+}
+
+TEST(QueryLog, EmitsSmtLib) {
+  const auto& sk = sketch::swan_sketch();
+  solver::Z3Finder finder(sk);
+  std::ostringstream log;
+  finder.set_query_log(&log);
+  pref::PreferenceGraph g;
+  const auto a = g.intern(pref::Scenario{{2, 10}});
+  const auto b = g.intern(pref::Scenario{{5, 10}});
+  g.add_preference(b, a);
+  (void)finder.find_distinguishing(g, 1);
+  const std::string text = log.str();
+  EXPECT_NE(text.find("compsynth query"), std::string::npos);
+  EXPECT_NE(text.find("declare-fun"), std::string::npos);
+  EXPECT_NE(text.find("a_tp_thrsh"), std::string::npos);
+  EXPECT_NE(text.find("(check-sat)"), std::string::npos);
+}
+
+TEST(HomenetSynth, LearnsHouseholdObjectiveEndToEnd) {
+  const auto& sk = sketch::homenet_sketch();
+  sketch::HoleAssignment latent;
+  latent.index = {sk.holes()[0].nearest_index(20),
+                  sk.holes()[1].nearest_index(4),
+                  sk.holes()[2].nearest_index(1)};
+  synth::SynthesisConfig config;
+  config.seed = 4;
+  config.max_iterations = 200;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle household(sk, latent, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(household);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, latent, config.finder));
+}
+
+}  // namespace
+}  // namespace compsynth

@@ -1,0 +1,113 @@
+// Preference-graph persistence: lossless round trips, malformed-input
+// rejection, and session resume through the synthesizer.
+#include <gtest/gtest.h>
+
+#include "oracle/ground_truth.h"
+#include "pref/serialize.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "synth/synthesizer.h"
+
+namespace compsynth::pref {
+namespace {
+
+PreferenceGraph sample_graph() {
+  PreferenceGraph g;
+  const VertexId a = g.intern(Scenario{{5, 10}});
+  const VertexId b = g.intern(Scenario{{2, 100}});
+  const VertexId c = g.intern(Scenario{{0.1, 0.25}});
+  g.add_preference(a, b, 2.5);
+  g.add_preference(a, c);
+  g.add_tie(b, c);
+  return g;
+}
+
+TEST(Serialize, RoundTripIsLossless) {
+  const PreferenceGraph g = sample_graph();
+  const std::string text = serialize(g);
+  const PreferenceGraph g2 = deserialize(text);
+  ASSERT_EQ(g2.vertex_count(), g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_EQ(g2.scenario(v), g.scenario(v));
+  }
+  ASSERT_EQ(g2.edges().size(), g.edges().size());
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    EXPECT_EQ(g2.edges()[i], g.edges()[i]);
+  }
+  EXPECT_EQ(g2.ties(), g.ties());
+  // Idempotent second round trip.
+  EXPECT_EQ(serialize(g2), text);
+}
+
+TEST(Serialize, ExactDoublesSurvive) {
+  PreferenceGraph g;
+  g.intern(Scenario{{0.1, 1.0 / 3.0, 1e-17, 123456789.123456789}});
+  const PreferenceGraph g2 = deserialize(serialize(g));
+  EXPECT_EQ(g2.scenario(0), g.scenario(0));  // bitwise-equal doubles
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const PreferenceGraph g = deserialize(
+      "# header\n"
+      "\n"
+      "scenario 0 1 2\n"
+      "# interlude\n"
+      "scenario 1 3 4\n"
+      "prefer 0 1 1\n");
+  EXPECT_EQ(g.vertex_count(), 2u);
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(Serialize, RejectsMalformedInput) {
+  EXPECT_THROW(deserialize("bogus 1 2\n"), SerializeError);
+  EXPECT_THROW(deserialize("scenario 1 1 2\n"), SerializeError);  // non-dense id
+  EXPECT_THROW(deserialize("scenario 0\n"), SerializeError);      // no metrics
+  EXPECT_THROW(deserialize("scenario 0 1 x\n"), SerializeError);  // bad number
+  EXPECT_THROW(deserialize("scenario 0 1\nprefer 0 7 1\n"), SerializeError);
+  EXPECT_THROW(deserialize("scenario 0 1\nprefer 0 0 1\n"), SerializeError);
+  EXPECT_THROW(deserialize("scenario 0 1\ntie 0 9\n"), SerializeError);
+  EXPECT_THROW(deserialize("scenario 0 1\nscenario 1 1\nprefer 0 1\n"),
+               SerializeError);  // missing weight
+}
+
+TEST(Serialize, CycleRequiresInconsistentMode) {
+  const std::string text =
+      "scenario 0 1\n"
+      "scenario 1 2\n"
+      "prefer 0 1 1\n"
+      "prefer 1 0 1\n";
+  EXPECT_THROW(deserialize(text, false), SerializeError);
+  const PreferenceGraph g = deserialize(text, true);
+  EXPECT_TRUE(g.has_cycle());
+}
+
+TEST(Serialize, SynthesizerResumesFromSavedSession) {
+  // Phase 1: run a budgeted session, save the graph mid-flight.
+  const auto& sk = sketch::swan_sketch();
+  const auto target = sketch::swan_target();
+  synth::SynthesisConfig config;
+  config.seed = 321;
+  config.max_iterations = 6;  // interrupted early
+  oracle::GroundTruthOracle user(sk, target, config.finder.tie_tolerance);
+  synth::Synthesizer first = synth::make_grid_synthesizer(sk, config);
+  const synth::SynthesisResult partial = first.run(user);
+  ASSERT_EQ(partial.status, synth::SynthesisStatus::kIterationLimit);
+  const std::string saved = serialize(partial.graph);
+
+  // Phase 2: resume in a new synthesizer from the saved graph.
+  synth::SynthesisConfig resume_config;
+  resume_config.seed = 322;
+  synth::Synthesizer second = synth::make_grid_synthesizer(sk, resume_config);
+  const synth::SynthesisResult resumed = second.run(user, deserialize(saved));
+  ASSERT_EQ(resumed.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(resumed.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *resumed.objective, target,
+                                         resume_config.finder));
+
+  // Resume must not repeat the up-front ranking: fewer total interactions
+  // than a cold run with the same convergence.
+  EXPECT_GT(resumed.graph.vertex_count(), partial.graph.vertex_count());
+}
+
+}  // namespace
+}  // namespace compsynth::pref

@@ -1,0 +1,205 @@
+// LP solver tests: hand-checked instances, degenerate/edge cases, and a
+// randomized property sweep cross-checked against brute-force vertex
+// enumeration on 2-variable programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "te/lp/simplex.h"
+#include "util/rng.h"
+
+namespace compsynth::te::lp {
+namespace {
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  -> (2, 6), obj 36.
+  LinearProgram p(2);
+  p.objective = {3, 5};
+  p.add_le({1, 0}, 4);
+  p.add_le({0, 2}, 12);
+  p.add_le({3, 2}, 18);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 36, 1e-7);
+  EXPECT_NEAR(s.x[0], 2, 1e-7);
+  EXPECT_NEAR(s.x[1], 6, 1e-7);
+}
+
+TEST(Simplex, GreaterEqualConstraintsNeedPhase1) {
+  // max x + y s.t. x + y <= 10; x >= 3; y >= 4 -> obj 10.
+  LinearProgram p(2);
+  p.objective = {1, 1};
+  p.add_le({1, 1}, 10);
+  p.add_ge({1, 0}, 3);
+  p.add_ge({0, 1}, 4);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10, 1e-7);
+  EXPECT_GE(s.x[0], 3 - 1e-7);
+  EXPECT_GE(s.x[1], 4 - 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max 2x + y s.t. x + y = 5; x <= 3 -> x=3, y=2, obj 8.
+  LinearProgram p(2);
+  p.objective = {2, 1};
+  p.add_eq({1, 1}, 5);
+  p.add_le({1, 0}, 3);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 8, 1e-7);
+  EXPECT_NEAR(s.x[0], 3, 1e-7);
+  EXPECT_NEAR(s.x[1], 2, 1e-7);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  LinearProgram p(1);
+  p.objective = {1};
+  p.add_le({1}, 2);
+  p.add_ge({1}, 5);
+  EXPECT_EQ(solve(p).status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  LinearProgram p(2);
+  p.objective = {1, 1};
+  p.add_ge({1, 0}, 1);  // nothing bounds growth
+  EXPECT_EQ(solve(p).status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // -x <= -3 is x >= 3.
+  LinearProgram p(1);
+  p.objective = {-1};  // minimize x
+  p.add_le({-1}, -3);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3, 1e-7);
+}
+
+TEST(Simplex, ZeroObjectiveIsAFeasibilityCheck) {
+  LinearProgram p(2);
+  p.add_ge({1, 1}, 1);
+  p.add_le({1, 1}, 3);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0, 1e-9);
+}
+
+TEST(Simplex, RedundantConstraintsAreHarmless) {
+  LinearProgram p(1);
+  p.objective = {1};
+  p.add_le({1}, 5);
+  p.add_le({1}, 5);
+  p.add_le({2}, 10);
+  p.add_eq({0}, 0);  // 0 = 0, fully redundant row
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 5, 1e-7);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Classic degeneracy: multiple constraints meet at the optimum.
+  LinearProgram p(2);
+  p.objective = {1, 1};
+  p.add_le({1, 0}, 1);
+  p.add_le({0, 1}, 1);
+  p.add_le({1, 1}, 2);
+  p.add_le({2, 2}, 4);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2, 1e-7);
+}
+
+TEST(Simplex, RejectsNonFiniteInput) {
+  LinearProgram p(1);
+  p.objective = {std::numeric_limits<double>::infinity()};
+  p.add_le({1}, 1);
+  EXPECT_THROW(solve(p), std::invalid_argument);
+
+  LinearProgram q(1);
+  q.objective = {1};
+  q.add_le({std::numeric_limits<double>::quiet_NaN()}, 1);
+  EXPECT_THROW(solve(q), std::invalid_argument);
+}
+
+TEST(Simplex, ShortCoefficientVectorsArePadded) {
+  LinearProgram p(3);
+  p.objective = {0, 0, 1};
+  p.add_le({}, 5);     // 0 <= 5
+  p.add_le({0, 0, 1}, 2);
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2, 1e-7);
+}
+
+TEST(Simplex, TooManyCoefficientsThrow) {
+  LinearProgram p(1);
+  EXPECT_THROW(p.add_le({1, 2}, 1), std::invalid_argument);
+}
+
+// --- Property sweep vs brute force -------------------------------------------
+//
+// For random 2-variable LPs with <= constraints, the optimum (if one exists)
+// lies at a vertex of the feasible polygon. Enumerate all constraint-pair
+// intersections (+ axis intersections + origin), filter feasible points, and
+// compare the best vertex value to the simplex result.
+
+struct Random2D {
+  LinearProgram lp{2};
+};
+
+class SimplexVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexVsBruteForce, MatchesVertexEnumeration) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+  LinearProgram p(2);
+  p.objective = {rng.uniform_real(-5, 5), rng.uniform_real(-5, 5)};
+  const int m = static_cast<int>(rng.uniform_int(2, 6));
+  for (int i = 0; i < m; ++i) {
+    // Positive-leaning rows keep the feasible set bounded often enough.
+    p.add_le({rng.uniform_real(0.1, 4), rng.uniform_real(0.1, 4)},
+             rng.uniform_real(1, 20));
+  }
+
+  const Solution s = solve(p);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);  // bounded: all-positive rows
+
+  // Brute force over candidate vertices.
+  std::vector<std::pair<double, double>> pts{{0, 0}};
+  auto add_line_intersections = [&](double a1, double b1, double c1, double a2,
+                                    double b2, double c2) {
+    const double det = a1 * b2 - a2 * b1;
+    if (std::abs(det) < 1e-12) return;
+    pts.emplace_back((c1 * b2 - c2 * b1) / det, (a1 * c2 - a2 * c1) / det);
+  };
+  for (std::size_t i = 0; i < p.constraints.size(); ++i) {
+    const auto& ci = p.constraints[i];
+    // Intersections with the axes.
+    if (std::abs(ci.coeffs[0]) > 1e-12) pts.emplace_back(ci.rhs / ci.coeffs[0], 0);
+    if (std::abs(ci.coeffs[1]) > 1e-12) pts.emplace_back(0, ci.rhs / ci.coeffs[1]);
+    for (std::size_t j = i + 1; j < p.constraints.size(); ++j) {
+      const auto& cj = p.constraints[j];
+      add_line_intersections(ci.coeffs[0], ci.coeffs[1], ci.rhs, cj.coeffs[0],
+                             cj.coeffs[1], cj.rhs);
+    }
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& [x, y] : pts) {
+    if (x < -1e-9 || y < -1e-9) continue;
+    bool ok = true;
+    for (const auto& c : p.constraints) {
+      if (c.coeffs[0] * x + c.coeffs[1] * y > c.rhs + 1e-7) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) best = std::max(best, p.objective[0] * x + p.objective[1] * y);
+  }
+  EXPECT_NEAR(s.objective, best, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, SimplexVsBruteForce, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace compsynth::te::lp

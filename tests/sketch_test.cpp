@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "sketch/ast.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "sketch/parser.h"
+#include "sketch/printer.h"
+#include "sketch/typecheck.h"
+
+namespace compsynth::sketch {
+namespace {
+
+// --- AST construction -------------------------------------------------------
+
+TEST(Ast, HoleGridValues) {
+  HoleSpec h{.name = "x", .lo = 0, .step = 5, .count = 41};
+  EXPECT_DOUBLE_EQ(h.value_at(0), 0);
+  EXPECT_DOUBLE_EQ(h.value_at(10), 50);
+  EXPECT_DOUBLE_EQ(h.max_value(), 200);
+  EXPECT_THROW(h.value_at(41), std::out_of_range);
+  EXPECT_THROW(h.value_at(-1), std::out_of_range);
+}
+
+TEST(Ast, NearestIndexSnapsAndClamps) {
+  HoleSpec h{.name = "x", .lo = 0, .step = 5, .count = 41};
+  EXPECT_EQ(h.nearest_index(50), 10);
+  EXPECT_EQ(h.nearest_index(51.9), 10);
+  EXPECT_EQ(h.nearest_index(52.6), 11);
+  EXPECT_EQ(h.nearest_index(-100), 0);
+  EXPECT_EQ(h.nearest_index(1e9), 40);
+}
+
+TEST(Ast, SketchRejectsDuplicateNames) {
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}, {"x", 0, 1}}, {}, metric(0)),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Sketch("s", {{"x", 0, 1}}, {{"x", 0, 1, 2}}, metric(0)),
+      std::invalid_argument);
+}
+
+TEST(Ast, SketchRejectsInvertedMetricRange) {
+  EXPECT_THROW(Sketch("s", {{"x", 5, 1}}, {}, metric(0)), std::invalid_argument);
+}
+
+TEST(Ast, SketchRejectsEmptyGrid) {
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}}, {{"h", 0, 1, 0}}, metric(0)),
+               std::invalid_argument);
+}
+
+TEST(Ast, CandidateSpaceSizeIsGridProduct) {
+  const Sketch& s = swan_sketch();
+  EXPECT_EQ(s.candidate_space_size(), 11 * 41 * 11 * 11);
+}
+
+TEST(Ast, ValidAssignmentChecksArityAndBounds) {
+  const Sketch& s = swan_sketch();
+  EXPECT_TRUE(s.valid_assignment(swan_target()));
+  HoleAssignment bad;
+  bad.index = {0, 0, 0};
+  EXPECT_FALSE(s.valid_assignment(bad));
+  bad.index = {0, 0, 0, 99};
+  EXPECT_FALSE(s.valid_assignment(bad));
+}
+
+// --- Type checking ----------------------------------------------------------
+
+TEST(Typecheck, RejectsBooleanBody) {
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}}, {}, compare(CmpOp::kLt, metric(0), constant(1))),
+               TypeError);
+}
+
+TEST(Typecheck, RejectsArithmeticOnBooleans) {
+  EXPECT_THROW(
+      Sketch("s", {{"x", 0, 1}}, {},
+             add(bool_constant(true), constant(1))),
+      TypeError);
+}
+
+TEST(Typecheck, RejectsNumericCondition) {
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}}, {}, ite(constant(1), metric(0), metric(0))),
+               TypeError);
+}
+
+TEST(Typecheck, RejectsOutOfRangeReferences) {
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}}, {}, metric(3)), TypeError);
+  EXPECT_THROW(Sketch("s", {{"x", 0, 1}}, {}, hole(0)), TypeError);
+}
+
+// --- Evaluation --------------------------------------------------------------
+
+TEST(Eval, SwanTargetMatchesPaperExamples) {
+  // Fig. 2b: f(t, l) = if t >= 1 && l <= 50 then t - 1*t*l + 1000
+  //                    else t - 5*t*l
+  const Sketch& s = swan_sketch();
+  const HoleAssignment target = swan_target();
+  // Satisfying scenario (5, 10): 5 - 5*10 + 1000 = 955.
+  EXPECT_DOUBLE_EQ(eval(s, target, std::vector<double>{5, 10}), 955);
+  // Unsatisfying scenario (2, 100): 2 - 5*2*100 = -998.
+  EXPECT_DOUBLE_EQ(eval(s, target, std::vector<double>{2, 100}), -998);
+  // The paper's preference edge: f(2,100) > f(5,10) is FALSE for the target;
+  // the target prefers (5,10).
+  EXPECT_GT(eval(s, target, std::vector<double>{5, 10}),
+            eval(s, target, std::vector<double>{2, 100}));
+}
+
+TEST(Eval, BoundaryBelongsToSatisfyingRegion) {
+  const Sketch& s = swan_sketch();
+  const HoleAssignment target = swan_target();  // thresholds (1, 50)
+  // Exactly at both thresholds: satisfied (>= and <= are inclusive).
+  EXPECT_DOUBLE_EQ(eval(s, target, std::vector<double>{1, 50}),
+                   1 - 1.0 * 1 * 50 + 1000);
+  // Just outside in latency.
+  EXPECT_DOUBLE_EQ(eval(s, target, std::vector<double>{1, 50.0001}),
+                   1 - 5.0 * 1 * 50.0001);
+}
+
+TEST(Eval, MinMaxAndDivision) {
+  const Sketch s("t", {{"x", 0, 10}}, {},
+                 binary(BinOp::kMin, metric(0),
+                        binary(BinOp::kDiv, constant(10), constant(4))));
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{1}), 1);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{9}), 2.5);
+}
+
+TEST(Eval, DivisionByZeroThrows) {
+  const Sketch s("t", {{"x", 0, 10}}, {},
+                 binary(BinOp::kDiv, constant(1), metric(0)));
+  EXPECT_THROW(eval(s, HoleAssignment{}, std::vector<double>{0}), EvalError);
+}
+
+TEST(Eval, ArityMismatchThrows) {
+  const Sketch& s = swan_sketch();
+  EXPECT_THROW(eval(s, swan_target(), std::vector<double>{1}), EvalError);
+}
+
+// --- Parser -------------------------------------------------------------------
+
+TEST(Parser, ParsesSwanSketchShape) {
+  const Sketch& s = swan_sketch();
+  EXPECT_EQ(s.name(), "swan");
+  ASSERT_EQ(s.metrics().size(), 2u);
+  EXPECT_EQ(s.metrics()[0].name, "throughput");
+  EXPECT_DOUBLE_EQ(s.metrics()[1].hi, 200);
+  ASSERT_EQ(s.holes().size(), 4u);
+  EXPECT_EQ(s.hole_index("slope2"), 3u);
+  EXPECT_EQ(s.metric_index("latency"), 1u);
+  EXPECT_EQ(s.metric_index("nope"), Sketch::npos);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const Sketch s = parse_sketch("sketch t(x in [0,10]) { 1 + 2*x - 3 }");
+  // 1 + (2*x) - 3 at x=5 -> 8.
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{5}), 8);
+}
+
+TEST(Parser, UnaryMinusBindsTighterThanMul) {
+  const Sketch s = parse_sketch("sketch t(x in [0,10]) { -x*2 }");
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{3}), -6);
+}
+
+TEST(Parser, BooleanPrecedenceAndIte) {
+  const Sketch s = parse_sketch(
+      "sketch t(x in [0,10], y in [0,10]) {"
+      "  if x >= 1 && y <= 2 || x >= 9 then 1 else 0 }");
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{1, 2}), 1);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{1, 3}), 0);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{9.5, 9}), 1);
+}
+
+TEST(Parser, MinMaxCalls) {
+  const Sketch s = parse_sketch("sketch t(x in [0,10]) { max(min(x, 5), 2) }");
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{0}), 2);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{3}), 3);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{8}), 5);
+}
+
+TEST(Parser, CommentsAndScientificNumbers) {
+  const Sketch s = parse_sketch(
+      "# leading comment\n"
+      "sketch t(x in [0, 1e2]) { x * 2.5e-1 } # trailing");
+  EXPECT_DOUBLE_EQ(s.metrics()[0].hi, 100);
+  EXPECT_DOUBLE_EQ(eval(s, HoleAssignment{}, std::vector<double>{8}), 2);
+}
+
+TEST(Parser, ReportsPositionOnError) {
+  try {
+    parse_sketch("sketch t(x in [0,10]) { x + }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    EXPECT_GT(e.column(), 20u);
+  }
+}
+
+TEST(Parser, RejectsUnknownIdentifier) {
+  EXPECT_THROW(parse_sketch("sketch t(x in [0,10]) { y }"), ParseError);
+}
+
+TEST(Parser, RejectsSingleAmpersand) {
+  EXPECT_THROW(parse_sketch("sketch t(x in [0,1]) { if x>0 & x<1 then 1 else 0 }"),
+               ParseError);
+}
+
+TEST(Parser, RejectsNonIntegerGridCount) {
+  EXPECT_THROW(
+      parse_sketch("sketch t(x in [0,1]) { hole h in grid(0, 1, 2.5); x }"),
+      ParseError);
+}
+
+TEST(Parser, RejectsZeroStepMultiPointGrid) {
+  EXPECT_THROW(
+      parse_sketch("sketch t(x in [0,1]) { hole h in grid(0, 0, 3); x }"),
+      ParseError);
+}
+
+TEST(Parser, StandaloneExprUsesSketchScope) {
+  const Sketch& s = swan_sketch();
+  const ExprPtr e = parse_expr("throughput - 2*latency", s);
+  EXPECT_DOUBLE_EQ(eval_numeric(*e, std::vector<double>{10, 3},
+                                std::vector<double>{}),
+                   4);
+}
+
+TEST(Parser, NegativeGridAndRangeBounds) {
+  const Sketch s = parse_sketch(
+      "sketch t(x in [-5, 5]) { hole h in grid(-2, 1, 5); x + h }");
+  EXPECT_DOUBLE_EQ(s.metrics()[0].lo, -5);
+  EXPECT_DOUBLE_EQ(s.holes()[0].value_at(0), -2);
+  EXPECT_DOUBLE_EQ(s.holes()[0].value_at(4), 2);
+}
+
+// --- Printer ------------------------------------------------------------------
+
+TEST(Printer, RoundTripsSwanSketch) {
+  const Sketch& original = swan_sketch();
+  const std::string text = print_sketch(original);
+  const Sketch reparsed = parse_sketch(text);
+  EXPECT_EQ(print_sketch(reparsed), text);
+  // Same semantics on a probe point.
+  const HoleAssignment t = swan_target();
+  EXPECT_DOUBLE_EQ(eval(original, t, std::vector<double>{3, 42}),
+                   eval(reparsed, t, std::vector<double>{3, 42}));
+}
+
+TEST(Printer, ParenthesizesOnlyWhereNeeded) {
+  const Sketch s = parse_sketch("sketch t(x in [0,10]) { (x + 1) * (x - 2) }");
+  const std::string body = print_expr(*s.body(), s);
+  EXPECT_EQ(body, "(x + 1)*(x - 2)");
+}
+
+TEST(Printer, RightAssociativeSubtractionKeepsParens) {
+  const Sketch s = parse_sketch("sketch t(x in [0,10]) { x - (x - 1) }");
+  EXPECT_EQ(print_expr(*s.body(), s), "x - (x - 1)");
+  const Sketch s2 = parse_sketch("sketch t(x in [0,10]) { x - x - 1 }");
+  EXPECT_EQ(print_expr(*s2.body(), s2), "x - x - 1");
+}
+
+TEST(Printer, InstantiatedShowsHoleValues) {
+  const std::string text =
+      print_instantiated(swan_sketch(), swan_target());
+  EXPECT_NE(text.find("throughput >= 1"), std::string::npos);
+  EXPECT_NE(text.find("latency <= 50"), std::string::npos);
+  EXPECT_NE(text.find("5*throughput*latency"), std::string::npos);
+}
+
+// --- Library ------------------------------------------------------------------
+
+TEST(Library, AllBuiltinsParse) {
+  EXPECT_EQ(swan_sketch().holes().size(), 4u);
+  EXPECT_EQ(swan_multi_region_sketch().holes().size(), 7u);
+  EXPECT_EQ(abr_qoe_sketch().metrics().size(), 4u);
+  EXPECT_EQ(homenet_sketch().metrics().size(), 3u);
+}
+
+TEST(Library, TargetVariantsSnapToGrid) {
+  const HoleAssignment a = swan_target_with(2, 35, 3, 4);
+  const Sketch& s = swan_sketch();
+  EXPECT_DOUBLE_EQ(s.holes()[0].value_at(a.index[0]), 2);
+  EXPECT_DOUBLE_EQ(s.holes()[1].value_at(a.index[1]), 35);
+  EXPECT_DOUBLE_EQ(s.holes()[2].value_at(a.index[2]), 3);
+  EXPECT_DOUBLE_EQ(s.holes()[3].value_at(a.index[3]), 4);
+}
+
+// --- Property-style sweep: printer/parser round trip over grammar samples ----
+
+class RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTrip, PrintParsePrintIsStable) {
+  const Sketch s = parse_sketch(GetParam());
+  const std::string once = print_sketch(s);
+  const std::string twice = print_sketch(parse_sketch(once));
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GrammarSamples, RoundTrip,
+    ::testing::Values(
+        "sketch a(x in [0,1]) { x }",
+        "sketch b(x in [0,1]) { -x + 2 }",
+        "sketch c(x in [0,1], y in [0,1]) { if x > y then x else y }",
+        "sketch d(x in [0,1]) { hole h in grid(0, 0.5, 3); x*h + h }",
+        "sketch e(x in [0,1]) { min(x, max(1 - x, 0.5)) }",
+        "sketch f(x in [0,1], y in [0,2]) { if !(x >= y) && true then x/y else 0 }",
+        "sketch g(x in [0,1]) { if x == 0.5 || x != 0.25 then 1 else 2 }",
+        "sketch h(x in [0,4]) { x - (x - 1) - 2*(x + 3) }"));
+
+}  // namespace
+}  // namespace compsynth::sketch

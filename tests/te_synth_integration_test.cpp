@@ -1,0 +1,252 @@
+// Cross-module integration: the TE substrate feeding the synthesizer, for
+// both the 2-metric SWAN sketch and the flow-level 3-metric swan_fair
+// sketch. This is the full paper workflow exercised programmatically.
+#include <gtest/gtest.h>
+
+#include "oracle/ground_truth.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "synth/synthesizer.h"
+#include "te/scenario_gen.h"
+#include "util/rng.h"
+
+namespace compsynth {
+namespace {
+
+struct TeFixture : public ::testing::Test {
+  te::Topology topo = te::abilene();
+  std::vector<te::FlowRequest> requests;
+
+  void SetUp() override {
+    util::Rng rng(515);
+    requests = te::random_workload(topo, rng, 10, 1, 6);
+  }
+};
+
+TEST_F(TeFixture, FairScenarioFitsSketchRanges) {
+  const auto& sk = sketch::swan_fair_sketch();
+  for (const double eps : {0.0, 0.01, 0.05}) {
+    const te::Allocation a = te::swan_allocation(topo, requests, eps);
+    ASSERT_TRUE(a.feasible);
+    const pref::Scenario s = te::to_fair_scenario(a, requests);
+    EXPECT_TRUE(pref::in_range(s, sk));
+  }
+}
+
+TEST_F(TeFixture, MaxMinMaximizesTheFairnessMetricAmongPolicies) {
+  const te::Allocation greedy = te::max_throughput(topo, requests);
+  const te::Allocation fair = te::max_min_fair(topo, requests);
+  const double greedy_frac = te::to_fair_scenario(greedy, requests).metrics[2];
+  const double fair_frac = te::to_fair_scenario(fair, requests).metrics[2];
+  // Max-min cannot serve the worst flow a lower fraction than throughput
+  // maximization does (it lexicographically maximizes the minimum).
+  EXPECT_GE(fair_frac, greedy_frac - 1e-6);
+}
+
+TEST_F(TeFixture, FairnessLovingObjectivePicksFairAllocation) {
+  const auto& sk = sketch::swan_fair_sketch();
+  // Latent intent: fairness floor 0.5 with a strong fairness weight.
+  sketch::HoleAssignment latent;
+  latent.index = {sk.holes()[0].nearest_index(0),    // tp_thrsh: none
+                  sk.holes()[1].nearest_index(200),  // l_thrsh: lax
+                  sk.holes()[2].nearest_index(0.5),  // f_thrsh
+                  sk.holes()[3].nearest_index(0),    // slope
+                  sk.holes()[4].nearest_index(50)};  // w_fair max
+
+  struct Candidate {
+    const char* label;
+    te::Allocation alloc;
+  };
+  std::vector<Candidate> candidates{
+      {"max-throughput", te::max_throughput(topo, requests)},
+      {"max-min-fair", te::max_min_fair(topo, requests)},
+      {"danna q=0.5", te::danna_balanced(topo, requests, 0.5)}};
+
+  std::size_t best = 0;
+  double best_v = -1e300;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const pref::Scenario s = te::to_fair_scenario(candidates[i].alloc, requests);
+    const double v = sketch::eval(sk, latent, s.metrics);
+    if (v > best_v) {
+      best_v = v;
+      best = i;
+    }
+  }
+  // The fairness-floor objective must not pick pure throughput maximization
+  // if it starves some flow below half its demand while a fair policy exists.
+  const double greedy_frac =
+      te::to_fair_scenario(candidates[0].alloc, requests).metrics[2];
+  const double fair_frac =
+      te::to_fair_scenario(candidates[1].alloc, requests).metrics[2];
+  if (greedy_frac < 0.5 && fair_frac >= 0.5) {
+    EXPECT_NE(best, 0u) << "picked the starving allocation";
+  }
+}
+
+TEST_F(TeFixture, ThreeMetricSynthesisConverges) {
+  const auto& sk = sketch::swan_fair_sketch();
+  sketch::HoleAssignment target;
+  target.index = {sk.holes()[0].nearest_index(20), sk.holes()[1].nearest_index(60),
+                  sk.holes()[2].nearest_index(0.5), sk.holes()[3].nearest_index(1),
+                  sk.holes()[4].nearest_index(20)};
+
+  synth::SynthesisConfig config;
+  config.seed = 99;
+  config.max_iterations = 400;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(architect);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(sk, *r.objective, target, config.finder));
+}
+
+TEST_F(TeFixture, LearnedFairObjectiveSelectsSameDesignAsLatent) {
+  const auto& sk = sketch::swan_fair_sketch();
+  sketch::HoleAssignment latent;
+  latent.index = {sk.holes()[0].nearest_index(10), sk.holes()[1].nearest_index(100),
+                  sk.holes()[2].nearest_index(0.6), sk.holes()[3].nearest_index(1),
+                  sk.holes()[4].nearest_index(30)};
+
+  synth::SynthesisConfig config;
+  config.seed = 7;
+  config.max_iterations = 400;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, latent, config.finder.tie_tolerance);
+  const synth::SynthesisResult learned = s.run(architect);
+  ASSERT_TRUE(learned.objective.has_value());
+
+  // Candidate designs: epsilon sweep + fairness sweep, projected to the
+  // 3-metric space.
+  std::vector<pref::Scenario> design_scenarios;
+  for (const double eps : {0.0, 0.01, 0.03, 0.06}) {
+    design_scenarios.push_back(
+        te::to_fair_scenario(te::swan_allocation(topo, requests, eps), requests));
+  }
+  for (const double q : {0.5, 1.0}) {
+    design_scenarios.push_back(
+        te::to_fair_scenario(te::danna_balanced(topo, requests, q), requests));
+  }
+  auto argmax = [&](const sketch::HoleAssignment& obj) {
+    std::size_t best = 0;
+    double best_v = -1e300;
+    for (std::size_t i = 0; i < design_scenarios.size(); ++i) {
+      const double v = sketch::eval(sk, obj, design_scenarios[i].metrics);
+      if (v > best_v) {
+        best_v = v;
+        best = i;
+      }
+    }
+    return best;
+  };
+  const std::size_t latent_pick = argmax(latent);
+  const std::size_t learned_pick = argmax(*learned.objective);
+  // Ranking-equivalent objectives agree on argmax up to exact scenario ties.
+  EXPECT_EQ(design_scenarios[latent_pick], design_scenarios[learned_pick]);
+}
+
+}  // namespace
+}  // namespace compsynth
+
+// --- Multi-class priority workflow (paper §2's priority discussion) --------
+
+namespace compsynth {
+namespace {
+
+struct MultiClassFixture : public ::testing::Test {
+  te::Topology topo = te::abilene();
+  std::vector<te::FlowRequest> requests;
+
+  void SetUp() override {
+    util::Rng rng(616);
+    requests = te::random_workload(topo, rng, 10, 1, 5);
+    // Make the first four flows high priority (interactive class).
+    for (std::size_t f = 0; f < 4; ++f) requests[f].flow.priority = 1;
+  }
+};
+
+TEST_F(MultiClassFixture, ClassScenarioSplitsThroughputByPriority) {
+  const te::Allocation a = te::max_throughput(topo, requests);
+  const pref::Scenario s = te::to_class_scenario(a, requests);
+  EXPECT_NEAR(s.metrics[0] + s.metrics[1], a.total_throughput_gbps, 1e-6);
+  EXPECT_TRUE(pref::in_range(s, sketch::swan_priority_sketch()));
+}
+
+TEST_F(MultiClassFixture, HigherClassWeightNeverHurtsHighClass) {
+  const std::vector<double> weights{1, 2, 4, 8, 16};
+  const auto designs = te::sweep_class_weights(topo, requests, weights);
+  ASSERT_EQ(designs.size(), weights.size() + 1);  // + strict priority
+  for (std::size_t i = 1; i + 1 < designs.size(); ++i) {
+    EXPECT_GE(designs[i].scenario.metrics[0],
+              designs[i - 1].scenario.metrics[0] - 1e-5)
+        << designs[i].label;
+  }
+  // Strict priority dominates every weighted design on high-class rate.
+  const double strict_hi = designs.back().scenario.metrics[0];
+  for (std::size_t i = 0; i + 1 < designs.size(); ++i) {
+    EXPECT_GE(strict_hi, designs[i].scenario.metrics[0] - 1e-5);
+  }
+}
+
+TEST_F(MultiClassFixture, LatentIntentSelectsMatchingDesign) {
+  const auto& sk = sketch::swan_priority_sketch();
+  const std::vector<double> weights{1, 2, 4, 8};
+  const auto designs = te::sweep_class_weights(topo, requests, weights);
+
+  // An architect who values background traffic equally (w_lo = 10 is not on
+  // the grid; use w_lo = 10 -> nearest 10) prefers egalitarian sharing...
+  sketch::HoleAssignment egalitarian;
+  egalitarian.index = {sk.holes()[0].nearest_index(0),
+                       sk.holes()[1].nearest_index(10),
+                       sk.holes()[2].nearest_index(0)};
+  const std::size_t eq_pick = te::pick_best(sk, egalitarian, designs);
+
+  // ...while a strict-priority architect (w_lo = 0, high floor) prefers the
+  // design maximizing high-class throughput.
+  sketch::HoleAssignment strict_lover;
+  strict_lover.index = {sk.holes()[0].nearest_index(20),
+                        sk.holes()[1].nearest_index(0),
+                        sk.holes()[2].nearest_index(0)};
+  const std::size_t strict_pick = te::pick_best(sk, strict_lover, designs);
+
+  // The strict-priority architect's design carries at least as much
+  // high-class throughput as the egalitarian's.
+  EXPECT_GE(designs[strict_pick].scenario.metrics[0],
+            designs[eq_pick].scenario.metrics[0] - 1e-6);
+  // And the egalitarian's design carries at least as much low-class traffic.
+  EXPECT_GE(designs[eq_pick].scenario.metrics[1],
+            designs[strict_pick].scenario.metrics[1] - 1e-6);
+}
+
+TEST_F(MultiClassFixture, LearnedPriorityObjectivePicksLatentDesign) {
+  const auto& sk = sketch::swan_priority_sketch();
+  sketch::HoleAssignment latent;
+  latent.index = {sk.holes()[0].nearest_index(8),   // hi floor 8 Gbps
+                  sk.holes()[1].nearest_index(3),   // some value on lo class
+                  sk.holes()[2].nearest_index(0.5)};
+
+  synth::SynthesisConfig config;
+  config.seed = 23;
+  config.max_iterations = 300;
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  oracle::GroundTruthOracle architect(sk, latent, config.finder.tie_tolerance);
+  const synth::SynthesisResult learned = s.run(architect);
+  ASSERT_EQ(learned.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(learned.objective.has_value());
+
+  const std::vector<double> weights{1, 2, 4, 8, 16};
+  const auto designs = te::sweep_class_weights(topo, requests, weights);
+  const std::size_t latent_pick = te::pick_best(sk, latent, designs);
+  const std::size_t learned_pick = te::pick_best(sk, *learned.objective, designs);
+  EXPECT_EQ(designs[latent_pick].scenario, designs[learned_pick].scenario);
+}
+
+TEST_F(MultiClassFixture, RejectsNonPositiveWeights) {
+  EXPECT_THROW(
+      te::sweep_class_weights(topo, requests, std::vector<double>{1, 0}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace compsynth

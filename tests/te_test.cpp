@@ -1,0 +1,454 @@
+// Traffic-engineering substrate tests: topology invariants, k-shortest
+// paths, and the allocator family (throughput / Eq 2.1 / max-min / Danna /
+// priority layering), including cross-policy invariants.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "sketch/library.h"
+#include "te/allocator.h"
+#include "te/scenario_gen.h"
+#include "te/topology.h"
+#include "te/tunnel.h"
+#include "util/rng.h"
+
+namespace compsynth::te {
+namespace {
+
+// A 4-node diamond: s -> {a (fast), b (slow)} -> t.
+//   s-a: 10 Gbps, 1 ms    a-t: 10 Gbps, 1 ms
+//   s-b: 10 Gbps, 10 ms   b-t: 10 Gbps, 10 ms
+Topology diamond() {
+  Topology t;
+  const NodeId s = t.add_node("s");
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  const NodeId d = t.add_node("t");
+  t.add_duplex_link(s, a, 10, 1);
+  t.add_duplex_link(a, d, 10, 1);
+  t.add_duplex_link(s, b, 10, 10);
+  t.add_duplex_link(b, d, 10, 10);
+  return t;
+}
+
+// --- Topology ----------------------------------------------------------------
+
+TEST(Topology, AbileneIsStronglyConnected) {
+  const Topology t = abilene();
+  EXPECT_EQ(t.node_count(), 11u);
+  EXPECT_EQ(t.link_count(), 28u);  // 14 duplex trunks
+  EXPECT_TRUE(t.strongly_connected());
+}
+
+TEST(Topology, RandomWanIsStronglyConnected) {
+  util::Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    const Topology t = random_wan(rng, 8, 6);
+    EXPECT_TRUE(t.strongly_connected());
+    EXPECT_EQ(t.node_count(), 8u);
+  }
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology t;
+  const NodeId a = t.add_node("a");
+  const NodeId b = t.add_node("b");
+  EXPECT_THROW(t.add_link(a, a, 1, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, 99, 1, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 0, 1), std::invalid_argument);
+  EXPECT_THROW(t.add_link(a, b, 1, -1), std::invalid_argument);
+}
+
+// --- Tunnels -------------------------------------------------------------------
+
+TEST(Tunnel, ShortestPathPrefersLowLatency) {
+  const Topology t = diamond();
+  const Tunnel path = shortest_tunnel(t, 0, 3);
+  EXPECT_DOUBLE_EQ(path.latency_ms, 2);  // via a
+  EXPECT_EQ(path.links.size(), 2u);
+}
+
+TEST(Tunnel, KShortestFindsBothDiamondArms) {
+  const Topology t = diamond();
+  const std::vector<Tunnel> paths = k_shortest_tunnels(t, 0, 3, 5);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].latency_ms, 2);
+  EXPECT_DOUBLE_EQ(paths[1].latency_ms, 20);
+  // Latency must be non-decreasing.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i].latency_ms, paths[i - 1].latency_ms);
+  }
+}
+
+TEST(Tunnel, PathsAreLooplessAndDistinct) {
+  const Topology t = abilene();
+  const std::vector<Tunnel> paths = k_shortest_tunnels(t, 0, 10, 4);
+  ASSERT_GE(paths.size(), 2u);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    // Loopless: no node visited twice.
+    std::vector<NodeId> nodes{0};
+    for (const LinkId l : paths[i].links) nodes.push_back(t.link(l).to);
+    auto sorted = nodes;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end())
+        << "path " << i << " has a loop";
+    for (std::size_t j = i + 1; j < paths.size(); ++j) {
+      EXPECT_NE(paths[i].links, paths[j].links);
+    }
+  }
+}
+
+TEST(Tunnel, UnreachableDestinationThrowsInMakeRequest) {
+  Topology t;
+  t.add_node("a");
+  t.add_node("b");
+  t.add_node("c");
+  t.add_link(0, 1, 1, 1);  // c is isolated
+  EXPECT_THROW(make_request(t, Flow{.src = 0, .dst = 2, .demand_gbps = 1}),
+               std::invalid_argument);
+}
+
+// --- Allocators ------------------------------------------------------------------
+
+std::vector<FlowRequest> diamond_flow(double demand) {
+  const Topology t = diamond();
+  return {make_request(t, Flow{.src = 0, .dst = 3, .demand_gbps = demand}, 3)};
+}
+
+TEST(Allocator, MaxThroughputSaturatesDemandWhenCapacityAllows) {
+  const Topology t = diamond();
+  const auto reqs = diamond_flow(5);
+  const Allocation a = max_throughput(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.total_throughput_gbps, 5, 1e-6);
+}
+
+TEST(Allocator, MaxThroughputUsesBothArmsWhenDemandExceedsOne) {
+  const Topology t = diamond();
+  const auto reqs = diamond_flow(15);  // each arm caps at 10
+  const Allocation a = max_throughput(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.total_throughput_gbps, 15, 1e-6);
+}
+
+TEST(Allocator, CapacityLimitsThroughput) {
+  const Topology t = diamond();
+  const auto reqs = diamond_flow(100);
+  const Allocation a = max_throughput(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.total_throughput_gbps, 20, 1e-6);  // 2 arms x 10 Gbps
+}
+
+TEST(Allocator, Eq21LatencyPenaltySteersTrafficToFastArm) {
+  const Topology t = diamond();
+  const auto reqs = diamond_flow(15);
+  // epsilon = 0: indifferent; throughput 15 using both arms.
+  const Allocation loose = swan_allocation(t, reqs, 0.0);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_NEAR(loose.total_throughput_gbps, 15, 1e-6);
+  // Large epsilon: the slow arm (20 ms) costs more than its unit of
+  // throughput is worth (1 - 0.06*20 < 0), so only the fast arm carries.
+  const Allocation tight = swan_allocation(t, reqs, 0.06);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_NEAR(tight.total_throughput_gbps, 10, 1e-6);
+  EXPECT_NEAR(tight.weighted_latency_ms, 2, 1e-6);  // fast arm only: 1+1 ms
+  EXPECT_LT(tight.weighted_latency_ms, loose.weighted_latency_ms + 1e-9);
+}
+
+TEST(Allocator, Eq21IsMonotoneInEpsilon) {
+  const Topology t = abilene();
+  util::Rng rng(11);
+  const auto reqs = random_workload(t, rng, 8, 1, 6);
+  double prev_latency = std::numeric_limits<double>::infinity();
+  double prev_throughput = std::numeric_limits<double>::infinity();
+  for (const double eps : {0.0, 0.005, 0.01, 0.02, 0.05}) {
+    const Allocation a = swan_allocation(t, reqs, eps);
+    ASSERT_TRUE(a.feasible);
+    // Throughput can only shrink as the latency penalty grows...
+    EXPECT_LE(a.total_throughput_gbps, prev_throughput + 1e-6);
+    prev_throughput = a.total_throughput_gbps;
+    prev_latency = a.weighted_latency_ms;
+  }
+  (void)prev_latency;
+}
+
+TEST(Allocator, MaxMinFairSplitsSharedBottleneckEvenly) {
+  // Two flows share one 10 Gbps link; each demands 8 -> 5/5.
+  Topology t;
+  const NodeId s = t.add_node("s");
+  const NodeId d = t.add_node("d");
+  t.add_link(s, d, 10, 1);
+  std::vector<FlowRequest> reqs{
+      make_request(t, Flow{.src = s, .dst = d, .demand_gbps = 8, .name = "f0"}, 1),
+      make_request(t, Flow{.src = s, .dst = d, .demand_gbps = 8, .name = "f1"}, 1)};
+  const Allocation a = max_min_fair(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.flow_rates[0], 5, 1e-6);
+  EXPECT_NEAR(a.flow_rates[1], 5, 1e-6);
+}
+
+TEST(Allocator, MaxMinGivesLeftoverToUnconstrainedFlow) {
+  // Same bottleneck, but f0 only wants 2 -> f0=2, f1=8.
+  Topology t;
+  t.add_node("s");
+  t.add_node("d");
+  t.add_link(0, 1, 10, 1);
+  std::vector<FlowRequest> reqs{
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 2}, 1),
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 20}, 1)};
+  const Allocation a = max_min_fair(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.flow_rates[0], 2, 1e-6);
+  EXPECT_NEAR(a.flow_rates[1], 8, 1e-6);
+}
+
+TEST(Allocator, WeightedMaxMinRespectsWeights) {
+  Topology t;
+  t.add_node("s");
+  t.add_node("d");
+  t.add_link(0, 1, 9, 1);
+  std::vector<FlowRequest> reqs{
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 20, .weight = 2}, 1),
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 20, .weight = 1}, 1)};
+  const Allocation a = max_min_fair(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.flow_rates[0], 6, 1e-6);
+  EXPECT_NEAR(a.flow_rates[1], 3, 1e-6);
+}
+
+TEST(Allocator, MaxMinMatchesWaterFillingOnThreeFlows) {
+  // Bottleneck 12, demands {3, 10, 10} -> water level 4.5: {3, 4.5, 4.5}.
+  Topology t;
+  t.add_node("s");
+  t.add_node("d");
+  t.add_link(0, 1, 12, 1);
+  std::vector<FlowRequest> reqs{
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 3}, 1),
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 10}, 1),
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 10}, 1)};
+  const Allocation a = max_min_fair(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.flow_rates[0], 3, 1e-6);
+  EXPECT_NEAR(a.flow_rates[1], 4.5, 1e-6);
+  EXPECT_NEAR(a.flow_rates[2], 4.5, 1e-6);
+}
+
+TEST(Allocator, DannaInterpolatesFairnessAndThroughput) {
+  // f0: short path, f1 shares its bottleneck. Max throughput may starve one
+  // flow; q=1 forces the full max-min vector.
+  const Topology t = abilene();
+  util::Rng rng(3);
+  const auto reqs = random_workload(t, rng, 10, 2, 8);
+  const Allocation fair = max_min_fair(t, reqs);
+  const double topt = optimal_throughput(t, reqs);
+  ASSERT_TRUE(fair.feasible);
+
+  const Allocation q0 = danna_balanced(t, reqs, 0.0);
+  const Allocation q1 = danna_balanced(t, reqs, 1.0);
+  ASSERT_TRUE(q0.feasible);
+  ASSERT_TRUE(q1.feasible);
+  // q=0 is unconstrained -> optimal throughput.
+  EXPECT_NEAR(q0.total_throughput_gbps, topt, 1e-5);
+  // q=1 keeps every flow at or above its max-min share.
+  for (std::size_t f = 0; f < reqs.size(); ++f) {
+    EXPECT_GE(q1.flow_rates[f], fair.flow_rates[f] - 1e-5);
+  }
+  // Throughput shrinks (weakly) as fairness tightens.
+  double prev = std::numeric_limits<double>::infinity();
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const Allocation a = danna_balanced(t, reqs, q);
+    ASSERT_TRUE(a.feasible);
+    EXPECT_LE(a.total_throughput_gbps, prev + 1e-5);
+    prev = a.total_throughput_gbps;
+  }
+}
+
+TEST(Allocator, PriorityLayeringServesHighClassFirst) {
+  // One 10 Gbps link, high-priority flow demands 8, low demands 8.
+  Topology t;
+  t.add_node("s");
+  t.add_node("d");
+  t.add_link(0, 1, 10, 1);
+  std::vector<FlowRequest> reqs{
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 8, .priority = 1}, 1),
+      make_request(t, Flow{.src = 0, .dst = 1, .demand_gbps = 8, .priority = 0}, 1)};
+  const Allocation a = priority_layered(t, reqs);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_NEAR(a.flow_rates[0], 8, 1e-5);   // high class gets its full demand
+  EXPECT_NEAR(a.flow_rates[1], 2, 1e-4);   // low class gets the residual
+}
+
+TEST(Allocator, ValidationRejectsBadRequests) {
+  const Topology t = diamond();
+  std::vector<FlowRequest> no_tunnels(1);
+  no_tunnels[0].flow.demand_gbps = 1;
+  EXPECT_THROW(max_throughput(t, no_tunnels), std::invalid_argument);
+  auto reqs = diamond_flow(5);
+  reqs[0].flow.demand_gbps = -1;
+  EXPECT_THROW(max_throughput(t, reqs), std::invalid_argument);
+  reqs[0].flow.demand_gbps = 1;
+  reqs[0].flow.weight = 0;
+  EXPECT_THROW(max_min_fair(t, reqs), std::invalid_argument);
+  EXPECT_THROW(swan_allocation(t, diamond_flow(1), -0.1), std::invalid_argument);
+  EXPECT_THROW(danna_balanced(t, diamond_flow(1), 1.5), std::invalid_argument);
+}
+
+// --- Capacity-respect property over random workloads ---------------------------
+
+class AllocatorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocatorProperty, AllPoliciesRespectCapacitiesAndDemands) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const Topology t = random_wan(rng, 6, 4);
+  const auto reqs = random_workload(t, rng, 6, 0.5, 4);
+
+  const std::vector<Allocation> allocations{
+      max_throughput(t, reqs), swan_allocation(t, reqs, 0.01),
+      max_min_fair(t, reqs), danna_balanced(t, reqs, 0.5)};
+
+  for (const Allocation& a : allocations) {
+    ASSERT_TRUE(a.feasible);
+    // Demands respected.
+    for (std::size_t f = 0; f < reqs.size(); ++f) {
+      EXPECT_LE(a.flow_rates[f], reqs[f].flow.demand_gbps + 1e-5);
+      EXPECT_GE(a.flow_rates[f], -1e-9);
+    }
+    // Link capacities respected.
+    std::vector<double> load(t.link_count(), 0.0);
+    for (std::size_t f = 0; f < reqs.size(); ++f) {
+      for (std::size_t tun = 0; tun < reqs[f].tunnels.size(); ++tun) {
+        for (const LinkId l : reqs[f].tunnels[tun].links) {
+          load[l] += a.tunnel_rates[f][tun];
+        }
+      }
+    }
+    for (std::size_t l = 0; l < t.link_count(); ++l) {
+      EXPECT_LE(load[l], t.link(l).capacity_gbps + 1e-5);
+    }
+  }
+
+  // Fairness sanity: max-min rate vector is dominated by optimal throughput.
+  EXPECT_LE(allocations[2].total_throughput_gbps,
+            allocations[0].total_throughput_gbps + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomWorkloads, AllocatorProperty, ::testing::Range(0, 12));
+
+// --- Scenario generation --------------------------------------------------------
+
+TEST(ScenarioGen, EpsilonSweepProducesTradeoffCurve) {
+  const Topology t = abilene();
+  util::Rng rng(17);
+  const auto reqs = random_workload(t, rng, 8, 1, 6);
+  const std::vector<double> eps{0, 0.005, 0.01, 0.02, 0.04};
+  const auto designs = sweep_epsilon(t, reqs, eps);
+  ASSERT_EQ(designs.size(), 5u);
+  for (std::size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_LE(designs[i].scenario.metrics[0], designs[i - 1].scenario.metrics[0] + 1e-6);
+  }
+}
+
+TEST(ScenarioGen, PickBestAgreesWithDirectEvaluation) {
+  const Topology t = diamond();
+  const auto reqs = diamond_flow(15);
+  const std::vector<double> eps{0, 0.06};
+  const auto designs = sweep_epsilon(t, reqs, eps);
+  const auto& sk = sketch::swan_sketch();
+  // Target with latency threshold 5 ms: only the eps=0.06 design (4 ms)
+  // satisfies (fast arm only, 2 ms), and the +1000 bonus dominates -> it wins.
+  const auto objective = sketch::swan_target_with(1, 5, 1, 1);
+  EXPECT_EQ(pick_best(sk, objective, designs), 1u);
+  // A throughput-only objective prefers the eps=0 design.
+  const auto tput_lover = sketch::swan_target_with(0, 200, 0, 0);
+  EXPECT_EQ(pick_best(sk, tput_lover, designs), 0u);
+}
+
+TEST(ScenarioGen, ScenariosFitSwanMetricRanges) {
+  const Topology t = diamond();
+  const auto designs =
+      sweep_epsilon(t, diamond_flow(8), std::vector<double>{0, 0.01});
+  for (const auto& d : designs) {
+    EXPECT_TRUE(pref::in_range(d.scenario, sketch::swan_sketch()));
+  }
+}
+
+}  // namespace
+}  // namespace compsynth::te
+
+// --- Waxman topologies and gravity demands ------------------------------------
+
+namespace compsynth::te {
+namespace {
+
+TEST(Waxman, IsStronglyConnectedAndGeometric) {
+  util::Rng rng(77);
+  for (int i = 0; i < 4; ++i) {
+    const Topology t = waxman_wan(rng, 12, 0.5, 0.5);
+    EXPECT_TRUE(t.strongly_connected());
+    EXPECT_EQ(t.node_count(), 12u);
+    EXPECT_GE(t.link_count(), 24u);  // at least the ring, duplex
+    for (const Link& l : t.links()) {
+      EXPECT_GT(l.capacity_gbps, 0);
+      EXPECT_GE(l.latency_ms, 0.5);
+      EXPECT_LE(l.latency_ms, 60.0 + 1e-9);
+    }
+  }
+}
+
+TEST(Waxman, HigherAlphaMeansDenserGraphs) {
+  util::Rng rng1(5), rng2(5);
+  const Topology sparse = waxman_wan(rng1, 20, 0.1, 0.3);
+  const Topology dense = waxman_wan(rng2, 20, 0.9, 0.9);
+  EXPECT_GT(dense.link_count(), sparse.link_count());
+}
+
+TEST(Waxman, RejectsBadParameters) {
+  util::Rng rng(1);
+  EXPECT_THROW(waxman_wan(rng, 1), std::invalid_argument);
+  EXPECT_THROW(waxman_wan(rng, 5, 0), std::invalid_argument);
+  EXPECT_THROW(waxman_wan(rng, 5, 1.5), std::invalid_argument);
+  EXPECT_THROW(waxman_wan(rng, 5, 0.5, -1), std::invalid_argument);
+  EXPECT_THROW(waxman_wan(rng, 5, 0.5, 0.5, 10, 2), std::invalid_argument);
+}
+
+TEST(Gravity, DemandsSumToTotalAndDescend) {
+  const Topology t = abilene();
+  util::Rng rng(8);
+  const auto demands = gravity_demands(t, rng, 100.0, 1000);  // all pairs
+  double total = 0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_GT(demands[i].demand_gbps, 0);
+    EXPECT_NE(demands[i].src, demands[i].dst);
+    if (i > 0) {
+      EXPECT_LE(demands[i].demand_gbps, demands[i - 1].demand_gbps + 1e-12);
+    }
+    total += demands[i].demand_gbps;
+  }
+  EXPECT_EQ(demands.size(), 11u * 10u);  // every ordered pair
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(Gravity, TopPairsTruncates) {
+  const Topology t = abilene();
+  util::Rng rng(8);
+  const auto demands = gravity_demands(t, rng, 100.0, 7);
+  EXPECT_EQ(demands.size(), 7u);
+}
+
+TEST(Gravity, FeedsTheAllocatorEndToEnd) {
+  util::Rng rng(31);
+  const Topology t = waxman_wan(rng, 10, 0.6, 0.6);
+  const auto demands = gravity_demands(t, rng, 30.0, 8);
+  std::vector<FlowRequest> requests;
+  for (const Demand& d : demands) {
+    requests.push_back(make_request(
+        t, Flow{.src = d.src, .dst = d.dst, .demand_gbps = d.demand_gbps}, 3));
+  }
+  const Allocation a = max_throughput(t, requests);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GT(a.total_throughput_gbps, 0);
+}
+
+}  // namespace
+}  // namespace compsynth::te

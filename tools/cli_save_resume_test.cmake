@@ -1,0 +1,26 @@
+# CTest script: run a budgeted session, save it, resume it to convergence.
+set(SESSION "${WORKDIR}/session.prefs")
+set(TARGET_EXPR "if throughput >= 2 && latency <= 60 then throughput - 2*throughput*latency + 1000 else throughput - 4*throughput*latency")
+
+execute_process(
+  COMMAND "${CLI}" "${SKETCH}" --backend grid --quiet --seed 5
+          --max-iters 4 --save "${SESSION}" --target "${TARGET_EXPR}"
+  RESULT_VARIABLE first_status)
+# 3 = iteration budget exhausted (expected for the interrupted session).
+if(NOT first_status EQUAL 3)
+  message(FATAL_ERROR "budgeted run: expected exit 3, got ${first_status}")
+endif()
+if(NOT EXISTS "${SESSION}")
+  message(FATAL_ERROR "session file was not written")
+endif()
+
+execute_process(
+  COMMAND "${CLI}" "${SKETCH}" --backend grid --quiet --seed 6
+          --resume "${SESSION}" --target "${TARGET_EXPR}"
+  RESULT_VARIABLE second_status OUTPUT_VARIABLE out)
+if(NOT second_status EQUAL 0)
+  message(FATAL_ERROR "resumed run: expected convergence (0), got ${second_status}")
+endif()
+if(NOT out MATCHES "converged")
+  message(FATAL_ERROR "resumed run did not report convergence: ${out}")
+endif()

@@ -1,0 +1,201 @@
+// compsynth_cli — command-line driver for comparative synthesis.
+//
+// Usage:
+//   compsynth_cli <sketch-file> [options]
+//
+// Options:
+//   --target <expr>     simulate the user with a latent objective given as a
+//                       DSL expression over the sketch's metrics
+//                       (e.g. --target "throughput - 2*latency");
+//                       without it, YOU answer preference queries (1/2/=)
+//   --backend z3|grid   candidate finder (default: z3, the paper's engine)
+//   --pairs <k>         scenario pairs ranked per iteration (default 1)
+//   --initial <n>       initial random scenarios (default 5)
+//   --max-iters <n>     interaction budget (default 500)
+//   --seed <n>          RNG seed (default 1)
+//   --resume <file>     load a saved preference graph before starting
+//   --save <file>       write the final preference graph for later resume
+//   --quiet             suppress the per-iteration transcript
+//
+// Exit status: 0 on convergence, 2 when the answers contradict the sketch,
+// 3 on iteration budget exhaustion, 4 on solver give-up, 1 on usage errors.
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "oracle/ground_truth.h"
+#include "oracle/variants.h"
+#include "pref/serialize.h"
+#include "sketch/parser.h"
+#include "sketch/printer.h"
+#include "synth/synthesizer.h"
+
+namespace {
+
+using namespace compsynth;
+
+struct Options {
+  std::string sketch_path;
+  std::optional<std::string> target_expr;
+  std::string backend = "z3";
+  std::optional<std::string> resume_path;
+  std::optional<std::string> save_path;
+  synth::SynthesisConfig config;
+  bool quiet = false;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: compsynth_cli <sketch-file> [--target <expr>] [--backend z3|grid]\n"
+        "       [--pairs k] [--initial n] [--max-iters n] [--seed n]\n"
+        "       [--resume file] [--save file] [--quiet]\n";
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  auto need_value = [&](int& i) -> std::optional<std::string> {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a value\n";
+      return std::nullopt;
+    }
+    return std::string(argv[++i]);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return std::nullopt;
+    if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--target") {
+      if (auto v = need_value(i)) opt.target_expr = *v; else return std::nullopt;
+    } else if (arg == "--backend") {
+      if (auto v = need_value(i)) opt.backend = *v; else return std::nullopt;
+      if (opt.backend != "z3" && opt.backend != "grid") {
+        std::cerr << "unknown backend '" << opt.backend << "'\n";
+        return std::nullopt;
+      }
+    } else if (arg == "--pairs") {
+      if (auto v = need_value(i)) opt.config.pairs_per_iteration = std::stoi(*v);
+      else return std::nullopt;
+    } else if (arg == "--initial") {
+      if (auto v = need_value(i)) opt.config.initial_scenarios = std::stoi(*v);
+      else return std::nullopt;
+    } else if (arg == "--max-iters") {
+      if (auto v = need_value(i)) opt.config.max_iterations = std::stoi(*v);
+      else return std::nullopt;
+    } else if (arg == "--seed") {
+      if (auto v = need_value(i)) opt.config.seed = std::stoull(*v);
+      else return std::nullopt;
+    } else if (arg == "--resume") {
+      if (auto v = need_value(i)) opt.resume_path = *v; else return std::nullopt;
+    } else if (arg == "--save") {
+      if (auto v = need_value(i)) opt.save_path = *v; else return std::nullopt;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return std::nullopt;
+    } else if (opt.sketch_path.empty()) {
+      opt.sketch_path = arg;
+    } else {
+      std::cerr << "unexpected argument '" << arg << "'\n";
+      return std::nullopt;
+    }
+  }
+  if (opt.sketch_path.empty()) {
+    std::cerr << "missing sketch file\n";
+    return std::nullopt;
+  }
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::optional<Options> opt = parse_args(argc, argv);
+  if (!opt) {
+    usage(std::cerr);
+    return 1;
+  }
+
+  try {
+    const sketch::Sketch sk = sketch::parse_sketch(read_file(opt->sketch_path));
+    if (!opt->quiet) {
+      std::cout << "loaded sketch '" << sk.name() << "' ("
+                << sk.candidate_space_size() << " candidates)\n";
+    }
+
+    std::unique_ptr<oracle::Oracle> user;
+    if (opt->target_expr) {
+      user = std::make_unique<oracle::GroundTruthOracle>(
+          sk, sketch::parse_expr(*opt->target_expr, sk),
+          opt->config.finder.tie_tolerance);
+    } else {
+      user = std::make_unique<oracle::InteractiveOracle>(sk, std::cin, std::cout);
+    }
+
+    synth::Synthesizer synthesizer =
+        opt->backend == "grid" ? synth::make_grid_synthesizer(sk, opt->config)
+                               : synth::make_z3_synthesizer(sk, opt->config);
+
+    pref::PreferenceGraph initial(opt->config.tolerate_inconsistency);
+    if (opt->resume_path) {
+      std::ifstream in(*opt->resume_path);
+      if (!in) throw std::runtime_error("cannot open '" + *opt->resume_path + "'");
+      initial = pref::deserialize(in, opt->config.tolerate_inconsistency);
+      if (!opt->quiet) {
+        std::cout << "resumed session: " << initial.vertex_count()
+                  << " scenarios, " << initial.edges().size() << " preferences\n";
+      }
+    }
+
+    const synth::SynthesisResult result = synthesizer.run(*user, std::move(initial));
+
+    if (!opt->quiet) {
+      for (const synth::IterationRecord& it : result.transcript) {
+        std::cout << "iteration " << it.index << ": " << it.solver_seconds
+                  << " s, " << it.pairs_presented << " pair(s)\n";
+      }
+    }
+    std::cout << "iterations: " << result.iterations
+              << "  user answers: " << result.oracle_comparisons
+              << "  solver time: " << result.total_solver_seconds << " s\n";
+
+    if (opt->save_path) {
+      std::ofstream out(*opt->save_path);
+      if (!out) throw std::runtime_error("cannot write '" + *opt->save_path + "'");
+      pref::serialize(result.graph, out);
+      std::cout << "session saved to " << *opt->save_path << "\n";
+    }
+
+    switch (result.status) {
+      case synth::SynthesisStatus::kConverged:
+        std::cout << "converged:\n  "
+                  << sketch::print_instantiated(sk, *result.objective) << "\n";
+        return 0;
+      case synth::SynthesisStatus::kIterationLimit:
+        std::cout << "iteration budget exhausted; best consistent candidate:\n";
+        if (result.objective) {
+          std::cout << "  " << sketch::print_instantiated(sk, *result.objective)
+                    << "\n";
+        }
+        return 3;
+      case synth::SynthesisStatus::kNoCandidate:
+        std::cout << "the answers contradict every instance of this sketch\n";
+        return 2;
+      case synth::SynthesisStatus::kSolverGaveUp:
+        std::cout << "solver gave up\n";
+        return 4;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return 1;
+}
