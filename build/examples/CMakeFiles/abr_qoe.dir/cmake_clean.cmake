@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abr_qoe.dir/abr_qoe.cpp.o"
+  "CMakeFiles/abr_qoe.dir/abr_qoe.cpp.o.d"
+  "abr_qoe"
+  "abr_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abr_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

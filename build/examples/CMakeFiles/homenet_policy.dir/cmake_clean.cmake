@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/homenet_policy.dir/homenet_policy.cpp.o"
+  "CMakeFiles/homenet_policy.dir/homenet_policy.cpp.o.d"
+  "homenet_policy"
+  "homenet_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/homenet_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

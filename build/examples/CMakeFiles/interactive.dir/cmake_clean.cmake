@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interactive.dir/interactive.cpp.o"
+  "CMakeFiles/interactive.dir/interactive.cpp.o.d"
+  "interactive"
+  "interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

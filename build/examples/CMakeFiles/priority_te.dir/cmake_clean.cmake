@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_te.dir/priority_te.cpp.o"
+  "CMakeFiles/priority_te.dir/priority_te.cpp.o.d"
+  "priority_te"
+  "priority_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

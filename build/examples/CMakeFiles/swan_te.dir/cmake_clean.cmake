@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swan_te.dir/swan_te.cpp.o"
+  "CMakeFiles/swan_te.dir/swan_te.cpp.o.d"
+  "swan_te"
+  "swan_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swan_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

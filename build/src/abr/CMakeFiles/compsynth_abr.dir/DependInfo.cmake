@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/abr/algorithms.cpp" "src/abr/CMakeFiles/compsynth_abr.dir/algorithms.cpp.o" "gcc" "src/abr/CMakeFiles/compsynth_abr.dir/algorithms.cpp.o.d"
+  "/root/repo/src/abr/qoe.cpp" "src/abr/CMakeFiles/compsynth_abr.dir/qoe.cpp.o" "gcc" "src/abr/CMakeFiles/compsynth_abr.dir/qoe.cpp.o.d"
+  "/root/repo/src/abr/simulator.cpp" "src/abr/CMakeFiles/compsynth_abr.dir/simulator.cpp.o" "gcc" "src/abr/CMakeFiles/compsynth_abr.dir/simulator.cpp.o.d"
+  "/root/repo/src/abr/trace.cpp" "src/abr/CMakeFiles/compsynth_abr.dir/trace.cpp.o" "gcc" "src/abr/CMakeFiles/compsynth_abr.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pref/CMakeFiles/compsynth_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_abr.dir/algorithms.cpp.o"
+  "CMakeFiles/compsynth_abr.dir/algorithms.cpp.o.d"
+  "CMakeFiles/compsynth_abr.dir/qoe.cpp.o"
+  "CMakeFiles/compsynth_abr.dir/qoe.cpp.o.d"
+  "CMakeFiles/compsynth_abr.dir/simulator.cpp.o"
+  "CMakeFiles/compsynth_abr.dir/simulator.cpp.o.d"
+  "CMakeFiles/compsynth_abr.dir/trace.cpp.o"
+  "CMakeFiles/compsynth_abr.dir/trace.cpp.o.d"
+  "libcompsynth_abr.a"
+  "libcompsynth_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

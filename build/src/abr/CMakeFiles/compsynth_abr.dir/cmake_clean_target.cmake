@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcompsynth_abr.a"
+)

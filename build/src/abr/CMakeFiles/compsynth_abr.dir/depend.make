@@ -1,0 +1,2 @@
+# Empty dependencies file for compsynth_abr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_homenet.dir/policy.cpp.o"
+  "CMakeFiles/compsynth_homenet.dir/policy.cpp.o.d"
+  "libcompsynth_homenet.a"
+  "libcompsynth_homenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_homenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

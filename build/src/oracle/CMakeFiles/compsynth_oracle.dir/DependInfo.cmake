@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/oracle/ground_truth.cpp" "src/oracle/CMakeFiles/compsynth_oracle.dir/ground_truth.cpp.o" "gcc" "src/oracle/CMakeFiles/compsynth_oracle.dir/ground_truth.cpp.o.d"
+  "/root/repo/src/oracle/oracle.cpp" "src/oracle/CMakeFiles/compsynth_oracle.dir/oracle.cpp.o" "gcc" "src/oracle/CMakeFiles/compsynth_oracle.dir/oracle.cpp.o.d"
+  "/root/repo/src/oracle/variants.cpp" "src/oracle/CMakeFiles/compsynth_oracle.dir/variants.cpp.o" "gcc" "src/oracle/CMakeFiles/compsynth_oracle.dir/variants.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pref/CMakeFiles/compsynth_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

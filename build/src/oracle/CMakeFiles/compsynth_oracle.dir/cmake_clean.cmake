@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_oracle.dir/ground_truth.cpp.o"
+  "CMakeFiles/compsynth_oracle.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/compsynth_oracle.dir/oracle.cpp.o"
+  "CMakeFiles/compsynth_oracle.dir/oracle.cpp.o.d"
+  "CMakeFiles/compsynth_oracle.dir/variants.cpp.o"
+  "CMakeFiles/compsynth_oracle.dir/variants.cpp.o.d"
+  "libcompsynth_oracle.a"
+  "libcompsynth_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pref/graph.cpp" "src/pref/CMakeFiles/compsynth_pref.dir/graph.cpp.o" "gcc" "src/pref/CMakeFiles/compsynth_pref.dir/graph.cpp.o.d"
+  "/root/repo/src/pref/scenario.cpp" "src/pref/CMakeFiles/compsynth_pref.dir/scenario.cpp.o" "gcc" "src/pref/CMakeFiles/compsynth_pref.dir/scenario.cpp.o.d"
+  "/root/repo/src/pref/serialize.cpp" "src/pref/CMakeFiles/compsynth_pref.dir/serialize.cpp.o" "gcc" "src/pref/CMakeFiles/compsynth_pref.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

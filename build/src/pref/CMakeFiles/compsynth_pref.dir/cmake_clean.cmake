@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_pref.dir/graph.cpp.o"
+  "CMakeFiles/compsynth_pref.dir/graph.cpp.o.d"
+  "CMakeFiles/compsynth_pref.dir/scenario.cpp.o"
+  "CMakeFiles/compsynth_pref.dir/scenario.cpp.o.d"
+  "CMakeFiles/compsynth_pref.dir/serialize.cpp.o"
+  "CMakeFiles/compsynth_pref.dir/serialize.cpp.o.d"
+  "libcompsynth_pref.a"
+  "libcompsynth_pref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_pref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sketch/ast.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/ast.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/ast.cpp.o.d"
+  "/root/repo/src/sketch/eval.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/eval.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/eval.cpp.o.d"
+  "/root/repo/src/sketch/lexer.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/lexer.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/lexer.cpp.o.d"
+  "/root/repo/src/sketch/library.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/library.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/library.cpp.o.d"
+  "/root/repo/src/sketch/parser.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/parser.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/parser.cpp.o.d"
+  "/root/repo/src/sketch/printer.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/printer.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/printer.cpp.o.d"
+  "/root/repo/src/sketch/typecheck.cpp" "src/sketch/CMakeFiles/compsynth_sketch.dir/typecheck.cpp.o" "gcc" "src/sketch/CMakeFiles/compsynth_sketch.dir/typecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

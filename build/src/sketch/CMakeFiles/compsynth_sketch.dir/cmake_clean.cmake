@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_sketch.dir/ast.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/ast.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/eval.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/eval.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/lexer.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/lexer.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/library.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/library.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/parser.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/parser.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/printer.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/printer.cpp.o.d"
+  "CMakeFiles/compsynth_sketch.dir/typecheck.cpp.o"
+  "CMakeFiles/compsynth_sketch.dir/typecheck.cpp.o.d"
+  "libcompsynth_sketch.a"
+  "libcompsynth_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/domain.cpp" "src/solver/CMakeFiles/compsynth_solver.dir/domain.cpp.o" "gcc" "src/solver/CMakeFiles/compsynth_solver.dir/domain.cpp.o.d"
+  "/root/repo/src/solver/equivalence.cpp" "src/solver/CMakeFiles/compsynth_solver.dir/equivalence.cpp.o" "gcc" "src/solver/CMakeFiles/compsynth_solver.dir/equivalence.cpp.o.d"
+  "/root/repo/src/solver/grid_finder.cpp" "src/solver/CMakeFiles/compsynth_solver.dir/grid_finder.cpp.o" "gcc" "src/solver/CMakeFiles/compsynth_solver.dir/grid_finder.cpp.o.d"
+  "/root/repo/src/solver/z3_encoder.cpp" "src/solver/CMakeFiles/compsynth_solver.dir/z3_encoder.cpp.o" "gcc" "src/solver/CMakeFiles/compsynth_solver.dir/z3_encoder.cpp.o.d"
+  "/root/repo/src/solver/z3_finder.cpp" "src/solver/CMakeFiles/compsynth_solver.dir/z3_finder.cpp.o" "gcc" "src/solver/CMakeFiles/compsynth_solver.dir/z3_finder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/pref/CMakeFiles/compsynth_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_solver.dir/domain.cpp.o"
+  "CMakeFiles/compsynth_solver.dir/domain.cpp.o.d"
+  "CMakeFiles/compsynth_solver.dir/equivalence.cpp.o"
+  "CMakeFiles/compsynth_solver.dir/equivalence.cpp.o.d"
+  "CMakeFiles/compsynth_solver.dir/grid_finder.cpp.o"
+  "CMakeFiles/compsynth_solver.dir/grid_finder.cpp.o.d"
+  "CMakeFiles/compsynth_solver.dir/z3_encoder.cpp.o"
+  "CMakeFiles/compsynth_solver.dir/z3_encoder.cpp.o.d"
+  "CMakeFiles/compsynth_solver.dir/z3_finder.cpp.o"
+  "CMakeFiles/compsynth_solver.dir/z3_finder.cpp.o.d"
+  "libcompsynth_solver.a"
+  "libcompsynth_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_synth.dir/experiment.cpp.o"
+  "CMakeFiles/compsynth_synth.dir/experiment.cpp.o.d"
+  "CMakeFiles/compsynth_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/compsynth_synth.dir/synthesizer.cpp.o.d"
+  "libcompsynth_synth.a"
+  "libcompsynth_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/te/allocator.cpp" "src/te/CMakeFiles/compsynth_te.dir/allocator.cpp.o" "gcc" "src/te/CMakeFiles/compsynth_te.dir/allocator.cpp.o.d"
+  "/root/repo/src/te/lp/simplex.cpp" "src/te/CMakeFiles/compsynth_te.dir/lp/simplex.cpp.o" "gcc" "src/te/CMakeFiles/compsynth_te.dir/lp/simplex.cpp.o.d"
+  "/root/repo/src/te/scenario_gen.cpp" "src/te/CMakeFiles/compsynth_te.dir/scenario_gen.cpp.o" "gcc" "src/te/CMakeFiles/compsynth_te.dir/scenario_gen.cpp.o.d"
+  "/root/repo/src/te/topology.cpp" "src/te/CMakeFiles/compsynth_te.dir/topology.cpp.o" "gcc" "src/te/CMakeFiles/compsynth_te.dir/topology.cpp.o.d"
+  "/root/repo/src/te/tunnel.cpp" "src/te/CMakeFiles/compsynth_te.dir/tunnel.cpp.o" "gcc" "src/te/CMakeFiles/compsynth_te.dir/tunnel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pref/CMakeFiles/compsynth_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_te.dir/allocator.cpp.o"
+  "CMakeFiles/compsynth_te.dir/allocator.cpp.o.d"
+  "CMakeFiles/compsynth_te.dir/lp/simplex.cpp.o"
+  "CMakeFiles/compsynth_te.dir/lp/simplex.cpp.o.d"
+  "CMakeFiles/compsynth_te.dir/scenario_gen.cpp.o"
+  "CMakeFiles/compsynth_te.dir/scenario_gen.cpp.o.d"
+  "CMakeFiles/compsynth_te.dir/topology.cpp.o"
+  "CMakeFiles/compsynth_te.dir/topology.cpp.o.d"
+  "CMakeFiles/compsynth_te.dir/tunnel.cpp.o"
+  "CMakeFiles/compsynth_te.dir/tunnel.cpp.o.d"
+  "libcompsynth_te.a"
+  "libcompsynth_te.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_te.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for compsynth_te.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_util.dir/log.cpp.o"
+  "CMakeFiles/compsynth_util.dir/log.cpp.o.d"
+  "CMakeFiles/compsynth_util.dir/stats.cpp.o"
+  "CMakeFiles/compsynth_util.dir/stats.cpp.o.d"
+  "CMakeFiles/compsynth_util.dir/table.cpp.o"
+  "CMakeFiles/compsynth_util.dir/table.cpp.o.d"
+  "libcompsynth_util.a"
+  "libcompsynth_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_synth.dir/abr_synth_integration_test.cpp.o"
+  "CMakeFiles/test_abr_synth.dir/abr_synth_integration_test.cpp.o.d"
+  "test_abr_synth"
+  "test_abr_synth.pdb"
+  "test_abr_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

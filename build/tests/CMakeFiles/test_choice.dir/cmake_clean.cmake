@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_choice.dir/choice_test.cpp.o"
+  "CMakeFiles/test_choice.dir/choice_test.cpp.o.d"
+  "test_choice"
+  "test_choice.pdb"
+  "test_choice[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homenet.dir/homenet_test.cpp.o"
+  "CMakeFiles/test_homenet.dir/homenet_test.cpp.o.d"
+  "test_homenet"
+  "test_homenet.pdb"
+  "test_homenet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pref.dir/pref_test.cpp.o"
+  "CMakeFiles/test_pref.dir/pref_test.cpp.o.d"
+  "test_pref"
+  "test_pref.pdb"
+  "test_pref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

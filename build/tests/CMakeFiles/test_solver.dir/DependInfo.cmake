@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/solver_test.cpp" "tests/CMakeFiles/test_solver.dir/solver_test.cpp.o" "gcc" "tests/CMakeFiles/test_solver.dir/solver_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/synth/CMakeFiles/compsynth_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/compsynth_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/oracle/CMakeFiles/compsynth_oracle.dir/DependInfo.cmake"
+  "/root/repo/build/src/pref/CMakeFiles/compsynth_pref.dir/DependInfo.cmake"
+  "/root/repo/build/src/sketch/CMakeFiles/compsynth_sketch.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/compsynth_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

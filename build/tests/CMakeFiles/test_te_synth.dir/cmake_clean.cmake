@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_te_synth.dir/te_synth_integration_test.cpp.o"
+  "CMakeFiles/test_te_synth.dir/te_synth_integration_test.cpp.o.d"
+  "test_te_synth"
+  "test_te_synth.pdb"
+  "test_te_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_te_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

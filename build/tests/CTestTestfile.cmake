@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_sketch[1]_include.cmake")
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_simplex[1]_include.cmake")
+include("/root/repo/build/tests/test_te[1]_include.cmake")
+include("/root/repo/build/tests/test_pref[1]_include.cmake")
+include("/root/repo/build/tests/test_oracle[1]_include.cmake")
+include("/root/repo/build/tests/test_solver[1]_include.cmake")
+include("/root/repo/build/tests/test_abr[1]_include.cmake")
+include("/root/repo/build/tests/test_homenet[1]_include.cmake")
+include("/root/repo/build/tests/test_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_choice[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize[1]_include.cmake")
+include("/root/repo/build/tests/test_te_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_abr_synth[1]_include.cmake")
+include("/root/repo/build/tests/test_domain[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzz[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compsynth_cli.dir/compsynth_cli.cpp.o"
+  "CMakeFiles/compsynth_cli.dir/compsynth_cli.cpp.o.d"
+  "compsynth_cli"
+  "compsynth_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compsynth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

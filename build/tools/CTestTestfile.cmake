@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_grid_synthesis "/root/repo/build/tools/compsynth_cli" "/root/repo/tools/sketches/swan.sketch" "--backend" "grid" "--quiet" "--seed" "9" "--target" "if throughput >= 1 && latency <= 50 then throughput - throughput*latency + 1000 else throughput - 5*throughput*latency")
+set_tests_properties(cli_grid_synthesis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_save_resume "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/compsynth_cli" "-DSKETCH=/root/repo/tools/sketches/swan.sketch" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/cli_save_resume_test.cmake")
+set_tests_properties(cli_save_resume PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_usage "/root/repo/build/tools/compsynth_cli")
+set_tests_properties(cli_rejects_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
