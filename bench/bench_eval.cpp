@@ -1,0 +1,371 @@
+// Microbenchmark for the sketch evaluators and the GridFinder version-space
+// engine on the SWAN Table-1 workload (Fig. 2a sketch, Fig. 2b target).
+//
+// Three configurations are compared at identical results (the survivor sets
+// must match exactly or the bench fails):
+//   tree      — recursive AST interpreter, single-threaded (the seed's code)
+//   compiled  — flat-tape stack machine (sketch/compile.h), single-threaded
+//   parallel  — compiled evaluator + thread-pool sharding (the default)
+// measuring raw evaluation throughput, a full version-space rebuild
+// (GridFinder::sync from scratch over the 54,571-candidate SWAN grid) and an
+// incremental filter after new answers arrive.
+//
+// Usage:
+//   bench_eval [--out PATH]   full run; writes BENCH_eval.json (default PATH)
+//   bench_eval --smoke        quick correctness pass for CTest — exercises
+//                             every code path (incl. under TSan/ASan builds)
+//                             and fails on any survivor-set mismatch, but
+//                             does not time or write JSON.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "oracle/ground_truth.h"
+#include "pref/graph.h"
+#include "sketch/compile.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "solver/grid_finder.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace compsynth::bench {
+namespace {
+
+using solver::EvalBackend;
+using solver::GridFinder;
+using solver::GridFinderConfig;
+
+// Answers every pair touching a newly interned scenario, growing the graph
+// append-only like the real interaction loop does.
+void grow_graph(pref::PreferenceGraph& graph,
+                std::vector<pref::VertexId>& vertices, int n_new,
+                oracle::GroundTruthOracle& user, util::Rng& rng) {
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  const std::size_t old_count = vertices.size();
+  for (int i = 0; i < n_new; ++i) {
+    pref::Scenario s;
+    for (const auto& m : sk.metrics()) {
+      s.metrics.push_back(rng.uniform_real(m.lo, m.hi));
+    }
+    vertices.push_back(graph.intern(s));
+  }
+  for (std::size_t j = old_count; j < vertices.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const auto pref = user.compare(graph.scenario(vertices[i]),
+                                     graph.scenario(vertices[j]));
+      if (pref == oracle::Preference::kFirst) {
+        graph.add_preference(vertices[i], vertices[j]);
+      } else if (pref == oracle::Preference::kSecond) {
+        graph.add_preference(vertices[j], vertices[i]);
+      } else {
+        graph.add_tie(vertices[i], vertices[j]);
+      }
+    }
+  }
+}
+
+// The seed's sync loop, reproduced verbatim as the baseline: recursive tree
+// interpreter, both endpoint objectives recomputed for every edge and tie,
+// no memoization across constraints. The new engine (GridFinder::sync) is
+// measured against this, which is what the code did before compilation,
+// memoization and sharding were introduced.
+std::vector<sketch::HoleAssignment> legacy_tree_sync(
+    const pref::PreferenceGraph& graph) {
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  const double tie_bound = solver::FinderConfig{}.tie_tolerance + 1e-9;
+  std::vector<sketch::HoleAssignment> survivors;
+  sketch::HoleAssignment cursor;
+  cursor.index.assign(sk.holes().size(), 0);
+  for (;;) {
+    const std::vector<double> values = sk.hole_values(cursor);
+    bool ok = true;
+    for (const pref::Edge& e : graph.edges()) {
+      const double better = sketch::eval_with_values(
+          sk, values, graph.scenario(e.better).metrics);
+      const double worse = sketch::eval_with_values(
+          sk, values, graph.scenario(e.worse).metrics);
+      if (!(better > worse)) { ok = false; break; }
+    }
+    if (ok) {
+      for (const auto& t : graph.ties()) {
+        const double fu = sketch::eval_with_values(
+            sk, values, graph.scenario(t.first).metrics);
+        const double fv = sketch::eval_with_values(
+            sk, values, graph.scenario(t.second).metrics);
+        if (std::abs(fu - fv) > tie_bound) { ok = false; break; }
+      }
+    }
+    if (ok) survivors.push_back(cursor);
+    std::size_t pos = 0;
+    while (pos < cursor.index.size()) {
+      if (++cursor.index[pos] < sk.holes()[pos].count) break;
+      cursor.index[pos] = 0;
+      ++pos;
+    }
+    if (pos == cursor.index.size()) break;
+  }
+  return survivors;
+}
+
+GridFinder make_finder(EvalBackend backend, int threads) {
+  GridFinderConfig config;
+  config.eval_backend = backend;
+  config.threads = threads;
+  return GridFinder(sketch::swan_sketch(), config);
+}
+
+std::vector<sketch::HoleAssignment> assignments_of(const GridFinder& finder) {
+  std::vector<sketch::HoleAssignment> out;
+  out.reserve(finder.survivors().size());
+  for (const solver::Survivor& s : finder.survivors()) {
+    out.push_back(s.assignment);
+  }
+  return out;
+}
+
+// Best-of-reps wall time of one full sync from scratch.
+double time_full_sync(EvalBackend backend, int threads,
+                      const pref::PreferenceGraph& graph, int reps,
+                      std::vector<sketch::HoleAssignment>* survivors_out) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    GridFinder finder = make_finder(backend, threads);
+    util::Stopwatch watch;
+    finder.sync(graph);
+    best = std::min(best, watch.elapsed_seconds());
+    if (survivors_out != nullptr && r == 0) *survivors_out = assignments_of(finder);
+  }
+  return best;
+}
+
+// Best-of-reps wall time of the incremental filter from `before` to `after`
+// (`after` must extend `before` append-only).
+double time_incremental_sync(EvalBackend backend, int threads,
+                             const pref::PreferenceGraph& before,
+                             const pref::PreferenceGraph& after, int reps,
+                             std::vector<sketch::HoleAssignment>* survivors_out) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    GridFinder finder = make_finder(backend, threads);
+    finder.sync(before);
+    util::Stopwatch watch;
+    finder.sync(after);
+    best = std::min(best, watch.elapsed_seconds());
+    if (survivors_out != nullptr && r == 0) *survivors_out = assignments_of(finder);
+  }
+  return best;
+}
+
+// Raw evaluator throughput over (candidate, scenario) pairs, evals/second.
+struct EvalThroughput {
+  double tree = 0;
+  double compiled = 0;
+  double compiled_batched = 0;
+};
+
+EvalThroughput measure_eval_throughput(int n_candidates, int n_scenarios,
+                                       int reps) {
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  const sketch::CompiledSketch compiled(sk);
+  util::Rng rng(4242);
+
+  std::vector<std::vector<double>> candidates;
+  for (int c = 0; c < n_candidates; ++c) {
+    sketch::HoleAssignment a;
+    for (const auto& h : sk.holes()) a.index.push_back(rng.uniform_int(0, h.count - 1));
+    candidates.push_back(sk.hole_values(a));
+  }
+  const std::size_t width = sk.metrics().size();
+  std::vector<double> flat(static_cast<std::size_t>(n_scenarios) * width);
+  for (double& v : flat) v = rng.uniform_real(0, 10);
+
+  const double total_evals =
+      static_cast<double>(n_candidates) * n_scenarios * reps;
+  double sink = 0;  // defeats dead-code elimination
+
+  util::Stopwatch tree_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& holes : candidates) {
+      for (int s = 0; s < n_scenarios; ++s) {
+        sink += sketch::eval_with_values(
+            sk, holes,
+            std::span<const double>(flat).subspan(
+                static_cast<std::size_t>(s) * width, width));
+      }
+    }
+  }
+  const double tree_seconds = tree_watch.elapsed_seconds();
+
+  util::Stopwatch tape_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& holes : candidates) {
+      for (int s = 0; s < n_scenarios; ++s) {
+        sink += compiled.eval(
+            std::span<const double>(flat).subspan(
+                static_cast<std::size_t>(s) * width, width),
+            holes);
+      }
+    }
+  }
+  const double tape_seconds = tape_watch.elapsed_seconds();
+
+  std::vector<double> out(static_cast<std::size_t>(n_scenarios));
+  util::Stopwatch batch_watch;
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& holes : candidates) {
+      compiled.eval_many(flat, holes, out);
+      sink += out[0];
+    }
+  }
+  const double batch_seconds = batch_watch.elapsed_seconds();
+
+  if (sink == 42.0) std::cerr << "";  // keep `sink` observable
+
+  EvalThroughput result;
+  result.tree = total_evals / tree_seconds;
+  result.compiled = total_evals / tape_seconds;
+  result.compiled_batched = total_evals / batch_seconds;
+  return result;
+}
+
+int run(bool smoke, const std::string& out_path) {
+  const int initial_scenarios = smoke ? 6 : 16;
+  const int extra_scenarios = smoke ? 4 : 6;
+  const int reps = smoke ? 1 : 5;
+
+  oracle::GroundTruthOracle user(sketch::swan_sketch(), sketch::swan_target());
+  util::Rng rng(20190101);
+  pref::PreferenceGraph graph;
+  std::vector<pref::VertexId> vertices;
+  grow_graph(graph, vertices, initial_scenarios, user, rng);
+  const pref::PreferenceGraph before = graph;  // snapshot for incremental runs
+  grow_graph(graph, vertices, extra_scenarios, user, rng);
+
+  const std::int64_t candidates =
+      sketch::swan_sketch().candidate_space_size();
+  std::cout << "workload: SWAN Table-1 grid (" << candidates << " candidates), "
+            << before.edges().size() << "+"
+            << (graph.edges().size() - before.edges().size()) << " edges, "
+            << before.ties().size() << "+"
+            << (graph.ties().size() - before.ties().size()) << " ties\n";
+
+  // --- Full rebuild ---------------------------------------------------------
+  std::vector<sketch::HoleAssignment> ref;
+  double baseline = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    std::vector<sketch::HoleAssignment> got = legacy_tree_sync(before);
+    baseline = std::min(baseline, watch.elapsed_seconds());
+    if (r == 0) ref = std::move(got);
+  }
+
+  std::vector<sketch::HoleAssignment> got_tree, got_seq, got_par;
+  const double full_tree =
+      time_full_sync(EvalBackend::kTree, 1, before, reps, &got_tree);
+  const double full_compiled =
+      time_full_sync(EvalBackend::kCompiled, 1, before, reps, &got_seq);
+  const double full_parallel =
+      time_full_sync(EvalBackend::kCompiled, 0, before, reps, &got_par);
+  if (got_tree != ref || got_seq != ref || got_par != ref) {
+    std::cerr << "FAIL: survivor sets differ across configurations\n";
+    return 1;
+  }
+  std::cout << "full sync       seed-tree " << baseline << " s, tree(memo) "
+            << full_tree << " s, compiled " << full_compiled
+            << " s, parallel " << full_parallel << " s  (" << ref.size()
+            << " survivors; speedup " << baseline / full_parallel << "x)\n";
+
+  // --- Incremental filter ---------------------------------------------------
+  std::vector<sketch::HoleAssignment> inc_ref, inc_seq, inc_par;
+  const double inc_tree = time_incremental_sync(EvalBackend::kTree, 1, before,
+                                                graph, reps, &inc_ref);
+  const double inc_compiled = time_incremental_sync(
+      EvalBackend::kCompiled, 1, before, graph, reps, &inc_seq);
+  const double inc_parallel = time_incremental_sync(
+      EvalBackend::kCompiled, 0, before, graph, reps, &inc_par);
+  if (inc_seq != inc_ref || inc_par != inc_ref) {
+    std::cerr << "FAIL: incremental survivor sets differ across configurations\n";
+    return 1;
+  }
+  std::cout << "incremental     tree " << inc_tree << " s, compiled "
+            << inc_compiled << " s, parallel " << inc_parallel << " s  ("
+            << inc_ref.size() << " survivors)\n";
+
+  if (smoke) {
+    std::cout << "smoke: all configurations agree\n";
+    return 0;
+  }
+
+  // --- Raw evaluator throughput --------------------------------------------
+  const EvalThroughput throughput = measure_eval_throughput(
+      /*n_candidates=*/64, /*n_scenarios=*/512, /*reps=*/8);
+  std::cout << "eval throughput tree " << throughput.tree / 1e6
+            << " Me/s, compiled " << throughput.compiled / 1e6
+            << " Me/s, batched " << throughput.compiled_batched / 1e6
+            << " Me/s\n";
+
+  const double sync_speedup = baseline / full_parallel;
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "FAIL: cannot write " << out_path << "\n";
+    return 1;
+  }
+  json << "{\n"
+       << "  \"bench\": \"eval\",\n"
+       << "  \"workload\": \"swan_table1\",\n"
+       << "  \"candidates\": " << candidates << ",\n"
+       << "  \"edges\": " << graph.edges().size() << ",\n"
+       << "  \"ties\": " << graph.ties().size() << ",\n"
+       << "  \"threads\": " << util::ThreadPool::shared().size() << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"eval_throughput_per_sec\": {\n"
+       << "    \"tree\": " << throughput.tree << ",\n"
+       << "    \"compiled\": " << throughput.compiled << ",\n"
+       << "    \"compiled_batched\": " << throughput.compiled_batched << "\n"
+       << "  },\n"
+       << "  \"sync_full_seconds\": {\n"
+       << "    \"tree_seed_baseline\": " << baseline << ",\n"
+       << "    \"tree_memoized\": " << full_tree << ",\n"
+       << "    \"compiled\": " << full_compiled << ",\n"
+       << "    \"parallel\": " << full_parallel << "\n"
+       << "  },\n"
+       << "  \"sync_incremental_seconds\": {\n"
+       << "    \"tree\": " << inc_tree << ",\n"
+       << "    \"compiled\": " << inc_compiled << ",\n"
+       << "    \"parallel\": " << inc_parallel << "\n"
+       << "  },\n"
+       << "  \"sync_full_speedup_vs_seed_tree\": " << sync_speedup << ",\n"
+       << "  \"survivor_sets_identical\": true,\n"
+       << "  \"meets_5x_target\": " << (sync_speedup >= 5.0 ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << out_path << " (sync speedup "
+            << sync_speedup << "x vs tree)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace compsynth::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_eval.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_eval [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return compsynth::bench::run(smoke, out_path);
+}

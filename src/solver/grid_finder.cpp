@@ -1,7 +1,9 @@
 #include "solver/grid_finder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -14,11 +16,18 @@ namespace {
 
 constexpr std::int64_t kMaxEnumerableCandidates = 4'000'000;
 
+// Below this many candidates a parallel rebuild costs more in scheduling
+// than it saves; run inline.
+constexpr std::int64_t kMinParallelCandidates = 2048;
+
+constexpr double kNotComputed = std::numeric_limits<double>::quiet_NaN();
+
 }  // namespace
 
 GridFinder::GridFinder(sketch::Sketch sketch, GridFinderConfig config,
                        Viability viability, ScenarioDomain domain)
     : sketch_(std::move(sketch)),
+      compiled_(sketch_),
       config_(config),
       viability_(std::move(viability)),
       domain_(std::move(domain)),
@@ -28,61 +37,183 @@ GridFinder::GridFinder(sketch::Sketch sketch, GridFinderConfig config,
     throw std::invalid_argument(
         "GridFinder: distinguish_margin must exceed tie_tolerance");
   }
+  if (config_.threads < 0) {
+    throw std::invalid_argument("GridFinder: threads must be >= 0");
+  }
   if (sketch_.candidate_space_size() > kMaxEnumerableCandidates) {
     throw std::invalid_argument(
         "GridFinder: hole grid too large to enumerate; use Z3Finder");
   }
+  if (config_.threads > 1) {
+    own_pool_ = std::make_unique<util::ThreadPool>(
+        static_cast<std::size_t>(config_.threads));
+  }
 }
 
-bool GridFinder::consistent(const sketch::HoleAssignment& a,
-                            const pref::PreferenceGraph& graph,
-                            std::size_t first_edge, std::size_t first_tie) const {
-  const std::vector<double> values = sketch_.hole_values(a);
+util::ThreadPool* GridFinder::pool() const {
+  if (config_.threads == 1) return nullptr;
+  if (own_pool_ != nullptr) return own_pool_.get();
+  return &util::ThreadPool::shared();
+}
+
+double GridFinder::objective(std::span<const double> hole_values,
+                             std::span<const double> metrics) const {
+  if (config_.eval_backend == EvalBackend::kCompiled) {
+    return compiled_.eval(metrics, hole_values);
+  }
+  return sketch::eval_with_values(sketch_, hole_values, metrics);
+}
+
+std::vector<double> GridFinder::objective_batch(
+    std::span<const double> hole_values,
+    const std::vector<pref::Scenario>& scenarios) const {
+  std::vector<double> out(scenarios.size());
+  if (config_.eval_backend == EvalBackend::kCompiled) {
+    const std::size_t width = sketch_.metrics().size();
+    std::vector<double> flat(scenarios.size() * width);
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      std::copy(scenarios[i].metrics.begin(), scenarios[i].metrics.end(),
+                flat.begin() + static_cast<std::ptrdiff_t>(i * width));
+    }
+    compiled_.eval_many(flat, hole_values, out);
+  } else {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      out[i] = sketch::eval_with_values(sketch_, hole_values,
+                                        scenarios[i].metrics);
+    }
+  }
+  return out;
+}
+
+double GridFinder::value_at(Survivor& s, const pref::PreferenceGraph& graph,
+                            pref::VertexId v) const {
+  if (v >= s.vertex_values.size()) {
+    s.vertex_values.resize(graph.vertex_count(), kNotComputed);
+  }
+  double& slot = s.vertex_values[v];
+  if (std::isnan(slot)) {
+    slot = objective(s.hole_values, graph.scenario(v).metrics);
+  }
+  return slot;
+}
+
+bool GridFinder::consistent(Survivor& s, const pref::PreferenceGraph& graph,
+                            std::size_t first_edge,
+                            std::size_t first_tie) const {
   const double tie_bound = config_.base.tie_tolerance + 1e-9;
   const auto& edges = graph.edges();
   for (std::size_t i = first_edge; i < edges.size(); ++i) {
-    const double better = sketch::eval_with_values(
-        sketch_, values, graph.scenario(edges[i].better).metrics);
-    const double worse = sketch::eval_with_values(
-        sketch_, values, graph.scenario(edges[i].worse).metrics);
+    const double better = value_at(s, graph, edges[i].better);
+    const double worse = value_at(s, graph, edges[i].worse);
     if (!(better > worse)) return false;
   }
   const auto& ties = graph.ties();
   for (std::size_t i = first_tie; i < ties.size(); ++i) {
-    const double fu =
-        sketch::eval_with_values(sketch_, values, graph.scenario(ties[i].first).metrics);
-    const double fv =
-        sketch::eval_with_values(sketch_, values, graph.scenario(ties[i].second).metrics);
+    const double fu = value_at(s, graph, ties[i].first);
+    const double fv = value_at(s, graph, ties[i].second);
     if (std::abs(fu - fv) > tie_bound) return false;
   }
   return true;
 }
 
+sketch::HoleAssignment GridFinder::assignment_at(std::int64_t linear) const {
+  sketch::HoleAssignment a;
+  a.index.resize(sketch_.holes().size());
+  for (std::size_t i = 0; i < a.index.size(); ++i) {
+    const std::int64_t count = sketch_.holes()[i].count;
+    a.index[i] = linear % count;
+    linear /= count;
+  }
+  return a;
+}
+
+void GridFinder::enumerate_range(std::int64_t lo, std::int64_t hi,
+                                 const pref::PreferenceGraph& graph,
+                                 std::vector<Survivor>& out) const {
+  const std::size_t n_vertices = graph.vertex_count();
+  const auto& holes = sketch_.holes();
+  Survivor scratch;
+  scratch.assignment = assignment_at(lo);
+  scratch.hole_values.resize(holes.size());
+  for (std::int64_t i = lo; i < hi; ++i) {
+    for (std::size_t h = 0; h < holes.size(); ++h) {
+      scratch.hole_values[h] = holes[h].value_at(scratch.assignment.index[h]);
+    }
+    const bool viable =
+        !viability_.concrete || viability_.concrete(scratch.hole_values);
+    if (viable) {
+      scratch.vertex_values.assign(n_vertices, kNotComputed);
+      if (consistent(scratch, graph, 0, 0)) out.push_back(scratch);
+    }
+    // Odometer increment over the grid (index 0 varies fastest, matching
+    // assignment_at's linear decoding).
+    std::size_t pos = 0;
+    while (pos < scratch.assignment.index.size()) {
+      if (++scratch.assignment.index[pos] < holes[pos].count) break;
+      scratch.assignment.index[pos] = 0;
+      ++pos;
+    }
+  }
+}
+
 void GridFinder::sync(const pref::PreferenceGraph& graph) {
   const bool shrunk =
       graph.edges().size() < edges_seen_ || graph.ties().size() < ties_seen_;
+  util::ThreadPool* pool = this->pool();
   if (!initialized_ || shrunk) {
     survivors_.clear();
-    sketch::HoleAssignment cursor;
-    cursor.index.assign(sketch_.holes().size(), 0);
-    for (;;) {
-      const bool viable = !viability_.concrete ||
-                          viability_.concrete(sketch_.hole_values(cursor));
-      if (viable && consistent(cursor, graph, 0, 0)) survivors_.push_back(cursor);
-      // Odometer increment over the grid.
-      std::size_t pos = 0;
-      while (pos < cursor.index.size()) {
-        if (++cursor.index[pos] < sketch_.holes()[pos].count) break;
-        cursor.index[pos] = 0;
-        ++pos;
+    const std::int64_t total = sketch_.candidate_space_size();
+    if (pool == nullptr || total < kMinParallelCandidates) {
+      enumerate_range(0, total, graph, survivors_);
+    } else {
+      // Shard the linear candidate range; concatenating the per-chunk
+      // results in chunk order reproduces the sequential survivor order
+      // exactly, so parallelism never changes the version space.
+      const auto n_chunks = static_cast<std::size_t>(std::min<std::int64_t>(
+          total, static_cast<std::int64_t>(pool->size() * 8)));
+      const std::int64_t chunk =
+          (total + static_cast<std::int64_t>(n_chunks) - 1) /
+          static_cast<std::int64_t>(n_chunks);
+      std::vector<std::vector<Survivor>> parts(n_chunks);
+      pool->parallel_for(0, n_chunks, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t k = lo; k < hi; ++k) {
+          const std::int64_t a = static_cast<std::int64_t>(k) * chunk;
+          const std::int64_t b = std::min<std::int64_t>(total, a + chunk);
+          if (a < b) enumerate_range(a, b, graph, parts[k]);
+        }
+      });
+      std::size_t found = 0;
+      for (const auto& p : parts) found += p.size();
+      survivors_.reserve(found);
+      for (auto& p : parts) {
+        for (Survivor& s : p) survivors_.push_back(std::move(s));
       }
-      if (pos == cursor.index.size()) break;
     }
     initialized_ = true;
-  } else {
-    std::erase_if(survivors_, [&](const sketch::HoleAssignment& a) {
-      return !consistent(a, graph, edges_seen_, ties_seen_);
-    });
+  } else if (graph.edges().size() > edges_seen_ ||
+             graph.ties().size() > ties_seen_) {
+    // Incremental filter: only the new edges/ties are checked, and each
+    // survivor's memoized vertex values mean only newly interned scenarios
+    // are evaluated at all.
+    std::vector<char> keep(survivors_.size(), 1);
+    auto filter = [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        keep[i] =
+            consistent(survivors_[i], graph, edges_seen_, ties_seen_) ? 1 : 0;
+      }
+    };
+    if (pool == nullptr) {
+      filter(0, survivors_.size());
+    } else {
+      pool->parallel_for(0, survivors_.size(), filter, /*min_chunk=*/16);
+    }
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < survivors_.size(); ++i) {
+      if (!keep[i]) continue;
+      if (out != i) survivors_[out] = std::move(survivors_[i]);
+      ++out;
+    }
+    survivors_.resize(out);
   }
   edges_seen_ = graph.edges().size();
   ties_seen_ = graph.ties().size();
@@ -90,12 +221,12 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
             survivors_.size());
 }
 
-std::vector<double> GridFinder::boundary_values(const sketch::HoleAssignment& a,
-                                                std::size_t metric) const {
+std::vector<double> GridFinder::boundary_values(
+    std::span<const double> hole_values, std::size_t metric) const {
   const sketch::MetricSpec& m = sketch_.metrics()[metric];
   const double nudge = (m.hi - m.lo) * 1e-3;
   std::vector<double> out{m.lo, m.hi};
-  for (const double v : sketch_.hole_values(a)) {
+  for (const double v : hole_values) {
     if (v > m.lo && v < m.hi) {
       out.push_back(v);
       out.push_back(std::min(m.hi, v + nudge));
@@ -105,10 +236,8 @@ std::vector<double> GridFinder::boundary_values(const sketch::HoleAssignment& a,
   return out;
 }
 
-std::optional<DistinguishingPair> GridFinder::distinguish(
-    const sketch::HoleAssignment& a, const sketch::HoleAssignment& b) {
-  const std::vector<double> va = sketch_.hole_values(a);
-  const std::vector<double> vb = sketch_.hole_values(b);
+std::optional<DistinguishingPair> GridFinder::distinguish(const Survivor& a,
+                                                          const Survivor& b) {
   const double margin = config_.base.distinguish_margin;
   const std::size_t n_metrics = sketch_.metrics().size();
 
@@ -118,23 +247,34 @@ std::optional<DistinguishingPair> GridFinder::distinguish(
   std::vector<std::vector<double>> boundaries(n_metrics);
   std::size_t cross_size = 1;
   for (std::size_t m = 0; m < n_metrics; ++m) {
-    boundaries[m] = boundary_values(a, m);
-    const std::vector<double> more = boundary_values(b, m);
+    boundaries[m] = boundary_values(a.hole_values, m);
+    const std::vector<double> more = boundary_values(b.hole_values, m);
     boundaries[m].insert(boundaries[m].end(), more.begin(), more.end());
     const sketch::MetricSpec& spec = sketch_.metrics()[m];
     boundaries[m].push_back((spec.lo + spec.hi) / 2);
     std::sort(boundaries[m].begin(), boundaries[m].end());
-    boundaries[m].erase(std::unique(boundaries[m].begin(), boundaries[m].end()),
-                        boundaries[m].end());
+    // Dedupe with a tolerance relative to the metric range: boundary values
+    // from the two candidates often differ only by rounding, and keeping
+    // both would inflate cross_size past the deterministic-pass cutoff.
+    // The tolerance is far below the 1e-3 nudge, so intentionally nudged
+    // points are never merged.
+    const double tol = (spec.hi - spec.lo) * 1e-6;
+    std::size_t kept = 0;
+    for (const double v : boundaries[m]) {
+      if (kept == 0 || v - boundaries[m][kept - 1] > tol) {
+        boundaries[m][kept++] = v;
+      }
+    }
+    boundaries[m].resize(kept);
     cross_size *= boundaries[m].size();
   }
 
   auto check = [&](const pref::Scenario& s1, const pref::Scenario& s2)
       -> std::optional<DistinguishingPair> {
-    const double fa1 = sketch::eval_with_values(sketch_, va, s1.metrics);
-    const double fa2 = sketch::eval_with_values(sketch_, va, s2.metrics);
-    const double fb1 = sketch::eval_with_values(sketch_, vb, s1.metrics);
-    const double fb2 = sketch::eval_with_values(sketch_, vb, s2.metrics);
+    const double fa1 = objective(a.hole_values, s1.metrics);
+    const double fa2 = objective(a.hole_values, s2.metrics);
+    const double fb1 = objective(b.hole_values, s1.metrics);
+    const double fb2 = objective(b.hole_values, s2.metrics);
     if (fa1 >= fa2 + margin && fb2 >= fb1 + margin) {
       return DistinguishingPair{s1, s2};
     }
@@ -167,11 +307,8 @@ std::optional<DistinguishingPair> GridFinder::distinguish(
       if (pos == n_metrics) break;
     }
     // Cache both candidates' values so each pair test is two comparisons.
-    std::vector<double> fa(grid_points.size()), fb(grid_points.size());
-    for (std::size_t i = 0; i < grid_points.size(); ++i) {
-      fa[i] = sketch::eval_with_values(sketch_, va, grid_points[i].metrics);
-      fb[i] = sketch::eval_with_values(sketch_, vb, grid_points[i].metrics);
-    }
+    const std::vector<double> fa = objective_batch(a.hole_values, grid_points);
+    const std::vector<double> fb = objective_batch(b.hole_values, grid_points);
     // Randomize the scan order so repeated calls surface different pairs
     // (the synthesizer wants fresh scenarios each iteration).
     std::vector<std::size_t> order(grid_points.size());
@@ -179,6 +316,7 @@ std::optional<DistinguishingPair> GridFinder::distinguish(
     rng_.shuffle(order);
     for (const std::size_t i : order) {
       for (const std::size_t j : order) {
+        if (i == j) continue;  // a scenario can never distinguish from itself
         if (fa[i] >= fa[j] + margin && fb[j] >= fb[i] + margin) {
           return DistinguishingPair{grid_points[i], grid_points[j]};
         }
@@ -222,7 +360,7 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
   if (survivors_.size() == 1) {
     FinderResult res;
     res.status = FinderStatus::kUniqueRanking;
-    res.candidate_a = survivors_.front();
+    res.candidate_a = survivors_.front().assignment;
     return res;
   }
 
@@ -269,7 +407,7 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
     // uniqueness with an arbitrary representative.
     FinderResult res;
     res.status = FinderStatus::kUniqueRanking;
-    res.candidate_a = survivors_.front();
+    res.candidate_a = survivors_.front().assignment;
     return res;
   }
 
@@ -277,22 +415,33 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
   if (witnesses.size() > 1) {
     // Guaranteed elimination of an answer = survivors inconsistent with it;
     // the worst case over the two strict answers is the witness's value.
+    // Every survivor's hole values are already materialized, and the chunked
+    // counts are plain integer sums, so sharding keeps the score exact.
+    util::ThreadPool* pool = this->pool();
     long best_score = -1;
     for (std::size_t w = 0; w < witnesses.size(); ++w) {
       const auto& p = witnesses[w].pair;
-      long prefer_1 = 0, prefer_2 = 0;
-      for (const sketch::HoleAssignment& cand : survivors_) {
-        const std::vector<double> values = sketch_.hole_values(cand);
-        const double f1 =
-            sketch::eval_with_values(sketch_, values, p.preferred_by_a.metrics);
-        const double f2 =
-            sketch::eval_with_values(sketch_, values, p.preferred_by_b.metrics);
-        if (f1 > f2) ++prefer_1;
-        else if (f2 > f1) ++prefer_2;
+      std::atomic<long> prefer_1{0}, prefer_2{0};
+      auto score = [&](std::size_t lo, std::size_t hi) {
+        long local_1 = 0, local_2 = 0;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Survivor& cand = survivors_[i];
+          const double f1 = objective(cand.hole_values, p.preferred_by_a.metrics);
+          const double f2 = objective(cand.hole_values, p.preferred_by_b.metrics);
+          if (f1 > f2) ++local_1;
+          else if (f2 > f1) ++local_2;
+        }
+        prefer_1 += local_1;
+        prefer_2 += local_2;
+      };
+      if (pool == nullptr) {
+        score(0, survivors_.size());
+      } else {
+        pool->parallel_for(0, survivors_.size(), score, /*min_chunk=*/64);
       }
-      const long score = std::min(prefer_1, prefer_2);
-      if (score > best_score) {
-        best_score = score;
+      const long score_w = std::min(prefer_1.load(), prefer_2.load());
+      if (score_w > best_score) {
+        best_score = score_w;
         chosen = w;
       }
     }
@@ -300,15 +449,17 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
 
   FinderResult res;
   res.status = FinderStatus::kFound;
-  res.candidate_a = survivors_[witnesses[chosen].ia];
-  res.candidate_b = survivors_[witnesses[chosen].ib];
+  const std::size_t chosen_a = witnesses[chosen].ia;
+  const std::size_t chosen_b = witnesses[chosen].ib;
+  res.candidate_a = survivors_[chosen_a].assignment;
+  res.candidate_b = survivors_[chosen_b].assignment;
   res.pairs.push_back(std::move(witnesses[chosen].pair));
 
   // Additional pairs (Fig. 4 protocol) come from the same candidate pair.
   for (int tries = 0;
        static_cast<int>(res.pairs.size()) < num_pairs && tries < 4 * num_pairs;
        ++tries) {
-    const auto pair = distinguish(res.candidate_a, res.candidate_b);
+    const auto pair = distinguish(survivors_[chosen_a], survivors_[chosen_b]);
     if (!pair) break;
     const bool duplicate = std::any_of(
         res.pairs.begin(), res.pairs.end(), [&](const DistinguishingPair& p) {
@@ -324,7 +475,7 @@ std::optional<sketch::HoleAssignment> GridFinder::find_consistent(
     const pref::PreferenceGraph& graph) {
   sync(graph);
   if (survivors_.empty()) return std::nullopt;
-  return survivors_.front();
+  return survivors_.front().assignment;
 }
 
 }  // namespace compsynth::solver

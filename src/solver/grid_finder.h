@@ -6,6 +6,15 @@
 // (continuous) metric box plus a structured sweep near the candidates'
 // decision boundaries.
 //
+// The engine is built for bulk scoring: sketches are lowered once to a flat
+// instruction tape (sketch/compile.h) instead of re-walking the AST per
+// evaluation, the initial grid enumeration and the incremental filter are
+// sharded across a thread pool (util/thread_pool.h), each survivor's hole
+// values are materialized once, and survivors memoize their objective value
+// at every interned graph vertex so re-filtering after new answers touches
+// only the new edges. bench/bench_eval.cpp tracks the speedup over the tree
+// interpreter; tests/compile_test.cpp proves backend equivalence.
+//
 // Compared to Z3Finder:
 //   + no SMT dependency, trivially debuggable, very fast per query;
 //   - its "unique ranking" verdict is approximate (based on a sampling
@@ -16,11 +25,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "sketch/compile.h"
 #include "solver/finder.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace compsynth::solver {
 
@@ -35,6 +48,14 @@ enum class QueryStrategy {
   kBisection,
 };
 
+/// Which evaluator scores candidates. The two are semantically identical
+/// bit-for-bit (differentially tested); kTree exists as the reference
+/// baseline and for perf comparisons in bench_eval.
+enum class EvalBackend {
+  kTree,      // recursive AST interpreter (sketch/eval.h)
+  kCompiled,  // flat-tape stack machine (sketch/compile.h)
+};
+
 struct GridFinderConfig {
   FinderConfig base;
   /// Random scenario pairs examined per candidate pair when hunting for a
@@ -47,6 +68,24 @@ struct GridFinderConfig {
   /// Disagreement witnesses scored per iteration under kBisection.
   int bisection_samples = 12;
   std::uint64_t seed = 0x5eed;
+  EvalBackend eval_backend = EvalBackend::kCompiled;
+  /// Worker threads for sync / filtering / bisection scoring: 0 = the
+  /// process-wide shared pool, 1 = fully sequential, N > 1 = a dedicated
+  /// pool of N. Any Viability::concrete callback must be thread-safe when
+  /// this is not 1 (it is invoked concurrently from the pool).
+  int threads = 0;
+};
+
+/// One version-space member plus everything the engine caches for it.
+struct Survivor {
+  sketch::HoleAssignment assignment;
+  /// assignment mapped through the hole grids, computed exactly once.
+  std::vector<double> hole_values;
+  /// Objective value at each interned graph vertex, filled lazily (NaN =
+  /// not computed yet). Vertices are immutable once interned, so entries
+  /// never need invalidation; incremental filtering only evaluates vertices
+  /// first referenced by new edges/ties.
+  std::vector<double> vertex_values;
 };
 
 class GridFinder final : public CandidateFinder {
@@ -60,26 +99,53 @@ class GridFinder final : public CandidateFinder {
   std::optional<sketch::HoleAssignment> find_consistent(
       const pref::PreferenceGraph& graph) override;
 
+  /// Brings the version space in line with `graph`: full (parallel) grid
+  /// enumeration on first use or after the graph shrank, incremental filter
+  /// over the new edges/ties otherwise. Idempotent; exposed so benches and
+  /// tests can drive/measure it directly.
+  void sync(const pref::PreferenceGraph& graph);
+
   /// Survivors consistent with the most recently seen graph state.
   std::size_t version_space_size() const { return survivors_.size(); }
+  const std::vector<Survivor>& survivors() const { return survivors_; }
 
  private:
-  void sync(const pref::PreferenceGraph& graph);
-  bool consistent(const sketch::HoleAssignment& a,
-                  const pref::PreferenceGraph& graph, std::size_t first_edge,
-                  std::size_t first_tie) const;
-  std::vector<double> boundary_values(const sketch::HoleAssignment& a,
+  bool consistent(Survivor& s, const pref::PreferenceGraph& graph,
+                  std::size_t first_edge, std::size_t first_tie) const;
+  /// The survivor's objective at vertex `v`, memoized in vertex_values.
+  double value_at(Survivor& s, const pref::PreferenceGraph& graph,
+                  pref::VertexId v) const;
+  /// One evaluation through the configured backend.
+  double objective(std::span<const double> hole_values,
+                   std::span<const double> metrics) const;
+  /// Batched evaluation of many scenarios under one candidate.
+  std::vector<double> objective_batch(
+      std::span<const double> hole_values,
+      const std::vector<pref::Scenario>& scenarios) const;
+  /// Decodes a linear candidate index into a hole assignment (index 0 is
+  /// the fastest-varying digit, matching odometer order).
+  sketch::HoleAssignment assignment_at(std::int64_t linear) const;
+  /// Full enumeration of grid candidates [lo, hi) (linear indices),
+  /// appending survivors in order.
+  void enumerate_range(std::int64_t lo, std::int64_t hi,
+                       const pref::PreferenceGraph& graph,
+                       std::vector<Survivor>& out) const;
+  std::vector<double> boundary_values(std::span<const double> hole_values,
                                       std::size_t metric) const;
-  std::optional<DistinguishingPair> distinguish(
-      const sketch::HoleAssignment& a, const sketch::HoleAssignment& b);
+  std::optional<DistinguishingPair> distinguish(const Survivor& a,
+                                                const Survivor& b);
+  /// The pool to shard work over, or nullptr when configured sequential.
+  util::ThreadPool* pool() const;
 
   sketch::Sketch sketch_;
+  sketch::CompiledSketch compiled_;  // must follow sketch_ (init order)
   GridFinderConfig config_;
   Viability viability_;
   ScenarioDomain domain_;
   util::Rng rng_;
+  std::unique_ptr<util::ThreadPool> own_pool_;  // when config_.threads > 1
 
-  std::vector<sketch::HoleAssignment> survivors_;
+  std::vector<Survivor> survivors_;
   bool initialized_ = false;
   std::size_t edges_seen_ = 0;
   std::size_t ties_seen_ = 0;

@@ -209,6 +209,8 @@ Synthesizer make_grid_based(const sketch::Sketch& sketch, SynthesisConfig config
   grid_config.base = config.finder;
   grid_config.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
   grid_config.strategy = strategy;
+  grid_config.eval_backend = config.grid_eval_backend;
+  grid_config.threads = config.grid_threads;
   return Synthesizer(sketch,
                      std::make_unique<solver::GridFinder>(
                          sketch, grid_config, std::move(viability),

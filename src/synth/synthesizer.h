@@ -21,6 +21,7 @@
 #include "pref/graph.h"
 #include "sketch/ast.h"
 #include "solver/finder.h"
+#include "solver/grid_finder.h"
 #include "util/rng.h"
 
 namespace compsynth::synth {
@@ -48,6 +49,13 @@ struct SynthesisConfig {
   /// e.g. an achievable throughput/latency frontier. Applies to both the
   /// initial random scenarios and the solver-proposed distinguishing ones.
   solver::ScenarioDomain scenario_domain;
+
+  /// Evaluator and parallelism for the grid back-end factories (ignored by
+  /// the Z3 back-end): the compiled tape evaluator is the default; kTree
+  /// selects the reference AST interpreter, and grid_threads follows
+  /// GridFinderConfig::threads (0 = shared pool, 1 = sequential).
+  solver::EvalBackend grid_eval_backend = solver::EvalBackend::kCompiled;
+  int grid_threads = 0;
 
   /// Noise handling (§6.1): record contradictory answers instead of
   /// rejecting them, and greedily repair cycles / drop least-trusted answers

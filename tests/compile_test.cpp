@@ -1,0 +1,530 @@
+// Differential tests for the compiled sketch evaluator (sketch/compile.h):
+// the tape must agree with the tree interpreter bit-for-bit — values,
+// division-by-zero throws, kChoice clamping, laziness of untaken branches,
+// and ill-typed-node errors — on every library sketch and on fuzzer-generated
+// ASTs (in the spirit of the klee-mc ExprXChkBuilder oracle pattern, where a
+// fast builder is cross-checked against a reference builder on every query).
+// Also proves GridFinder's backends interchangeable: tree vs compiled,
+// sequential vs parallel, produce identical version spaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "oracle/ground_truth.h"
+#include "pref/graph.h"
+#include "sketch/compile.h"
+#include "sketch/eval.h"
+#include "sketch/library.h"
+#include "sketch/parser.h"
+#include "sketch/printer.h"
+#include "solver/grid_finder.h"
+#include "util/rng.h"
+
+namespace compsynth::sketch {
+namespace {
+
+// Bitwise double equality: NaN == NaN, +0.0 != -0.0. The compiled tape runs
+// the same double operations in the same order as the interpreter, so
+// anything weaker than this would mask a real divergence.
+bool bit_equal(double a, double b) {
+  std::uint64_t ba = 0, bb = 0;
+  std::memcpy(&ba, &a, sizeof(a));
+  std::memcpy(&bb, &b, sizeof(b));
+  return ba == bb;
+}
+
+// Evaluates an expression through both evaluators and asserts identical
+// outcomes: same value (bitwise) or same EvalError message.
+void expect_equivalent(const Expr& body, const CompiledSketch& compiled,
+                       std::span<const double> metrics,
+                       std::span<const double> holes,
+                       const std::string& context) {
+  bool tree_threw = false, tape_threw = false;
+  std::string tree_err, tape_err;
+  double tree_val = 0, tape_val = 0;
+  try {
+    tree_val = eval_numeric(body, metrics, holes);
+  } catch (const EvalError& e) {
+    tree_threw = true;
+    tree_err = e.what();
+  }
+  try {
+    tape_val = compiled.eval(metrics, holes);
+  } catch (const EvalError& e) {
+    tape_threw = true;
+    tape_err = e.what();
+  }
+  ASSERT_EQ(tree_threw, tape_threw) << context;
+  if (tree_threw) {
+    EXPECT_EQ(tree_err, tape_err) << context;
+  } else {
+    EXPECT_TRUE(bit_equal(tree_val, tape_val))
+        << context << "\n tree: " << tree_val << "\n tape: " << tape_val;
+  }
+}
+
+// --- Library sketches --------------------------------------------------------
+
+const Sketch& library_sketch(int which) {
+  switch (which) {
+    case 0: return swan_sketch();
+    case 1: return swan_multi_region_sketch();
+    case 2: return swan_form_sketch();
+    case 3: return swan_fair_sketch();
+    case 4: return swan_priority_sketch();
+    case 5: return abr_qoe_sketch();
+    default: return homenet_sketch();
+  }
+}
+
+class LibrarySketchCompile : public ::testing::TestWithParam<int> {};
+
+TEST_P(LibrarySketchCompile, MatchesTreeInterpreterEverywhere) {
+  const Sketch& sk = library_sketch(GetParam());
+  const CompiledSketch compiled(sk);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 11);
+
+  for (int probe = 0; probe < 300; ++probe) {
+    HoleAssignment a;
+    for (const auto& h : sk.holes()) {
+      a.index.push_back(rng.uniform_int(0, h.count - 1));
+    }
+    const std::vector<double> holes = sk.hole_values(a);
+    std::vector<double> point;
+    for (const auto& m : sk.metrics()) {
+      // Mix interior points with the boundary values where piecewise
+      // objectives switch regions.
+      point.push_back(rng.bernoulli(0.25) ? (rng.bernoulli(0.5) ? m.lo : m.hi)
+                                          : rng.uniform_real(m.lo, m.hi));
+    }
+    expect_equivalent(*sk.body(), compiled, point, holes, sk.name());
+  }
+}
+
+TEST_P(LibrarySketchCompile, EvalManyMatchesEvalPerScenario) {
+  const Sketch& sk = library_sketch(GetParam());
+  const CompiledSketch compiled(sk);
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 24593 + 29);
+
+  HoleAssignment a;
+  for (const auto& h : sk.holes()) a.index.push_back(rng.uniform_int(0, h.count - 1));
+  const std::vector<double> holes = sk.hole_values(a);
+
+  const std::size_t width = sk.metrics().size();
+  const std::size_t n = 64;
+  std::vector<double> flat(n * width);
+  for (double& v : flat) v = rng.uniform_real(0, 10);
+  std::vector<double> batched(n);
+  compiled.eval_many(flat, holes, batched);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double one = compiled.eval(
+        std::span<const double>(flat).subspan(i * width, width), holes);
+    EXPECT_TRUE(bit_equal(one, batched[i])) << sk.name() << " scenario " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLibrarySketches, LibrarySketchCompile,
+                         ::testing::Range(0, 7));
+
+// --- Targeted semantics ------------------------------------------------------
+
+TEST(CompiledSketch, DivisionByZeroThrowsLikeInterpreter) {
+  const Sketch sk = parse_sketch(
+      "sketch s(m in [0, 10]) { 1 / m }");
+  const CompiledSketch compiled(sk);
+  const std::vector<double> holes;
+  EXPECT_THROW(compiled.eval(std::vector<double>{0.0}, holes), EvalError);
+  EXPECT_TRUE(bit_equal(compiled.eval(std::vector<double>{2.0}, holes), 0.5));
+}
+
+TEST(CompiledSketch, UntakenBranchesAreNotEvaluated) {
+  // The tree interpreter only evaluates the taken Ite branch; a division by
+  // zero hiding in the other branch must not throw from the tape either.
+  const Sketch sk = parse_sketch(
+      "sketch s(m in [0, 10]) { if m > 0 then 1 / m else -1 }");
+  const CompiledSketch compiled(sk);
+  const std::vector<double> holes;
+  EXPECT_TRUE(bit_equal(compiled.eval(std::vector<double>{0.0}, holes), -1.0));
+  EXPECT_TRUE(bit_equal(compiled.eval(std::vector<double>{4.0}, holes), 0.25));
+}
+
+TEST(CompiledSketch, ChoiceClampsAndStaysLazy) {
+  // Raw tape over: choose h0 { 1/m, 7, m }. Selector values are clamped to
+  // [0, 2] exactly like the interpreter, and unselected alternatives are
+  // never executed (1/m with m = 0 only throws when alternative 0 is picked).
+  const ExprPtr body =
+      choice(0, {binary(BinOp::kDiv, constant(1), metric(0)), constant(7),
+                 metric(0)});
+  const CompiledSketch compiled(*body, /*metric_count=*/1, /*hole_count=*/1);
+  const std::vector<double> m0{0.0};
+  for (const double sel : {-3.0, -0.4, 0.0}) {
+    SCOPED_TRACE(sel);
+    EXPECT_THROW(compiled.eval(m0, std::vector<double>{sel}), EvalError);
+  }
+  for (const double sel : {1.0, 1.4}) {
+    SCOPED_TRACE(sel);
+    EXPECT_TRUE(bit_equal(compiled.eval(m0, std::vector<double>{sel}), 7.0));
+  }
+  for (const double sel : {2.0, 5.0, 99.0}) {
+    SCOPED_TRACE(sel);
+    EXPECT_TRUE(bit_equal(compiled.eval(m0, std::vector<double>{sel}), 0.0));
+  }
+  // Cross-check clamping against the interpreter for a spread of selectors.
+  for (double sel = -4.0; sel <= 6.0; sel += 0.25) {
+    expect_equivalent(*body, compiled, std::vector<double>{3.0},
+                      std::vector<double>{sel}, "choice selector");
+  }
+}
+
+TEST(CompiledSketch, ArityErrorsMatchEvalWithValues) {
+  const Sketch& sk = swan_sketch();
+  const CompiledSketch compiled(sk);
+  const std::vector<double> good_holes = sk.hole_values(swan_target());
+  const std::vector<double> good_point{5.0, 50.0};
+
+  const auto message_of = [](auto&& fn) -> std::string {
+    try {
+      fn();
+    } catch (const EvalError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  const std::vector<double> short_point{5.0};
+  const std::vector<double> short_holes{1.0};
+  EXPECT_EQ(message_of([&] { compiled.eval(short_point, good_holes); }),
+            message_of([&] { eval_with_values(sk, good_holes, short_point); }));
+  EXPECT_EQ(message_of([&] { compiled.eval(good_point, short_holes); }),
+            message_of([&] { eval_with_values(sk, short_holes, good_point); }));
+}
+
+TEST(CompiledSketch, ConstantFoldingShrinksTheTapeWithoutChangingResults) {
+  const Sketch folded = parse_sketch(
+      "sketch s(m in [0, 10]) { m + (2 * 3 + min(4, 1)) }");
+  const CompiledSketch compiled(folded);
+  // The whole parenthesized subtree folds to one constant: push m, push 7, add.
+  EXPECT_EQ(compiled.tape().size(), 3u);
+  EXPECT_TRUE(bit_equal(compiled.eval(std::vector<double>{2.0}, {}), 9.0));
+
+  // A constant division by zero must NOT fold: it still throws when reached
+  // and still doesn't when the branch is skipped.
+  const Sketch guarded = parse_sketch(
+      "sketch s(m in [0, 10]) { if m > 5 then 1 / 0 else m }");
+  const CompiledSketch gc(guarded);
+  EXPECT_TRUE(bit_equal(gc.eval(std::vector<double>{1.0}, {}), 1.0));
+  EXPECT_THROW(gc.eval(std::vector<double>{6.0}, {}), EvalError);
+}
+
+// --- Fuzzing: well-typed sketches -------------------------------------------
+//
+// Random well-typed expression generator. Unlike the one in fuzz_test.cpp,
+// divisors may be arbitrary subexpressions (so division by zero genuinely
+// happens at runtime and the throw paths get cross-checked).
+
+class ExprGen {
+ public:
+  ExprGen(util::Rng& rng, std::size_t metrics, std::size_t holes)
+      : rng_(rng), metrics_(metrics), holes_(holes) {}
+
+  ExprPtr numeric(int depth) {
+    if (depth <= 0) return leaf();
+    switch (rng_.uniform_int(0, 10)) {
+      case 0:
+      case 1:
+        return leaf();
+      case 2:
+        return neg(numeric(depth - 1));
+      case 3:
+        return add(numeric(depth - 1), numeric(depth - 1));
+      case 4:
+        return sub(numeric(depth - 1), numeric(depth - 1));
+      case 5:
+        return mul(numeric(depth - 1), numeric(depth - 1));
+      case 6:
+        return binary(rng_.bernoulli(0.5) ? BinOp::kMin : BinOp::kMax,
+                      numeric(depth - 1), numeric(depth - 1));
+      case 7:
+        // Unrestricted divisor: zero can and does happen at runtime.
+        return binary(BinOp::kDiv, numeric(depth - 1), numeric(depth - 1));
+      case 8:
+        return ite(boolean(depth - 1), numeric(depth - 1), numeric(depth - 1));
+      default: {
+        if (holes_ == 0) return leaf();
+        std::vector<ExprPtr> alts{numeric(depth - 1), numeric(depth - 1),
+                                  numeric(depth - 1)};
+        return choice(0, std::move(alts));
+      }
+    }
+  }
+
+  ExprPtr boolean(int depth) {
+    if (depth <= 0) return compare(random_cmp(), leaf(), leaf());
+    switch (rng_.uniform_int(0, 3)) {
+      case 0:
+        return compare(random_cmp(), numeric(depth - 1), numeric(depth - 1));
+      case 1:
+        return bool_binary(rng_.bernoulli(0.5) ? BoolOp::kAnd : BoolOp::kOr,
+                           boolean(depth - 1), boolean(depth - 1));
+      case 2:
+        return logical_not(boolean(depth - 1));
+      default:
+        return bool_constant(rng_.bernoulli(0.5));
+    }
+  }
+
+ protected:
+  ExprPtr leaf() {
+    const auto kind = rng_.uniform_int(0, 2);
+    if (kind == 0 && metrics_ > 0) return metric(rng_.index(metrics_));
+    if (kind == 1 && holes_ > 0) return hole(rng_.index(holes_));
+    // Small integer grid; includes 0, so constant subtrees can hit the
+    // division-by-zero fold guard too.
+    return constant(static_cast<double>(rng_.uniform_int(-8, 8)) / 2.0);
+  }
+
+  CmpOp random_cmp() {
+    switch (rng_.uniform_int(0, 5)) {
+      case 0: return CmpOp::kLt;
+      case 1: return CmpOp::kLe;
+      case 2: return CmpOp::kGt;
+      case 3: return CmpOp::kGe;
+      case 4: return CmpOp::kEq;
+      default: return CmpOp::kNe;
+    }
+  }
+
+  util::Rng& rng_;
+  std::size_t metrics_;
+  std::size_t holes_;
+};
+
+Sketch random_sketch(util::Rng& rng) {
+  std::vector<MetricSpec> metrics;
+  const auto n_metrics = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  for (std::size_t i = 0; i < n_metrics; ++i) {
+    metrics.push_back(MetricSpec{"m" + std::to_string(i), -10, 10});
+  }
+  std::vector<HoleSpec> holes;
+  holes.push_back(HoleSpec{"sel", 0, 1, 3});  // choice selector
+  holes.push_back(HoleSpec{"w", -2, 0.5, 9});
+  ExprGen gen(rng, n_metrics, holes.size());
+  return Sketch("fuzz", std::move(metrics), std::move(holes),
+                gen.numeric(/*depth=*/5));
+}
+
+// 50 params x 5 sketches x 48 probes = 12,000 (sketch, holes, scenario)
+// triples through both evaluators.
+class CompiledFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompiledFuzz, AgreesWithTreeInterpreter) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 12289 + 7);
+  for (int round = 0; round < 5; ++round) {
+    const Sketch sk = random_sketch(rng);
+    const CompiledSketch compiled(sk);
+    for (int probe = 0; probe < 48; ++probe) {
+      HoleAssignment a;
+      for (const auto& h : sk.holes()) {
+        a.index.push_back(rng.uniform_int(0, h.count - 1));
+      }
+      const std::vector<double> holes = sk.hole_values(a);
+      std::vector<double> point;
+      for (std::size_t m = 0; m < sk.metrics().size(); ++m) {
+        // Quarter-integer grid makes zero divisors common.
+        point.push_back(static_cast<double>(rng.uniform_int(-12, 12)) / 4.0);
+      }
+      expect_equivalent(*sk.body(), compiled, point, holes, print_sketch(sk));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CompiledFuzz, ::testing::Range(0, 50));
+
+// --- Fuzzing: ill-typed trees ------------------------------------------------
+//
+// The Sketch constructor typechecks, but eval_numeric/eval_bool are defined
+// on bare Exprs and throw when an ill-typed node is *reached*. The tape must
+// raise the identical error at the identical points — and stay silent when
+// the bad node sits in an untaken branch.
+
+class IllTypedGen : public ExprGen {
+ public:
+  using ExprGen::ExprGen;
+
+  ExprPtr numeric_maybe_bad(int depth) {
+    // ~12% of positions hold a node of the wrong type.
+    if (rng_.uniform_int(0, 7) == 0) return boolean_strict(depth - 1);
+    if (depth <= 0) return leaf();
+    switch (rng_.uniform_int(0, 5)) {
+      case 0: return leaf();
+      case 1: return neg(numeric_maybe_bad(depth - 1));
+      case 2:
+        return add(numeric_maybe_bad(depth - 1), numeric_maybe_bad(depth - 1));
+      case 3:
+        return binary(BinOp::kDiv, numeric_maybe_bad(depth - 1),
+                      numeric_maybe_bad(depth - 1));
+      case 4:
+        return ite(boolean_maybe_bad(depth - 1), numeric_maybe_bad(depth - 1),
+                   numeric_maybe_bad(depth - 1));
+      default: {
+        std::vector<ExprPtr> alts{numeric_maybe_bad(depth - 1),
+                                  numeric_maybe_bad(depth - 1),
+                                  numeric_maybe_bad(depth - 1)};
+        return choice(0, std::move(alts));
+      }
+    }
+  }
+
+  ExprPtr boolean_maybe_bad(int depth) {
+    if (rng_.uniform_int(0, 7) == 0) return numeric(std::max(0, depth - 1));
+    if (depth <= 0) return compare(random_cmp(), leaf(), leaf());
+    switch (rng_.uniform_int(0, 2)) {
+      case 0:
+        return compare(random_cmp(), numeric_maybe_bad(depth - 1),
+                       numeric_maybe_bad(depth - 1));
+      case 1:
+        return bool_binary(rng_.bernoulli(0.5) ? BoolOp::kAnd : BoolOp::kOr,
+                           boolean_maybe_bad(depth - 1),
+                           boolean_maybe_bad(depth - 1));
+      default:
+        return logical_not(boolean_maybe_bad(depth - 1));
+    }
+  }
+
+ private:
+  ExprPtr boolean_strict(int depth) { return boolean(std::max(0, depth)); }
+};
+
+// 50 params x 4 trees x 30 probes = 6,000 additional triples exercising the
+// error paths.
+class IllTypedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IllTypedFuzz, ErrorPathsMatchTreeInterpreter) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 49157 + 13);
+  constexpr std::size_t kMetrics = 2, kHoles = 2;
+  for (int round = 0; round < 4; ++round) {
+    IllTypedGen gen(rng, kMetrics, kHoles);
+    const ExprPtr body = gen.numeric_maybe_bad(4);
+    const CompiledSketch compiled(*body, kMetrics, kHoles);
+    for (int probe = 0; probe < 30; ++probe) {
+      const std::vector<double> point{
+          static_cast<double>(rng.uniform_int(-8, 8)) / 2.0,
+          static_cast<double>(rng.uniform_int(-8, 8)) / 2.0};
+      const std::vector<double> holes{
+          static_cast<double>(rng.uniform_int(0, 2)),
+          static_cast<double>(rng.uniform_int(-4, 4)) / 2.0};
+      expect_equivalent(*body, compiled, point, holes, "ill-typed fuzz");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IllTypedFuzz, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace compsynth::sketch
+
+// --- GridFinder backend equivalence -----------------------------------------
+
+namespace compsynth::solver {
+namespace {
+
+// Interns `n_new` random scenarios into `graph` and records the oracle's
+// answer for every pair involving a new scenario — the way the real
+// interaction loop grows G (append-only: existing edges keep their indices).
+void grow_swan_graph(pref::PreferenceGraph& graph,
+                     std::vector<pref::VertexId>& vertices, int n_new,
+                     oracle::GroundTruthOracle& user, util::Rng& rng) {
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  const std::size_t old_count = vertices.size();
+  for (int i = 0; i < n_new; ++i) {
+    pref::Scenario s;
+    for (const auto& m : sk.metrics()) {
+      s.metrics.push_back(rng.uniform_real(m.lo, m.hi));
+    }
+    vertices.push_back(graph.intern(s));
+  }
+  for (std::size_t j = old_count; j < vertices.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const auto pref = user.compare(graph.scenario(vertices[i]),
+                                     graph.scenario(vertices[j]));
+      if (pref == oracle::Preference::kFirst) {
+        graph.add_preference(vertices[i], vertices[j]);
+      } else if (pref == oracle::Preference::kSecond) {
+        graph.add_preference(vertices[j], vertices[i]);
+      } else {
+        graph.add_tie(vertices[i], vertices[j]);
+      }
+    }
+  }
+}
+
+// A small but non-trivial preference graph over the SWAN sketch, answered by
+// the Fig. 2b ground-truth target.
+pref::PreferenceGraph swan_workload_graph(int n_scenarios, std::uint64_t seed) {
+  oracle::GroundTruthOracle user(sketch::swan_sketch(), sketch::swan_target());
+  util::Rng rng(seed);
+  pref::PreferenceGraph graph;
+  std::vector<pref::VertexId> vertices;
+  grow_swan_graph(graph, vertices, n_scenarios, user, rng);
+  return graph;
+}
+
+std::vector<sketch::HoleAssignment> assignments_of(const GridFinder& finder) {
+  std::vector<sketch::HoleAssignment> out;
+  out.reserve(finder.survivors().size());
+  for (const Survivor& s : finder.survivors()) out.push_back(s.assignment);
+  return out;
+}
+
+GridFinder make_finder(EvalBackend backend, int threads) {
+  GridFinderConfig config;
+  config.eval_backend = backend;
+  config.threads = threads;
+  return GridFinder(sketch::swan_sketch(), config);
+}
+
+TEST(GridFinderBackends, IdenticalVersionSpacesAcrossBackendsAndThreads) {
+  const pref::PreferenceGraph graph = swan_workload_graph(10, 77);
+
+  GridFinder tree = make_finder(EvalBackend::kTree, 1);
+  GridFinder compiled_seq = make_finder(EvalBackend::kCompiled, 1);
+  GridFinder compiled_par = make_finder(EvalBackend::kCompiled, 4);
+  tree.sync(graph);
+  compiled_seq.sync(graph);
+  compiled_par.sync(graph);
+
+  const auto reference = assignments_of(tree);
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(assignments_of(compiled_seq), reference);
+  EXPECT_EQ(assignments_of(compiled_par), reference);
+}
+
+TEST(GridFinderBackends, IncrementalFilterMatchesFullRebuild) {
+  // Sync on a prefix of the answers, then extend the graph in place: the
+  // incremental filter path (memoized vertex values, new edges only) must
+  // land on exactly the version space a from-scratch rebuild computes.
+  oracle::GroundTruthOracle user(sketch::swan_sketch(), sketch::swan_target());
+  util::Rng rng(31);
+  pref::PreferenceGraph graph;
+  std::vector<pref::VertexId> vertices;
+  grow_swan_graph(graph, vertices, 6, user, rng);
+
+  GridFinder incremental = make_finder(EvalBackend::kCompiled, 4);
+  incremental.sync(graph);
+  const std::size_t after_prefix = incremental.version_space_size();
+
+  grow_swan_graph(graph, vertices, 6, user, rng);
+  incremental.sync(graph);
+
+  GridFinder fresh = make_finder(EvalBackend::kCompiled, 1);
+  fresh.sync(graph);
+
+  EXPECT_LE(incremental.version_space_size(), after_prefix);
+  EXPECT_EQ(assignments_of(incremental), assignments_of(fresh));
+}
+
+}  // namespace
+}  // namespace compsynth::solver

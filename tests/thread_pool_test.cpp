@@ -1,0 +1,118 @@
+// Tests for util::ThreadPool — the substrate under GridFinder's parallel
+// version-space engine, so coverage (every index exactly once), exception
+// propagation and reusability matter more than raw scheduling cleverness.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace compsynth::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, HandlesOffsetAndEmptyRanges) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(100, 200, [&](std::size_t lo, std::size_t hi) {
+    long local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<long>(i);
+    sum += local;
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  pool.parallel_for(7, 3, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(0, 64, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 64u);
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, MinChunkBoundsTheNumberOfChunks) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000, kMinChunk = 128;
+  std::atomic<int> calls{0};
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        ++calls;
+        EXPECT_GE(hi - lo, 1u);
+        covered += hi - lo;
+      },
+      kMinChunk);
+  EXPECT_EQ(covered.load(), kN);
+  EXPECT_LE(calls.load(), static_cast<int>((kN + kMinChunk - 1) / kMinChunk));
+}
+
+TEST(ThreadPool, PropagatesTheFirstExceptionAndStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo >= 500) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+
+  // The pool must survive a throwing run: workers alive, next run clean.
+  std::atomic<std::size_t> covered{0};
+  pool.parallel_for(0, 1000, [&](std::size_t lo, std::size_t hi) {
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 1000u);
+}
+
+TEST(ThreadPool, ManySmallRunsBackToBack) {
+  // Shakes out lost-wakeup / completion-accounting races: every run must
+  // terminate and cover its range.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<std::size_t> covered{0};
+    const std::size_t n = 1 + static_cast<std::size_t>(round) % 97;
+    pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+      covered += hi - lo;
+    });
+    ASSERT_EQ(covered.load(), n) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::shared();
+  ThreadPool& b = ThreadPool::shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+  std::atomic<std::size_t> covered{0};
+  a.parallel_for(0, 256, [&](std::size_t lo, std::size_t hi) {
+    covered += hi - lo;
+  });
+  EXPECT_EQ(covered.load(), 256u);
+}
+
+}  // namespace
+}  // namespace compsynth::util
