@@ -12,9 +12,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "synth/experiment.h"
 #include "util/table.h"
 
@@ -27,6 +29,20 @@ inline int repetitions(int paper_default) {
     if (v > 0) return v;
   }
   return paper_default;
+}
+
+/// Opt-in tracing for benches: COMPSYNTH_TRACE=<path> appends every bench
+/// configuration's JSONL trace (run ids = configuration labels) to one file.
+/// Null when the variable is unset — zero overhead on the timed path.
+inline obs::TraceSink* env_trace_sink() {
+  static std::unique_ptr<obs::FileTraceSink> sink = [] {
+    std::unique_ptr<obs::FileTraceSink> s;
+    if (const char* path = std::getenv("COMPSYNTH_TRACE")) {
+      if (*path != '\0') s = std::make_unique<obs::FileTraceSink>(path);
+    }
+    return s;
+  }();
+  return sink.get();
 }
 
 /// One experiment outcome row, labelled for the final table.
@@ -47,7 +63,10 @@ inline std::vector<Row>& rows() {
 inline void run_and_record(benchmark::State& state, const std::string& label,
                            const synth::ExperimentSpec& spec) {
   for (auto _ : state) {
-    const synth::ExperimentOutcome out = synth::run_experiment(spec);
+    synth::ExperimentSpec traced = spec;
+    traced.obs.tracer = env_trace_sink();
+    traced.obs.run_id = label;
+    const synth::ExperimentOutcome out = synth::run_experiment(traced);
     state.SetIterationTime(out.total_seconds.mean);
     state.counters["iters_mean"] = out.iterations.mean;
     state.counters["time_per_iter_s"] = out.avg_iteration_seconds.mean;

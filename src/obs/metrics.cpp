@@ -1,0 +1,181 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace compsynth::obs {
+
+namespace {
+
+// fetch_add for atomic<double> via CAS (std::atomic<double>::fetch_add is
+// C++20 but not universally implemented lock-free; this is portable).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+int Histogram::bin_of(double value) {
+  if (!(value >= kLowest)) return 0;  // underflow; also catches NaN
+  if (value >= kHighest) return kBins - 1;
+  const int bin =
+      1 + static_cast<int>((std::log10(value / kLowest)) * kBinsPerDecade);
+  return std::clamp(bin, 1, kBins - 2);
+}
+
+double Histogram::bin_midpoint(int bin) {
+  if (bin <= 0) return kLowest;
+  if (bin >= kBins - 1) return kHighest;
+  const double lo_exp = static_cast<double>(bin - 1) / kBinsPerDecade;
+  // Geometric midpoint of [10^lo, 10^(lo + 1/16)) relative to kLowest.
+  return kLowest * std::pow(10.0, lo_exp + 0.5 / kBinsPerDecade);
+}
+
+double Histogram::relative_error() {
+  return std::pow(10.0, 0.5 / kBinsPerDecade);
+}
+
+void Histogram::record(double value) {
+  bins_[static_cast<std::size_t>(bin_of(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  // First sample initializes min/max; count_ is bumped last so a concurrent
+  // reader seeing count > 0 also sees a seeded min/max. (Racing first
+  // writers both CAS against the seed; atomic_min/max keep the extremum.)
+  if (count_.load(std::memory_order_acquire) == 0) {
+    double expected = 0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+    expected = 0;
+    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+  count_.fetch_add(1, std::memory_order_release);
+}
+
+double Histogram::mean() const {
+  const long n = count();
+  return n == 0 ? 0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const long n = count();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-quantile sample, nearest-rank convention.
+  const long rank = std::max<long>(
+      1, static_cast<long>(std::ceil(q * static_cast<double>(n))));
+  long seen = 0;
+  for (int b = 0; b < kBins; ++b) {
+    seen += bins_[static_cast<std::size_t>(b)].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return std::clamp(bin_midpoint(b), min(), max());
+    }
+  }
+  return max();  // unreachable unless a racing record() is mid-flight
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, long>> MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, long>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());
+  return out;
+}
+
+std::string MetricsRegistry::render_markdown() const {
+  std::ostringstream os;
+  os.precision(6);
+  const auto cs = counters();
+  const auto gs = gauges();
+  const auto hs = histograms();
+  if (!cs.empty()) {
+    os << "### Counters\n\n| counter | value |\n|---|---|\n";
+    for (const auto& [name, v] : cs) os << "| `" << name << "` | " << v << " |\n";
+    os << "\n";
+  }
+  if (!gs.empty()) {
+    os << "### Gauges\n\n| gauge | value |\n|---|---|\n";
+    for (const auto& [name, v] : gs) os << "| `" << name << "` | " << v << " |\n";
+    os << "\n";
+  }
+  if (!hs.empty()) {
+    os << "### Latency histograms (seconds)\n\n"
+          "| histogram | count | mean | p50 | p90 | p99 | max |\n"
+          "|---|---|---|---|---|---|---|\n";
+    for (const auto& [name, h] : hs) {
+      os << "| `" << name << "` | " << h->count() << " | " << h->mean()
+         << " | " << h->quantile(0.5) << " | " << h->quantile(0.9) << " | "
+         << h->quantile(0.99) << " | " << h->max() << " |\n";
+    }
+    os << "\n";
+  }
+  if (cs.empty() && gs.empty() && hs.empty()) os << "(no metrics recorded)\n";
+  return os.str();
+}
+
+}  // namespace compsynth::obs

@@ -1,0 +1,116 @@
+// Lock-cheap metrics registry: counters, gauges and latency histograms.
+//
+// Hot paths (solver shards, oracle answers, pool workers) touch metrics
+// through plain atomic operations — no lock is taken after an instrument is
+// created. The registry itself guards only name -> instrument resolution
+// with a mutex; instruments have stable addresses for the registry's
+// lifetime, so callers that resolve once and hold the reference pay nothing
+// but the atomics.
+//
+// Histograms are fixed log-spaced bins (16 per decade over 1e-9..1e4, the
+// useful range for wall-clock seconds) with atomic counts, so concurrent
+// record() calls are lock-free and quantile estimates carry a bounded
+// relative error of 10^(1/32) ≈ 7.5% — plenty for p50/p90/p99 latency
+// reporting. Count, sum, min and max are tracked exactly.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace compsynth::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(long delta = 1) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Last-write-wins instantaneous value (e.g. current version-space size).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Log-binned latency histogram with exact count/sum/min/max and
+/// approximate quantiles. All mutators are lock-free.
+class Histogram {
+ public:
+  /// Records one sample (seconds). Values outside [1e-9, 1e4) land in the
+  /// under/overflow bins; min/max/sum stay exact regardless.
+  void record(double value);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Smallest / largest recorded sample; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// Approximate quantile for q in [0, 1] (clamped). The estimate is the
+  /// geometric midpoint of the bin holding the rank-q sample, clamped into
+  /// [min(), max()]; relative error is bounded by relative_error().
+  /// Returns 0 when empty.
+  double quantile(double q) const;
+
+  /// Worst-case multiplicative error of quantile(): half a bin width.
+  static double relative_error();
+
+ private:
+  static constexpr int kBinsPerDecade = 16;
+  static constexpr int kDecades = 13;  // 1e-9 .. 1e4 seconds
+  static constexpr double kLowest = 1e-9;
+  static constexpr double kHighest = 1e4;
+  // + underflow (index 0) and overflow (last index) bins.
+  static constexpr int kBins = kDecades * kBinsPerDecade + 2;
+
+  static int bin_of(double value);
+  static double bin_midpoint(int bin);
+
+  std::array<std::atomic<long>, kBins> bins_{};
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0};
+  std::atomic<double> min_{0};  // valid only when count_ > 0
+  std::atomic<double> max_{0};
+};
+
+/// Named instrument registry. Thread-safe; returned references stay valid
+/// (and keep their counts) for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Sorted snapshots for reporting.
+  std::vector<std::pair<std::string, long>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+
+  /// Renders every instrument as Markdown tables (counters, gauges, then
+  /// histograms with count/mean/p50/p90/p99/max), the format the CLI's
+  /// --metrics flag and docs/OBSERVABILITY.md use.
+  std::string render_markdown() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace compsynth::obs

@@ -1,0 +1,110 @@
+// RunContext: the handle instrumented code records through.
+//
+// One RunContext identifies one synthesis run (run id + RNG seed) and
+// carries non-owning pointers to the two optional back-ends: a
+// MetricsRegistry (aggregates) and a TraceSink (per-event JSONL). Both
+// default to null, which is the contract that keeps instrumentation
+// near-free: every recording site first checks active()/tracing() — a
+// pointer test — and only then builds events or touches atomics. The
+// synthesizer threads one RunContext through itself, its finder, the
+// oracle and the preference graph (synth::SynthesisConfig::obs,
+// synth::ExperimentSpec::obs), so a whole run records to one stream.
+//
+// Span is the scoped-timing helper: it measures a region, records the
+// duration into the histogram "<name>.seconds" and emits one "<name>"
+// event with a "secs" field (plus any fields the caller attached via
+// event()). When the context is inactive a Span never reads the clock.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace compsynth::obs {
+
+struct RunContext {
+  MetricsRegistry* metrics = nullptr;
+  TraceSink* tracer = nullptr;
+  /// Stamped into every trace record as "run"; distinguishes repetitions
+  /// and configurations sharing one sink.
+  std::string run_id;
+  /// The run's RNG seed, for reproducing a traced run.
+  std::uint64_t seed = 0;
+
+  bool tracing() const { return tracer != nullptr && tracer->enabled(); }
+  bool active() const { return metrics != nullptr || tracing(); }
+
+  /// Forwards to the sink (no-op unless tracing()).
+  void emit(const TraceEvent& event) const {
+    if (tracing()) tracer->emit(run_id, event);
+  }
+
+  void count(const std::string& name, long delta = 1) const {
+    if (metrics != nullptr) metrics->counter(name).add(delta);
+  }
+  void gauge(const std::string& name, double value) const {
+    if (metrics != nullptr) metrics->gauge(name).set(value);
+  }
+  void observe(const std::string& name, double value) const {
+    if (metrics != nullptr) metrics->histogram(name).record(value);
+  }
+};
+
+/// Null-safe helpers for code holding a possibly-null context pointer.
+inline bool active(const RunContext* ctx) {
+  return ctx != nullptr && ctx->active();
+}
+inline bool tracing(const RunContext* ctx) {
+  return ctx != nullptr && ctx->tracing();
+}
+
+/// Scoped span: times from construction to finish() (or destruction),
+/// records histogram "<name>.seconds" and emits event "<name>" with the
+/// duration as "secs". Attach event-specific fields through event(), which
+/// returns null when tracing is off.
+class Span {
+ public:
+  Span(const RunContext* ctx, std::string_view name)
+      : ctx_(active(ctx) ? ctx : nullptr), name_(name) {
+    if (ctx_ != nullptr) {
+      if (ctx_->tracing()) event_.emplace(name_);
+      watch_.emplace();
+    }
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  /// The pending event, for attaching fields; null when not tracing.
+  TraceEvent* event() { return event_ ? &*event_ : nullptr; }
+
+  /// Stops the clock, records and emits (idempotent). Returns the measured
+  /// seconds (0 when the context was inactive).
+  double finish() {
+    if (ctx_ == nullptr || finished_) return 0;
+    finished_ = true;
+    const double secs = watch_->elapsed_seconds();
+    ctx_->observe(name_ + ".seconds", secs);
+    if (event_) {
+      event_->num("secs", secs);
+      ctx_->emit(*event_);
+    }
+    return secs;
+  }
+
+ private:
+  const RunContext* ctx_;
+  std::string name_;
+  std::optional<util::Stopwatch> watch_;
+  std::optional<TraceEvent> event_;
+  bool finished_ = false;
+};
+
+}  // namespace compsynth::obs

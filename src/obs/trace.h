@@ -1,0 +1,146 @@
+// Structured event tracing: one JSONL record per synthesis-loop event.
+//
+// A TraceEvent is a typed, flat key/value record ("iteration",
+// "grid_sync", "z3_query", "oracle_query", "pref_edge", ...). Sinks decide
+// what happens to it: NullTraceSink (the default everywhere) drops events
+// before any field is even built — instrumented code checks enabled() first
+// so tracing costs one pointer test when off — and FileTraceSink renders
+// each event as one JSON line:
+//
+//   {"v":1,"ts":0.014072,"run":"cli","ev":"iteration","index":3,...}
+//
+// The envelope fields are fixed: "v" (schema version, see
+// kTraceSchemaVersion), "ts" (seconds since the sink was created, steady
+// clock), "run" (the RunContext's run id) and "ev" (event type); everything
+// after them is event-specific. docs/OBSERVABILITY.md is the schema
+// reference; tools/trace_report.cpp turns a trace file back into a
+// human-readable Markdown report.
+//
+// parse_flat_json is the matching reader: it understands exactly the flat
+// one-object-per-line JSON the file sink emits (strings, numbers, bools,
+// null) and is shared by trace_report and the golden-trace test.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/line_writer.h"
+#include "util/timer.h"
+
+namespace compsynth::obs {
+
+/// Version stamped into every record as "v". Bump when an event type's
+/// required keys change incompatibly; docs/OBSERVABILITY.md documents each
+/// version's schema.
+inline constexpr int kTraceSchemaVersion = 1;
+
+/// One field value: integer, double, string or bool.
+struct FieldValue {
+  enum class Kind { kInt, kDouble, kString, kBool };
+  Kind kind = Kind::kInt;
+  long long i = 0;
+  double d = 0;
+  bool b = false;
+  std::string s;
+};
+
+/// A typed event under construction. Field order is preserved in the
+/// output; keys must be unique per event (not checked — instrumentation
+/// sites are static).
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string type) : type_(std::move(type)) {}
+
+  TraceEvent& integer(std::string key, long long value);
+  TraceEvent& num(std::string key, double value);
+  TraceEvent& str(std::string key, std::string value);
+  TraceEvent& boolean(std::string key, bool value);
+
+  const std::string& type() const { return type_; }
+  const std::vector<std::pair<std::string, FieldValue>>& fields() const {
+    return fields_;
+  }
+
+ private:
+  std::string type_;
+  std::vector<std::pair<std::string, FieldValue>> fields_;
+};
+
+/// Where events go. Implementations must be safe to call from concurrent
+/// threads (pool workers emit too).
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// False when events are dropped unseen; instrumented code skips building
+  /// events entirely in that case.
+  virtual bool enabled() const { return true; }
+
+  virtual void emit(std::string_view run_id, const TraceEvent& event) = 0;
+
+ protected:
+  TraceSink() = default;
+};
+
+/// The default: tracing off, near-zero overhead.
+class NullTraceSink final : public TraceSink {
+ public:
+  bool enabled() const override { return false; }
+  void emit(std::string_view, const TraceEvent&) override {}
+};
+
+/// Appends one JSON line per event to a file. Timestamps ("ts") are seconds
+/// since sink construction on the steady clock; lines go through a
+/// mutex-guarded LineWriter (shared machinery with util::log_line's stderr
+/// writer) so concurrent emitters never interleave mid-line.
+class FileTraceSink final : public TraceSink {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit FileTraceSink(const std::string& path);
+
+  void emit(std::string_view run_id, const TraceEvent& event) override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  util::LineWriter writer_;
+  util::Stopwatch epoch_;
+};
+
+/// Escapes `raw` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(std::string_view raw);
+
+/// Renders one complete trace line (envelope + fields), exactly what
+/// FileTraceSink writes. Exposed for tests and alternative sinks.
+std::string render_trace_line(std::string_view run_id, double ts_seconds,
+                              const TraceEvent& event);
+
+/// A parsed flat-JSON value. Numbers are always doubles (JSON has one
+/// number type); null parses as kNull.
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;
+  double num = 0;
+  bool b = false;
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object (no nesting — exactly the trace-line shape).
+/// Returns nullopt on any syntax error or on nested arrays/objects.
+std::optional<JsonObject> parse_flat_json(std::string_view line);
+
+}  // namespace compsynth::obs

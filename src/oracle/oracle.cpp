@@ -2,7 +2,57 @@
 
 #include <vector>
 
+#include "obs/run_context.h"
+
 namespace compsynth::oracle {
+
+namespace {
+
+const char* preference_name(Preference p) {
+  switch (p) {
+    case Preference::kFirst: return "first";
+    case Preference::kSecond: return "second";
+    case Preference::kTie: return "tie";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Preference Oracle::compare(const pref::Scenario& a, const pref::Scenario& b) {
+  ++comparisons_;
+  const Preference answer = do_compare(a, b);
+  if (obs::active(obs_)) {
+    obs_->count("oracle.comparisons");
+    if (obs_->tracing()) {
+      obs::TraceEvent e("oracle_query");
+      e.str("kind", "compare")
+          .integer("index", comparisons_)
+          .str("answer", preference_name(answer));
+      obs_->emit(e);
+    }
+  }
+  return answer;
+}
+
+RankingResponse Oracle::rank(std::span<const pref::Scenario> scenarios) {
+  if (!scenarios.empty()) ++rankings_;
+  RankingResponse response = do_rank(scenarios);
+  if (!scenarios.empty() && obs::active(obs_)) {
+    obs_->count("oracle.rankings");
+    if (obs_->tracing()) {
+      obs::TraceEvent e("oracle_query");
+      e.str("kind", "rank")
+          .integer("index", rankings_)
+          .integer("batch", static_cast<long long>(scenarios.size()))
+          .integer("preferences",
+                   static_cast<long long>(response.preferences.size()))
+          .integer("ties", static_cast<long long>(response.ties.size()));
+      obs_->emit(e);
+    }
+  }
+  return response;
+}
 
 RankingResponse Oracle::do_rank(std::span<const pref::Scenario> scenarios) {
   // Generic ranking via comparisons only. NOTE: noisy users make the

@@ -13,6 +13,10 @@
 
 #include "pref/scenario.h"
 
+namespace compsynth::obs {
+struct RunContext;
+}
+
 namespace compsynth::oracle {
 
 /// Answer to a two-scenario comparison.
@@ -47,20 +51,20 @@ class Oracle {
   Oracle& operator=(const Oracle&) = delete;
 
   /// Compares two scenarios. Counts as one interaction.
-  Preference compare(const pref::Scenario& a, const pref::Scenario& b) {
-    ++comparisons_;
-    return do_compare(a, b);
-  }
+  Preference compare(const pref::Scenario& a, const pref::Scenario& b);
 
   /// Ranks a set of scenarios (e.g. the initial random batch). Counts as one
   /// interaction regardless of set size — the user answers in one sitting.
-  RankingResponse rank(std::span<const pref::Scenario> scenarios) {
-    if (!scenarios.empty()) ++rankings_;
-    return do_rank(scenarios);
-  }
+  RankingResponse rank(std::span<const pref::Scenario> scenarios);
 
   long comparisons() const { return comparisons_; }
   long rankings() const { return rankings_; }
+
+  /// Observability: when set (non-owning; may be null), every compare/rank
+  /// call emits an "oracle_query" trace event and bumps the oracle.*
+  /// counters. The synthesizer wires this up for the duration of a run and
+  /// clears it before returning.
+  void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
 
  protected:
   Oracle() = default;
@@ -75,6 +79,7 @@ class Oracle {
  private:
   long comparisons_ = 0;
   long rankings_ = 0;
+  const obs::RunContext* obs_ = nullptr;
 };
 
 }  // namespace compsynth::oracle

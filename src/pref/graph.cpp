@@ -3,7 +3,23 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/run_context.h"
+
 namespace compsynth::pref {
+
+namespace {
+
+const char* add_result_name(AddResult r) {
+  switch (r) {
+    case AddResult::kAdded: return "added";
+    case AddResult::kDuplicate: return "duplicate";
+    case AddResult::kCycle: return "cycle";
+    case AddResult::kSelfLoop: return "self_loop";
+  }
+  return "?";
+}
+
+}  // namespace
 
 VertexId PreferenceGraph::intern(const Scenario& s) {
   if (const auto existing = find(s)) return *existing;
@@ -31,26 +47,60 @@ AddResult PreferenceGraph::add_preference(VertexId better, VertexId worse,
   if (better >= scenarios_.size() || worse >= scenarios_.size()) {
     throw std::out_of_range("add_preference: unknown vertex");
   }
-  if (better == worse) return AddResult::kSelfLoop;
-  if (const auto i = edge_index(better, worse)) {
+  AddResult result = AddResult::kAdded;
+  if (better == worse) {
+    result = AddResult::kSelfLoop;
+  } else if (const auto i = edge_index(better, worse)) {
     edges_[*i].weight += weight;
-    return AddResult::kDuplicate;
+    result = AddResult::kDuplicate;
+  } else if (!allow_inconsistent_ && reachable(worse, better)) {
+    result = AddResult::kCycle;
+  } else {
+    edges_.push_back(Edge{better, worse, weight});
   }
-  if (!allow_inconsistent_ && reachable(worse, better)) return AddResult::kCycle;
-  edges_.push_back(Edge{better, worse, weight});
-  return AddResult::kAdded;
+  if (obs::active(obs_)) {
+    if (result == AddResult::kAdded) obs_->count("pref.edges.added");
+    if (result == AddResult::kCycle) obs_->count("pref.cycles.rejected");
+    if (obs_->tracing()) {
+      obs::TraceEvent e("pref_edge");
+      e.str("kind", "preference")
+          .str("result", add_result_name(result))
+          .integer("better", static_cast<long long>(better))
+          .integer("worse", static_cast<long long>(worse))
+          .num("weight", weight)
+          .integer("edges", static_cast<long long>(edges_.size()));
+      obs_->emit(e);
+    }
+  }
+  return result;
 }
 
 bool PreferenceGraph::add_tie(VertexId u, VertexId v) {
   if (u >= scenarios_.size() || v >= scenarios_.size()) {
     throw std::out_of_range("add_tie: unknown vertex");
   }
-  if (u == v) return false;
-  if (u > v) std::swap(u, v);
-  const std::pair<VertexId, VertexId> key{u, v};
-  if (std::find(ties_.begin(), ties_.end(), key) != ties_.end()) return false;
-  ties_.push_back(key);
-  return true;
+  bool added = false;
+  if (u != v) {
+    if (u > v) std::swap(u, v);
+    const std::pair<VertexId, VertexId> key{u, v};
+    if (std::find(ties_.begin(), ties_.end(), key) == ties_.end()) {
+      ties_.push_back(key);
+      added = true;
+    }
+  }
+  if (obs::active(obs_)) {
+    if (added) obs_->count("pref.ties.added");
+    if (obs_->tracing()) {
+      obs::TraceEvent e("pref_edge");
+      e.str("kind", "tie")
+          .str("result", added ? "added" : "duplicate")
+          .integer("better", static_cast<long long>(u))
+          .integer("worse", static_cast<long long>(v))
+          .integer("ties", static_cast<long long>(ties_.size()));
+      obs_->emit(e);
+    }
+  }
+  return added;
 }
 
 bool PreferenceGraph::reachable(VertexId from, VertexId to) const {

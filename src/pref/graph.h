@@ -19,6 +19,10 @@
 
 #include "pref/scenario.h"
 
+namespace compsynth::obs {
+struct RunContext;
+}
+
 namespace compsynth::pref {
 
 using VertexId = std::size_t;
@@ -93,6 +97,11 @@ class PreferenceGraph {
   /// graph (throws std::logic_error otherwise).
   std::size_t transitive_reduce();
 
+  /// Observability: when set (non-owning; may be null), every preference /
+  /// tie insertion emits a "pref_edge" trace event and bumps the pref.*
+  /// counters. The synthesizer wires this up for the duration of a run.
+  void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
+
  private:
   std::optional<std::size_t> edge_index(VertexId better, VertexId worse) const;
   bool reachable_over(VertexId from, VertexId to,
@@ -103,6 +112,7 @@ class PreferenceGraph {
   std::vector<Scenario> scenarios_;
   std::vector<Edge> edges_;
   std::vector<std::pair<VertexId, VertexId>> ties_;
+  const obs::RunContext* obs_ = nullptr;  // not serialized; copies share it
 };
 
 }  // namespace compsynth::pref

@@ -22,6 +22,10 @@
 #include "pref/scenario.h"
 #include "sketch/ast.h"
 
+namespace compsynth::obs {
+struct RunContext;
+}
+
 namespace compsynth::solver {
 
 /// Margins controlling strictness (see DESIGN.md §6 and the loop-progress
@@ -109,8 +113,15 @@ class CandidateFinder {
   virtual std::optional<sketch::HoleAssignment> find_consistent(
       const pref::PreferenceGraph& graph) = 0;
 
+  /// Observability: when set (non-owning; may be null), back-ends emit
+  /// per-query trace events ("z3_query", "grid_sync", "pair_search") and
+  /// record solver.* metrics. The synthesizer wires this up per run.
+  void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
+
  protected:
   CandidateFinder() = default;
+
+  const obs::RunContext* obs_ = nullptr;
 };
 
 }  // namespace compsynth::solver

@@ -7,8 +7,10 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/run_context.h"
 #include "sketch/eval.h"
 #include "util/log.h"
+#include "util/timer.h"
 
 namespace compsynth::solver {
 
@@ -159,8 +161,23 @@ void GridFinder::enumerate_range(std::int64_t lo, std::int64_t hi,
 void GridFinder::sync(const pref::PreferenceGraph& graph) {
   const bool shrunk =
       graph.edges().size() < edges_seen_ || graph.ties().size() < ties_seen_;
+  const bool rebuild = !initialized_ || shrunk;
+  const bool grown = graph.edges().size() > edges_seen_ ||
+                     graph.ties().size() > ties_seen_;
+  if (!rebuild && !grown) return;  // already in line with `graph`
+
+  obs::Span span(obs_, "grid_sync");
+  const std::size_t survivors_before = survivors_.size();
+  const long long new_edges =
+      static_cast<long long>(graph.edges().size()) -
+      static_cast<long long>(edges_seen_);
+  const long long new_ties = static_cast<long long>(graph.ties().size()) -
+                             static_cast<long long>(ties_seen_);
+  std::size_t shards = 1;
+  std::vector<double> shard_secs;
+
   util::ThreadPool* pool = this->pool();
-  if (!initialized_ || shrunk) {
+  if (rebuild) {
     survivors_.clear();
     const std::int64_t total = sketch_.candidate_space_size();
     if (pool == nullptr || total < kMinParallelCandidates) {
@@ -175,11 +192,22 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
           (total + static_cast<std::int64_t>(n_chunks) - 1) /
           static_cast<std::int64_t>(n_chunks);
       std::vector<std::vector<Survivor>> parts(n_chunks);
+      shards = n_chunks;
+      // Per-shard wall times, written into disjoint slots by the workers;
+      // only measured when someone is listening.
+      if (obs::active(obs_)) shard_secs.assign(n_chunks, 0);
       pool->parallel_for(0, n_chunks, [&](std::size_t lo, std::size_t hi) {
         for (std::size_t k = lo; k < hi; ++k) {
           const std::int64_t a = static_cast<std::int64_t>(k) * chunk;
           const std::int64_t b = std::min<std::int64_t>(total, a + chunk);
-          if (a < b) enumerate_range(a, b, graph, parts[k]);
+          if (a >= b) continue;
+          if (shard_secs.empty()) {
+            enumerate_range(a, b, graph, parts[k]);
+          } else {
+            util::Stopwatch shard_watch;
+            enumerate_range(a, b, graph, parts[k]);
+            shard_secs[k] = shard_watch.elapsed_seconds();
+          }
         }
       });
       std::size_t found = 0;
@@ -190,8 +218,7 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
       }
     }
     initialized_ = true;
-  } else if (graph.edges().size() > edges_seen_ ||
-             graph.ties().size() > ties_seen_) {
+  } else {
     // Incremental filter: only the new edges/ties are checked, and each
     // survivor's memoized vertex values mean only newly interned scenarios
     // are evaluated at all.
@@ -219,6 +246,29 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
   ties_seen_ = graph.ties().size();
   util::log(util::LogLevel::kDebug, "GridFinder: version space size ",
             survivors_.size());
+
+  if (obs::active(obs_)) {
+    obs_->count("grid.syncs");
+    obs_->gauge("grid.survivors", static_cast<double>(survivors_.size()));
+    double shard_min = 0, shard_max = 0;
+    for (std::size_t k = 0; k < shard_secs.size(); ++k) {
+      obs_->observe("grid.shard.seconds", shard_secs[k]);
+      shard_min = k == 0 ? shard_secs[k] : std::min(shard_min, shard_secs[k]);
+      shard_max = std::max(shard_max, shard_secs[k]);
+    }
+    if (obs::TraceEvent* e = span.event()) {
+      e->str("mode", rebuild ? "full" : "incremental")
+          .integer("survivors", static_cast<long long>(survivors_.size()))
+          .integer("survivors_before",
+                   static_cast<long long>(survivors_before))
+          .integer("new_edges", new_edges)
+          .integer("new_ties", new_ties)
+          .integer("shards", static_cast<long long>(shards));
+      if (!shard_secs.empty()) {
+        e->num("shard_min_s", shard_min).num("shard_max_s", shard_max);
+      }
+    }
+  }
 }
 
 std::vector<double> GridFinder::boundary_values(
@@ -356,8 +406,33 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
                                              int num_pairs) {
   if (num_pairs < 1) throw std::invalid_argument("find_distinguishing: num_pairs < 1");
   sync(graph);
-  if (survivors_.empty()) { FinderResult res; res.status = FinderStatus::kNoCandidate; return res; }
+
+  // The span covers the candidate-pair search proper (sync has its own
+  // "grid_sync" event above); `note` stamps the outcome just before return.
+  obs::Span span(obs_, "pair_search");
+  auto note = [&](const char* status, std::size_t examined,
+                  std::size_t witnesses, std::size_t pairs) {
+    if (obs_ != nullptr) obs_->count("grid.pair_searches");
+    if (obs::TraceEvent* e = span.event()) {
+      e->str("status", status)
+          .integer("survivors", static_cast<long long>(survivors_.size()))
+          .integer("examined", static_cast<long long>(examined))
+          .integer("witnesses", static_cast<long long>(witnesses))
+          .integer("pairs", static_cast<long long>(pairs))
+          .str("strategy", config_.strategy == QueryStrategy::kBisection
+                               ? "bisection"
+                               : "first_found");
+    }
+  };
+
+  if (survivors_.empty()) {
+    note("no_candidate", 0, 0, 0);
+    FinderResult res;
+    res.status = FinderStatus::kNoCandidate;
+    return res;
+  }
   if (survivors_.size() == 1) {
+    note("unique_ranking", 0, 0, 0);
     FinderResult res;
     res.status = FinderStatus::kUniqueRanking;
     res.candidate_a = survivors_.front().assignment;
@@ -405,6 +480,7 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
   if (witnesses.empty()) {
     // No disagreement among the survivors: report (approximate) ranking
     // uniqueness with an arbitrary representative.
+    note("unique_ranking", schedule.size(), 0, 0);
     FinderResult res;
     res.status = FinderStatus::kUniqueRanking;
     res.candidate_a = survivors_.front().assignment;
@@ -468,6 +544,7 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
         });
     if (!duplicate) res.pairs.push_back(*pair);
   }
+  note("found", schedule.size(), witnesses.size(), res.pairs.size());
   return res;
 }
 

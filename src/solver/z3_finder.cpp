@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/run_context.h"
 #include "solver/z3_encoder.h"
 #include "util/log.h"
 
@@ -14,6 +15,12 @@ namespace compsynth::solver {
 namespace {
 
 constexpr int kMaxViabilityBlocks = 256;
+
+const char* check_result_name(z3::check_result r) {
+  if (r == z3::sat) return "sat";
+  if (r == z3::unsat) return "unsat";
+  return "unknown";
+}
 
 void set_timeout(z3::context& ctx, z3::solver& s, unsigned timeout_ms) {
   if (timeout_ms == 0) return;
@@ -44,6 +51,21 @@ z3::check_result check_with_fallback(z3::context& ctx, z3::solver& s,
   const z3::check_result r2 = fallback.check();
   if (r2 != z3::unknown) s = std::move(fallback);  // expose the model via `s`
   return r2;
+}
+
+// check_with_fallback wrapped in a "z3_query" span: one event + one
+// z3_query.seconds sample per solver invocation, with kind/result/index.
+z3::check_result timed_check(const obs::RunContext* obs, z3::context& ctx,
+                             z3::solver& s, unsigned timeout_ms,
+                             const char* kind, long index) {
+  obs::Span span(obs, "z3_query");
+  const z3::check_result r = check_with_fallback(ctx, s, timeout_ms);
+  if (obs != nullptr) obs->count("z3.queries");
+  if (obs::TraceEvent* e = span.event()) {
+    e->str("kind", kind).integer("index", index).str("result",
+                                                     check_result_name(r));
+  }
+  return r;
 }
 
 // Encodes the sketch body at a concrete scenario under the given hole vars.
@@ -167,7 +189,8 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
   for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
     ++query_count_;
     log_query(solver, "distinguishing");
-    const z3::check_result r = check_with_fallback(ctx, solver, config_.timeout_ms);
+    const z3::check_result r = timed_check(obs_, ctx, solver, config_.timeout_ms,
+                                           "distinguishing", query_count_);
     if (r == z3::unsat) {
       if (num_pairs > 1) return find_distinguishing(graph, 1);
       // Distinguish "no candidate at all" from "unique ranking", and carry
@@ -251,7 +274,8 @@ std::optional<sketch::HoleAssignment> Z3Finder::find_consistent(
   for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
     ++query_count_;
     log_query(solver, "consistent");
-    if (check_with_fallback(ctx, solver, config_.timeout_ms) != z3::sat) {
+    if (timed_check(obs_, ctx, solver, config_.timeout_ms, "consistent",
+                    query_count_) != z3::sat) {
       return std::nullopt;
     }
     const z3::model model = solver.get_model();

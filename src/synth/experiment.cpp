@@ -1,6 +1,7 @@
 #include "synth/experiment.h"
 
 #include <memory>
+#include <string>
 
 #include "oracle/ground_truth.h"
 #include "oracle/variants.h"
@@ -31,6 +32,9 @@ ExperimentOutcome run_experiment(const ExperimentSpec& spec) {
   for (int rep = 0; rep < spec.repetitions; ++rep) {
     SynthesisConfig config = spec.config;
     config.seed = spec.config.seed + static_cast<std::uint64_t>(rep) * 7919;
+    config.obs = spec.obs;
+    config.obs.run_id = spec.obs.run_id + "/rep" + std::to_string(rep);
+    config.obs.seed = config.seed;
 
     Synthesizer synthesizer = make_synthesizer(spec, config);
 

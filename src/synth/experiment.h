@@ -29,6 +29,11 @@ struct ExperimentSpec {
 
   /// Optional user imperfection: probability of flipping a strict answer.
   double oracle_flip_probability = 0;
+
+  /// Observability template for the repetitions: each rep runs with a copy
+  /// whose run_id gains a "/repN" suffix and whose seed is the rep's actual
+  /// seed, so traces from all reps interleave distinguishably in one file.
+  obs::RunContext obs;
 };
 
 struct RunOutcome {

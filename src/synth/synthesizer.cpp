@@ -14,6 +14,26 @@ namespace {
 
 constexpr int kMaxRepairRounds = 64;
 
+const char* status_name(SynthesisStatus s) {
+  switch (s) {
+    case SynthesisStatus::kConverged: return "converged";
+    case SynthesisStatus::kIterationLimit: return "iteration_limit";
+    case SynthesisStatus::kNoCandidate: return "no_candidate";
+    case SynthesisStatus::kSolverGaveUp: return "solver_gave_up";
+  }
+  return "?";
+}
+
+const char* finder_status_name(solver::FinderStatus s) {
+  switch (s) {
+    case solver::FinderStatus::kFound: return "found";
+    case solver::FinderStatus::kUniqueRanking: return "unique_ranking";
+    case solver::FinderStatus::kNoCandidate: return "no_candidate";
+    case solver::FinderStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
 }  // namespace
 
 Synthesizer::Synthesizer(sketch::Sketch sketch,
@@ -111,6 +131,23 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
   util::Rng rng(config_.seed);
   const long comparisons_before = user.comparisons();
 
+  // Thread the run context through every component for the duration of this
+  // run. The oracle and the (returned) graph outlive the call, so their
+  // pointers are cleared before returning.
+  const obs::RunContext* obs = &config_.obs;
+  finder_->set_run_context(obs);
+  user.set_run_context(obs);
+  graph.set_run_context(obs);
+  if (obs::tracing(obs)) {
+    obs::TraceEvent start("run_start");
+    start.str("sketch", sketch_.name())
+        .integer("seed", static_cast<long long>(config_.seed))
+        .integer("initial_scenarios", config_.initial_scenarios)
+        .integer("pairs_per_iteration", config_.pairs_per_iteration)
+        .integer("max_iterations", config_.max_iterations);
+    obs->emit(start);
+  }
+
   // A resumed session already carries preference knowledge; only a fresh
   // graph gets the up-front random-scenario ranking.
   if (graph.vertex_count() == 0) seed_graph(graph, user, rng);
@@ -174,6 +211,23 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
     }
 
     result.total_solver_seconds += record.solver_seconds;
+    if (obs::active(obs)) {
+      obs->count("synth.iterations");
+      obs->observe("iteration.solver_seconds", record.solver_seconds);
+      if (obs->tracing()) {
+        obs::TraceEvent e("iteration");
+        e.integer("index", record.index)
+            .num("secs", record.solver_seconds)
+            .str("status", finder_status_name(fr.status))
+            .integer("pairs_presented", record.pairs_presented)
+            .integer("edges_added", record.edges_added)
+            .integer("ties_added", record.ties_added)
+            .integer("vertices", static_cast<long long>(graph.vertex_count()))
+            .integer("edges", static_cast<long long>(graph.edges().size()))
+            .integer("ties", static_cast<long long>(graph.ties().size()));
+        obs->emit(e);
+      }
+    }
     if (config_.keep_transcript) result.transcript.push_back(record);
   }
 
@@ -186,6 +240,21 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         result.total_solver_seconds / result.iterations;
   }
   result.oracle_comparisons = user.comparisons() - comparisons_before;
+
+  if (obs::tracing(obs)) {
+    obs::TraceEvent end("run_end");
+    end.str("status", status_name(result.status))
+        .integer("iterations", result.iterations)
+        .integer("interactions", result.interactions)
+        .integer("oracle_comparisons", result.oracle_comparisons)
+        .num("total_solver_seconds", result.total_solver_seconds);
+    obs->emit(end);
+  }
+  // The oracle and the returned graph outlive this run; the finder is owned
+  // by the synthesizer and keeps its pointer until the next run resets it.
+  user.set_run_context(nullptr);
+  graph.set_run_context(nullptr);
+
   result.graph = std::move(graph);
   return result;
 }

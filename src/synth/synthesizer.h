@@ -17,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/run_context.h"
 #include "oracle/oracle.h"
 #include "pref/graph.h"
 #include "sketch/ast.h"
@@ -64,6 +65,13 @@ struct SynthesisConfig {
 
   /// Per-iteration records kept in the result (costs a little memory).
   bool keep_transcript = true;
+
+  /// Observability wiring (docs/OBSERVABILITY.md). The synthesizer threads
+  /// the context (non-owning metrics/tracer pointers, run id, seed) through
+  /// the finder, the oracle and the preference graph for the duration of
+  /// run(), emitting run_start / iteration / run_end events and synth.*
+  /// metrics. Default-constructed = fully off (no clock reads, no locks).
+  obs::RunContext obs;
 };
 
 enum class SynthesisStatus {

@@ -1,0 +1,49 @@
+// Mutex-guarded whole-line writer.
+//
+// Both the leveled logger (util/log.h) and the trace file sink
+// (obs/trace.h) write one self-contained line per call, possibly from
+// several util::ThreadPool workers at once. Raw `stream << line` calls can
+// interleave mid-line under contention; LineWriter serializes at line
+// granularity so every emitted line stays intact. One writer guards one
+// stream — sharing the stderr writer between the logger and any
+// stderr-directed sink keeps their lines from splicing into each other.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <ostream>
+#include <string_view>
+
+namespace compsynth::util {
+
+class LineWriter {
+ public:
+  /// Binds to a stream the caller keeps alive for the writer's lifetime.
+  explicit LineWriter(std::ostream& os) : os_(&os) {}
+
+  LineWriter(const LineWriter&) = delete;
+  LineWriter& operator=(const LineWriter&) = delete;
+
+  /// Writes `line` plus a trailing newline atomically with respect to other
+  /// write_line calls on this writer, then flushes (lines are observability
+  /// output: losing buffered tail lines on a crash would defeat the point).
+  void write_line(std::string_view line) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    *os_ << line << '\n';
+    os_->flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ostream* os_;
+};
+
+/// The process-wide stderr writer. util::log_line routes through it, and
+/// any sink that targets stderr should share it rather than writing to
+/// std::cerr directly.
+inline LineWriter& stderr_line_writer() {
+  static LineWriter writer(std::cerr);
+  return writer;
+}
+
+}  // namespace compsynth::util

@@ -1,7 +1,9 @@
 #include "util/log.h"
 
 #include <atomic>
-#include <iostream>
+#include <sstream>
+
+#include "util/line_writer.h"
 
 namespace compsynth::util {
 
@@ -26,7 +28,12 @@ LogLevel level() { return g_level.load(); }
 
 void log_line(LogLevel lvl, const std::string& message) {
   if (static_cast<int>(lvl) > static_cast<int>(level())) return;
-  std::cerr << "[compsynth " << level_name(lvl) << "] " << message << '\n';
+  // Render first, then hand the finished line to the shared mutex-guarded
+  // stderr writer: log calls from concurrent ThreadPool workers used to
+  // interleave mid-line through the raw std::cerr inserters.
+  std::ostringstream line;
+  line << "[compsynth " << level_name(lvl) << "] " << message;
+  stderr_line_writer().write_line(line.str());
 }
 
 }  // namespace compsynth::util

@@ -1,0 +1,232 @@
+// Unit tests for the observability subsystem: metrics registry (exact
+// stats, bounded-error quantiles, lock-free concurrent updates) and the
+// trace layer (JSONL rendering round-trips through parse_flat_json).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_context.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace obs = compsynth::obs;
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, CounterAddAndValue) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("a");
+  EXPECT_EQ(c.value(), 0);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("a"), &c);
+  EXPECT_NE(&reg.counter("b"), &c);
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  obs::MetricsRegistry reg;
+  reg.gauge("g").set(1.5);
+  reg.gauge("g").set(-3.25);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), -3.25);
+}
+
+TEST(Metrics, HistogramExactMoments) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.quantile(0.5), 0);
+  for (double v : {0.002, 0.004, 0.001, 0.008}) h.record(v);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.015);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.00375);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 0.008);
+}
+
+TEST(Metrics, HistogramQuantilesWithinBoundedError) {
+  obs::Histogram h;
+  // 1..1000 ms, uniformly: the rank-q sample of the latent data is known.
+  for (int i = 1; i <= 1000; ++i) h.record(i * 1e-3);
+  const double tol = obs::Histogram::relative_error() + 0.01;
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.5 * tol);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.9 * tol);
+  EXPECT_NEAR(h.quantile(0.99), 0.99, 0.99 * tol);
+  // Quantiles clamp into the observed range.
+  EXPECT_GE(h.quantile(0.0), h.min());
+  EXPECT_LE(h.quantile(1.0), h.max());
+}
+
+TEST(Metrics, HistogramOutOfRangeSamplesKeepExactStats) {
+  obs::Histogram h;
+  h.record(1e-12);  // underflow bin
+  h.record(1e6);    // overflow bin
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-12);
+  EXPECT_DOUBLE_EQ(h.max(), 1e6);
+  // Quantiles stay inside [min, max] even for out-of-range bins.
+  EXPECT_GE(h.quantile(0.5), h.min());
+  EXPECT_LE(h.quantile(0.5), h.max());
+}
+
+TEST(Metrics, ConcurrentUpdatesFromPoolWorkers) {
+  obs::MetricsRegistry reg;
+  obs::Counter& c = reg.counter("n");
+  obs::Histogram& h = reg.histogram("lat");
+  compsynth::util::ThreadPool pool(4);
+  constexpr std::size_t kN = 20000;
+  pool.parallel_for(0, kN, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      c.add();
+      h.record(1e-3);
+      reg.counter("resolved-per-call").add();
+    }
+  });
+  EXPECT_EQ(c.value(), static_cast<long>(kN));
+  EXPECT_EQ(reg.counter("resolved-per-call").value(), static_cast<long>(kN));
+  EXPECT_EQ(h.count(), static_cast<long>(kN));
+  EXPECT_NEAR(h.sum(), kN * 1e-3, kN * 1e-3 * 1e-9);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-3);
+}
+
+TEST(Metrics, RenderMarkdownListsEveryInstrument) {
+  obs::MetricsRegistry reg;
+  reg.counter("oracle.comparisons").add(7);
+  reg.gauge("grid.survivors").set(123);
+  reg.histogram("z3_query.seconds").record(0.25);
+  const std::string md = reg.render_markdown();
+  EXPECT_NE(md.find("oracle.comparisons"), std::string::npos);
+  EXPECT_NE(md.find("grid.survivors"), std::string::npos);
+  EXPECT_NE(md.find("z3_query.seconds"), std::string::npos);
+  EXPECT_NE(md.find("| 7 |"), std::string::npos);
+}
+
+// ------------------------------------------------------------------ trace
+
+TEST(Trace, RenderLineCarriesEnvelopeAndFields) {
+  obs::TraceEvent e("iteration");
+  e.integer("index", 3).num("secs", 0.5).str("status", "found").boolean(
+      "ok", true);
+  const std::string line = obs::render_trace_line("cli/rep0", 1.25, e);
+  const auto obj = obs::parse_flat_json(line);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("v").num, obs::kTraceSchemaVersion);
+  EXPECT_EQ(obj->at("ts").num, 1.25);
+  EXPECT_EQ(obj->at("run").str, "cli/rep0");
+  EXPECT_EQ(obj->at("ev").str, "iteration");
+  EXPECT_EQ(obj->at("index").num, 3);
+  EXPECT_EQ(obj->at("secs").num, 0.5);
+  EXPECT_EQ(obj->at("status").str, "found");
+  EXPECT_TRUE(obj->at("ok").b);
+}
+
+TEST(Trace, JsonEscapingRoundTrips) {
+  obs::TraceEvent e("t");
+  const std::string nasty = "quote\" backslash\\ newline\n tab\t ctrl\x01 end";
+  e.str("s", nasty);
+  const auto obj = obs::parse_flat_json(obs::render_trace_line("r", 0, e));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("s").str, nasty);
+}
+
+TEST(Trace, NonFiniteNumbersBecomeNull) {
+  obs::TraceEvent e("t");
+  e.num("bad", std::nan("")).num("inf", INFINITY).num("good", 2.0);
+  const auto obj = obs::parse_flat_json(obs::render_trace_line("r", 0, e));
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("bad").kind, obs::JsonValue::Kind::kNull);
+  EXPECT_EQ(obj->at("inf").kind, obs::JsonValue::Kind::kNull);
+  EXPECT_EQ(obj->at("good").num, 2.0);
+}
+
+TEST(Trace, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(obs::parse_flat_json("").has_value());
+  EXPECT_FALSE(obs::parse_flat_json("not json").has_value());
+  EXPECT_FALSE(obs::parse_flat_json("{\"a\":1").has_value());
+  EXPECT_FALSE(obs::parse_flat_json("{\"a\":1} trailing").has_value());
+  EXPECT_FALSE(obs::parse_flat_json("{\"a\":{\"nested\":1}}").has_value());
+  EXPECT_FALSE(obs::parse_flat_json("{\"a\":[1,2]}").has_value());
+  EXPECT_TRUE(obs::parse_flat_json("{}").has_value());
+  EXPECT_TRUE(obs::parse_flat_json(" {\"a\": -1.5e3} ").has_value());
+}
+
+TEST(Trace, FileSinkWritesOneParseableLinePerEvent) {
+  const std::string path = ::testing::TempDir() + "/obs_sink_test.jsonl";
+  {
+    obs::FileTraceSink sink(path);
+    EXPECT_TRUE(sink.enabled());
+    for (int i = 0; i < 3; ++i) {
+      obs::TraceEvent e("tick");
+      e.integer("i", i);
+      sink.emit("run-x", e);
+    }
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int n = 0;
+  double last_ts = -1;
+  while (std::getline(in, line)) {
+    const auto obj = obs::parse_flat_json(line);
+    ASSERT_TRUE(obj.has_value()) << line;
+    EXPECT_EQ(obj->at("run").str, "run-x");
+    EXPECT_EQ(obj->at("ev").str, "tick");
+    EXPECT_EQ(obj->at("i").num, n);
+    EXPECT_GE(obj->at("ts").num, last_ts);  // steady-clock timestamps
+    last_ts = obj->at("ts").num;
+    ++n;
+  }
+  EXPECT_EQ(n, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Trace, NullSinkReportsDisabled) {
+  obs::NullTraceSink sink;
+  EXPECT_FALSE(sink.enabled());
+  obs::RunContext ctx;
+  ctx.tracer = &sink;
+  EXPECT_FALSE(ctx.tracing());
+  EXPECT_FALSE(ctx.active());
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(Span, InactiveContextIsFree) {
+  obs::Span span(nullptr, "work");
+  EXPECT_EQ(span.event(), nullptr);
+  EXPECT_EQ(span.finish(), 0);
+}
+
+TEST(Span, RecordsHistogramAndEmitsEvent) {
+  obs::MetricsRegistry reg;
+  const std::string path = ::testing::TempDir() + "/obs_span_test.jsonl";
+  {
+    obs::FileTraceSink sink(path);
+    obs::RunContext ctx;
+    ctx.metrics = &reg;
+    ctx.tracer = &sink;
+    ctx.run_id = "span-run";
+    obs::Span span(&ctx, "work");
+    ASSERT_NE(span.event(), nullptr);
+    span.event()->str("mode", "full");
+    const double secs = span.finish();
+    EXPECT_GE(secs, 0);
+    EXPECT_EQ(span.finish(), 0);  // idempotent
+  }
+  EXPECT_EQ(reg.histogram("work.seconds").count(), 1);
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  const auto obj = obs::parse_flat_json(line);
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("ev").str, "work");
+  EXPECT_EQ(obj->at("mode").str, "full");
+  EXPECT_GE(obj->at("secs").num, 0);
+  std::remove(path.c_str());
+}

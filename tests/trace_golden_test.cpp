@@ -1,0 +1,216 @@
+// Golden-trace test: run a tiny grid-backend synthesis with a file sink and
+// validate the JSONL trace end to end against the v1 schema
+// (docs/OBSERVABILITY.md) — event sequence, required keys per event type,
+// monotone timestamps, and cross-checks against the metrics registry and
+// the SynthesisResult.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_context.h"
+#include "obs/trace.h"
+#include "oracle/ground_truth.h"
+#include "sketch/library.h"
+#include "synth/synthesizer.h"
+
+namespace compsynth {
+namespace {
+
+using obs::JsonObject;
+using obs::JsonValue;
+
+void require_key(const JsonObject& obj, const std::string& key,
+                 JsonValue::Kind kind, const std::string& context) {
+  const auto it = obj.find(key);
+  ASSERT_NE(it, obj.end()) << context << ": missing key '" << key << "'";
+  ASSERT_EQ(static_cast<int>(it->second.kind), static_cast<int>(kind))
+      << context << ": key '" << key << "' has wrong type";
+}
+
+double num(const JsonObject& obj, const std::string& key) {
+  return obj.at(key).num;
+}
+
+class TraceGoldenTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/golden_trace.jsonl";
+
+    obs::FileTraceSink sink(path_);
+    synth::SynthesisConfig config;
+    config.seed = 11;
+    config.obs.metrics = &metrics_;
+    config.obs.tracer = &sink;
+    config.obs.run_id = "golden";
+    config.obs.seed = config.seed;
+
+    const auto& sk = sketch::swan_sketch();
+    synth::Synthesizer synthesizer = synth::make_grid_synthesizer(sk, config);
+    oracle::GroundTruthOracle user(sk, sketch::swan_target(),
+                                   config.finder.tie_tolerance);
+    result_ = synthesizer.run(user);
+    ASSERT_EQ(result_.status, synth::SynthesisStatus::kConverged);
+
+    // Sink is destroyed here; read the finished file back.
+    std::ifstream in(path_);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto obj = obs::parse_flat_json(line);
+      ASSERT_TRUE(obj.has_value()) << "unparseable trace line: " << line;
+      records_.push_back(*obj);
+    }
+    ASSERT_GE(records_.size(), 3u);
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  obs::MetricsRegistry metrics_;
+  synth::SynthesisResult result_;
+  std::vector<JsonObject> records_;
+};
+
+TEST_F(TraceGoldenTest, EnvelopeOnEveryRecord) {
+  double last_ts = -1;
+  for (const JsonObject& r : records_) {
+    require_key(r, "v", JsonValue::Kind::kNumber, "envelope");
+    require_key(r, "ts", JsonValue::Kind::kNumber, "envelope");
+    require_key(r, "run", JsonValue::Kind::kString, "envelope");
+    require_key(r, "ev", JsonValue::Kind::kString, "envelope");
+    EXPECT_EQ(num(r, "v"), obs::kTraceSchemaVersion);
+    EXPECT_EQ(r.at("run").str, "golden");
+    EXPECT_FALSE(r.at("ev").str.empty());
+    EXPECT_GE(num(r, "ts"), last_ts) << "timestamps must be monotone";
+    last_ts = num(r, "ts");
+  }
+}
+
+TEST_F(TraceGoldenTest, RunStartOpensAndRunEndCloses) {
+  const JsonObject& start = records_.front();
+  ASSERT_EQ(start.at("ev").str, "run_start");
+  require_key(start, "sketch", JsonValue::Kind::kString, "run_start");
+  require_key(start, "seed", JsonValue::Kind::kNumber, "run_start");
+  require_key(start, "initial_scenarios", JsonValue::Kind::kNumber, "run_start");
+  require_key(start, "pairs_per_iteration", JsonValue::Kind::kNumber, "run_start");
+  require_key(start, "max_iterations", JsonValue::Kind::kNumber, "run_start");
+  EXPECT_EQ(num(start, "seed"), 11);
+
+  const JsonObject& end = records_.back();
+  ASSERT_EQ(end.at("ev").str, "run_end");
+  require_key(end, "status", JsonValue::Kind::kString, "run_end");
+  require_key(end, "iterations", JsonValue::Kind::kNumber, "run_end");
+  require_key(end, "interactions", JsonValue::Kind::kNumber, "run_end");
+  require_key(end, "oracle_comparisons", JsonValue::Kind::kNumber, "run_end");
+  require_key(end, "total_solver_seconds", JsonValue::Kind::kNumber, "run_end");
+  EXPECT_EQ(end.at("status").str, "converged");
+  EXPECT_EQ(num(end, "iterations"), result_.iterations);
+  EXPECT_EQ(num(end, "interactions"), result_.interactions);
+  EXPECT_EQ(num(end, "oracle_comparisons"), result_.oracle_comparisons);
+
+  // run_start / run_end appear exactly once each.
+  int starts = 0, ends = 0;
+  for (const JsonObject& r : records_) {
+    if (r.at("ev").str == "run_start") ++starts;
+    if (r.at("ev").str == "run_end") ++ends;
+  }
+  EXPECT_EQ(starts, 1);
+  EXPECT_EQ(ends, 1);
+}
+
+TEST_F(TraceGoldenTest, IterationEventsAreContiguousAndComplete) {
+  long long expected_index = 1;
+  for (const JsonObject& r : records_) {
+    if (r.at("ev").str != "iteration") continue;
+    require_key(r, "index", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "secs", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "status", JsonValue::Kind::kString, "iteration");
+    require_key(r, "pairs_presented", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "edges_added", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "ties_added", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "vertices", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "edges", JsonValue::Kind::kNumber, "iteration");
+    require_key(r, "ties", JsonValue::Kind::kNumber, "iteration");
+    EXPECT_EQ(num(r, "index"), expected_index);
+    ++expected_index;
+  }
+  EXPECT_EQ(expected_index - 1, result_.iterations);
+}
+
+TEST_F(TraceGoldenTest, GridSyncSurvivorsNeverGrow) {
+  double last_survivors = -1;
+  int syncs = 0;
+  for (const JsonObject& r : records_) {
+    if (r.at("ev").str != "grid_sync") continue;
+    ++syncs;
+    require_key(r, "mode", JsonValue::Kind::kString, "grid_sync");
+    require_key(r, "survivors", JsonValue::Kind::kNumber, "grid_sync");
+    require_key(r, "secs", JsonValue::Kind::kNumber, "grid_sync");
+    const double survivors = num(r, "survivors");
+    if (last_survivors >= 0) {
+      EXPECT_LE(survivors, last_survivors)
+          << "version space must only shrink as constraints accumulate";
+    }
+    last_survivors = survivors;
+  }
+  EXPECT_GT(syncs, 0);
+  // Convergence means the surviving candidates all rank identically; the
+  // final sync must have at least one survivor left.
+  EXPECT_GE(last_survivors, 1);
+}
+
+TEST_F(TraceGoldenTest, PairSearchAndOracleAndPrefEventsCarryTheirKeys) {
+  int pair_searches = 0, compares = 0, pref_edges = 0;
+  for (const JsonObject& r : records_) {
+    const std::string& ev = r.at("ev").str;
+    if (ev == "pair_search") {
+      ++pair_searches;
+      require_key(r, "status", JsonValue::Kind::kString, "pair_search");
+      require_key(r, "survivors", JsonValue::Kind::kNumber, "pair_search");
+      require_key(r, "strategy", JsonValue::Kind::kString, "pair_search");
+      require_key(r, "secs", JsonValue::Kind::kNumber, "pair_search");
+    } else if (ev == "oracle_query") {
+      require_key(r, "kind", JsonValue::Kind::kString, "oracle_query");
+      require_key(r, "index", JsonValue::Kind::kNumber, "oracle_query");
+      if (r.at("kind").str == "compare") {
+        ++compares;
+        require_key(r, "answer", JsonValue::Kind::kString, "oracle_query");
+      } else {
+        require_key(r, "batch", JsonValue::Kind::kNumber, "oracle_query");
+      }
+    } else if (ev == "pref_edge") {
+      ++pref_edges;
+      require_key(r, "kind", JsonValue::Kind::kString, "pref_edge");
+      require_key(r, "result", JsonValue::Kind::kString, "pref_edge");
+    }
+  }
+  // One pair_search per iteration (the grid finder's query path).
+  EXPECT_EQ(pair_searches, result_.iterations);
+  // Pairwise answers during the loop (the seed ranking counts separately).
+  EXPECT_GT(compares, 0);
+  EXPECT_GT(pref_edges, 0);
+}
+
+TEST_F(TraceGoldenTest, MetricsAgreeWithTrace) {
+  int compares = 0, syncs = 0, iterations = 0;
+  for (const JsonObject& r : records_) {
+    const std::string& ev = r.at("ev").str;
+    if (ev == "oracle_query" && r.at("kind").str == "compare") ++compares;
+    if (ev == "grid_sync") ++syncs;
+    if (ev == "iteration") ++iterations;
+  }
+  EXPECT_EQ(metrics_.counter("oracle.comparisons").value(), compares);
+  EXPECT_EQ(metrics_.counter("grid.syncs").value(), syncs);
+  EXPECT_EQ(metrics_.counter("synth.iterations").value(), iterations);
+  EXPECT_EQ(metrics_.histogram("grid_sync.seconds").count(), syncs);
+  EXPECT_EQ(metrics_.histogram("iteration.solver_seconds").count(), iterations);
+  EXPECT_GT(metrics_.counter("pref.edges.added").value(), 0);
+}
+
+}  // namespace
+}  // namespace compsynth

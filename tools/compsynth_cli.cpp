@@ -15,6 +15,10 @@
 //   --seed <n>          RNG seed (default 1)
 //   --resume <file>     load a saved preference graph before starting
 //   --save <file>       write the final preference graph for later resume
+//   --trace <file>      append a structured JSONL trace of the run (schema:
+//                       docs/OBSERVABILITY.md; render with trace_report)
+//   --metrics           print the metrics registry (counters, gauges,
+//                       latency quantiles) as Markdown after the run
 //   --quiet             suppress the per-iteration transcript
 //
 // Exit status: 0 on convergence, 2 when the answers contradict the sketch,
@@ -25,6 +29,8 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "oracle/ground_truth.h"
 #include "oracle/variants.h"
 #include "pref/serialize.h"
@@ -42,6 +48,8 @@ struct Options {
   std::string backend = "z3";
   std::optional<std::string> resume_path;
   std::optional<std::string> save_path;
+  std::optional<std::string> trace_path;
+  bool print_metrics = false;
   synth::SynthesisConfig config;
   bool quiet = false;
 };
@@ -49,7 +57,8 @@ struct Options {
 void usage(std::ostream& os) {
   os << "usage: compsynth_cli <sketch-file> [--target <expr>] [--backend z3|grid]\n"
         "       [--pairs k] [--initial n] [--max-iters n] [--seed n]\n"
-        "       [--resume file] [--save file] [--quiet]\n";
+        "       [--resume file] [--save file] [--trace file] [--metrics]\n"
+        "       [--quiet]\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -90,6 +99,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (auto v = need_value(i)) opt.resume_path = *v; else return std::nullopt;
     } else if (arg == "--save") {
       if (auto v = need_value(i)) opt.save_path = *v; else return std::nullopt;
+    } else if (arg == "--trace") {
+      if (auto v = need_value(i)) opt.trace_path = *v; else return std::nullopt;
+    } else if (arg == "--metrics") {
+      opt.print_metrics = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option '" << arg << "'\n";
       return std::nullopt;
@@ -140,9 +153,23 @@ int main(int argc, char** argv) {
       user = std::make_unique<oracle::InteractiveOracle>(sk, std::cin, std::cout);
     }
 
+    // Optional observability: a metrics registry when requested and a file
+    // trace sink when a path is given. Both hang off the config's RunContext
+    // and cost nothing when absent.
+    obs::MetricsRegistry metrics;
+    std::unique_ptr<obs::FileTraceSink> trace_sink;
+    synth::SynthesisConfig config = opt->config;
+    if (opt->print_metrics) config.obs.metrics = &metrics;
+    if (opt->trace_path) {
+      trace_sink = std::make_unique<obs::FileTraceSink>(*opt->trace_path);
+      config.obs.tracer = trace_sink.get();
+      config.obs.run_id = sk.name();
+    }
+    config.obs.seed = config.seed;
+
     synth::Synthesizer synthesizer =
-        opt->backend == "grid" ? synth::make_grid_synthesizer(sk, opt->config)
-                               : synth::make_z3_synthesizer(sk, opt->config);
+        opt->backend == "grid" ? synth::make_grid_synthesizer(sk, config)
+                               : synth::make_z3_synthesizer(sk, config);
 
     pref::PreferenceGraph initial(opt->config.tolerate_inconsistency);
     if (opt->resume_path) {
@@ -173,6 +200,12 @@ int main(int argc, char** argv) {
       pref::serialize(result.graph, out);
       std::cout << "session saved to " << *opt->save_path << "\n";
     }
+
+    if (opt->trace_path && !opt->quiet) {
+      std::cout << "trace written to " << *opt->trace_path
+                << " (render with: trace_report " << *opt->trace_path << ")\n";
+    }
+    if (opt->print_metrics) std::cout << "\n" << metrics.render_markdown();
 
     switch (result.status) {
       case synth::SynthesisStatus::kConverged:

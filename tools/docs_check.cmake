@@ -1,0 +1,85 @@
+# CTest script: documentation link/path checker.
+#
+# 1. Every relative Markdown link target in docs/*.md, README.md and
+#    EXPERIMENTS.md must exist on disk (anchors stripped; http/https/mailto
+#    and pure in-page anchors are skipped).
+# 2. Every backticked repo path cited in docs/ARCHITECTURE.md
+#    (`src/...`, `tests/...`, `bench/...`, `tools/...`, `docs/...`,
+#    `examples/...`) must exist — the module map must not drift from the tree.
+#
+# Matches are pulled with an explicit match-and-advance loop: on this CMake,
+# string(REGEX MATCHALL) hands back one ;-escaped blob that foreach() will
+# not split.
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "REPO_ROOT not set")
+endif()
+
+set(errors "")
+
+file(GLOB doc_files "${REPO_ROOT}/docs/*.md")
+list(APPEND doc_files "${REPO_ROOT}/README.md" "${REPO_ROOT}/EXPERIMENTS.md")
+
+foreach(doc ${doc_files})
+  if(NOT EXISTS "${doc}")
+    continue()
+  endif()
+  file(READ "${doc}" text)
+  get_filename_component(doc_dir "${doc}" DIRECTORY)
+  file(RELATIVE_PATH doc_rel "${REPO_ROOT}" "${doc}")
+
+  # --- Markdown links: [label](target) ---
+  set(rest "${text}")
+  while(rest MATCHES "\\]\\(([^)\n]+)\\)")
+    set(target "${CMAKE_MATCH_1}")
+    string(FIND "${rest}" "](${target})" pos)
+    string(LENGTH "](${target})" len)
+    math(EXPR pos "${pos}+${len}")
+    string(SUBSTRING "${rest}" ${pos} -1 rest)
+
+    # External links and in-page anchors are out of scope.
+    if(target MATCHES "^(https?|mailto):" OR target MATCHES "^#")
+      continue()
+    endif()
+    # Strip a trailing #anchor.
+    string(REGEX REPLACE "#.*$" "" target "${target}")
+    if(target STREQUAL "")
+      continue()
+    endif()
+    if(NOT EXISTS "${doc_dir}/${target}")
+      list(APPEND errors "${doc_rel}: broken link '${target}'")
+    endif()
+  endwhile()
+endforeach()
+
+# --- Backticked repo paths in the architecture doc ---
+set(arch "${REPO_ROOT}/docs/ARCHITECTURE.md")
+if(NOT EXISTS "${arch}")
+  list(APPEND errors "docs/ARCHITECTURE.md is missing")
+else()
+  file(READ "${arch}" text)
+  set(n_cites 0)
+  set(rest "${text}")
+  while(rest MATCHES "`((src|tests|bench|tools|docs|examples)/[A-Za-z0-9_./-]+)`")
+    set(path "${CMAKE_MATCH_1}")
+    string(FIND "${rest}" "`${path}`" pos)
+    string(LENGTH "`${path}`" len)
+    math(EXPR pos "${pos}+${len}")
+    string(SUBSTRING "${rest}" ${pos} -1 rest)
+
+    math(EXPR n_cites "${n_cites}+1")
+    if(NOT EXISTS "${REPO_ROOT}/${path}")
+      list(APPEND errors
+           "docs/ARCHITECTURE.md: cited path '${path}' does not exist")
+    endif()
+  endwhile()
+  if(n_cites EQUAL 0)
+    list(APPEND errors
+         "docs/ARCHITECTURE.md cites no repo paths — checker regex drifted?")
+  endif()
+endif()
+
+if(NOT errors STREQUAL "")
+  string(REPLACE ";" "\n  " pretty "${errors}")
+  message(FATAL_ERROR "docs-check failed:\n  ${pretty}")
+endif()
+message(STATUS "docs-check passed")

@@ -1,0 +1,279 @@
+// trace_report — renders a compsynth JSONL trace as a Markdown run report.
+//
+// Usage:
+//   trace_report <trace.jsonl> [-o report.md]
+//
+// Reads a trace produced by `compsynth_cli --trace` or a bench run with
+// COMPSYNTH_TRACE set (schema: docs/OBSERVABILITY.md), groups events by run
+// id, and emits one report section per run: headline summary, solver-time
+// breakdown by component, oracle answer tallies, and the per-iteration
+// survivor/solver-time curve.
+//
+// Exit status: 0 on success (even if some lines were unparseable — they are
+// counted and reported), 1 on usage or I/O errors, 2 when the file contains
+// no parseable trace events at all.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace {
+
+using compsynth::obs::JsonObject;
+using compsynth::obs::JsonValue;
+
+double num_or(const JsonObject& obj, const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kNumber) {
+    return fallback;
+  }
+  return it->second.num;
+}
+
+std::string str_or(const JsonObject& obj, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != JsonValue::Kind::kString) {
+    return fallback;
+  }
+  return it->second.str;
+}
+
+std::string fmt(double v, int digits = 3) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_int(double v) {
+  std::ostringstream os;
+  os << static_cast<long long>(std::llround(v));
+  return os.str();
+}
+
+/// Per-iteration row reconstructed from "iteration" events, decorated with
+/// the survivor count of the grid_sync that preceded it (when present).
+struct IterationRow {
+  long long index = 0;
+  double secs = 0;
+  std::string status;
+  long long pairs = 0;
+  long long edges_added = 0;
+  long long ties_added = 0;
+  std::optional<long long> survivors;
+};
+
+/// Everything reconstructed for one run id.
+struct RunReport {
+  std::string id;
+  std::optional<JsonObject> start;
+  std::optional<JsonObject> end;
+  std::vector<IterationRow> iterations;
+  // Solver-time breakdown: component -> (count, total seconds).
+  std::map<std::string, std::pair<long long, double>> components;
+  // Oracle answers: "compare/first", "compare/tie", "rank", ... -> count.
+  std::map<std::string, long long> oracle;
+  long long pref_edges = 0;
+  long long pref_cycles = 0;
+  // Survivor count of the most recent grid_sync, attached to the next
+  // iteration event (the sync happens inside that iteration's solver call).
+  std::optional<long long> pending_survivors;
+  long long events = 0;
+};
+
+void absorb(RunReport& run, const JsonObject& obj, const std::string& ev) {
+  ++run.events;
+  if (ev == "run_start") {
+    run.start = obj;
+  } else if (ev == "run_end") {
+    run.end = obj;
+  } else if (ev == "iteration") {
+    IterationRow row;
+    row.index = static_cast<long long>(num_or(obj, "index", 0));
+    row.secs = num_or(obj, "secs", 0);
+    row.status = str_or(obj, "status", "?");
+    row.pairs = static_cast<long long>(num_or(obj, "pairs_presented", 0));
+    row.edges_added = static_cast<long long>(num_or(obj, "edges_added", 0));
+    row.ties_added = static_cast<long long>(num_or(obj, "ties_added", 0));
+    row.survivors = run.pending_survivors;
+    run.pending_survivors.reset();
+    run.iterations.push_back(row);
+  } else if (ev == "grid_sync" || ev == "pair_search" || ev == "z3_query") {
+    auto& [count, secs] = run.components[ev];
+    ++count;
+    secs += num_or(obj, "secs", 0);
+    if (ev == "grid_sync") {
+      run.pending_survivors =
+          static_cast<long long>(num_or(obj, "survivors", 0));
+    }
+  } else if (ev == "oracle_query") {
+    const std::string kind = str_or(obj, "kind", "?");
+    std::string key = kind;
+    if (kind == "compare") key += "/" + str_or(obj, "answer", "?");
+    ++run.oracle[key];
+  } else if (ev == "pref_edge") {
+    const std::string result = str_or(obj, "result", "?");
+    if (result == "added") ++run.pref_edges;
+    if (result == "cycle") ++run.pref_cycles;
+  }
+}
+
+void render_run(std::ostream& os, const RunReport& run) {
+  os << "## Run `" << (run.id.empty() ? "(unnamed)" : run.id) << "`\n\n";
+
+  if (run.start) {
+    os << "Sketch `" << str_or(*run.start, "sketch", "?") << "`, seed "
+       << fmt_int(num_or(*run.start, "seed", 0)) << ", "
+       << fmt_int(num_or(*run.start, "initial_scenarios", 0))
+       << " initial scenarios, "
+       << fmt_int(num_or(*run.start, "pairs_per_iteration", 0))
+       << " pair(s)/iteration.\n\n";
+  }
+
+  os << "| metric | value |\n|---|---|\n";
+  if (run.end) {
+    os << "| status | " << str_or(*run.end, "status", "?") << " |\n"
+       << "| iterations | " << fmt_int(num_or(*run.end, "iterations", 0))
+       << " |\n"
+       << "| user interactions | "
+       << fmt_int(num_or(*run.end, "interactions", 0)) << " |\n"
+       << "| oracle comparisons | "
+       << fmt_int(num_or(*run.end, "oracle_comparisons", 0)) << " |\n"
+       << "| total solver time (s) | "
+       << fmt(num_or(*run.end, "total_solver_seconds", 0), 4) << " |\n";
+  } else {
+    os << "| status | (no run_end event — truncated trace?) |\n";
+  }
+  os << "| preference edges added | " << run.pref_edges << " |\n";
+  if (run.pref_cycles > 0) {
+    os << "| contradictions rejected | " << run.pref_cycles << " |\n";
+  }
+  os << "| trace events | " << run.events << " |\n\n";
+
+  if (!run.components.empty()) {
+    double total = 0;
+    for (const auto& [name, cs] : run.components) total += cs.second;
+    os << "### Solver-time breakdown\n\n"
+       << "| component | calls | total s | share |\n|---|---|---|---|\n";
+    for (const auto& [name, cs] : run.components) {
+      const double share = total > 0 ? 100.0 * cs.second / total : 0;
+      os << "| " << name << " | " << cs.first << " | " << fmt(cs.second, 4)
+         << " | " << fmt(share, 1) << "% |\n";
+    }
+    os << "\n";
+  }
+
+  if (!run.oracle.empty()) {
+    os << "### Oracle answers\n\n| query | count |\n|---|---|\n";
+    for (const auto& [key, count] : run.oracle) {
+      os << "| " << key << " | " << count << " |\n";
+    }
+    os << "\n";
+  }
+
+  if (!run.iterations.empty()) {
+    os << "### Iterations\n\n"
+       << "| # | solver s | status | pairs | +edges | +ties | survivors |\n"
+       << "|---|---|---|---|---|---|---|\n";
+    for (const IterationRow& row : run.iterations) {
+      os << "| " << row.index << " | " << fmt(row.secs, 4) << " | "
+         << row.status << " | " << row.pairs << " | " << row.edges_added
+         << " | " << row.ties_added << " | "
+         << (row.survivors ? std::to_string(*row.survivors) : "—") << " |\n";
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_path;
+  std::string output_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-o" || arg == "--output") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " requires a value\n";
+        return 1;
+      }
+      output_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: trace_report <trace.jsonl> [-o report.md]\n";
+      return 0;
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else {
+      std::cerr << "unexpected argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (input_path.empty()) {
+    std::cerr << "usage: trace_report <trace.jsonl> [-o report.md]\n";
+    return 1;
+  }
+
+  std::ifstream in(input_path);
+  if (!in) {
+    std::cerr << "error: cannot open '" << input_path << "'\n";
+    return 1;
+  }
+
+  // Preserve first-appearance order of runs: map for lookup, vector for order.
+  std::map<std::string, std::size_t> run_index;
+  std::vector<RunReport> runs;
+  long long lines = 0, bad_lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    const std::optional<JsonObject> obj = compsynth::obs::parse_flat_json(line);
+    if (!obj) {
+      ++bad_lines;
+      continue;
+    }
+    const std::string run_id = str_or(*obj, "run", "");
+    const std::string ev = str_or(*obj, "ev", "");
+    auto [it, inserted] = run_index.try_emplace(run_id, runs.size());
+    if (inserted) {
+      runs.emplace_back();
+      runs.back().id = run_id;
+    }
+    absorb(runs[it->second], *obj, ev);
+  }
+
+  if (lines == bad_lines) {
+    std::cerr << "error: no parseable trace events in '" << input_path << "'\n";
+    return 2;
+  }
+
+  std::ostringstream report;
+  report << "# Trace report: `" << input_path << "`\n\n"
+         << (lines - bad_lines) << " events across " << runs.size()
+         << " run(s)";
+  if (bad_lines > 0) report << " (" << bad_lines << " unparseable lines)";
+  report << ".\n\n";
+  for (const RunReport& run : runs) render_run(report, run);
+
+  if (output_path.empty()) {
+    std::cout << report.str();
+  } else {
+    std::ofstream out(output_path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << output_path << "'\n";
+      return 1;
+    }
+    out << report.str();
+    std::cout << "report written to " << output_path << "\n";
+  }
+  return 0;
+}
