@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer (-DCOMPSYNTH_SANITIZE=thread) in a
+# dedicated build directory and runs the concurrency-exercising tests: the
+# thread pool, the parallel GridFinder sync (including the analysis-pruned
+# rebuild), and the bench smoke test.
+#
+# Usage:
+#   scripts/check_tsan.sh [ctest-regex]
+#
+# The default regex covers the parallel paths; pass your own (as for
+# `ctest -R`) to widen or narrow it.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build-tsan"
+regex="${1:-ThreadPool|GridFinder|PruneDifferential|bench_eval_smoke}"
+
+cmake -B "$build" -S "$repo" \
+  -DCOMPSYNTH_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build" -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1"
+
+cd "$build"
+ctest --output-on-failure -R "$regex"
+echo "tsan: clean"

@@ -40,6 +40,13 @@ namespace compsynth::obs {
 /// version's schema.
 inline constexpr int kTraceSchemaVersion = 1;
 
+/// Minor schema revision: additive changes (new event types, new optional
+/// keys on existing events) that old consumers may safely ignore. Not
+/// stamped into records — "v" stays the compatibility gate — but documented
+/// in docs/OBSERVABILITY.md so tooling can state what it understands.
+/// 1.1: "analysis" events (kind=lint|prune) + grid_sync's "pruned" key.
+inline constexpr int kTraceSchemaMinorVersion = 1;
+
 /// One field value: integer, double, string or bool.
 struct FieldValue {
   enum class Kind { kInt, kDouble, kString, kBool };

@@ -1,0 +1,814 @@
+#include "sketch/analyze.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace compsynth::sketch {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Note on rounding: every transfer function below evaluates its interval
+// corners with the same double operations the concrete interpreter uses.
+// IEEE rounding is monotone (u <= v implies fl(u) <= fl(v)), so the corner
+// computed in double precision already dominates every interior concrete
+// result of that single operation — no outward ulp padding is required.
+// Containment then composes node by node.
+
+std::string fmt_num(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+bool contains_zero(const Interval& b) { return b.lo <= 0 && b.hi >= 0; }
+
+bool has_pos_inf(const Interval& a) { return a.hi == kInf; }
+bool has_neg_inf(const Interval& a) { return a.lo == -kInf; }
+
+}  // namespace
+
+Interval Interval::point(double v) {
+  if (std::isnan(v)) {
+    Interval r = top();
+    r.maybe_error = false;
+    return r;
+  }
+  return Interval{v, v, false, false};
+}
+
+Interval Interval::of(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    Interval r = top();
+    r.maybe_error = false;
+    return r;
+  }
+  return Interval{std::min(a, b), std::max(a, b), false, false};
+}
+
+Interval Interval::top() { return Interval{-kInf, kInf, true, true}; }
+
+bool Interval::admits(double v) const {
+  if (std::isnan(v)) return maybe_nan;
+  return lo <= v && v <= hi;
+}
+
+bool Interval::finite() const { return std::isfinite(lo) && std::isfinite(hi); }
+
+Interval interval_neg(const Interval& a) {
+  return Interval{-a.hi, -a.lo, a.maybe_nan, a.maybe_error};
+}
+
+Interval interval_hull(const Interval& a, const Interval& b) {
+  return Interval{std::min(a.lo, b.lo), std::max(a.hi, b.hi),
+                  a.maybe_nan || b.maybe_nan, a.maybe_error || b.maybe_error};
+}
+
+Interval interval_add(const Interval& a, const Interval& b) {
+  Interval r;
+  r.maybe_nan = a.maybe_nan || b.maybe_nan;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  // -inf + +inf = NaN can pair any endpoint of one operand with the
+  // opposite infinity of the other, not just corner-with-corner.
+  if ((has_neg_inf(a) && has_pos_inf(b)) || (has_pos_inf(a) && has_neg_inf(b))) {
+    r.maybe_nan = true;
+  }
+  r.lo = a.lo + b.lo;
+  r.hi = a.hi + b.hi;
+  if (std::isnan(r.lo)) r.lo = -kInf;
+  if (std::isnan(r.hi)) r.hi = kInf;
+  return r;
+}
+
+Interval interval_sub(const Interval& a, const Interval& b) {
+  return interval_add(a, interval_neg(b));
+}
+
+Interval interval_mul(const Interval& a, const Interval& b) {
+  Interval r;
+  r.maybe_nan = a.maybe_nan || b.maybe_nan;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  // 0 * inf = NaN: an interior zero of one operand can meet an infinite
+  // endpoint of the other.
+  const bool a_inf = has_pos_inf(a) || has_neg_inf(a);
+  const bool b_inf = has_pos_inf(b) || has_neg_inf(b);
+  if ((contains_zero(a) && b_inf) || (contains_zero(b) && a_inf)) {
+    r.maybe_nan = true;
+  }
+  const double corners[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                             a.hi * b.hi};
+  r.lo = kInf;
+  r.hi = -kInf;
+  for (const double c : corners) {
+    if (std::isnan(c)) {
+      r.maybe_nan = true;
+      continue;
+    }
+    r.lo = std::min(r.lo, c);
+    r.hi = std::max(r.hi, c);
+  }
+  if (r.lo > r.hi) {  // every corner was NaN (0 * inf point intervals)
+    r.lo = -kInf;
+    r.hi = kInf;
+  }
+  return r;
+}
+
+Interval interval_div(const Interval& a, const Interval& b) {
+  Interval r;
+  r.maybe_nan = a.maybe_nan || b.maybe_nan;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  if (contains_zero(b)) {
+    // Some divisor value is exactly zero: eval.cpp throws there. Divisors
+    // arbitrarily close to zero drive the quotient to +/-inf, so the value
+    // enclosure collapses to everything.
+    r.maybe_error = true;
+    r.lo = -kInf;
+    r.hi = kInf;
+    const bool a_inf = has_pos_inf(a) || has_neg_inf(a);
+    const bool b_inf = has_pos_inf(b) || has_neg_inf(b);
+    if (a_inf && b_inf) r.maybe_nan = true;  // inf / inf = NaN
+    return r;
+  }
+  const double corners[4] = {a.lo / b.lo, a.lo / b.hi, a.hi / b.lo,
+                             a.hi / b.hi};
+  r.lo = kInf;
+  r.hi = -kInf;
+  for (const double c : corners) {
+    if (std::isnan(c)) {  // inf / inf
+      r.maybe_nan = true;
+      continue;
+    }
+    r.lo = std::min(r.lo, c);
+    r.hi = std::max(r.hi, c);
+  }
+  if (r.lo > r.hi) {
+    r.lo = -kInf;
+    r.hi = kInf;
+  }
+  return r;
+}
+
+// std::min(a, b) returns its FIRST argument when b is NaN and NaN when a is
+// NaN (the comparison b < a is false either way), so a NaN right operand
+// yields the left operand's value while a NaN left operand propagates.
+Interval interval_min(const Interval& a, const Interval& b) {
+  Interval r;
+  r.lo = std::min(a.lo, b.lo);
+  r.hi = std::min(a.hi, b.hi);
+  if (b.maybe_nan) r.hi = std::max(r.hi, a.hi);  // min(x, NaN) == x
+  r.maybe_nan = a.maybe_nan;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  return r;
+}
+
+Interval interval_max(const Interval& a, const Interval& b) {
+  Interval r;
+  r.lo = std::max(a.lo, b.lo);
+  r.hi = std::max(a.hi, b.hi);
+  if (b.maybe_nan) r.lo = std::min(r.lo, a.lo);  // max(x, NaN) == x
+  r.maybe_nan = a.maybe_nan;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  return r;
+}
+
+Interval grid_interval(const HoleSpec& spec) {
+  return grid_interval(spec, 0, spec.count - 1);
+}
+
+Interval grid_interval(const HoleSpec& spec, std::int64_t first,
+                       std::int64_t last) {
+  if (spec.count < 1) return Interval::point(spec.lo);
+  first = std::clamp<std::int64_t>(first, 0, spec.count - 1);
+  last = std::clamp<std::int64_t>(last, 0, spec.count - 1);
+  // value_at's lo + i*step is monotone in i under IEEE rounding, so the two
+  // endpoint values enclose every interior grid point exactly.
+  return Interval::of(spec.lo + static_cast<double>(first) * spec.step,
+                      spec.lo + static_cast<double>(last) * spec.step);
+}
+
+Box full_box(const Sketch& sketch) {
+  Box box;
+  box.metrics.reserve(sketch.metrics().size());
+  for (const MetricSpec& m : sketch.metrics()) {
+    box.metrics.push_back(Interval::of(m.lo, m.hi));
+  }
+  box.holes.reserve(sketch.holes().size());
+  for (const HoleSpec& h : sketch.holes()) {
+    box.holes.push_back(grid_interval(h));
+  }
+  return box;
+}
+
+std::pair<std::int64_t, std::int64_t> reachable_arms(const Interval& sel,
+                                                     std::size_t arm_count) {
+  const auto last = static_cast<std::int64_t>(arm_count) - 1;
+  if (sel.maybe_nan || std::isnan(sel.lo) || std::isnan(sel.hi)) {
+    // llround(NaN) is unspecified; after clamping any arm is possible.
+    return {0, last};
+  }
+  // eval.cpp computes clamp(llround(v)); clamping the double first commutes
+  // with it and keeps llround's argument in range (no overflow UB).
+  const auto arm_of = [&](double v) {
+    return std::llround(std::clamp(v, 0.0, static_cast<double>(last)));
+  };
+  return {arm_of(sel.lo), arm_of(sel.hi)};
+}
+
+namespace {
+
+/// Abstract boolean: which truth values are possible, plus error poison
+/// (comparison operands may throw).
+struct BoolRange {
+  bool can_true = false;
+  bool can_false = false;
+  bool maybe_error = false;
+};
+
+BoolRange compare_range(CmpOp op, const Interval& a, const Interval& b) {
+  BoolRange r;
+  r.maybe_error = a.maybe_error || b.maybe_error;
+  switch (op) {
+    case CmpOp::kLt:
+      r.can_true = a.lo < b.hi;
+      r.can_false = a.hi >= b.lo;
+      break;
+    case CmpOp::kLe:
+      r.can_true = a.lo <= b.hi;
+      r.can_false = a.hi > b.lo;
+      break;
+    case CmpOp::kGt:
+      r.can_true = a.hi > b.lo;
+      r.can_false = a.lo <= b.hi;
+      break;
+    case CmpOp::kGe:
+      r.can_true = a.hi >= b.lo;
+      r.can_false = a.lo < b.hi;
+      break;
+    case CmpOp::kEq:
+      r.can_true = a.lo <= b.hi && b.lo <= a.hi;
+      r.can_false = !(a.lo == a.hi && b.lo == b.hi && a.lo == b.lo);
+      break;
+    case CmpOp::kNe:
+      r.can_true = !(a.lo == a.hi && b.lo == b.hi && a.lo == b.lo);
+      r.can_false = a.lo <= b.hi && b.lo <= a.hi;
+      break;
+  }
+  // A NaN operand compares false under every operator except !=.
+  if (a.maybe_nan || b.maybe_nan) {
+    if (op == CmpOp::kNe) {
+      r.can_true = true;
+    } else {
+      r.can_false = true;
+    }
+  }
+  return r;
+}
+
+struct EvalCtx {
+  const Box* box = nullptr;
+  std::vector<Diagnostic>* sink = nullptr;  // nullptr = interval-only
+  // Memoized per-node results: shared sub-DAGs are analyzed (and any
+  // hazards reported) exactly once, keeping the walk linear in node count.
+  std::unordered_map<const Expr*, Interval> memo_num;
+  std::unordered_map<const Expr*, BoolRange> memo_bool;
+};
+
+void report(EvalCtx& ctx, const Expr& e, DiagCode code, Severity severity,
+            std::string message) {
+  if (ctx.sink == nullptr) return;
+  ctx.sink->push_back(
+      Diagnostic{code, severity, e.line, e.column, std::move(message)});
+}
+
+Interval eval_num(const Expr& e, EvalCtx& ctx);
+BoolRange eval_bool_range(const Expr& e, EvalCtx& ctx);
+
+Interval eval_binary(const Expr& e, EvalCtx& ctx) {
+  const Interval a = eval_num(*e.children[0], ctx);
+  const Interval b = eval_num(*e.children[1], ctx);
+  Interval r;
+  switch (e.bin_op) {
+    case BinOp::kAdd: r = interval_add(a, b); break;
+    case BinOp::kSub: r = interval_sub(a, b); break;
+    case BinOp::kMul: r = interval_mul(a, b); break;
+    case BinOp::kDiv: r = interval_div(a, b); break;
+    case BinOp::kMin: r = interval_min(a, b); break;
+    case BinOp::kMax: r = interval_max(a, b); break;
+  }
+  const bool div_by_zero = e.bin_op == BinOp::kDiv && contains_zero(b);
+  if (div_by_zero) {
+    if (b.lo == 0 && b.hi == 0 && !b.maybe_nan) {
+      report(ctx, e, DiagCode::kDivisionByZero, Severity::kError,
+             "division by zero: the divisor is always 0");
+    } else {
+      report(ctx, e, DiagCode::kDivisionByZero, Severity::kWarning,
+             "possible division by zero: divisor range [" + fmt_num(b.lo) +
+                 ", " + fmt_num(b.hi) + "] contains 0");
+    }
+  }
+  const bool operands_bounded = a.finite() && b.finite();
+  if (operands_bounded && !div_by_zero && !r.finite()) {
+    report(ctx, e, DiagCode::kPossibleOverflow, Severity::kWarning,
+           "may overflow to +/-infinity over the analyzed ranges");
+  }
+  if (r.maybe_nan && !a.maybe_nan && !b.maybe_nan && !div_by_zero) {
+    report(ctx, e, DiagCode::kPossibleNan, Severity::kWarning,
+           "may produce NaN over the analyzed ranges");
+  }
+  return r;
+}
+
+Interval eval_choice(const Expr& e, EvalCtx& ctx) {
+  if (e.hole >= ctx.box->holes.size()) return Interval::top();
+  const Interval sel = ctx.box->holes[e.hole];
+  const auto [first, last] = reachable_arms(sel, e.children.size());
+  Interval r = eval_num(*e.children[static_cast<std::size_t>(first)], ctx);
+  for (std::int64_t i = first + 1; i <= last; ++i) {
+    r = interval_hull(r, eval_num(*e.children[static_cast<std::size_t>(i)], ctx));
+  }
+  r.maybe_error = r.maybe_error || sel.maybe_error;
+  return r;
+}
+
+Interval eval_num(const Expr& e, EvalCtx& ctx) {
+  if (const auto it = ctx.memo_num.find(&e); it != ctx.memo_num.end()) {
+    return it->second;
+  }
+  Interval r = Interval::top();
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+      r = Interval::point(e.literal);
+      break;
+    case Expr::Kind::kMetric:
+      r = e.metric < ctx.box->metrics.size() ? ctx.box->metrics[e.metric]
+                                             : Interval::top();
+      break;
+    case Expr::Kind::kHole:
+      r = e.hole < ctx.box->holes.size() ? ctx.box->holes[e.hole]
+                                         : Interval::top();
+      break;
+    case Expr::Kind::kNeg:
+      r = interval_neg(eval_num(*e.children[0], ctx));
+      break;
+    case Expr::Kind::kBinary:
+      r = eval_binary(e, ctx);
+      break;
+    case Expr::Kind::kIte: {
+      const BoolRange cond = eval_bool_range(*e.children[0], ctx);
+      // Only evaluate branches the condition can reach: the concrete
+      // interpreter never touches the other branch, so its hazards (and
+      // its errors) cannot occur.
+      if (cond.can_true && !cond.can_false) {
+        r = eval_num(*e.children[1], ctx);
+      } else if (cond.can_false && !cond.can_true) {
+        r = eval_num(*e.children[2], ctx);
+      } else {
+        r = interval_hull(eval_num(*e.children[1], ctx),
+                          eval_num(*e.children[2], ctx));
+      }
+      r.maybe_error = r.maybe_error || cond.maybe_error;
+      break;
+    }
+    case Expr::Kind::kChoice:
+      r = eval_choice(e, ctx);
+      break;
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kBoolBinary:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kBoolConst:
+      // Boolean node in numeric position: concrete eval throws EvalError.
+      r = Interval::top();
+      break;
+  }
+  ctx.memo_num.emplace(&e, r);
+  return r;
+}
+
+BoolRange eval_bool_range(const Expr& e, EvalCtx& ctx) {
+  if (const auto it = ctx.memo_bool.find(&e); it != ctx.memo_bool.end()) {
+    return it->second;
+  }
+  BoolRange r{true, true, true};  // ill-typed default: anything may happen
+  switch (e.kind) {
+    case Expr::Kind::kBoolConst:
+      r = BoolRange{e.literal != 0, e.literal == 0, false};
+      break;
+    case Expr::Kind::kCmp:
+      r = compare_range(e.cmp_op, eval_num(*e.children[0], ctx),
+                        eval_num(*e.children[1], ctx));
+      break;
+    case Expr::Kind::kBoolBinary: {
+      // eval.cpp evaluates both operands unconditionally (no
+      // short-circuiting), so errors from either side always propagate.
+      const BoolRange a = eval_bool_range(*e.children[0], ctx);
+      const BoolRange b = eval_bool_range(*e.children[1], ctx);
+      if (e.bool_op == BoolOp::kAnd) {
+        r.can_true = a.can_true && b.can_true;
+        r.can_false = a.can_false || b.can_false;
+      } else {
+        r.can_true = a.can_true || b.can_true;
+        r.can_false = a.can_false && b.can_false;
+      }
+      r.maybe_error = a.maybe_error || b.maybe_error;
+      break;
+    }
+    case Expr::Kind::kNot: {
+      const BoolRange a = eval_bool_range(*e.children[0], ctx);
+      r = BoolRange{a.can_false, a.can_true, a.maybe_error};
+      break;
+    }
+    default:
+      break;  // numeric node in boolean position: keep the poisoned default
+  }
+  ctx.memo_bool.emplace(&e, r);
+  return r;
+}
+
+// --- lint passes -----------------------------------------------------------
+
+/// Structural equality (ignores source positions) for overlap detection.
+bool struct_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind || a.children.size() != b.children.size()) return false;
+  switch (a.kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kBoolConst:
+      if (a.literal != b.literal) return false;
+      break;
+    case Expr::Kind::kMetric:
+      if (a.metric != b.metric) return false;
+      break;
+    case Expr::Kind::kHole:
+    case Expr::Kind::kChoice:
+      if (a.hole != b.hole) return false;
+      break;
+    case Expr::Kind::kBinary:
+      if (a.bin_op != b.bin_op) return false;
+      break;
+    case Expr::Kind::kCmp:
+      if (a.cmp_op != b.cmp_op) return false;
+      break;
+    case Expr::Kind::kBoolBinary:
+      if (a.bool_op != b.bool_op) return false;
+      break;
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kIte:
+    case Expr::Kind::kNot:
+      break;
+  }
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (a.children[i] == nullptr || b.children[i] == nullptr) {
+      return a.children[i] == b.children[i];
+    }
+    if (!struct_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+struct LintCtx {
+  std::span<const MetricSpec> metrics;
+  std::span<const HoleSpec> holes;
+  std::vector<Diagnostic>* sink = nullptr;
+  std::unordered_set<const Expr*> visited;
+  bool ok = true;  // no error-severity structural/type problems
+};
+
+void lint_error(LintCtx& ctx, const Expr& e, std::string message) {
+  ctx.ok = false;
+  ctx.sink->push_back(Diagnostic{DiagCode::kTypeError, Severity::kError,
+                                 e.line, e.column, std::move(message)});
+}
+
+void lint_choice_specs(LintCtx& ctx, const Expr& e) {
+  const HoleSpec& spec = ctx.holes[e.hole];
+  const auto arms = static_cast<std::int64_t>(e.children.size());
+  if (spec.lo != 0 || (spec.count > 1 && spec.step != 1)) {
+    ctx.ok = false;
+    ctx.sink->push_back(Diagnostic{
+        DiagCode::kNonCanonicalSelector, Severity::kError, e.line, e.column,
+        "choice selector '" + spec.name + "' must be grid(0, 1, " +
+            std::to_string(arms) + "), not grid(" + fmt_num(spec.lo) + ", " +
+            fmt_num(spec.step) + ", " + std::to_string(spec.count) + ")"});
+    return;  // arm-coverage checks below assume a canonical base/step
+  }
+  if (spec.count > arms) {
+    ctx.ok = false;
+    ctx.sink->push_back(Diagnostic{
+        DiagCode::kSelectorGap, Severity::kError, e.line, e.column,
+        "selector '" + spec.name + "' values " + std::to_string(arms) + ".." +
+            std::to_string(spec.count - 1) +
+            " have no alternative (they all clamp to the last arm)"});
+  } else if (spec.count < arms) {
+    ctx.ok = false;
+    ctx.sink->push_back(Diagnostic{
+        DiagCode::kDeadChooseArm, Severity::kError, e.line, e.column,
+        "choose arms " + std::to_string(spec.count) + ".." +
+            std::to_string(arms - 1) + " are dead: selector '" + spec.name +
+            "' only reaches 0.." + std::to_string(spec.count - 1)});
+  }
+  for (std::size_t i = 0; i < e.children.size(); ++i) {
+    for (std::size_t j = i + 1; j < e.children.size(); ++j) {
+      if (e.children[i] != nullptr && e.children[j] != nullptr &&
+          struct_equal(*e.children[i], *e.children[j])) {
+        ctx.sink->push_back(Diagnostic{
+            DiagCode::kOverlappingArms, Severity::kWarning, e.line, e.column,
+            "choose arms " + std::to_string(i + 1) + " and " +
+                std::to_string(j + 1) +
+                " are structurally identical (overlapping alternatives)"});
+      }
+    }
+  }
+}
+
+/// Tolerant type/arity/reference walk: reports every problem instead of
+/// throwing on the first. Returns whether the node is numeric (implied by
+/// its kind, so recovery continues past errors).
+bool lint_walk(LintCtx& ctx, const Expr& e) {
+  const bool first_visit = ctx.visited.insert(&e).second;
+  const auto child_count = e.children.size();
+  std::size_t expected = 0;
+  const char* what = "";
+  switch (e.kind) {
+    case Expr::Kind::kConst: what = "constant"; break;
+    case Expr::Kind::kBoolConst: what = "boolean constant"; break;
+    case Expr::Kind::kMetric:
+      what = "metric reference";
+      if (first_visit && e.metric >= ctx.metrics.size()) {
+        lint_error(ctx, e, "metric reference out of range");
+      }
+      break;
+    case Expr::Kind::kHole:
+      what = "hole reference";
+      if (first_visit && e.hole >= ctx.holes.size()) {
+        lint_error(ctx, e, "hole reference out of range");
+      }
+      break;
+    case Expr::Kind::kNeg: expected = 1; what = "negation"; break;
+    case Expr::Kind::kBinary: expected = 2; what = "binary op"; break;
+    case Expr::Kind::kIte: expected = 3; what = "if-then-else"; break;
+    case Expr::Kind::kChoice:
+      expected = child_count;  // variadic; arity checked separately
+      what = "choose";
+      if (first_visit) {
+        if (child_count < 2) {
+          lint_error(ctx, e, "choose needs at least two alternatives");
+        }
+        if (e.hole >= ctx.holes.size()) {
+          lint_error(ctx, e, "choice selector hole out of range");
+        } else if (child_count >= 2) {
+          lint_choice_specs(ctx, e);
+        }
+      }
+      break;
+    case Expr::Kind::kCmp: expected = 2; what = "comparison"; break;
+    case Expr::Kind::kBoolBinary: expected = 2; what = "boolean op"; break;
+    case Expr::Kind::kNot: expected = 1; what = "logical not"; break;
+  }
+  if (first_visit && child_count != expected) {
+    lint_error(ctx, e, std::string(what) + ": wrong arity");
+  }
+
+  // Child type expectations by kind (null children are reported and skipped).
+  for (std::size_t i = 0; i < child_count; ++i) {
+    if (e.children[i] == nullptr) {
+      if (first_visit) lint_error(ctx, e, std::string(what) + ": null child");
+      continue;
+    }
+    const bool child_numeric = lint_walk(ctx, *e.children[i]);
+    if (!first_visit) continue;
+    bool want_numeric = true;
+    switch (e.kind) {
+      case Expr::Kind::kIte:
+        want_numeric = i != 0;
+        break;
+      case Expr::Kind::kBoolBinary:
+      case Expr::Kind::kNot:
+        want_numeric = false;
+        break;
+      default:
+        break;
+    }
+    if (child_numeric != want_numeric) {
+      lint_error(ctx, e, std::string(what) + ": operand " +
+                             std::to_string(i + 1) + " must be " +
+                             (want_numeric ? "numeric" : "boolean"));
+    }
+  }
+  return is_numeric_kind(e.kind);
+}
+
+/// True when the subtree references no metric, hole or choice — its value
+/// is the same for every input.
+bool is_const_subtree(const Expr& e,
+                      std::unordered_map<const Expr*, bool>& memo) {
+  if (const auto it = memo.find(&e); it != memo.end()) return it->second;
+  bool constant = true;
+  switch (e.kind) {
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+    case Expr::Kind::kChoice:
+      constant = false;
+      break;
+    default:
+      for (const ExprPtr& c : e.children) {
+        if (c == nullptr || !is_const_subtree(*c, memo)) {
+          constant = false;
+          break;
+        }
+      }
+      break;
+  }
+  memo.emplace(&e, constant);
+  return constant;
+}
+
+/// Reports the outermost constant-foldable operation nodes (leaves are
+/// constants by definition and not worth a note).
+void report_foldable(const Expr& e, std::unordered_map<const Expr*, bool>& memo,
+                     std::unordered_set<const Expr*>& reported,
+                     std::vector<Diagnostic>& sink) {
+  if (is_const_subtree(e, memo)) {
+    if (e.children.empty()) return;  // bare literal
+    if (reported.insert(&e).second) {
+      sink.push_back(Diagnostic{
+          DiagCode::kConstantFoldable, Severity::kNote, e.line, e.column,
+          "subtree has no metric/hole inputs and folds to a constant"});
+    }
+    return;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr) report_foldable(*c, memo, reported, sink);
+  }
+}
+
+void lint_declarations(std::span<const MetricSpec> metrics,
+                       std::span<const HoleSpec> holes,
+                       std::vector<Diagnostic>& sink, bool& ok) {
+  const auto decl_error = [&](std::uint32_t line, std::uint32_t column,
+                              std::string message) {
+    ok = false;
+    sink.push_back(Diagnostic{DiagCode::kTypeError, Severity::kError, line,
+                              column, std::move(message)});
+  };
+  std::vector<std::pair<std::string_view, const void*>> names;
+  for (const MetricSpec& m : metrics) {
+    if (m.name.empty()) decl_error(m.line, m.column, "metric name is empty");
+    if (m.lo > m.hi) {
+      decl_error(m.line, m.column,
+                 "metric '" + m.name + "' range [" + fmt_num(m.lo) + ", " +
+                     fmt_num(m.hi) + "] is inverted");
+    }
+    names.emplace_back(m.name, &m);
+  }
+  for (const HoleSpec& h : holes) {
+    if (h.name.empty()) decl_error(h.line, h.column, "hole name is empty");
+    if (h.count < 1) {
+      decl_error(h.line, h.column, "hole '" + h.name + "' grid is empty");
+    }
+    if (h.count > 1 && h.step <= 0) {
+      decl_error(h.line, h.column,
+                 "hole '" + h.name + "' grid step must be positive");
+    }
+    names.emplace_back(h.name, &h);
+  }
+  std::sort(names.begin(), names.end());
+  for (std::size_t i = 1; i < names.size(); ++i) {
+    if (!names[i].first.empty() && names[i].first == names[i - 1].first) {
+      decl_error(0, 0, "duplicate metric/hole name '" +
+                           std::string(names[i].first) + "'");
+    }
+  }
+}
+
+void lint_usage(const Expr& body, std::span<const MetricSpec> metrics,
+                std::span<const HoleSpec> holes,
+                std::vector<Diagnostic>& sink) {
+  const std::vector<bool> m_used = used_metrics(body, metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (m_used[i]) continue;
+    sink.push_back(Diagnostic{
+        DiagCode::kUnusedMetric, Severity::kWarning, metrics[i].line,
+        metrics[i].column,
+        "metric '" + metrics[i].name + "' is never read by the body"});
+  }
+  const std::vector<bool> h_used = used_holes(body, holes.size());
+  for (std::size_t i = 0; i < holes.size(); ++i) {
+    if (!h_used[i]) {
+      sink.push_back(Diagnostic{
+          DiagCode::kUnusedHole, Severity::kWarning, holes[i].line,
+          holes[i].column,
+          "hole '" + holes[i].name +
+              "' is never read; every grid point yields the same objective"});
+    } else if (holes[i].count == 1) {
+      sink.push_back(Diagnostic{
+          DiagCode::kDegenerateGrid, Severity::kWarning, holes[i].line,
+          holes[i].column,
+          "hole '" + holes[i].name +
+              "' has a single-point grid: the dimension cannot vary (degenerate)"});
+    }
+  }
+}
+
+void mark_used(const Expr& e, std::vector<bool>& metrics,
+               std::vector<bool>& holes) {
+  switch (e.kind) {
+    case Expr::Kind::kMetric:
+      if (e.metric < metrics.size()) metrics[e.metric] = true;
+      break;
+    case Expr::Kind::kHole:
+      if (e.hole < holes.size()) holes[e.hole] = true;
+      break;
+    case Expr::Kind::kChoice:
+      if (e.hole < holes.size()) holes[e.hole] = true;
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr) mark_used(*c, metrics, holes);
+  }
+}
+
+}  // namespace
+
+std::vector<bool> used_metrics(const Expr& e, std::size_t metric_count) {
+  std::vector<bool> metrics(metric_count, false);
+  std::vector<bool> holes;
+  mark_used(e, metrics, holes);
+  return metrics;
+}
+
+std::vector<bool> used_holes(const Expr& e, std::size_t hole_count) {
+  std::vector<bool> metrics;
+  std::vector<bool> holes(hole_count, false);
+  mark_used(e, metrics, holes);
+  return holes;
+}
+
+Interval eval_interval(const Expr& e, const Box& box) {
+  EvalCtx ctx;
+  ctx.box = &box;
+  return eval_num(e, ctx);
+}
+
+AnalysisResult analyze_expr(const Expr& body,
+                            std::span<const MetricSpec> metrics,
+                            std::span<const HoleSpec> holes) {
+  AnalysisResult res;
+  bool decls_ok = true;
+  lint_declarations(metrics, holes, res.diagnostics, decls_ok);
+
+  LintCtx lint;
+  lint.metrics = metrics;
+  lint.holes = holes;
+  lint.sink = &res.diagnostics;
+  const bool body_numeric = lint_walk(lint, body);
+  if (!body_numeric) {
+    lint.ok = false;
+    res.diagnostics.push_back(
+        Diagnostic{DiagCode::kTypeError, Severity::kError, body.line,
+                   body.column, "sketch body must be numeric, not boolean"});
+  }
+  res.well_typed = lint.ok && decls_ok;
+
+  if (res.well_typed) {
+    Box box;
+    box.metrics.reserve(metrics.size());
+    for (const MetricSpec& m : metrics) {
+      box.metrics.push_back(Interval::of(m.lo, m.hi));
+    }
+    box.holes.reserve(holes.size());
+    for (const HoleSpec& h : holes) box.holes.push_back(grid_interval(h));
+    EvalCtx eval;
+    eval.box = &box;
+    eval.sink = &res.diagnostics;
+    res.output = eval_num(body, eval);
+  }
+
+  lint_usage(body, metrics, holes, res.diagnostics);
+  {
+    std::unordered_map<const Expr*, bool> memo;
+    std::unordered_set<const Expr*> reported;
+    report_foldable(body, memo, reported, res.diagnostics);
+  }
+
+  // Deterministic presentation order: by position, then code.
+  std::stable_sort(res.diagnostics.begin(), res.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     if (a.column != b.column) return a.column < b.column;
+                     return static_cast<int>(a.code) < static_cast<int>(b.code);
+                   });
+  return res;
+}
+
+AnalysisResult analyze(const Sketch& sketch) {
+  return analyze_expr(*sketch.body(), sketch.metrics(), sketch.holes());
+}
+
+}  // namespace compsynth::sketch

@@ -129,6 +129,14 @@ ExprPtr logical_not(ExprPtr operand) {
   return make_node(std::move(e));
 }
 
+ExprPtr with_location(const ExprPtr& e, std::uint32_t line, std::uint32_t column) {
+  if (e == nullptr) return e;
+  Expr copy = *e;
+  copy.line = line;
+  copy.column = column;
+  return make_node(std::move(copy));
+}
+
 ExprPtr add(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kAdd, std::move(lhs), std::move(rhs)); }
 ExprPtr sub(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kSub, std::move(lhs), std::move(rhs)); }
 ExprPtr mul(ExprPtr lhs, ExprPtr rhs) { return binary(BinOp::kMul, std::move(lhs), std::move(rhs)); }

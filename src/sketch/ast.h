@@ -68,7 +68,18 @@ struct Expr {
   CmpOp cmp_op = CmpOp::kLt;   // kCmp
   BoolOp bool_op = BoolOp::kAnd;  // kBoolBinary
   std::vector<ExprPtr> children;  // arity depends on kind
+
+  /// 1-based source position stamped by the parser; 0 = synthesized node
+  /// (built through the node constructors rather than parsed). Consumed by
+  /// the static analyzer's diagnostics (sketch/diagnostics.h); ignored by
+  /// evaluation, printing and structural comparison.
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
 };
+
+/// Copy of `e` carrying the given source position (nodes are immutable, so
+/// stamping allocates a shallow copy; children are shared).
+ExprPtr with_location(const ExprPtr& e, std::uint32_t line, std::uint32_t column);
 
 /// True if nodes of this kind denote numeric values.
 bool is_numeric_kind(Expr::Kind kind);
@@ -104,6 +115,9 @@ struct MetricSpec {
   std::string name;
   double lo = 0;
   double hi = 0;
+  /// Declaration position (1-based; 0 = not parsed from source).
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
 };
 
 /// A hole ranging over the finite arithmetic grid
@@ -114,6 +128,9 @@ struct HoleSpec {
   double lo = 0;
   double step = 1;
   std::int64_t count = 0;
+  /// Declaration position (1-based; 0 = not parsed from source).
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
 
   /// The value at grid index i. Requires 0 <= i < count.
   double value_at(std::int64_t i) const;

@@ -1,0 +1,56 @@
+#include "sketch/diagnostics.h"
+
+#include <algorithm>
+
+namespace compsynth::sketch {
+
+std::string diag_code_name(DiagCode code) {
+  const int n = static_cast<int>(code);
+  std::string out = "A";
+  out += static_cast<char>('0' + n / 100);
+  out += static_cast<char>('0' + (n / 10) % 10);
+  out += static_cast<char>('0' + n % 10);
+  return out;
+}
+
+std::string_view severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kNote: return "note";
+  }
+  return "?";
+}
+
+std::string render(const Diagnostic& d, std::string_view file) {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ':';
+  }
+  if (d.line != 0) {
+    out += std::to_string(d.line) + ":" + std::to_string(d.column) + ": ";
+  } else if (!file.empty()) {
+    out += ' ';
+  }
+  out += severity_name(d.severity);
+  out += ' ';
+  out += diag_code_name(d.code);
+  out += ": ";
+  out += d.message;
+  return out;
+}
+
+bool has_errors(std::span<const Diagnostic> diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) { return d.severity == Severity::kError; });
+}
+
+std::size_t count_severity(std::span<const Diagnostic> diagnostics,
+                           Severity severity) {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.severity == severity; }));
+}
+
+}  // namespace compsynth::sketch

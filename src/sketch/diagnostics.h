@@ -1,0 +1,67 @@
+// Structured diagnostics for the sketch static analyzer (sketch/analyze.h).
+//
+// Every finding carries a stable code (rendered as "A<nnn>", the catalogue
+// lives in docs/ANALYSIS.md), a severity, a 1-based source position (0/0
+// when the offending node was built programmatically rather than parsed)
+// and a human-readable message. Errors describe sketches that either cannot
+// be constructed (`Sketch`'s validation would throw) or whose evaluation is
+// guaranteed to fail; warnings describe suspicious-but-runnable constructs;
+// notes are advisory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace compsynth::sketch {
+
+enum class Severity { kError, kWarning, kNote };
+
+/// Stable diagnostic codes. Grouped by hundreds: A0xx front-end failures,
+/// A1xx numeric hazards, A2xx choose/selector problems, A3xx dead or
+/// degenerate structure. Codes are part of the tool contract (compsynth_lint
+/// prints them and the lint corpus asserts them); never renumber.
+enum class DiagCode {
+  kParseError = 1,          // A001: source does not parse
+  kTypeError = 2,           // A002: ill-typed body / invalid declarations
+  kDivisionByZero = 101,    // A101: divisor range contains (or is) zero
+  kPossibleNan = 102,       // A102: operation may produce NaN
+  kPossibleOverflow = 103,  // A103: operation may overflow to +/-inf
+  kDeadChooseArm = 201,     // A201: alternative no selector value reaches
+  kOverlappingArms = 202,   // A202: structurally identical alternatives
+  kSelectorGap = 203,       // A203: selector value with no alternative
+  kNonCanonicalSelector = 204,  // A204: selector grid is not grid(0, 1, N)
+  kUnusedHole = 301,        // A301: declared hole never read by the body
+  kUnusedMetric = 302,      // A302: declared metric never read by the body
+  kDegenerateGrid = 303,    // A303: hole grid cannot change the output
+  kConstantFoldable = 304,  // A304: subtree evaluates to a constant
+};
+
+/// "A101"-style rendering of a code.
+std::string diag_code_name(DiagCode code);
+
+/// "error" / "warning" / "note".
+std::string_view severity_name(Severity severity);
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kParseError;
+  Severity severity = Severity::kError;
+  std::uint32_t line = 0;    // 1-based; 0 = no source position
+  std::uint32_t column = 0;  // 1-based; 0 = no source position
+  std::string message;
+};
+
+/// One-line rendering: "<file>:<line>:<col>: <severity> A<nnn>: <message>".
+/// `file` may be empty; position is omitted when unknown.
+std::string render(const Diagnostic& d, std::string_view file = {});
+
+/// True if any diagnostic has error severity.
+bool has_errors(std::span<const Diagnostic> diagnostics);
+
+/// Number of diagnostics at the given severity.
+std::size_t count_severity(std::span<const Diagnostic> diagnostics,
+                           Severity severity);
+
+}  // namespace compsynth::sketch

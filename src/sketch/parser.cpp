@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <optional>
+#include <span>
 #include <utility>
+
+#include "sketch/typecheck.h"
 
 namespace compsynth::sketch {
 
@@ -12,9 +15,10 @@ class Parser {
  public:
   explicit Parser(std::string_view source) : tokens_(tokenize(source)) {}
 
-  Sketch parse_sketch_def() {
+  RawSketch parse_raw_def() {
+    RawSketch raw;
     expect_keyword("sketch");
-    std::string name = expect_ident("sketch name");
+    raw.name = expect_ident("sketch name");
     expect(TokenKind::kLParen);
     do {
       parse_metric_decl();
@@ -22,11 +26,18 @@ class Parser {
     expect(TokenKind::kRParen);
     expect(TokenKind::kLBrace);
     while (peek_keyword("hole")) parse_hole_decl();
-    ExprPtr body = parse_expr_rule();
+    raw.body = parse_expr_rule();
     expect(TokenKind::kRBrace);
     expect(TokenKind::kEnd);
-    return Sketch(std::move(name), std::move(metrics_), std::move(holes_),
-                  std::move(body));
+    raw.metrics = std::move(metrics_);
+    raw.holes = std::move(holes_);
+    return raw;
+  }
+
+  Sketch parse_sketch_def() {
+    RawSketch raw = parse_raw_def();
+    return Sketch(std::move(raw.name), std::move(raw.metrics),
+                  std::move(raw.holes), std::move(raw.body));
   }
 
   ExprPtr parse_standalone_expr(const Sketch& context) {
@@ -34,6 +45,9 @@ class Parser {
     holes_ = context.holes();
     ExprPtr e = parse_expr_rule();
     expect(TokenKind::kEnd);
+    // Full semantic validation, selector grids included (the root may be
+    // either type: oracles are numeric, predicates boolean).
+    typecheck_expr_any(*e, metrics_.size(), std::span<const HoleSpec>(holes_));
     return e;
   }
 
@@ -80,6 +94,13 @@ class Parser {
     advance();
   }
 
+  /// Stamps a freshly built node with a token's source position (shallow
+  /// copy; children keep their own positions).
+  static ExprPtr at(const Token& t, ExprPtr e) {
+    return with_location(e, static_cast<std::uint32_t>(t.line),
+                         static_cast<std::uint32_t>(t.column));
+  }
+
   static std::string describe(const Token& t) {
     if (t.kind == TokenKind::kIdent) return "'" + t.text + "'";
     if (t.kind == TokenKind::kNumber) return "number '" + t.text + "'";
@@ -96,7 +117,10 @@ class Parser {
 
   void parse_metric_decl() {
     MetricSpec m;
+    const Token name_tok = peek();
     m.name = expect_ident("metric name");
+    m.line = static_cast<std::uint32_t>(name_tok.line);
+    m.column = static_cast<std::uint32_t>(name_tok.column);
     expect_keyword("in");
     expect(TokenKind::kLBracket);
     m.lo = parse_signed_number();
@@ -111,6 +135,8 @@ class Parser {
     HoleSpec h;
     const Token name_tok = peek();
     h.name = expect_ident("hole name");
+    h.line = static_cast<std::uint32_t>(name_tok.line);
+    h.column = static_cast<std::uint32_t>(name_tok.column);
     expect_keyword("in");
     expect_keyword("grid");
     expect(TokenKind::kLParen);
@@ -137,28 +163,32 @@ class Parser {
 
   ExprPtr parse_expr_rule() { return parse_or(); }
 
+  // Operator nodes are stamped with their operator token's position.
+
   ExprPtr parse_or() {
     ExprPtr e = parse_and();
-    while (consume_if(TokenKind::kOrOr)) {
-      e = bool_binary(BoolOp::kOr, std::move(e), parse_and());
+    for (;;) {
+      const Token op_tok = peek();
+      if (!consume_if(TokenKind::kOrOr)) return e;
+      e = at(op_tok, bool_binary(BoolOp::kOr, std::move(e), parse_and()));
     }
-    return e;
   }
 
   ExprPtr parse_and() {
     ExprPtr e = parse_cmp();
-    while (consume_if(TokenKind::kAndAnd)) {
-      e = bool_binary(BoolOp::kAnd, std::move(e), parse_cmp());
+    for (;;) {
+      const Token op_tok = peek();
+      if (!consume_if(TokenKind::kAndAnd)) return e;
+      e = at(op_tok, bool_binary(BoolOp::kAnd, std::move(e), parse_cmp()));
     }
-    return e;
   }
 
   ExprPtr parse_cmp() {
     ExprPtr e = parse_add();
     const std::optional<CmpOp> op = peek_cmp_op();
     if (!op) return e;
-    advance();
-    return compare(*op, std::move(e), parse_add());
+    const Token op_tok = advance();
+    return at(op_tok, compare(*op, std::move(e), parse_add()));
   }
 
   std::optional<CmpOp> peek_cmp_op() const {
@@ -176,10 +206,11 @@ class Parser {
   ExprPtr parse_add() {
     ExprPtr e = parse_mul();
     for (;;) {
+      const Token op_tok = peek();
       if (consume_if(TokenKind::kPlus)) {
-        e = binary(BinOp::kAdd, std::move(e), parse_mul());
+        e = at(op_tok, binary(BinOp::kAdd, std::move(e), parse_mul()));
       } else if (consume_if(TokenKind::kMinus)) {
-        e = binary(BinOp::kSub, std::move(e), parse_mul());
+        e = at(op_tok, binary(BinOp::kSub, std::move(e), parse_mul()));
       } else {
         return e;
       }
@@ -189,10 +220,11 @@ class Parser {
   ExprPtr parse_mul() {
     ExprPtr e = parse_unary();
     for (;;) {
+      const Token op_tok = peek();
       if (consume_if(TokenKind::kStar)) {
-        e = binary(BinOp::kMul, std::move(e), parse_unary());
+        e = at(op_tok, binary(BinOp::kMul, std::move(e), parse_unary()));
       } else if (consume_if(TokenKind::kSlash)) {
-        e = binary(BinOp::kDiv, std::move(e), parse_unary());
+        e = at(op_tok, binary(BinOp::kDiv, std::move(e), parse_unary()));
       } else {
         return e;
       }
@@ -200,8 +232,9 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
-    if (consume_if(TokenKind::kMinus)) return neg(parse_unary());
-    if (consume_if(TokenKind::kBang)) return logical_not(parse_unary());
+    const Token t = peek();
+    if (consume_if(TokenKind::kMinus)) return at(t, neg(parse_unary()));
+    if (consume_if(TokenKind::kBang)) return at(t, logical_not(parse_unary()));
     return parse_primary();
   }
 
@@ -210,7 +243,7 @@ class Parser {
     switch (t.kind) {
       case TokenKind::kNumber:
         advance();
-        return constant(t.number);
+        return at(t, constant(t.number));
       case TokenKind::kLParen: {
         advance();
         ExprPtr e = parse_expr_rule();
@@ -227,16 +260,16 @@ class Parser {
   ExprPtr parse_ident_primary() {
     const Token t = advance();
     const std::string& id = t.text;
-    if (id == "true") return bool_constant(true);
-    if (id == "false") return bool_constant(false);
+    if (id == "true") return at(t, bool_constant(true));
+    if (id == "false") return at(t, bool_constant(false));
     if (id == "min" || id == "max") {
       expect(TokenKind::kLParen);
       ExprPtr a = parse_expr_rule();
       expect(TokenKind::kComma);
       ExprPtr b = parse_expr_rule();
       expect(TokenKind::kRParen);
-      return binary(id == "min" ? BinOp::kMin : BinOp::kMax, std::move(a),
-                    std::move(b));
+      return at(t, binary(id == "min" ? BinOp::kMin : BinOp::kMax, std::move(a),
+                          std::move(b)));
     }
     if (id == "if") {
       ExprPtr cond = parse_expr_rule();
@@ -244,7 +277,8 @@ class Parser {
       ExprPtr then_branch = parse_expr_rule();
       expect_keyword("else");
       ExprPtr else_branch = parse_expr_rule();
-      return ite(std::move(cond), std::move(then_branch), std::move(else_branch));
+      return at(t, ite(std::move(cond), std::move(then_branch),
+                       std::move(else_branch)));
     }
     if (id == "choose") {
       // choose <hole> { expr | expr | ... }  — structural hole.
@@ -269,13 +303,13 @@ class Parser {
         throw ParseError(sel_tok.line, sel_tok.column,
                          "choose needs at least two alternatives");
       }
-      return choice(selector, std::move(alternatives));
+      return at(t, choice(selector, std::move(alternatives)));
     }
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-      if (metrics_[i].name == id) return metric(i);
+      if (metrics_[i].name == id) return at(t, metric(i));
     }
     for (std::size_t i = 0; i < holes_.size(); ++i) {
-      if (holes_[i].name == id) return hole(i);
+      if (holes_[i].name == id) return at(t, hole(i));
     }
     throw ParseError(t.line, t.column, "unknown identifier '" + id + "'");
   }
@@ -290,6 +324,10 @@ class Parser {
 
 Sketch parse_sketch(std::string_view source) {
   return Parser(source).parse_sketch_def();
+}
+
+RawSketch parse_sketch_raw(std::string_view source) {
+  return Parser(source).parse_raw_def();
 }
 
 ExprPtr parse_expr(std::string_view source, const Sketch& context) {

@@ -53,8 +53,29 @@ namespace compsynth::sketch {
 /// (with source position) and TypeError on ill-typed bodies.
 Sketch parse_sketch(std::string_view source);
 
+/// A parsed-but-unvalidated sketch: the raw declarations and body exactly as
+/// written, before the Sketch constructor's semantic validation (duplicate
+/// names, inverted ranges, typechecking, selector grids). The static
+/// analyzer (sketch/analyze.h) lints these so every problem in a file is
+/// reported, not just the first one the constructor would throw on. All AST
+/// nodes and declarations carry 1-based source positions.
+struct RawSketch {
+  std::string name;
+  std::vector<MetricSpec> metrics;
+  std::vector<HoleSpec> holes;
+  ExprPtr body;
+};
+
+/// Parses a sketch definition without semantic validation. Throws only
+/// ParseError (grammar-level problems); semantic checks are left to
+/// analyze_expr or the Sketch constructor.
+RawSketch parse_sketch_raw(std::string_view source);
+
 /// Parses a standalone expression against existing declarations — used to
-/// build oracles/targets over the same metric vocabulary as a sketch.
+/// build oracles/targets over the same metric vocabulary as a sketch. The
+/// expression is fully type-checked against the context declarations,
+/// including choice selector grids (typecheck_expr_any); throws TypeError
+/// when invalid.
 ExprPtr parse_expr(std::string_view source, const Sketch& context);
 
 }  // namespace compsynth::sketch

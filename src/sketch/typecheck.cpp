@@ -122,6 +122,11 @@ void typecheck_expr(const Expr& root, std::size_t metric_count,
   run_check(root, metric_count, holes.size(), holes, expect_numeric);
 }
 
+bool typecheck_expr_any(const Expr& root, std::size_t metric_count,
+                        std::span<const HoleSpec> holes) {
+  return check(root, metric_count, holes.size(), holes);
+}
+
 void typecheck(const Sketch& sketch) {
   typecheck_expr(*sketch.body(), sketch.metrics().size(),
                  std::span<const HoleSpec>(sketch.holes()),

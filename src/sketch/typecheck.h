@@ -26,8 +26,10 @@ void typecheck(const Sketch& sketch);
 
 /// Validates a standalone expression against declaration counts.
 /// `expect_numeric` selects the required result type of the root.
-/// NOTE: without hole specs, kChoice selectors are only range-checked; use
-/// the hole-spec overload (or a full Sketch) to validate selector grids.
+/// Without hole specs, kChoice selectors can only be range-checked — callers
+/// that have the specs must use the hole-spec overload (or typecheck_expr_any)
+/// so selector grids are validated too; the parser does this for standalone
+/// expressions parsed against a context sketch.
 void typecheck_expr(const Expr& root, std::size_t metric_count,
                     std::size_t hole_count, bool expect_numeric);
 
@@ -36,5 +38,11 @@ void typecheck_expr(const Expr& root, std::size_t metric_count,
 /// alternatives.
 void typecheck_expr(const Expr& root, std::size_t metric_count,
                     std::span<const HoleSpec> holes, bool expect_numeric);
+
+/// Full validation (selector grids included) of an expression whose root may
+/// be either type; returns true when the root is numeric. Used where both
+/// numeric and boolean expressions are legal (standalone expression parses).
+bool typecheck_expr_any(const Expr& root, std::size_t metric_count,
+                        std::span<const HoleSpec> holes);
 
 }  // namespace compsynth::sketch

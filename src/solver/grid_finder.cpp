@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "obs/run_context.h"
+#include "sketch/analyze.h"
 #include "sketch/eval.h"
 #include "util/log.h"
 #include "util/timer.h"
@@ -30,6 +31,7 @@ GridFinder::GridFinder(sketch::Sketch sketch, GridFinderConfig config,
                        Viability viability, ScenarioDomain domain)
     : sketch_(std::move(sketch)),
       compiled_(sketch_),
+      hole_used_(sketch::used_holes(*sketch_.body(), sketch_.holes().size())),
       config_(config),
       viability_(std::move(viability)),
       domain_(std::move(domain)),
@@ -158,6 +160,233 @@ void GridFinder::enumerate_range(std::int64_t lo, std::int64_t hi,
   }
 }
 
+bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
+  const auto& holes = sketch_.holes();
+  const std::size_t n_holes = holes.size();
+
+  // Degenerate dimensions: holes the body never reads cannot influence any
+  // objective value, so consistency is decided by the used dimensions alone.
+  // Enumerate index 0 of each unread dimension and replicate the survivors
+  // across its full grid afterwards. A concrete viability callback may
+  // inspect unread hole values, so pinning is disabled in that case.
+  std::vector<std::size_t> pinned;
+  if (!viability_.concrete) {
+    for (std::size_t h = 0; h < n_holes; ++h) {
+      if (!hole_used_[h] && holes[h].count > 1) pinned.push_back(h);
+    }
+  }
+  const bool have_constraints =
+      !graph.edges().empty() || !graph.ties().empty();
+  if (pinned.empty() && !have_constraints) return false;  // nothing to gain
+
+  obs::Span span(obs_, "analysis");
+
+  const sketch::Expr& body = *sketch_.body();
+  const double tie_bound = config_.base.tie_tolerance + 1e-9;
+
+  // Every graph vertex as a point metric box, built once.
+  std::vector<std::vector<sketch::Interval>> vertex_metrics(
+      graph.vertex_count());
+  for (pref::VertexId v = 0; v < graph.vertex_count(); ++v) {
+    auto& mv = vertex_metrics[v];
+    const auto& metrics = graph.scenario(v).metrics;
+    mv.reserve(metrics.size());
+    for (const double x : metrics) mv.push_back(sketch::Interval::point(x));
+  }
+
+  // An inclusive index sub-box of the hole grid.
+  struct Node {
+    std::vector<std::int64_t> lo, hi;
+  };
+  const auto volume_of = [&](const Node& nd) {
+    std::int64_t vol = 1;
+    for (std::size_t h = 0; h < nd.lo.size(); ++h) {
+      vol *= nd.hi[h] - nd.lo[h] + 1;
+    }
+    return vol;
+  };
+
+  // A box is refuted when the interval evaluation proves every candidate in
+  // it violates some edge or tie of the graph. Edge {better, worse} fails
+  // for a candidate unless f(better) > f(worse); if the better-vertex
+  // enclosure lies entirely at or below the worse-vertex enclosure, no
+  // candidate can pass (NaN outcomes fail `better > worse` anyway), provided
+  // neither side can throw (a throwing candidate must be reached so the
+  // exhaustive scan's behaviour is preserved). A tie fails only when
+  // |f(u) - f(v)| > tie_bound, which a NaN never satisfies — so tie
+  // refutation additionally requires NaN-freedom.
+  const auto refuted = [&](const Node& nd) {
+    std::vector<sketch::Interval> hole_iv(n_holes);
+    for (std::size_t h = 0; h < n_holes; ++h) {
+      hole_iv[h] = sketch::grid_interval(holes[h], nd.lo[h], nd.hi[h]);
+    }
+    sketch::Box box;
+    box.holes = std::move(hole_iv);
+    const auto eval_vertex = [&](pref::VertexId v) {
+      box.metrics = vertex_metrics[v];
+      return sketch::eval_interval(body, box);
+    };
+    for (const auto& e : graph.edges()) {
+      const sketch::Interval ib = eval_vertex(e.better);
+      const sketch::Interval iw = eval_vertex(e.worse);
+      if (!ib.maybe_error && !iw.maybe_error && ib.hi <= iw.lo) return true;
+    }
+    for (const auto& t : graph.ties()) {
+      const sketch::Interval iu = eval_vertex(t.first);
+      const sketch::Interval iv = eval_vertex(t.second);
+      const sketch::Interval d = sketch::interval_sub(iu, iv);
+      if (!d.maybe_nan && !d.maybe_error &&
+          (d.lo > tie_bound || d.hi < -tie_bound)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Branch and prune: subdivide until a box is refuted or small enough to
+  // enumerate. Below the leaf volume the per-candidate scan is cheaper than
+  // further interval evaluations.
+  constexpr std::int64_t kLeafVolume = 512;
+  Node root;
+  root.lo.assign(n_holes, 0);
+  root.hi.resize(n_holes);
+  for (std::size_t h = 0; h < n_holes; ++h) root.hi[h] = holes[h].count - 1;
+  for (const std::size_t p : pinned) root.hi[p] = 0;
+
+  std::vector<Node> leaves;
+  long long pruned_regions = 0;
+  long long pruned_candidates = 0;
+  if (!have_constraints) {
+    leaves.push_back(std::move(root));  // pinning alone does the work
+  } else {
+    std::vector<Node> work;
+    work.push_back(std::move(root));
+    while (!work.empty()) {
+      Node nd = std::move(work.back());
+      work.pop_back();
+      if (refuted(nd)) {
+        ++pruned_regions;
+        pruned_candidates += volume_of(nd);
+        continue;
+      }
+      std::size_t widest = 0;
+      std::int64_t width = 0;
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        if (nd.hi[h] - nd.lo[h] > width) {
+          width = nd.hi[h] - nd.lo[h];
+          widest = h;
+        }
+      }
+      if (width == 0 || volume_of(nd) <= kLeafVolume) {
+        leaves.push_back(std::move(nd));
+        continue;
+      }
+      const std::int64_t mid = nd.lo[widest] + (nd.hi[widest] - nd.lo[widest]) / 2;
+      Node right = nd;
+      nd.hi[widest] = mid;
+      right.lo[widest] = mid + 1;
+      // Push the upper half first so the lower half is processed first,
+      // keeping leaf discovery roughly in ascending index order.
+      work.push_back(std::move(right));
+      work.push_back(std::move(nd));
+    }
+  }
+
+  // Linear index strides (index 0 fastest, matching assignment_at).
+  std::vector<std::int64_t> stride(n_holes, 1);
+  for (std::size_t h = 1; h < n_holes; ++h) {
+    stride[h] = stride[h - 1] * holes[h - 1].count;
+  }
+
+  // Enumerate the surviving leaves; each survivor is tagged with its linear
+  // candidate index so the final sort reproduces the exhaustive scan order.
+  using Tagged = std::pair<std::int64_t, Survivor>;
+  const auto enumerate_leaf = [&](const Node& nd, std::vector<Tagged>& out) {
+    const std::size_t n_vertices = graph.vertex_count();
+    Survivor scratch;
+    scratch.assignment.index = nd.lo;
+    scratch.hole_values.resize(n_holes);
+    for (;;) {
+      std::int64_t linear = 0;
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        scratch.hole_values[h] =
+            holes[h].value_at(scratch.assignment.index[h]);
+        linear += scratch.assignment.index[h] * stride[h];
+      }
+      const bool viable =
+          !viability_.concrete || viability_.concrete(scratch.hole_values);
+      if (viable) {
+        scratch.vertex_values.assign(n_vertices, kNotComputed);
+        if (consistent(scratch, graph, 0, 0)) out.emplace_back(linear, scratch);
+      }
+      std::size_t pos = 0;
+      while (pos < n_holes) {
+        if (++scratch.assignment.index[pos] <= nd.hi[pos]) break;
+        scratch.assignment.index[pos] = nd.lo[pos];
+        ++pos;
+      }
+      if (pos == n_holes) break;
+    }
+  };
+
+  std::vector<Tagged> found;
+  util::ThreadPool* pool = this->pool();
+  if (pool == nullptr || leaves.size() <= 1) {
+    for (const Node& nd : leaves) enumerate_leaf(nd, found);
+  } else {
+    std::vector<std::vector<Tagged>> parts(leaves.size());
+    pool->parallel_for(0, leaves.size(), [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t k = lo; k < hi; ++k) enumerate_leaf(leaves[k], parts[k]);
+    });
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    found.reserve(total);
+    for (auto& p : parts) {
+      for (Tagged& t : p) found.push_back(std::move(t));
+    }
+  }
+
+  // Replicate across pinned dimensions: the objective never reads them, so
+  // each replica shares the base survivor's memoized vertex values and its
+  // consistency verdict.
+  for (const std::size_t p : pinned) {
+    const sketch::HoleSpec& spec = holes[p];
+    const std::size_t base_n = found.size();
+    for (std::int64_t idx = 1; idx < spec.count; ++idx) {
+      const double val = spec.value_at(idx);
+      for (std::size_t i = 0; i < base_n; ++i) {
+        Tagged copy = found[i];
+        copy.first += idx * stride[p];
+        copy.second.assignment.index[p] = idx;
+        copy.second.hole_values[p] = val;
+        found.push_back(std::move(copy));
+      }
+    }
+  }
+
+  std::sort(found.begin(), found.end(),
+            [](const Tagged& a, const Tagged& b) { return a.first < b.first; });
+  survivors_.clear();
+  survivors_.reserve(found.size());
+  for (Tagged& t : found) survivors_.push_back(std::move(t.second));
+
+  if (obs::active(obs_)) {
+    obs_->count("analysis.pruned_regions", pruned_regions);
+    obs_->count("analysis.pruned_candidates", pruned_candidates);
+    if (obs::TraceEvent* e = span.event()) {
+      e->str("kind", "prune")
+          .integer("edges", static_cast<long long>(graph.edges().size()))
+          .integer("ties", static_cast<long long>(graph.ties().size()))
+          .integer("pruned_regions", pruned_regions)
+          .integer("pruned_candidates", pruned_candidates)
+          .integer("degenerate_dims", static_cast<long long>(pinned.size()))
+          .integer("leaves", static_cast<long long>(leaves.size()))
+          .integer("survivors", static_cast<long long>(survivors_.size()));
+    }
+  }
+  return true;
+}
+
 void GridFinder::sync(const pref::PreferenceGraph& graph) {
   const bool shrunk =
       graph.edges().size() < edges_seen_ || graph.ties().size() < ties_seen_;
@@ -177,10 +406,14 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
   std::vector<double> shard_secs;
 
   util::ThreadPool* pool = this->pool();
+  bool pruned = false;
   if (rebuild) {
     survivors_.clear();
+    if (config_.analysis_pruning) pruned = rebuild_pruned(graph);
     const std::int64_t total = sketch_.candidate_space_size();
-    if (pool == nullptr || total < kMinParallelCandidates) {
+    if (pruned) {
+      // rebuild_pruned already produced the full survivor sequence.
+    } else if (pool == nullptr || total < kMinParallelCandidates) {
       enumerate_range(0, total, graph, survivors_);
     } else {
       // Shard the linear candidate range; concatenating the per-chunk
@@ -258,6 +491,7 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
     }
     if (obs::TraceEvent* e = span.event()) {
       e->str("mode", rebuild ? "full" : "incremental")
+          .integer("pruned", pruned ? 1 : 0)
           .integer("survivors", static_cast<long long>(survivors_.size()))
           .integer("survivors_before",
                    static_cast<long long>(survivors_before))

@@ -74,6 +74,14 @@ struct GridFinderConfig {
   /// pool of N. Any Viability::concrete callback must be thread-safe when
   /// this is not 1 (it is invoked concurrently from the pool).
   int threads = 0;
+  /// Use the sketch static analyzer (sketch/analyze.h) to cut work out of
+  /// full version-space rebuilds: hole dimensions the body never reads are
+  /// enumerated once and replicated, and index sub-boxes whose interval
+  /// evaluation refutes some edge/tie are discarded without enumerating
+  /// them. Guaranteed to produce the identical survivor sequence as the
+  /// plain enumeration (tests/prune_differential_test.cpp); off switches
+  /// back to the exhaustive scan.
+  bool analysis_pruning = true;
 };
 
 /// One version-space member plus everything the engine caches for it.
@@ -130,6 +138,12 @@ class GridFinder final : public CandidateFinder {
   void enumerate_range(std::int64_t lo, std::int64_t hi,
                        const pref::PreferenceGraph& graph,
                        std::vector<Survivor>& out) const;
+  /// Analysis-driven full rebuild (see GridFinderConfig::analysis_pruning):
+  /// branch-and-prune over index sub-boxes plus degenerate-dimension
+  /// replication. Returns false when there is nothing to exploit (caller
+  /// falls back to the exhaustive scan); on true, survivors_ holds exactly
+  /// the sequence the exhaustive scan would have produced.
+  bool rebuild_pruned(const pref::PreferenceGraph& graph);
   std::vector<double> boundary_values(std::span<const double> hole_values,
                                       std::size_t metric) const;
   std::optional<DistinguishingPair> distinguish(const Survivor& a,
@@ -139,6 +153,9 @@ class GridFinder final : public CandidateFinder {
 
   sketch::Sketch sketch_;
   sketch::CompiledSketch compiled_;  // must follow sketch_ (init order)
+  /// Which holes the body actually reads (sketch::used_holes), computed
+  /// once; unread dimensions are candidates for pinning + replication.
+  std::vector<bool> hole_used_;
   GridFinderConfig config_;
   Viability viability_;
   ScenarioDomain domain_;

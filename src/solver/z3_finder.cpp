@@ -111,6 +111,15 @@ Z3Finder::Z3Finder(sketch::Sketch sketch, FinderConfig config, Viability viabili
         "Z3Finder: distinguish_margin must exceed tie_tolerance "
         "(otherwise an oracle tie answer cannot eliminate candidates)");
   }
+  // Interval precheck: a finite, NaN/error-free enclosure of the objective
+  // over the whole input space can be asserted on every encoded objective
+  // term. The bound is implied by the existing range/grid constraints, so
+  // verdicts (sat/unsat) are unchanged; it only narrows the real search.
+  const sketch::AnalysisResult analysis = sketch::analyze(sketch_);
+  if (analysis.well_typed && !analysis.output.maybe_nan &&
+      !analysis.output.maybe_error && analysis.output.finite()) {
+    objective_bounds_ = analysis.output;
+  }
 }
 
 void Z3Finder::log_query(z3::solver& solver, const char* kind) {
@@ -164,6 +173,14 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
     const z3::expr fb2 = encode_numeric(ctx, *sketch_.body(), s2_vars.back(), hb);
     solver.add(fa1 >= fa2 + margin);
     solver.add(fb2 >= fb1 + margin);
+    if (objective_bounds_) {
+      const z3::expr lo = real_of_double(ctx, objective_bounds_->lo);
+      const z3::expr hi = real_of_double(ctx, objective_bounds_->hi);
+      for (const z3::expr& f : {fa1, fa2, fb1, fb2}) {
+        solver.add(f >= lo);
+        solver.add(f <= hi);
+      }
+    }
   }
 
   // Multiple pairs must be genuinely different questions: each pair's

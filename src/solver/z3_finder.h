@@ -16,6 +16,7 @@
 #include <iosfwd>
 #include <optional>
 
+#include "sketch/analyze.h"
 #include "solver/finder.h"
 
 namespace z3 {
@@ -53,6 +54,13 @@ class Z3Finder final : public CandidateFinder {
   FinderConfig config_;
   Viability viability_;
   ScenarioDomain domain_;
+  /// Interval precheck from the static analyzer (computed once in the
+  /// ctor): a proven enclosure of the objective over the full metric box x
+  /// hole grid. Asserted as redundant-but-sound bounds on every encoded
+  /// objective term, which narrows nlsat's search without changing any
+  /// verdict. Absent when the analysis cannot certify a clean finite bound
+  /// (possible NaN / EvalError / unbounded output).
+  std::optional<sketch::Interval> objective_bounds_;
   long query_count_ = 0;
   std::ostream* query_log_ = nullptr;
 };

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "sketch/analyze.h"
 #include "solver/grid_finder.h"
 #include "solver/z3_finder.h"
 #include "util/log.h"
@@ -146,6 +147,27 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         .integer("pairs_per_iteration", config_.pairs_per_iteration)
         .integer("max_iterations", config_.max_iterations);
     obs->emit(start);
+
+    // Static-analysis summary of the sketch under synthesis: lint tallies
+    // plus the proven objective enclosure over the full input space
+    // (docs/ANALYSIS.md). Non-finite bounds serialize as null.
+    const sketch::AnalysisResult analysis = sketch::analyze(sketch_);
+    obs::TraceEvent ae("analysis");
+    ae.str("kind", "lint")
+        .str("sketch", sketch_.name())
+        .integer("diagnostics",
+                 static_cast<long long>(analysis.diagnostics.size()))
+        .integer("errors", static_cast<long long>(sketch::count_severity(
+                               analysis.diagnostics, sketch::Severity::kError)))
+        .integer("warnings",
+                 static_cast<long long>(sketch::count_severity(
+                     analysis.diagnostics, sketch::Severity::kWarning)))
+        .boolean("well_typed", analysis.well_typed)
+        .boolean("maybe_nan", analysis.output.maybe_nan)
+        .boolean("maybe_error", analysis.output.maybe_error)
+        .num("out_lo", analysis.output.lo)
+        .num("out_hi", analysis.output.hi);
+    obs->emit(ae);
   }
 
   // A resumed session already carries preference knowledge; only a fresh
@@ -280,6 +302,7 @@ Synthesizer make_grid_based(const sketch::Sketch& sketch, SynthesisConfig config
   grid_config.strategy = strategy;
   grid_config.eval_backend = config.grid_eval_backend;
   grid_config.threads = config.grid_threads;
+  grid_config.analysis_pruning = config.grid_analysis_pruning;
   return Synthesizer(sketch,
                      std::make_unique<solver::GridFinder>(
                          sketch, grid_config, std::move(viability),

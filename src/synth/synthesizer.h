@@ -58,6 +58,13 @@ struct SynthesisConfig {
   solver::EvalBackend grid_eval_backend = solver::EvalBackend::kCompiled;
   int grid_threads = 0;
 
+  /// Analysis-driven version-space pruning for the grid back-end
+  /// (GridFinderConfig::analysis_pruning): interval-refuted grid regions are
+  /// skipped and degenerate (unread) hole dimensions replicated instead of
+  /// enumerated. Survivor sets are provably identical either way
+  /// (tests/prune_differential_test.cpp); this is purely a speed knob.
+  bool grid_analysis_pruning = true;
+
   /// Noise handling (§6.1): record contradictory answers instead of
   /// rejecting them, and greedily repair cycles / drop least-trusted answers
   /// when G becomes unsatisfiable.

@@ -221,6 +221,18 @@ TEST(Parser, StandaloneExprUsesSketchScope) {
                    4);
 }
 
+TEST(Parser, StandaloneExprValidatesChooseSelectorGrid) {
+  // swan's tp_thrsh is grid(0, 1, 11): canonical for an 11-arm choose but
+  // not for a 2-arm one. The standalone-expression path must apply the same
+  // selector-grid validation as the Sketch constructor.
+  const Sketch& s = swan_sketch();
+  EXPECT_THROW(parse_expr("choose tp_thrsh { throughput, latency }", s),
+               TypeError);
+  // A canonical selector is fine.
+  EXPECT_NO_THROW(
+      parse_expr("choose slope1 { 0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10 }", s));
+}
+
 TEST(Parser, NegativeGridAndRangeBounds) {
   const Sketch s = parse_sketch(
       "sketch t(x in [-5, 5]) { hole h in grid(-2, 1, 5); x + h }");

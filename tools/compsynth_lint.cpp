@@ -1,0 +1,200 @@
+// compsynth_lint: static analysis / lint driver for sketch DSL files.
+//
+//   compsynth_lint [--strict] [--corpus] [--quiet] <file-or-dir>...
+//
+// Each argument is a .sketch file or a directory scanned (non-recursively)
+// for *.sketch files. Every file is parsed leniently (parse_sketch_raw) and
+// run through the static analyzer (sketch/analyze.h); diagnostics are
+// printed one per line as
+//
+//   <file>:<line>:<col>: <severity> A<nnn>: <message>
+//
+// Exit status is 1 when any error-severity diagnostic (A001 parse errors
+// included) was produced, 0 otherwise. --strict also fails on warnings —
+// the shipped sketch corpus is expected to be warning-clean. Notes never
+// affect the exit status.
+//
+// --corpus flips the tool into self-test mode for the seeded bad-sketch
+// corpus (tests/lint_corpus/): each file must carry one or more
+//
+//   # lint-expect: A101 A301 ...
+//
+// comment directives, and the file passes iff every expected code was
+// actually emitted. Files without directives fail (a corpus file that
+// expects nothing tests nothing). The exit status reports corpus
+// conformance instead of diagnostic severity.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sketch/analyze.h"
+#include "sketch/diagnostics.h"
+#include "sketch/lexer.h"
+#include "sketch/parser.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace compsynth;
+
+struct Options {
+  bool strict = false;
+  bool corpus = false;
+  bool quiet = false;
+  std::vector<fs::path> inputs;
+};
+
+int usage() {
+  std::cerr << "usage: compsynth_lint [--strict] [--corpus] [--quiet] "
+               "<file-or-dir>...\n"
+               "  --strict  exit nonzero on warnings too\n"
+               "  --corpus  validate '# lint-expect: <codes>' directives\n"
+               "  --quiet   suppress per-diagnostic output\n";
+  return 2;
+}
+
+/// Collects the *.sketch files to lint, in deterministic (sorted) order.
+std::vector<fs::path> expand_inputs(const std::vector<fs::path>& inputs,
+                                    bool& ok) {
+  std::vector<fs::path> files;
+  for (const fs::path& p : inputs) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      std::vector<fs::path> found;
+      for (const auto& entry : fs::directory_iterator(p, ec)) {
+        if (entry.is_regular_file() && entry.path().extension() == ".sketch") {
+          found.push_back(entry.path());
+        }
+      }
+      std::sort(found.begin(), found.end());
+      if (found.empty()) {
+        std::cerr << "compsynth_lint: no .sketch files in " << p << "\n";
+        ok = false;
+      }
+      files.insert(files.end(), found.begin(), found.end());
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p);
+    } else {
+      std::cerr << "compsynth_lint: cannot read " << p << "\n";
+      ok = false;
+    }
+  }
+  return files;
+}
+
+/// Codes named by `# lint-expect: A101 ...` directives in the source.
+std::set<std::string> expected_codes(const std::string& source) {
+  std::set<std::string> codes;
+  std::istringstream lines(source);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t at = line.find("# lint-expect:");
+    if (at == std::string::npos) continue;
+    std::istringstream rest(line.substr(at + std::string("# lint-expect:").size()));
+    std::string code;
+    while (rest >> code) codes.insert(code);
+  }
+  return codes;
+}
+
+std::vector<sketch::Diagnostic> lint_source(const std::string& source) {
+  try {
+    const sketch::RawSketch raw = sketch::parse_sketch_raw(source);
+    return sketch::analyze_expr(*raw.body, raw.metrics, raw.holes).diagnostics;
+  } catch (const sketch::ParseError& e) {
+    return {sketch::Diagnostic{
+        sketch::DiagCode::kParseError, sketch::Severity::kError,
+        static_cast<std::uint32_t>(e.line()),
+        static_cast<std::uint32_t>(e.column()), e.what()}};
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--strict") {
+      opt.strict = true;
+    } else if (arg == "--corpus") {
+      opt.corpus = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "compsynth_lint: unknown option " << arg << "\n";
+      return usage();
+    } else {
+      opt.inputs.emplace_back(arg);
+    }
+  }
+  if (opt.inputs.empty()) return usage();
+
+  bool inputs_ok = true;
+  const std::vector<fs::path> files = expand_inputs(opt.inputs, inputs_ok);
+  if (!inputs_ok) return 2;
+
+  bool failed = false;
+  std::size_t total_errors = 0, total_warnings = 0, total_notes = 0;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "compsynth_lint: cannot open " << file << "\n";
+      failed = true;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+
+    const std::vector<sketch::Diagnostic> diagnostics = lint_source(source);
+    const std::string name = file.string();
+    if (!opt.quiet) {
+      for (const sketch::Diagnostic& d : diagnostics) {
+        std::cout << sketch::render(d, name) << "\n";
+      }
+    }
+    total_errors += sketch::count_severity(diagnostics, sketch::Severity::kError);
+    total_warnings +=
+        sketch::count_severity(diagnostics, sketch::Severity::kWarning);
+    total_notes += sketch::count_severity(diagnostics, sketch::Severity::kNote);
+
+    if (opt.corpus) {
+      const std::set<std::string> expected = expected_codes(source);
+      if (expected.empty()) {
+        std::cerr << name << ": corpus file has no '# lint-expect:' directive\n";
+        failed = true;
+        continue;
+      }
+      std::set<std::string> emitted;
+      for (const sketch::Diagnostic& d : diagnostics) {
+        emitted.insert(sketch::diag_code_name(d.code));
+      }
+      for (const std::string& code : expected) {
+        if (emitted.count(code) == 0) {
+          std::cerr << name << ": expected diagnostic " << code
+                    << " was not emitted\n";
+          failed = true;
+        }
+      }
+    } else if (sketch::has_errors(diagnostics) ||
+               (opt.strict &&
+                sketch::count_severity(diagnostics,
+                                       sketch::Severity::kWarning) > 0)) {
+      failed = true;
+    }
+  }
+
+  if (!opt.quiet) {
+    std::cout << files.size() << " file(s): " << total_errors << " error(s), "
+              << total_warnings << " warning(s), " << total_notes
+              << " note(s)\n";
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,43 @@
+# Runs clang-tidy over every first-party translation unit recorded in the
+# build's compile_commands.json. Invoked by the `lint_cxx` ctest:
+#
+#   cmake -DBUILD_DIR=<build> -DSOURCE_DIR=<repo> -P run_clang_tidy.cmake
+#
+# Outcomes: exit 0 clean, FATAL_ERROR on findings, or print "lint_cxx: SKIP"
+# when clang-tidy / the compilation database is unavailable -- the ctest
+# registration marks the test skipped via SKIP_REGULAR_EXPRESSION.
+
+find_program(CLANG_TIDY NAMES clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16)
+if(NOT CLANG_TIDY)
+  message(STATUS "lint_cxx: SKIP (clang-tidy not found on this toolchain)")
+  return()
+endif()
+
+set(DB ${BUILD_DIR}/compile_commands.json)
+if(NOT EXISTS ${DB})
+  message(STATUS "lint_cxx: SKIP (no compile_commands.json in ${BUILD_DIR})")
+  return()
+endif()
+
+# Lint only first-party sources: src/ and tools/, not tests or third parties.
+file(GLOB_RECURSE SOURCES
+  ${SOURCE_DIR}/src/*.cpp
+  ${SOURCE_DIR}/tools/*.cpp)
+
+set(FAILED 0)
+foreach(src IN LISTS SOURCES)
+  execute_process(
+    COMMAND ${CLANG_TIDY} -p ${BUILD_DIR} --quiet ${src}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(STATUS "clang-tidy findings in ${src}:\n${out}${err}")
+    set(FAILED 1)
+  endif()
+endforeach()
+
+if(FAILED)
+  message(FATAL_ERROR "clang-tidy reported findings")
+endif()
+message(STATUS "clang-tidy: all first-party sources clean")

@@ -87,6 +87,13 @@ struct RunReport {
   // Survivor count of the most recent grid_sync, attached to the next
   // iteration event (the sync happens inside that iteration's solver call).
   std::optional<long long> pending_survivors;
+  // Static-analysis events: the synthesizer's lint summary (kind=lint) and
+  // accumulated GridFinder pruning totals (kind=prune).
+  std::optional<JsonObject> lint;
+  long long prune_events = 0;
+  long long pruned_regions = 0;
+  long long pruned_candidates = 0;
+  long long degenerate_dims = 0;
   long long events = 0;
 };
 
@@ -114,6 +121,23 @@ void absorb(RunReport& run, const JsonObject& obj, const std::string& ev) {
     if (ev == "grid_sync") {
       run.pending_survivors =
           static_cast<long long>(num_or(obj, "survivors", 0));
+    }
+  } else if (ev == "analysis") {
+    const std::string kind = str_or(obj, "kind", "?");
+    if (kind == "lint") {
+      run.lint = obj;
+    } else if (kind == "prune") {
+      auto& [count, secs] = run.components["analysis"];
+      ++count;
+      secs += num_or(obj, "secs", 0);
+      ++run.prune_events;
+      run.pruned_regions +=
+          static_cast<long long>(num_or(obj, "pruned_regions", 0));
+      run.pruned_candidates +=
+          static_cast<long long>(num_or(obj, "pruned_candidates", 0));
+      run.degenerate_dims = std::max(
+          run.degenerate_dims,
+          static_cast<long long>(num_or(obj, "degenerate_dims", 0)));
     }
   } else if (ev == "oracle_query") {
     const std::string kind = str_or(obj, "kind", "?");
@@ -158,6 +182,28 @@ void render_run(std::ostream& os, const RunReport& run) {
     os << "| contradictions rejected | " << run.pref_cycles << " |\n";
   }
   os << "| trace events | " << run.events << " |\n\n";
+
+  if (run.lint) {
+    os << "Static analysis: ";
+    const long long diags =
+        static_cast<long long>(num_or(*run.lint, "diagnostics", 0));
+    os << diags << " diagnostic(s) ("
+       << fmt_int(num_or(*run.lint, "errors", 0)) << " error(s), "
+       << fmt_int(num_or(*run.lint, "warnings", 0)) << " warning(s))";
+    const double lo = num_or(*run.lint, "out_lo", std::nan(""));
+    const double hi = num_or(*run.lint, "out_hi", std::nan(""));
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      os << ", output in [" << fmt(lo, 3) << ", " << fmt(hi, 3) << "]";
+    }
+    os << ".\n\n";
+  }
+  if (run.prune_events > 0) {
+    os << "Analysis pruning: " << run.pruned_candidates
+       << " candidate(s) skipped across " << run.pruned_regions
+       << " refuted region(s), " << run.degenerate_dims
+       << " degenerate dim(s), over " << run.prune_events
+       << " rebuild(s).\n\n";
+  }
 
   if (!run.components.empty()) {
     double total = 0;
