@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Documentation code-block extraction check: every fenced ```sh block in
+# docs/*.md and README.md must be valid shell (bash -n), and every fenced
+# ```sketch block must parse diagnostic-free under the strict sketch
+# linter. Registered as the `docs_blocks` ctest; scripts/ci_full.sh runs it
+# too. Keeps the copy-pasteable commands in docs/GUIDE.md honest.
+#
+# Usage: scripts/check_docs_blocks.sh [repo-root] [path-to-compsynth_lint]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+lint="${2:-$root/build/tools/compsynth_lint}"
+
+if [ ! -x "$lint" ]; then
+  echo "check_docs_blocks: linter '$lint' not found (build the tree first)" >&2
+  exit 1
+fi
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail=0
+n_sh=0
+n_sketch=0
+
+for doc in "$root"/docs/*.md "$root"/README.md; do
+  [ -f "$doc" ] || continue
+  rel="${doc#"$root"/}"
+  base="$tmp/$(basename "$doc" .md)"
+
+  # Split the document's ```sh / ```sketch fences into one file per block,
+  # named <base>.<block#>.<lang>, remembering the opening line number.
+  awk -v base="$base" '
+    /^```(sh|sketch)$/ && !in_block {
+      in_block = 1; lang = substr($0, 4); n += 1
+      file = sprintf("%s.%03d.%s", base, n, lang)
+      printf "" > file
+      print NR > sprintf("%s.line", file)
+      next
+    }
+    /^```/ && in_block { in_block = 0; close(file); next }
+    in_block { print >> file }
+  ' "$doc"
+
+  for block in "$base".*.sh "$base".*.sketch; do
+    [ -f "$block" ] || continue
+    line="$(cat "$block.line")"
+    case "$block" in
+      *.sh)
+        n_sh=$((n_sh + 1))
+        if ! bash -n "$block" 2>"$tmp/err"; then
+          echo "FAIL $rel:$line (sh block does not parse):" >&2
+          sed "s|$block|<block>|" "$tmp/err" >&2
+          fail=1
+        fi
+        ;;
+      *.sketch)
+        n_sketch=$((n_sketch + 1))
+        if ! "$lint" --strict "$block" >"$tmp/err" 2>&1; then
+          echo "FAIL $rel:$line (sketch block rejected by the linter):" >&2
+          sed "s|$block|<block>|" "$tmp/err" >&2
+          fail=1
+        fi
+        ;;
+    esac
+  done
+done
+
+if [ $((n_sh + n_sketch)) -eq 0 ]; then
+  echo "check_docs_blocks: no sh/sketch blocks found — fence regex drifted?" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs_blocks: FAILED" >&2
+  exit 1
+fi
+echo "check_docs_blocks: $n_sh sh + $n_sketch sketch block(s) OK"

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Standalone dead-link checker for the documentation: every relative
+# Markdown link target in docs/*.md, README.md, DESIGN.md and
+# EXPERIMENTS.md must exist on disk. Same contract as the `docs_check`
+# ctest (tools/docs_check.cmake), but runnable without a configured build
+# tree — scripts/ci_full.sh calls it, and it is cheap enough for a
+# pre-commit hook.
+#
+# Usage: scripts/check_docs_links.sh [repo-root]
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+fail=0
+checked=0
+
+for doc in "$root"/docs/*.md "$root"/README.md "$root"/DESIGN.md \
+           "$root"/EXPERIMENTS.md; do
+  [ -f "$doc" ] || continue
+  dir="$(dirname "$doc")"
+  rel="${doc#"$root"/}"
+  # Pull every "](target)" out of the document, one per line.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    target="${target%%#*}"   # strip an in-page anchor
+    [ -n "$target" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$target" ]; then
+      echo "broken link: $rel -> $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_docs_links: no links found — extraction regex drifted?" >&2
+  exit 1
+fi
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs_links: FAILED" >&2
+  exit 1
+fi
+echo "check_docs_links: $checked links OK"

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full local CI sweep, in dependency order:
+#   1. configure + build the main tree
+#   2. the complete ctest suite (unit, integration, differential, lint
+#      gates, docs_check, docs_blocks, session kill/resume end to end)
+#   3. the standalone docs checkers (links + code blocks)
+#   4. the address+undefined sanitizer build/test sweep
+#
+# Run it before sending a change; scripts/check_tsan.sh adds the (slower)
+# ThreadSanitizer pass that exercises the parallel version-space engine.
+#
+# Usage:
+#   scripts/ci_full.sh                 # everything
+#   COMPSYNTH_SKIP_SANITIZERS=1 scripts/ci_full.sh   # fast pass, no asan/ubsan
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+
+echo "== configure + build ($build) =="
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)"
+
+echo "== test suite =="
+ctest --test-dir "$build" -j "$(nproc)" --output-on-failure
+
+echo "== docs: links =="
+"$repo/scripts/check_docs_links.sh" "$repo"
+
+echo "== docs: code blocks =="
+"$repo/scripts/check_docs_blocks.sh" "$repo" "$build/tools/compsynth_lint"
+
+if [ "${COMPSYNTH_SKIP_SANITIZERS:-0}" != "1" ]; then
+  echo "== asan + ubsan sweep =="
+  "$repo/scripts/check_asan_ubsan.sh"
+else
+  echo "== asan + ubsan sweep skipped (COMPSYNTH_SKIP_SANITIZERS=1) =="
+fi
+
+echo "ci_full: all green"

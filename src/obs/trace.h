@@ -45,7 +45,10 @@ inline constexpr int kTraceSchemaVersion = 1;
 /// stamped into records — "v" stays the compatibility gate — but documented
 /// in docs/OBSERVABILITY.md so tooling can state what it understands.
 /// 1.1: "analysis" events (kind=lint|prune) + grid_sync's "pruned" key.
-inline constexpr int kTraceSchemaMinorVersion = 1;
+/// 1.2: durable sessions + fault tolerance — "fault", "retry",
+///      "checkpoint", "checkpoint_write" events; run_start's "resumed_at";
+///      z3_query's "attempt".
+inline constexpr int kTraceSchemaMinorVersion = 2;
 
 /// One field value: integer, double, string or bool.
 struct FieldValue {

@@ -1,5 +1,7 @@
 #include "oracle/oracle.h"
 
+#include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/run_context.h"
@@ -17,11 +19,49 @@ const char* preference_name(Preference p) {
   return "?";
 }
 
+// Runs `attempt_fn` under the retry policy: OracleTimeout is surfaced as a
+// "fault" event + oracle.timeouts, then retried with backoff ("retry" event
+// + oracle.retries) until the policy's attempt budget is exhausted, at which
+// point the timeout escapes to the synthesis loop.
+template <typename F>
+auto with_retry(const util::RetryPolicy& policy, const obs::RunContext* obs,
+                const char* op, F&& attempt_fn) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return attempt_fn();
+    } catch (const OracleTimeout&) {
+      if (obs::active(obs)) {
+        obs->count("oracle.timeouts");
+        if (obs->tracing()) {
+          obs::TraceEvent e("fault");
+          e.str("site", "oracle").str("kind", "timeout").str("op", op)
+              .integer("attempt", attempt);
+          obs->emit(e);
+        }
+      }
+      if (attempt >= policy.max_attempts) throw;
+      const double backoff = policy.backoff_before(attempt + 1);
+      if (obs::active(obs)) {
+        obs->count("oracle.retries");
+        if (obs->tracing()) {
+          obs::TraceEvent e("retry");
+          e.str("site", "oracle").str("op", op)
+              .integer("attempt", attempt + 1)
+              .num("backoff_s", backoff);
+          obs->emit(e);
+        }
+      }
+      util::sleep_seconds(backoff);
+    }
+  }
+}
+
 }  // namespace
 
 Preference Oracle::compare(const pref::Scenario& a, const pref::Scenario& b) {
   ++comparisons_;
-  const Preference answer = do_compare(a, b);
+  const Preference answer =
+      with_retry(retry_, obs_, "compare", [&] { return do_compare(a, b); });
   if (obs::active(obs_)) {
     obs_->count("oracle.comparisons");
     if (obs_->tracing()) {
@@ -37,7 +77,8 @@ Preference Oracle::compare(const pref::Scenario& a, const pref::Scenario& b) {
 
 RankingResponse Oracle::rank(std::span<const pref::Scenario> scenarios) {
   if (!scenarios.empty()) ++rankings_;
-  RankingResponse response = do_rank(scenarios);
+  RankingResponse response =
+      with_retry(retry_, obs_, "rank", [&] { return do_rank(scenarios); });
   if (!scenarios.empty() && obs::active(obs_)) {
     obs_->count("oracle.rankings");
     if (obs_->tracing()) {
@@ -92,5 +133,37 @@ RankingResponse Oracle::do_rank(std::span<const pref::Scenario> scenarios) {
   }
   return out;
 }
+
+void Oracle::save_state(std::ostream& out) const {
+  out << "oracle " << comparisons_ << ' ' << rankings_ << '\n';
+  do_save_state(out);
+}
+
+std::string Oracle::save_state() const {
+  std::ostringstream os;
+  save_state(os);
+  return os.str();
+}
+
+void Oracle::restore_state(std::istream& in) {
+  std::string tag;
+  long comparisons = 0, rankings = 0;
+  if (!(in >> tag >> comparisons >> rankings) || tag != "oracle") {
+    throw std::invalid_argument("Oracle::restore_state: malformed header");
+  }
+  in.ignore();  // trailing newline before subclass state
+  // Subclass restore runs first so a throw leaves the counters untouched.
+  do_restore_state(in);
+  comparisons_ = comparisons;
+  rankings_ = rankings;
+}
+
+void Oracle::restore_state(const std::string& state) {
+  std::istringstream is(state);
+  restore_state(is);
+}
+
+void Oracle::do_save_state(std::ostream&) const {}
+void Oracle::do_restore_state(std::istream&) {}
 
 }  // namespace compsynth::oracle

@@ -8,16 +8,27 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "pref/scenario.h"
+#include "util/fault.h"
 
 namespace compsynth::obs {
 struct RunContext;
 }
 
 namespace compsynth::oracle {
+
+/// Thrown by a user model when an answer does not arrive in time (a remote
+/// service stalls, an injected fault fires). Oracle::compare / rank catch it
+/// and retry per the configured RetryPolicy before letting it escape.
+class OracleTimeout : public util::TransientError {
+ public:
+  explicit OracleTimeout(const std::string& what) : TransientError(what) {}
+};
 
 /// Answer to a two-scenario comparison.
 enum class Preference {
@@ -60,11 +71,30 @@ class Oracle {
   long comparisons() const { return comparisons_; }
   long rankings() const { return rankings_; }
 
+  /// Retry policy for transient failures: a do_compare / do_rank that throws
+  /// OracleTimeout is retried (with backoff) up to max_attempts times; each
+  /// fault and retry is surfaced as a "fault" / "retry" trace event and the
+  /// oracle.timeouts / oracle.retries counters. After the last attempt the
+  /// exception escapes to the caller. Defaults to 3 attempts.
+  void set_retry_policy(util::RetryPolicy policy) { retry_ = policy; }
+  const util::RetryPolicy& retry_policy() const { return retry_; }
+
   /// Observability: when set (non-owning; may be null), every compare/rank
   /// call emits an "oracle_query" trace event and bumps the oracle.*
   /// counters. The synthesizer wires this up for the duration of a run and
   /// clears it before returning.
   void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
+
+  /// Durable-session persistence (docs/PERSISTENCE.md): writes the
+  /// interaction counters plus any subclass state (RNG streams of noisy /
+  /// indifferent variants, nested inner oracles) so a resumed session's user
+  /// model continues the identical answer stream. restore_state throws
+  /// std::invalid_argument / SerializeError-style exceptions on malformed
+  /// input and expects an oracle constructed with the same topology.
+  void save_state(std::ostream& out) const;
+  std::string save_state() const;
+  void restore_state(std::istream& in);
+  void restore_state(const std::string& state);
 
  protected:
   Oracle() = default;
@@ -76,9 +106,15 @@ class Oracle {
   /// Ground-truth oracles override this with an exact sort.
   virtual RankingResponse do_rank(std::span<const pref::Scenario> scenarios);
 
+  /// Subclass hooks for save_state/restore_state: append/consume extra state
+  /// (strictly in the same order). Stateless oracles keep the defaults.
+  virtual void do_save_state(std::ostream& out) const;
+  virtual void do_restore_state(std::istream& in);
+
  private:
   long comparisons_ = 0;
   long rankings_ = 0;
+  util::RetryPolicy retry_;
   const obs::RunContext* obs_ = nullptr;
 };
 

@@ -7,6 +7,30 @@
 
 namespace compsynth::oracle {
 
+namespace {
+
+// State fragments are line-oriented; a truncated stream is a hard error.
+std::string read_state_line(std::istream& in, const char* who) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument(std::string(who) + ": truncated state");
+  }
+  return line;
+}
+
+// Reads "<tag> <counter>\n" and returns the counter.
+long read_tagged_counter(std::istream& in, const char* tag, const char* who) {
+  std::string seen;
+  long value = 0;
+  if (!(in >> seen >> value) || seen != tag) {
+    throw std::invalid_argument(std::string(who) + ": malformed state");
+  }
+  in.ignore();  // trailing newline
+  return value;
+}
+
+}  // namespace
+
 NoisyOracle::NoisyOracle(std::unique_ptr<Oracle> inner, double flip_probability,
                          std::uint64_t seed)
     : inner_(std::move(inner)), flip_probability_(flip_probability), rng_(seed) {
@@ -21,6 +45,18 @@ Preference NoisyOracle::do_compare(const pref::Scenario& a, const pref::Scenario
   if (truth == Preference::kTie || !rng_.bernoulli(flip_probability_)) return truth;
   ++flips_;
   return truth == Preference::kFirst ? Preference::kSecond : Preference::kFirst;
+}
+
+void NoisyOracle::do_save_state(std::ostream& out) const {
+  out << "noisy " << flips_ << '\n' << rng_.save_state() << '\n';
+  inner_->save_state(out);
+}
+
+void NoisyOracle::do_restore_state(std::istream& in) {
+  const long flips = read_tagged_counter(in, "noisy", "NoisyOracle");
+  rng_.restore_state(read_state_line(in, "NoisyOracle"));
+  inner_->restore_state(in);
+  flips_ = flips;
 }
 
 IndifferentOracle::IndifferentOracle(std::unique_ptr<Oracle> inner,
@@ -42,6 +78,19 @@ Preference IndifferentOracle::do_compare(const pref::Scenario& a,
   return Preference::kTie;
 }
 
+void IndifferentOracle::do_save_state(std::ostream& out) const {
+  out << "indifferent " << abstentions_ << '\n' << rng_.save_state() << '\n';
+  inner_->save_state(out);
+}
+
+void IndifferentOracle::do_restore_state(std::istream& in) {
+  const long abstentions =
+      read_tagged_counter(in, "indifferent", "IndifferentOracle");
+  rng_.restore_state(read_state_line(in, "IndifferentOracle"));
+  inner_->restore_state(in);
+  abstentions_ = abstentions;
+}
+
 DriftingOracle::DriftingOracle(std::unique_ptr<Oracle> before,
                                std::unique_ptr<Oracle> after, long drift_after)
     : before_(std::move(before)), after_(std::move(after)), drift_after_(drift_after) {
@@ -58,6 +107,62 @@ Preference DriftingOracle::do_compare(const pref::Scenario& a,
   Oracle& active = answered_ < drift_after_ ? *before_ : *after_;
   ++answered_;
   return active.compare(a, b);
+}
+
+void DriftingOracle::do_save_state(std::ostream& out) const {
+  out << "drifting " << answered_ << '\n';
+  before_->save_state(out);
+  after_->save_state(out);
+}
+
+void DriftingOracle::do_restore_state(std::istream& in) {
+  const long answered = read_tagged_counter(in, "drifting", "DriftingOracle");
+  before_->restore_state(in);
+  after_->restore_state(in);
+  answered_ = answered;
+}
+
+FlakyOracle::FlakyOracle(std::unique_ptr<Oracle> inner,
+                         std::shared_ptr<util::FaultInjector> injector)
+    : inner_(std::move(inner)), injector_(std::move(injector)) {
+  if (inner_ == nullptr) throw std::invalid_argument("FlakyOracle: null inner oracle");
+  if (injector_ == nullptr) throw std::invalid_argument("FlakyOracle: null injector");
+}
+
+void FlakyOracle::maybe_inject() {
+  if (injector_->oracle_slowdown()) {
+    util::sleep_seconds(injector_->plan().oracle_slowdown_s);
+  }
+  if (injector_->oracle_timeout()) {
+    ++timeouts_;
+    throw OracleTimeout("injected oracle timeout");
+  }
+}
+
+Preference FlakyOracle::do_compare(const pref::Scenario& a,
+                                   const pref::Scenario& b) {
+  maybe_inject();
+  return inner_->compare(a, b);
+}
+
+RankingResponse FlakyOracle::do_rank(std::span<const pref::Scenario> scenarios) {
+  maybe_inject();
+  return inner_->rank(scenarios);
+}
+
+void FlakyOracle::do_save_state(std::ostream& out) const {
+  out << "flaky " << timeouts_ << '\n' << injector_->save_state();
+  inner_->save_state(out);
+}
+
+void FlakyOracle::do_restore_state(std::istream& in) {
+  const long timeouts = read_tagged_counter(in, "flaky", "FlakyOracle");
+  // The injector serializes as two lines: "faults <n>" plus the RNG state.
+  const std::string counters = read_state_line(in, "FlakyOracle");
+  const std::string rng = read_state_line(in, "FlakyOracle");
+  injector_->restore_state(counters + '\n' + rng + '\n');
+  inner_->restore_state(in);
+  timeouts_ = timeouts;
 }
 
 InteractiveOracle::InteractiveOracle(sketch::Sketch sketch, std::istream& in,

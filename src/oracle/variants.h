@@ -24,6 +24,8 @@ class NoisyOracle final : public Oracle {
 
  protected:
   Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_restore_state(std::istream& in) override;
 
  private:
   std::unique_ptr<Oracle> inner_;
@@ -48,6 +50,8 @@ class IndifferentOracle final : public Oracle {
 
  protected:
   Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_restore_state(std::istream& in) override;
 
  private:
   std::unique_ptr<Oracle> inner_;
@@ -71,12 +75,45 @@ class DriftingOracle final : public Oracle {
 
  protected:
   Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_restore_state(std::istream& in) override;
 
  private:
   std::unique_ptr<Oracle> before_;
   std::unique_ptr<Oracle> after_;
   long drift_after_;
   long answered_ = 0;
+};
+
+/// Wraps another oracle behind an injected fault model (util::FaultPlan): a
+/// query may time out (throwing OracleTimeout, which exercises the base
+/// class's retry-with-backoff machinery end to end) or stall briefly before
+/// answering. The injector's decision stream is seeded and part of the
+/// oracle's saved state, so a checkpoint-kill-resume run replays the
+/// identical fault sequence (tests/fault_test.cpp).
+class FlakyOracle final : public Oracle {
+ public:
+  /// `injector` is shared so a harness can observe injection counts; give
+  /// each fault site its own injector when snapshot/resume fidelity matters
+  /// (the decision stream is saved through whichever component owns it).
+  FlakyOracle(std::unique_ptr<Oracle> inner,
+              std::shared_ptr<util::FaultInjector> injector);
+
+  /// Timeouts this wrapper has thrown (each retried attempt counts).
+  long timeouts_injected() const { return timeouts_; }
+
+ protected:
+  Preference do_compare(const pref::Scenario& a, const pref::Scenario& b) override;
+  RankingResponse do_rank(std::span<const pref::Scenario> scenarios) override;
+  void do_save_state(std::ostream& out) const override;
+  void do_restore_state(std::istream& in) override;
+
+ private:
+  void maybe_inject();
+
+  std::unique_ptr<Oracle> inner_;
+  std::shared_ptr<util::FaultInjector> injector_;
+  long timeouts_ = 0;
 };
 
 /// A human at a terminal: prints both scenarios (named metrics) and reads

@@ -52,6 +52,11 @@ class PreferenceGraph {
   explicit PreferenceGraph(bool allow_inconsistent = false)
       : allow_inconsistent_(allow_inconsistent) {}
 
+  /// Whether cycle-closing edges are recorded (noisy-user mode) rather than
+  /// rejected. Persisted with the graph so a resumed session reloads it in
+  /// the same mode.
+  bool allows_inconsistent() const { return allow_inconsistent_; }
+
   /// Interns a scenario, returning its vertex id (deduplicates exact matches).
   VertexId intern(const Scenario& s);
 
@@ -60,6 +65,13 @@ class PreferenceGraph {
 
   const Scenario& scenario(VertexId v) const { return scenarios_.at(v); }
   std::size_t vertex_count() const { return scenarios_.size(); }
+
+  /// Sets/overwrites a vertex's human-readable label (annotation only —
+  /// never part of interning identity). Throws std::out_of_range on an
+  /// unknown vertex.
+  void set_label(VertexId v, std::string label) {
+    scenarios_.at(v).label = std::move(label);
+  }
 
   /// Records `better > worse`. Duplicates accumulate weight.
   AddResult add_preference(VertexId better, VertexId worse, double weight = 1.0);

@@ -16,7 +16,15 @@ namespace compsynth::pref {
 struct Scenario {
   std::vector<double> metrics;
 
-  friend bool operator==(const Scenario&, const Scenario&) = default;
+  /// Optional human-readable annotation ("peak-hour", "流量高峰" — any
+  /// UTF-8, no newlines). Labels are NOT part of scenario identity: the
+  /// graph interns on metrics alone, so a labelled and an unlabelled
+  /// scenario with equal metrics are the same vertex.
+  std::string label;
+
+  friend bool operator==(const Scenario& a, const Scenario& b) {
+    return a.metrics == b.metrics;
+  }
 };
 
 /// Renders e.g. "(throughput = 2, latency = 100)" using the sketch's names.

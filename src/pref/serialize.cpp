@@ -27,6 +27,11 @@ void serialize(const PreferenceGraph& graph, std::ostream& out) {
     out << "scenario " << v;
     for (const double m : graph.scenario(v).metrics) out << ' ' << render_double(m);
     out << '\n';
+    // Labels ride in a separate directive so v1 readers that predate them
+    // would fail loudly (unknown directive) rather than mis-parse metrics.
+    if (!graph.scenario(v).label.empty()) {
+      out << "label " << v << ' ' << graph.scenario(v).label << '\n';
+    }
   }
   for (const Edge& e : graph.edges()) {
     out << "prefer " << e.better << ' ' << e.worse << ' ' << render_double(e.weight)
@@ -82,6 +87,18 @@ PreferenceGraph deserialize(std::istream& in, bool allow_inconsistent) {
         fail(line_no, "prefer: closes a cycle (load with allow_inconsistent "
                       "to keep and repair)");
       }
+    } else if (directive == "label") {
+      VertexId id = 0;
+      if (!(ls >> id)) fail(line_no, "label: missing id");
+      if (id >= graph.vertex_count()) fail(line_no, "label: unknown scenario id");
+      // Everything after "label <id> " is the label, verbatim (UTF-8 safe:
+      // the text is never inspected byte-wise, only the leading ASCII space
+      // separator is stripped).
+      std::string text;
+      std::getline(ls, text);
+      if (!text.empty() && text.front() == ' ') text.erase(text.begin());
+      if (text.empty()) fail(line_no, "label: empty label text");
+      graph.set_label(id, text);
     } else if (directive == "tie") {
       VertexId a = 0, b = 0;
       if (!(ls >> a >> b)) fail(line_no, "tie: expected 2 ids");

@@ -1,0 +1,150 @@
+#include "session/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/run_context.h"
+
+namespace compsynth::session {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string snapshot_name(const std::string& prefix, int iteration) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "-%06d", iteration);
+  return prefix + buf + kSnapshotExtension;
+}
+
+bool has_snapshot_extension(const fs::path& p) {
+  return p.extension() == kSnapshotExtension;
+}
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(CheckpointConfig config)
+    : config_(std::move(config)) {
+  if (config_.prefix.empty()) {
+    throw SnapshotError("CheckpointManager: empty snapshot prefix");
+  }
+  if (config_.directory.empty()) {
+    throw SnapshotError("CheckpointManager: empty snapshot directory");
+  }
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  if (ec) {
+    throw SnapshotError("CheckpointManager: cannot create directory '" +
+                        config_.directory + "': " + ec.message());
+  }
+}
+
+std::string CheckpointManager::write(const Snapshot& snap) {
+  const std::string path =
+      (fs::path(config_.directory) / snapshot_name(config_.prefix,
+                                                   snap.meta.iteration))
+          .string();
+
+  const bool torn =
+      config_.injector != nullptr && config_.injector->torn_write();
+  if (torn) {
+    // Simulate a crash mid-write on a filesystem without the atomic rename
+    // protocol: a truncated snapshot lands at the *final* path. Recovery
+    // must detect it (short payload / CRC mismatch) and fall back.
+    const std::string bytes = encode(snap);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw SnapshotError("cannot open '" + path + "' for writing");
+    const auto cut = static_cast<std::streamsize>(bytes.size() / 2);
+    out.write(bytes.data(), cut);
+    if (obs::active(config_.obs)) {
+      config_.obs->count("session.torn_writes");
+      if (config_.obs->tracing()) {
+        obs::TraceEvent e("fault");
+        e.str("site", "checkpoint")
+            .str("kind", "torn_write")
+            .integer("iteration", snap.meta.iteration)
+            .str("path", path);
+        config_.obs->emit(e);
+      }
+    }
+  } else {
+    write_file(snap, path);
+  }
+
+  if (obs::active(config_.obs)) {
+    config_.obs->count("session.checkpoint_writes");
+    if (config_.obs->tracing()) {
+      obs::TraceEvent e("checkpoint_write");
+      e.str("path", path)
+          .integer("iteration", snap.meta.iteration)
+          .boolean("torn", torn);
+      config_.obs->emit(e);
+    }
+  }
+
+  // Retention: keep the newest `keep` snapshots of this prefix (name order
+  // == iteration order thanks to the zero-padded counter).
+  if (config_.keep > 0) {
+    std::vector<std::string> mine = list();
+    while (mine.size() > static_cast<std::size_t>(config_.keep)) {
+      std::error_code ec;
+      fs::remove(mine.front(), ec);  // best effort; recovery tolerates leftovers
+      mine.erase(mine.begin());
+    }
+  }
+  return path;
+}
+
+std::vector<std::string> CheckpointManager::list() const {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(config_.directory, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const fs::path& p = it->path();
+    if (!has_snapshot_extension(p)) continue;
+    if (p.filename().string().rfind(config_.prefix + "-", 0) != 0) continue;
+    out.push_back(p.string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<Snapshot> CheckpointManager::recover_latest(
+    const std::string& directory, std::string* path_out,
+    std::vector<std::string>* corrupt) {
+  std::vector<std::string> candidates;
+  std::error_code ec;
+  for (fs::directory_iterator it(directory, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (has_snapshot_extension(it->path())) {
+      candidates.push_back(it->path().string());
+    }
+  }
+  std::sort(candidates.rbegin(), candidates.rend());  // newest first
+  for (const std::string& path : candidates) {
+    try {
+      Snapshot snap = read_file(path);
+      if (path_out != nullptr) *path_out = path;
+      return snap;
+    } catch (const SnapshotError&) {
+      if (corrupt != nullptr) corrupt->push_back(path);
+    }
+  }
+  return std::nullopt;
+}
+
+std::function<void(const synth::SessionState&)> checkpoint_hook(
+    CheckpointManager& manager, SnapshotMeta meta) {
+  return [&manager, meta](const synth::SessionState& state) {
+    Snapshot snap;
+    snap.meta = meta;
+    snap.meta.iteration = state.iterations;
+    snap.state = state;
+    manager.write(snap);
+  };
+}
+
+}  // namespace compsynth::session

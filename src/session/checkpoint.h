@@ -1,0 +1,88 @@
+// Checkpoint management: periodic atomic snapshots + crash recovery.
+//
+// A CheckpointManager owns a directory of numbered snapshot files
+// ("<prefix>-NNNNNN.csnap", NNNNNN = the iteration captured). Writes go
+// through the atomic tmp-write-then-rename protocol of snapshot.h, a
+// bounded number of recent snapshots is retained, and recover_latest scans
+// a directory for the newest snapshot that still decodes — skipping torn or
+// corrupt files, which is exactly what a crash mid-write leaves behind.
+//
+// Fault injection: when a util::FaultInjector with torn_write_p > 0 is
+// attached, an injected torn write deliberately bypasses the atomic
+// protocol and leaves a truncated file at the final path, so the recovery
+// path is testable end to end (tests/fault_test.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "session/snapshot.h"
+#include "util/fault.h"
+
+namespace compsynth::obs {
+struct RunContext;
+}
+
+namespace compsynth::session {
+
+struct CheckpointConfig {
+  /// Directory the snapshots live in; created (recursively) if missing.
+  std::string directory;
+
+  /// Snapshot file name prefix: "<prefix>-NNNNNN.csnap".
+  std::string prefix = "session";
+
+  /// Most-recent snapshots kept on disk; older ones are deleted after each
+  /// successful write. <= 0 keeps everything.
+  int keep = 4;
+
+  /// Optional fault injection (torn_write faults only; see header comment).
+  std::shared_ptr<util::FaultInjector> injector;
+
+  /// Optional observability: checkpoint writes emit "checkpoint_write"
+  /// trace events and session.* metrics; injected torn writes emit "fault"
+  /// events (site=checkpoint). Non-owning; may be null.
+  const obs::RunContext* obs = nullptr;
+};
+
+class CheckpointManager {
+ public:
+  /// Creates `config.directory` if needed; throws SnapshotError when the
+  /// directory cannot be created or the prefix is empty.
+  explicit CheckpointManager(CheckpointConfig config);
+
+  /// Writes `snap` as "<prefix>-NNNNNN.csnap" (NNNNNN = meta.iteration) and
+  /// prunes old snapshots per `keep`. Returns the path written. An injected
+  /// torn write leaves a truncated file at the final path instead (and still
+  /// returns that path) — recovery is expected to skip it.
+  std::string write(const Snapshot& snap);
+
+  /// Paths of this manager's snapshot files, oldest first.
+  std::vector<std::string> list() const;
+
+  const CheckpointConfig& config() const { return config_; }
+
+  /// Scans `directory` for "*.csnap" files and returns the newest one that
+  /// decodes cleanly (nullopt when none does). Torn/corrupt files are
+  /// skipped and reported through `corrupt` when given; `path_out` receives
+  /// the winning file's path. Any prefix is accepted — recovery does not
+  /// need to know the writing manager's configuration.
+  static std::optional<Snapshot> recover_latest(
+      const std::string& directory, std::string* path_out = nullptr,
+      std::vector<std::string>* corrupt = nullptr);
+
+ private:
+  CheckpointConfig config_;
+};
+
+/// Convenience glue for SynthesisConfig::checkpoint: returns a hook that
+/// stamps `meta` (iteration is taken from the state) and writes one snapshot
+/// per invocation through `manager`, which must outlive the returned
+/// function.
+std::function<void(const synth::SessionState&)> checkpoint_hook(
+    CheckpointManager& manager, SnapshotMeta meta);
+
+}  // namespace compsynth::session

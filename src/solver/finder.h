@@ -16,11 +16,14 @@
 #include <functional>
 #include <optional>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "pref/graph.h"
 #include "pref/scenario.h"
 #include "sketch/ast.h"
+#include "util/fault.h"
 
 namespace compsynth::obs {
 struct RunContext;
@@ -43,6 +46,13 @@ struct FinderConfig {
 
   /// Per-query soft timeout for SMT-backed finders (0 = none).
   unsigned timeout_ms = 120000;
+
+  /// Retry policy for transient back-end failures (an injected or real
+  /// solver hiccup): the query is re-issued with backoff up to max_attempts
+  /// times, each fault/retry surfaced as trace events and solver metrics.
+  /// After the budget is exhausted the finder reports kUnknown rather than
+  /// aborting the session.
+  util::RetryPolicy retry;
 };
 
 /// Optional domain-specific viability check ("Viable(f)" in the paper's
@@ -117,6 +127,22 @@ class CandidateFinder {
   /// per-query trace events ("z3_query", "grid_sync", "pair_search") and
   /// record solver.* metrics. The synthesizer wires this up per run.
   void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
+
+  /// Durable-session persistence (docs/PERSISTENCE.md): back-ends serialize
+  /// whatever internal state a resumed run needs to continue the identical
+  /// query sequence — RNG streams, version-space membership, incremental
+  /// cursors. The blob is opaque to callers; restore_state expects a finder
+  /// constructed over the same sketch and configuration and throws
+  /// std::invalid_argument on malformed or mismatched input. The defaults
+  /// are for stateless finders: an empty blob, accepted back verbatim.
+  virtual std::string save_state() const { return {}; }
+  virtual void restore_state(const std::string& state) {
+    if (!state.empty()) {
+      throw std::invalid_argument(
+          "CandidateFinder::restore_state: unexpected state for a stateless "
+          "finder");
+    }
+  }
 
  protected:
   CandidateFinder() = default;

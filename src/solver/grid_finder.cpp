@@ -4,7 +4,9 @@
 #include <atomic>
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/run_context.h"
@@ -787,6 +789,121 @@ std::optional<sketch::HoleAssignment> GridFinder::find_consistent(
   sync(graph);
   if (survivors_.empty()) return std::nullopt;
   return survivors_.front().assignment;
+}
+
+namespace {
+
+constexpr char kGridStateTag[] = "gridfinder";
+constexpr int kGridStateVersion = 1;
+
+[[noreturn]] void bad_grid_state(const char* why) {
+  throw std::invalid_argument(std::string("GridFinder::restore_state: ") + why);
+}
+
+}  // namespace
+
+std::string GridFinder::save_state() const {
+  const std::int64_t total = sketch_.candidate_space_size();
+  // Bitmap over linear candidate indices: bit i%8 of byte i/8, hex-encoded.
+  std::string bitmap(static_cast<std::size_t>((total + 7) / 8), '\0');
+  std::vector<std::int64_t> stride(sketch_.holes().size(), 1);
+  for (std::size_t h = 1; h < stride.size(); ++h) {
+    stride[h] = stride[h - 1] * sketch_.holes()[h - 1].count;
+  }
+  for (const Survivor& s : survivors_) {
+    std::int64_t linear = 0;
+    for (std::size_t h = 0; h < stride.size(); ++h) {
+      linear += s.assignment.index[h] * stride[h];
+    }
+    bitmap[static_cast<std::size_t>(linear / 8)] |=
+        static_cast<char>(1 << (linear % 8));
+  }
+  std::ostringstream os;
+  os << kGridStateTag << ' ' << kGridStateVersion << '\n'
+     << "rng " << rng_.save_state() << '\n'
+     << "seen " << (initialized_ ? 1 : 0) << ' ' << edges_seen_ << ' '
+     << ties_seen_ << '\n'
+     << "survivors " << survivors_.size() << ' ' << total << '\n';
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char byte : bitmap) {
+    const auto u = static_cast<unsigned char>(byte);
+    os << kHex[u >> 4] << kHex[u & 0xf];
+  }
+  os << '\n';
+  return os.str();
+}
+
+void GridFinder::restore_state(const std::string& state) {
+  std::istringstream in(state);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != kGridStateTag) {
+    bad_grid_state("malformed header");
+  }
+  if (version != kGridStateVersion) bad_grid_state("unsupported version");
+
+  std::string rng_line;
+  if (!(in >> tag) || tag != "rng") bad_grid_state("missing rng section");
+  in.ignore();  // the space after "rng"
+  if (!std::getline(in, rng_line)) bad_grid_state("truncated rng section");
+
+  int initialized = 0;
+  std::size_t edges_seen = 0, ties_seen = 0;
+  if (!(in >> tag >> initialized >> edges_seen >> ties_seen) || tag != "seen") {
+    bad_grid_state("malformed seen section");
+  }
+
+  std::size_t survivor_count = 0;
+  std::int64_t total = 0;
+  if (!(in >> tag >> survivor_count >> total) || tag != "survivors") {
+    bad_grid_state("malformed survivors section");
+  }
+  if (total != sketch_.candidate_space_size()) {
+    bad_grid_state("candidate space size mismatch (different sketch/config?)");
+  }
+  std::string hex;
+  if (!(in >> hex)) bad_grid_state("truncated bitmap");
+  const std::size_t bytes = static_cast<std::size_t>((total + 7) / 8);
+  if (hex.size() != 2 * bytes) bad_grid_state("bitmap length mismatch");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+
+  // Decode into a fresh survivor vector first so a throw leaves `this`
+  // untouched; hole values are re-materialized from the grid and the vertex
+  // memoization restarts empty (value_at fills it deterministically).
+  std::vector<Survivor> restored;
+  restored.reserve(survivor_count);
+  const auto& holes = sketch_.holes();
+  for (std::int64_t i = 0; i < total; ++i) {
+    const char c = hex[static_cast<std::size_t>(i / 8) * 2 +
+                       (i % 8 < 4 ? 1 : 0)];
+    const int nib = nibble(c);
+    if (nib < 0) bad_grid_state("bitmap is not lowercase hex");
+    if ((nib >> (i % 4)) & 1) {
+      Survivor s;
+      s.assignment = assignment_at(i);
+      s.hole_values.resize(holes.size());
+      for (std::size_t h = 0; h < holes.size(); ++h) {
+        s.hole_values[h] = holes[h].value_at(s.assignment.index[h]);
+      }
+      restored.push_back(std::move(s));
+    }
+  }
+  if (restored.size() != survivor_count) {
+    bad_grid_state("survivor count disagrees with bitmap");
+  }
+
+  util::Rng rng(config_.seed);
+  rng.restore_state(rng_line);  // throws before any member is mutated
+
+  rng_ = std::move(rng);
+  survivors_ = std::move(restored);
+  initialized_ = initialized != 0;
+  edges_seen_ = edges_seen;
+  ties_seen_ = ties_seen;
 }
 
 }  // namespace compsynth::solver

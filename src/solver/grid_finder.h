@@ -117,6 +117,15 @@ class GridFinder final : public CandidateFinder {
   std::size_t version_space_size() const { return survivors_.size(); }
   const std::vector<Survivor>& survivors() const { return survivors_; }
 
+  /// Durable-session persistence: the pair-search RNG stream, the sync
+  /// cursors (edges/ties already folded into the version space) and the
+  /// survivor set as a bitmap over linear candidate indices. Survivor
+  /// hole values are re-materialized from the grid on restore and the
+  /// per-vertex objective memoization is rebuilt lazily (deterministic),
+  /// so a restored finder continues the identical query sequence.
+  std::string save_state() const override;
+  void restore_state(const std::string& state) override;
+
  private:
   bool consistent(Survivor& s, const pref::PreferenceGraph& graph,
                   std::size_t first_edge, std::size_t first_tie) const;

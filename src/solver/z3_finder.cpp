@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -55,17 +56,57 @@ z3::check_result check_with_fallback(z3::context& ctx, z3::solver& s,
 
 // check_with_fallback wrapped in a "z3_query" span: one event + one
 // z3_query.seconds sample per solver invocation, with kind/result/index.
+// When a fault injector is attached, a check may be preceded by an injected
+// slowdown and/or replaced by an injected transient failure; failures are
+// retried with backoff per `retry` ("fault"/"retry" events, z3.failures /
+// z3.retries counters) and degrade to `unknown` once the budget is spent.
 z3::check_result timed_check(const obs::RunContext* obs, z3::context& ctx,
                              z3::solver& s, unsigned timeout_ms,
-                             const char* kind, long index) {
-  obs::Span span(obs, "z3_query");
-  const z3::check_result r = check_with_fallback(ctx, s, timeout_ms);
-  if (obs != nullptr) obs->count("z3.queries");
-  if (obs::TraceEvent* e = span.event()) {
-    e->str("kind", kind).integer("index", index).str("result",
-                                                     check_result_name(r));
+                             const char* kind, long index,
+                             util::FaultInjector* injector,
+                             const util::RetryPolicy& retry) {
+  for (int attempt = 1;; ++attempt) {
+    if (injector != nullptr && injector->z3_slowdown()) {
+      util::sleep_seconds(injector->plan().z3_slowdown_s);
+    }
+    if (injector == nullptr || !injector->z3_failure()) {
+      obs::Span span(obs, "z3_query");
+      const z3::check_result r = check_with_fallback(ctx, s, timeout_ms);
+      if (obs != nullptr) obs->count("z3.queries");
+      if (obs::TraceEvent* e = span.event()) {
+        e->str("kind", kind).integer("index", index).str(
+            "result", check_result_name(r));
+        if (attempt > 1) e->integer("attempt", attempt);
+      }
+      return r;
+    }
+    if (obs::active(obs)) {
+      obs->count("z3.failures");
+      if (obs->tracing()) {
+        obs::TraceEvent e("fault");
+        e.str("site", "z3").str("kind", "failure").str("op", kind)
+            .integer("index", index).integer("attempt", attempt);
+        obs->emit(e);
+      }
+    }
+    if (attempt >= retry.max_attempts) {
+      util::log(util::LogLevel::kWarn,
+                "Z3Finder: transient failure persisted past the retry "
+                "budget; reporting unknown");
+      return z3::unknown;
+    }
+    const double backoff = retry.backoff_before(attempt + 1);
+    if (obs::active(obs)) {
+      obs->count("z3.retries");
+      if (obs->tracing()) {
+        obs::TraceEvent e("retry");
+        e.str("site", "z3").str("op", kind).integer("attempt", attempt + 1)
+            .num("backoff_s", backoff);
+        obs->emit(e);
+      }
+    }
+    util::sleep_seconds(backoff);
   }
-  return r;
 }
 
 // Encodes the sketch body at a concrete scenario under the given hole vars.
@@ -206,8 +247,9 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
   for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
     ++query_count_;
     log_query(solver, "distinguishing");
-    const z3::check_result r = timed_check(obs_, ctx, solver, config_.timeout_ms,
-                                           "distinguishing", query_count_);
+    const z3::check_result r =
+        timed_check(obs_, ctx, solver, config_.timeout_ms, "distinguishing",
+                    query_count_, injector_.get(), config_.retry);
     if (r == z3::unsat) {
       if (num_pairs > 1) return find_distinguishing(graph, 1);
       // Distinguish "no candidate at all" from "unique ranking", and carry
@@ -292,7 +334,8 @@ std::optional<sketch::HoleAssignment> Z3Finder::find_consistent(
     ++query_count_;
     log_query(solver, "consistent");
     if (timed_check(obs_, ctx, solver, config_.timeout_ms, "consistent",
-                    query_count_) != z3::sat) {
+                    query_count_, injector_.get(),
+                    config_.retry) != z3::sat) {
       return std::nullopt;
     }
     const z3::model model = solver.get_model();
@@ -312,6 +355,42 @@ std::optional<sketch::HoleAssignment> Z3Finder::find_consistent(
   }
   util::log(util::LogLevel::kWarn, "Z3Finder: viability blocking budget exhausted");
   return std::nullopt;
+}
+
+std::string Z3Finder::save_state() const {
+  std::ostringstream os;
+  os << "z3finder 1\nqueries " << query_count_ << "\nfaults "
+     << (injector_ != nullptr ? 1 : 0) << '\n';
+  if (injector_ != nullptr) os << injector_->save_state();
+  return os.str();
+}
+
+void Z3Finder::restore_state(const std::string& state) {
+  const auto bad = [](const char* why) {
+    throw std::invalid_argument(std::string("Z3Finder::restore_state: ") + why);
+  };
+  std::istringstream in(state);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "z3finder") bad("malformed header");
+  if (version != 1) bad("unsupported version");
+  long queries = 0;
+  if (!(in >> tag >> queries) || tag != "queries") bad("malformed counter");
+  int had_injector = 0;
+  if (!(in >> tag >> had_injector) || tag != "faults") bad("malformed flag");
+  if ((had_injector != 0) != (injector_ != nullptr)) {
+    bad("fault injector presence mismatch (configure the same FaultPlan "
+        "before restoring)");
+  }
+  if (injector_ != nullptr) {
+    in.ignore();  // newline before the injector's own two lines
+    std::string counters, rng;
+    if (!std::getline(in, counters) || !std::getline(in, rng)) {
+      bad("truncated injector state");
+    }
+    injector_->restore_state(counters + '\n' + rng + '\n');
+  }
+  query_count_ = queries;
 }
 
 }  // namespace compsynth::solver

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <memory>
 #include <optional>
 
 #include "sketch/analyze.h"
@@ -47,6 +48,23 @@ class Z3Finder final : public CandidateFinder {
   /// other solvers. The stream must outlive the finder.
   void set_query_log(std::ostream* log) { query_log_ = log; }
 
+  /// Fault injection (util::FaultPlan): each solver check may be preceded by
+  /// an injected slowdown and/or replaced by an injected transient failure,
+  /// which is retried per FinderConfig::retry with backoff ("fault"/"retry"
+  /// trace events, z3.failures / z3.retries counters). A check that keeps
+  /// failing after the attempt budget reports `unknown`, which the
+  /// synthesizer surfaces as kSolverGaveUp rather than crashing the session.
+  /// The injector's decision stream is part of save_state when attached.
+  void set_fault_injector(std::shared_ptr<util::FaultInjector> injector) {
+    injector_ = std::move(injector);
+  }
+
+  /// Durable-session persistence: the query counter plus the attached fault
+  /// injector's decision stream (when any), so a resumed run keeps stable
+  /// query indices in traces and replays the identical fault sequence.
+  std::string save_state() const override;
+  void restore_state(const std::string& state) override;
+
  private:
   void log_query(z3::solver& solver, const char* kind);
 
@@ -63,6 +81,7 @@ class Z3Finder final : public CandidateFinder {
   std::optional<sketch::Interval> objective_bounds_;
   long query_count_ = 0;
   std::ostream* query_log_ = nullptr;
+  std::shared_ptr<util::FaultInjector> injector_;
 };
 
 }  // namespace compsynth::solver

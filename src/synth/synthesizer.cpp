@@ -128,9 +128,28 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user) {
 
 SynthesisResult Synthesizer::run(oracle::Oracle& user,
                                  pref::PreferenceGraph graph) {
+  SessionState st;
+  st.graph = std::move(graph);
+  return run_impl(user, std::move(st), /*resumed=*/false);
+}
+
+SynthesisResult Synthesizer::resume(oracle::Oracle& user, SessionState state) {
+  // Restore the back-end and user-model internals first: both throw on
+  // mismatched blobs, and a failed resume must not start a half-restored run.
+  finder_->restore_state(state.finder_state);
+  user.restore_state(state.oracle_state);
+  return run_impl(user, std::move(state), /*resumed=*/true);
+}
+
+SynthesisResult Synthesizer::run_impl(oracle::Oracle& user, SessionState st,
+                                      bool resumed) {
   SynthesisResult result;
   util::Rng rng(config_.seed);
-  const long comparisons_before = user.comparisons();
+  pref::PreferenceGraph& graph = st.graph;
+  // The oracle's absolute counter may predate this logical session (a
+  // restored oracle carries its checkpointed counters), so the baseline
+  // backs out everything not attributable to the session.
+  const long comparisons_before = user.comparisons() - st.oracle_comparisons;
 
   // Thread the run context through every component for the duration of this
   // run. The oracle and the (returned) graph outlive the call, so their
@@ -146,6 +165,7 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         .integer("initial_scenarios", config_.initial_scenarios)
         .integer("pairs_per_iteration", config_.pairs_per_iteration)
         .integer("max_iterations", config_.max_iterations);
+    if (resumed) start.integer("resumed_at", st.iterations);
     obs->emit(start);
 
     // Static-analysis summary of the sketch under synthesis: lint tallies
@@ -174,17 +194,41 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
   // graph gets the up-front random-scenario ranking.
   if (graph.vertex_count() == 0) seed_graph(graph, user, rng);
 
-  int repair_rounds = 0;
+  // Captures the complete loop state into `st` and hands it to the
+  // checkpoint hook. Runs only at iteration boundaries, so a resumed run
+  // re-enters the loop exactly where this one left off.
+  const auto checkpoint = [&](bool final_state) {
+    if (!config_.checkpoint) return;
+    const int every = config_.checkpoint_every < 1 ? 1 : config_.checkpoint_every;
+    if (!final_state && st.iterations % every != 0) return;
+    st.finder_state = finder_->save_state();
+    st.oracle_state = user.save_state();
+    st.oracle_comparisons = user.comparisons() - comparisons_before;
+    config_.checkpoint(st);
+    if (obs::active(obs)) {
+      obs->count("session.checkpoints");
+      if (obs->tracing()) {
+        obs::TraceEvent e("checkpoint");
+        e.integer("iteration", st.iterations)
+            .boolean("final", final_state)
+            .integer("vertices", static_cast<long long>(graph.vertex_count()))
+            .integer("edges", static_cast<long long>(graph.edges().size()))
+            .integer("ties", static_cast<long long>(graph.ties().size()));
+        obs->emit(e);
+      }
+    }
+  };
+
   bool done = false;
-  while (!done && result.iterations < config_.max_iterations) {
+  while (!done && st.iterations < config_.max_iterations) {
     IterationRecord record;
-    record.index = result.iterations + 1;
+    record.index = st.iterations + 1;
 
     util::Stopwatch watch;
     const solver::FinderResult fr =
         finder_->find_distinguishing(graph, config_.pairs_per_iteration);
     record.solver_seconds = watch.elapsed_seconds();
-    ++result.iterations;
+    ++st.iterations;
 
     switch (fr.status) {
       case solver::FinderStatus::kUniqueRanking:
@@ -194,8 +238,9 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         break;
 
       case solver::FinderStatus::kNoCandidate:
-        if (config_.tolerate_inconsistency && repair_rounds < kMaxRepairRounds) {
-          ++repair_rounds;
+        if (config_.tolerate_inconsistency &&
+            st.repair_rounds < kMaxRepairRounds) {
+          ++st.repair_rounds;
           std::vector<pref::Edge> removed = graph.repair();
           if (removed.empty()) {
             // Acyclic yet unsatisfiable: some answer contradicts the sketch
@@ -206,7 +251,7 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
             }
           }
           util::log(util::LogLevel::kInfo, "repaired preference graph (round ",
-                    repair_rounds, ")");
+                    st.repair_rounds, ")");
         } else {
           result.status = SynthesisStatus::kNoCandidate;
           done = true;
@@ -219,7 +264,7 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         break;
 
       case solver::FinderStatus::kFound: {
-        ++result.interactions;
+        ++st.interactions;
         for (const solver::DistinguishingPair& pair : fr.pairs) {
           const pref::VertexId v1 = graph.intern(pair.preferred_by_a);
           const pref::VertexId v2 = graph.intern(pair.preferred_by_b);
@@ -232,7 +277,7 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
       }
     }
 
-    result.total_solver_seconds += record.solver_seconds;
+    st.total_solver_seconds += record.solver_seconds;
     if (obs::active(obs)) {
       obs->count("synth.iterations");
       obs->observe("iteration.solver_seconds", record.solver_seconds);
@@ -250,18 +295,25 @@ SynthesisResult Synthesizer::run(oracle::Oracle& user,
         obs->emit(e);
       }
     }
-    if (config_.keep_transcript) result.transcript.push_back(record);
+    if (config_.keep_transcript) st.transcript.push_back(record);
+    checkpoint(done);
   }
-
-  if (!done) {
+  if (done) {
+    // The in-loop call above already captured the final state.
+  } else {
     result.status = SynthesisStatus::kIterationLimit;
     result.objective = finder_->find_consistent(graph);
+    checkpoint(/*final_state=*/true);
   }
+  result.iterations = st.iterations;
+  result.interactions = st.interactions;
+  result.total_solver_seconds = st.total_solver_seconds;
   if (result.iterations > 0) {
     result.average_iteration_seconds =
         result.total_solver_seconds / result.iterations;
   }
   result.oracle_comparisons = user.comparisons() - comparisons_before;
+  result.transcript = std::move(st.transcript);
 
   if (obs::tracing(obs)) {
     obs::TraceEvent end("run_end");

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "obs/run_context.h"
@@ -26,6 +28,8 @@
 #include "util/rng.h"
 
 namespace compsynth::synth {
+
+struct SessionState;
 
 struct SynthesisConfig {
   /// Random scenarios ranked once up front (5 in the paper; Fig. 5 sweeps
@@ -79,6 +83,15 @@ struct SynthesisConfig {
   /// run(), emitting run_start / iteration / run_end events and synth.*
   /// metrics. Default-constructed = fully off (no clock reads, no locks).
   obs::RunContext obs;
+
+  /// Durable sessions (docs/PERSISTENCE.md): when set, invoked with the
+  /// complete SessionState after every `checkpoint_every`-th completed
+  /// iteration and once more when the loop ends. The hook typically hands
+  /// the state to a session::CheckpointManager, which writes an atomic
+  /// snapshot file; Synthesizer::resume continues the identical run from
+  /// any such state. Null (the default) disables checkpointing entirely.
+  std::function<void(const SessionState&)> checkpoint;
+  int checkpoint_every = 1;
 };
 
 enum class SynthesisStatus {
@@ -96,6 +109,27 @@ struct IterationRecord {
   int pairs_presented = 0;    // scenario pairs the user ranked
   int edges_added = 0;
   int ties_added = 0;
+};
+
+/// Complete mid-run synthesis state, captured at an iteration boundary.
+/// Everything a later process needs to continue the identical run: the
+/// preference graph, the loop counters and transcript, and the opaque state
+/// blobs of the finder (RNG stream, version space / query counters) and the
+/// oracle (interaction counters, per-variant RNG streams). Produced by the
+/// SynthesisConfig::checkpoint hook and consumed by Synthesizer::resume;
+/// session/snapshot.h serializes it to disk.
+struct SessionState {
+  int iterations = 0;
+  int interactions = 0;
+  int repair_rounds = 0;
+  double total_solver_seconds = 0;
+  /// Oracle comparisons attributable to this logical session (the oracle's
+  /// absolute counter may predate the session).
+  long oracle_comparisons = 0;
+  std::vector<IterationRecord> transcript;
+  pref::PreferenceGraph graph{true};
+  std::string finder_state;  ///< CandidateFinder::save_state blob
+  std::string oracle_state;  ///< oracle::Oracle::save_state blob
 };
 
 struct SynthesisResult {
@@ -133,9 +167,24 @@ class Synthesizer {
   /// `initial` already has vertices, and the loop continues from there.
   SynthesisResult run(oracle::Oracle& user, pref::PreferenceGraph initial);
 
+  /// Resumes from a checkpointed SessionState: restores the finder's and the
+  /// oracle's internal state from the opaque blobs, then continues the loop
+  /// at the recorded iteration. A resumed run is provably identical to one
+  /// that was never interrupted — same objective, same oracle query sequence
+  /// (tests/session_test.cpp kills and resumes at every iteration boundary).
+  /// Requires a synthesizer and oracle constructed with the same
+  /// configuration/topology that produced the state; throws
+  /// std::invalid_argument when the blobs do not match.
+  SynthesisResult resume(oracle::Oracle& user, SessionState state);
+
   const SynthesisConfig& config() const { return config_; }
 
+  /// The owned back-end (for wiring fault injectors or query logs from a
+  /// harness before run/resume). Never null.
+  solver::CandidateFinder& finder() { return *finder_; }
+
  private:
+  SynthesisResult run_impl(oracle::Oracle& user, SessionState st, bool resumed);
   void seed_graph(pref::PreferenceGraph& graph, oracle::Oracle& user,
                   util::Rng& rng) const;
   void record_answer(pref::PreferenceGraph& graph, pref::VertexId v1,

@@ -1,0 +1,24 @@
+// CRC-32 (ISO-HDLC / zlib polynomial) for snapshot integrity checking.
+//
+// Durable-session snapshot files (src/session/snapshot.h) carry a CRC of
+// their payload so that torn writes — a crash mid-write leaving a truncated
+// or partially flushed file — are detected on load and recovery can fall
+// back to the previous valid snapshot (docs/PERSISTENCE.md). CRC-32 is ample
+// for this: the adversary is a power cut, not an attacker.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace compsynth::util {
+
+/// CRC-32 of `data` (polynomial 0xEDB88320, init/final xor 0xFFFFFFFF —
+/// identical to zlib's crc32(), so snapshots can be checked with standard
+/// tools).
+std::uint32_t crc32(std::string_view data);
+
+/// Renders a CRC as fixed-width lowercase hex ("0009f3a1"), the form stored
+/// in snapshot manifests.
+std::string crc32_hex(std::uint32_t crc);
+
+}  // namespace compsynth::util

@@ -1,0 +1,44 @@
+#include "util/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+namespace compsynth::util {
+
+std::string FaultInjector::save_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "faults " << injected_ << '\n' << rng_.save_state() << '\n';
+  return os.str();
+}
+
+void FaultInjector::restore_state(const std::string& state) {
+  std::istringstream is(state);
+  std::string tag;
+  long injected = 0;
+  if (!(is >> tag >> injected) || tag != "faults") {
+    throw std::invalid_argument("FaultInjector::restore_state: malformed state");
+  }
+  is.ignore();  // the newline after the counter
+  std::string rng_state;
+  std::getline(is, rng_state);
+  std::lock_guard<std::mutex> lock(mu_);
+  rng_.restore_state(rng_state);  // throws before any member is touched
+  injected_ = injected;
+}
+
+double RetryPolicy::backoff_before(int attempt) const {
+  if (attempt <= 1 || initial_backoff_s <= 0) return 0;
+  double backoff = initial_backoff_s;
+  for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_s);
+}
+
+void sleep_seconds(double s) {
+  if (s <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace compsynth::util

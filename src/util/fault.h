@@ -1,0 +1,128 @@
+// Fault injection and retry policies for durable synthesis sessions.
+//
+// A production deployment of the interaction loop must ride out flaky
+// dependencies: an oracle (a human at a browser, or a remote service) that
+// times out, a Z3 backend that fails or stalls under memory pressure, a
+// checkpoint write torn by a crash. FaultPlan describes a probabilistic
+// fault model; FaultInjector turns it into deterministic, seeded fault
+// decisions that test harnesses (tests/fault_test.cpp, the
+// tools/compsynth_session CLI's --fault-* flags) thread through the oracle,
+// the Z3 finder and the checkpoint writer. RetryPolicy is the matching
+// recovery knob: bounded retries with exponential backoff, shared by
+// oracle::Oracle and solver::Z3Finder.
+//
+// The injector is seeded and serializable (save_state/restore_state), so a
+// checkpoint-kill-resume run under injected faults replays the identical
+// fault sequence — the differential resume tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "util/rng.h"
+
+namespace compsynth::util {
+
+/// Probabilistic fault model. All probabilities are per *attempt* (a retried
+/// query rolls the dice again), default 0 = that fault never fires.
+struct FaultPlan {
+  /// Probability that an oracle query times out (oracle::OracleTimeout).
+  double oracle_timeout_p = 0;
+  /// Probability that an oracle query is slowed by `oracle_slowdown_s`.
+  double oracle_slowdown_p = 0;
+  double oracle_slowdown_s = 0.001;
+
+  /// Probability that a Z3 check fails transiently (treated like a thrown
+  /// z3::exception: retried with backoff, `unknown` after the last attempt).
+  double z3_failure_p = 0;
+  /// Probability that a Z3 check is slowed by `z3_slowdown_s`.
+  double z3_slowdown_p = 0;
+  double z3_slowdown_s = 0.001;
+
+  /// Probability that a checkpoint write is torn: a truncated snapshot is
+  /// left at the *final* path, simulating a crash mid-write on a filesystem
+  /// without the atomic rename protocol (docs/PERSISTENCE.md §Recovery).
+  double torn_write_p = 0;
+
+  /// Seed for the injector's private decision stream.
+  std::uint64_t seed = 0xFA017;
+
+  /// True when any fault can fire.
+  bool any() const {
+    return oracle_timeout_p > 0 || oracle_slowdown_p > 0 || z3_failure_p > 0 ||
+           z3_slowdown_p > 0 || torn_write_p > 0;
+  }
+};
+
+/// Deterministic fault oracle: one seeded decision stream shared by every
+/// injection site. Thread-safe (sites may sit on pool-adjacent paths).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(plan), rng_(plan.seed) {}
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Each call draws from the decision stream; true = inject the fault.
+  bool oracle_timeout() { return roll(plan_.oracle_timeout_p); }
+  bool oracle_slowdown() { return roll(plan_.oracle_slowdown_p); }
+  bool z3_failure() { return roll(plan_.z3_failure_p); }
+  bool z3_slowdown() { return roll(plan_.z3_slowdown_p); }
+  bool torn_write() { return roll(plan_.torn_write_p); }
+
+  /// Total faults injected so far (all sites).
+  long injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_;
+  }
+
+  /// Decision-stream persistence, so a resumed session replays the same
+  /// fault sequence (format: "faults <injected>\n<rng state>\n").
+  std::string save_state() const;
+  void restore_state(const std::string& state);
+
+ private:
+  bool roll(double p) {
+    if (p <= 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    const bool fire = rng_.bernoulli(p);
+    if (fire) ++injected_;
+    return fire;
+  }
+
+  mutable std::mutex mu_;
+  FaultPlan plan_;
+  Rng rng_;
+  long injected_ = 0;
+};
+
+/// Bounded retry with exponential backoff. A policy with max_attempts == 1
+/// disables retrying entirely (the first failure is final).
+struct RetryPolicy {
+  /// Attempts per logical query, including the first (must be >= 1).
+  int max_attempts = 3;
+  /// Sleep before the second attempt; doubles (by `backoff_multiplier`) per
+  /// further attempt, capped at `max_backoff_s`. 0 disables sleeping, which
+  /// is what tests use — the retry/trace machinery is exercised without
+  /// slowing the suite.
+  double initial_backoff_s = 0.01;
+  double backoff_multiplier = 2.0;
+  double max_backoff_s = 0.5;
+
+  /// Backoff to sleep before attempt `attempt` (2-based; attempt 1 never
+  /// waits). Returns 0 when backoff is disabled.
+  double backoff_before(int attempt) const;
+};
+
+/// Thrown (or mapped to a back-end's failure verdict) when a dependency
+/// fails transiently; retry sites catch exactly this.
+class TransientError : public std::runtime_error {
+ public:
+  explicit TransientError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Sleeps the calling thread; no-op for s <= 0.
+void sleep_seconds(double s);
+
+}  // namespace compsynth::util

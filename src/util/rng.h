@@ -9,6 +9,9 @@
 #include <cassert>
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace compsynth::util {
@@ -71,6 +74,27 @@ class Rng {
   /// Derives an independent child generator; useful to give each experiment
   /// repetition its own stream while keeping the parent reproducible.
   Rng fork() { return Rng(engine_()); }
+
+  /// Serializes the full engine state (mt19937_64's 312-word state vector as
+  /// space-separated decimals) so a stream can be resumed exactly where it
+  /// left off across process restarts (docs/PERSISTENCE.md).
+  std::string save_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restores a state produced by save_state(); the next draw continues the
+  /// saved stream. Throws std::invalid_argument on malformed input.
+  void restore_state(const std::string& state) {
+    std::istringstream is(state);
+    std::mt19937_64 engine;
+    is >> engine;
+    if (is.fail()) {
+      throw std::invalid_argument("Rng::restore_state: malformed state");
+    }
+    engine_ = engine;
+  }
 
   /// Access to the raw engine for std distributions not wrapped here.
   std::mt19937_64& engine() { return engine_; }

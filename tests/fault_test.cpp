@@ -1,0 +1,240 @@
+// Fault tolerance: synthesis under injected oracle timeouts and Z3
+// failures must still converge (with the retries visible in metrics and
+// trace events), retry exhaustion must surface cleanly, and a torn
+// checkpoint write must be survived by recovering the previous snapshot.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/run_context.h"
+#include "oracle/ground_truth.h"
+#include "oracle/variants.h"
+#include "session/checkpoint.h"
+#include "session/snapshot.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "solver/z3_finder.h"
+#include "synth/synthesizer.h"
+#include "util/fault.h"
+
+namespace compsynth {
+namespace {
+
+/// Collects event types in memory so tests can assert on what was traced.
+class RecordingSink final : public obs::TraceSink {
+ public:
+  void emit(std::string_view, const obs::TraceEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    types_.push_back(event.type());
+  }
+  long count(const std::string& type) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    long n = 0;
+    for (const auto& t : types_) n += (t == type) ? 1 : 0;
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> types_;
+};
+
+util::RetryPolicy fast_retry(int attempts) {
+  util::RetryPolicy policy;
+  policy.max_attempts = attempts;
+  policy.initial_backoff_s = 0;  // exercise the machinery, not the clock
+  return policy;
+}
+
+long counter_value(const obs::MetricsRegistry& metrics,
+                   const std::string& name) {
+  for (const auto& [k, v] : metrics.counters()) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+TEST(FaultSuite, OracleTimeoutsAreRetriedAndSynthesisConverges) {
+  const auto& sk = sketch::swan_sketch();
+  const auto target = sketch::swan_target();
+
+  util::FaultPlan plan;
+  plan.oracle_timeout_p = 0.2;  // the acceptance-criteria fault rate
+  plan.seed = 0xF00D;
+  auto injector = std::make_shared<util::FaultInjector>(plan);
+
+  obs::MetricsRegistry metrics;
+  RecordingSink sink;
+  synth::SynthesisConfig config;
+  config.seed = 7;
+  config.max_iterations = 300;
+  config.obs.metrics = &metrics;
+  config.obs.tracer = &sink;
+  config.obs.run_id = "fault-oracle";
+
+  oracle::FlakyOracle user(
+      std::make_unique<oracle::GroundTruthOracle>(
+          sk, target, config.finder.tie_tolerance),
+      injector);
+  user.set_retry_policy(fast_retry(8));
+
+  synth::Synthesizer s = synth::make_grid_synthesizer(sk, config);
+  const synth::SynthesisResult r = s.run(user);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+  EXPECT_TRUE(
+      solver::ranking_equivalent(sk, *r.objective, target, config.finder));
+
+  // At p=0.2 over a whole session some timeouts must have fired, every one
+  // of them retried, and all of it must be visible to observability.
+  EXPECT_GT(user.timeouts_injected(), 0);
+  EXPECT_EQ(counter_value(metrics, "oracle.timeouts"),
+            user.timeouts_injected());
+  EXPECT_EQ(counter_value(metrics, "oracle.retries"),
+            user.timeouts_injected());
+  EXPECT_EQ(sink.count("fault"), user.timeouts_injected());
+  EXPECT_EQ(sink.count("retry"), user.timeouts_injected());
+}
+
+TEST(FaultSuite, Z3FailuresAreRetriedAndSynthesisConverges) {
+  const auto& sk = sketch::swan_sketch();
+  const auto target = sketch::swan_target();
+
+  util::FaultPlan plan;
+  plan.z3_failure_p = 0.1;  // the acceptance-criteria fault rate
+  plan.seed = 0xBEEF;
+  auto injector = std::make_shared<util::FaultInjector>(plan);
+
+  obs::MetricsRegistry metrics;
+  RecordingSink sink;
+  synth::SynthesisConfig config;
+  config.seed = 5;
+  config.max_iterations = 60;
+  config.finder.retry = fast_retry(8);
+  config.obs.metrics = &metrics;
+  config.obs.tracer = &sink;
+  config.obs.run_id = "fault-z3";
+
+  synth::Synthesizer s = synth::make_z3_synthesizer(sk, config);
+  auto* finder = dynamic_cast<solver::Z3Finder*>(&s.finder());
+  ASSERT_NE(finder, nullptr);
+  finder->set_fault_injector(injector);
+
+  oracle::GroundTruthOracle user(sk, target, config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(user);
+  ASSERT_EQ(r.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(r.objective.has_value());
+
+  EXPECT_GT(injector->injected(), 0);
+  EXPECT_EQ(counter_value(metrics, "z3.failures"), injector->injected());
+  EXPECT_EQ(counter_value(metrics, "z3.retries"), injector->injected());
+  EXPECT_EQ(sink.count("fault"), injector->injected());
+  EXPECT_EQ(sink.count("retry"), injector->injected());
+}
+
+TEST(FaultSuite, OracleRetryExhaustionSurfacesTimeout) {
+  const auto& sk = sketch::swan_sketch();
+  util::FaultPlan plan;
+  plan.oracle_timeout_p = 1.0;  // every attempt fails
+  auto injector = std::make_shared<util::FaultInjector>(plan);
+  oracle::FlakyOracle user(
+      std::make_unique<oracle::GroundTruthOracle>(sk, sketch::swan_target()),
+      injector);
+  user.set_retry_policy(fast_retry(3));
+  const pref::Scenario a{{5, 10}};
+  const pref::Scenario b{{2, 100}};
+  EXPECT_THROW(user.compare(a, b), oracle::OracleTimeout);
+  EXPECT_EQ(user.timeouts_injected(), 3);  // one per attempt
+}
+
+TEST(FaultSuite, Z3RetryExhaustionDegradesToSolverGaveUp) {
+  const auto& sk = sketch::swan_sketch();
+  util::FaultPlan plan;
+  plan.z3_failure_p = 1.0;  // the solver never answers
+  auto injector = std::make_shared<util::FaultInjector>(plan);
+
+  synth::SynthesisConfig config;
+  config.seed = 3;
+  config.finder.retry = fast_retry(2);
+  synth::Synthesizer s = synth::make_z3_synthesizer(sk, config);
+  auto* finder = dynamic_cast<solver::Z3Finder*>(&s.finder());
+  ASSERT_NE(finder, nullptr);
+  finder->set_fault_injector(injector);
+
+  oracle::GroundTruthOracle user(sk, sketch::swan_target(),
+                                 config.finder.tie_tolerance);
+  const synth::SynthesisResult r = s.run(user);
+  EXPECT_EQ(r.status, synth::SynthesisStatus::kSolverGaveUp);
+}
+
+TEST(FaultSuite, TornWriteRecoveryFallsBackToPreviousSnapshot) {
+  const std::string dir = testing::TempDir() + "compsynth_torn";
+  std::filesystem::remove_all(dir);
+
+  session::Snapshot snap;
+  snap.meta.sketch = "swan";
+  snap.meta.backend = "grid";
+  snap.meta.seed = 1;
+  snap.state.iterations = 1;
+  snap.meta.iteration = 1;
+  snap.state.graph.intern(pref::Scenario{{5, 10}});
+  snap.state.oracle_state = "oracle 0 0\n";
+
+  obs::MetricsRegistry metrics;
+  obs::RunContext obs;
+  obs.metrics = &metrics;
+
+  // First write is clean...
+  session::CheckpointConfig clean;
+  clean.directory = dir;
+  clean.obs = &obs;
+  session::CheckpointManager clean_manager(clean);
+  const std::string good = clean_manager.write(snap);
+
+  // ...the next one is torn mid-write (truncated bytes at the final path).
+  util::FaultPlan plan;
+  plan.torn_write_p = 1.0;
+  session::CheckpointConfig torn = clean;
+  torn.injector = std::make_shared<util::FaultInjector>(plan);
+  session::CheckpointManager torn_manager(torn);
+  snap.meta.iteration = snap.state.iterations = 2;
+  const std::string bad = torn_manager.write(snap);
+
+  EXPECT_EQ(counter_value(metrics, "session.torn_writes"), 1);
+  EXPECT_EQ(counter_value(metrics, "session.checkpoint_writes"), 2);
+
+  std::string recovered_path;
+  std::vector<std::string> corrupt;
+  const auto recovered = session::CheckpointManager::recover_latest(
+      dir, &recovered_path, &corrupt);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->meta.iteration, 1);
+  EXPECT_EQ(recovered_path, good);
+  ASSERT_EQ(corrupt.size(), 1u);
+  EXPECT_EQ(corrupt[0], bad);
+}
+
+TEST(FaultSuite, InjectorDecisionStreamSurvivesSaveRestore) {
+  util::FaultPlan plan;
+  plan.oracle_timeout_p = 0.5;
+  util::FaultInjector a(plan);
+  for (int i = 0; i < 10; ++i) (void)a.oracle_timeout();
+
+  const std::string saved = a.save_state();
+  std::vector<bool> expect;
+  for (int i = 0; i < 50; ++i) expect.push_back(a.oracle_timeout());
+
+  util::FaultInjector b(plan);
+  b.restore_state(saved);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.oracle_timeout(), expect[static_cast<std::size_t>(i)]) << i;
+  }
+}
+
+}  // namespace
+}  // namespace compsynth

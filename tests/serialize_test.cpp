@@ -81,6 +81,56 @@ TEST(Serialize, CycleRequiresInconsistentMode) {
   EXPECT_TRUE(g.has_cycle());
 }
 
+TEST(Serialize, EmptyGraphRoundTrips) {
+  const PreferenceGraph g;
+  const PreferenceGraph g2 = deserialize(serialize(g));
+  EXPECT_EQ(g2.vertex_count(), 0u);
+  EXPECT_TRUE(g2.edges().empty());
+  EXPECT_TRUE(g2.ties().empty());
+  EXPECT_EQ(serialize(g2), serialize(g));
+}
+
+TEST(Serialize, TransitiveEdgesSurviveExactly) {
+  // a > b > c plus the explicit transitive closure edge a > c: serialization
+  // must preserve the edge *list*, not just the implied partial order.
+  PreferenceGraph g;
+  const VertexId a = g.intern(Scenario{{3, 1}});
+  const VertexId b = g.intern(Scenario{{2, 1}});
+  const VertexId c = g.intern(Scenario{{1, 1}});
+  g.add_preference(a, b);
+  g.add_preference(b, c);
+  g.add_preference(a, c, 0.5);  // redundant but weighted differently
+  const PreferenceGraph g2 = deserialize(serialize(g));
+  ASSERT_EQ(g2.edges().size(), 3u);
+  for (std::size_t i = 0; i < g.edges().size(); ++i) {
+    EXPECT_EQ(g2.edges()[i], g.edges()[i]);
+  }
+}
+
+TEST(Serialize, UnicodeScenarioLabelsRoundTrip) {
+  PreferenceGraph g;
+  const VertexId a = g.intern(Scenario{{5, 10}});
+  const VertexId b = g.intern(Scenario{{2, 100}});
+  const VertexId c = g.intern(Scenario{{1, 1}});
+  g.set_label(a, "peak-hour");
+  g.set_label(b, "流量高峰 (müßig) 🌐");
+  // c stays unlabelled; labels are annotations, not identity.
+  const std::string text = serialize(g);
+  const PreferenceGraph g2 = deserialize(text);
+  EXPECT_EQ(g2.scenario(a).label, "peak-hour");
+  EXPECT_EQ(g2.scenario(b).label, "流量高峰 (müßig) 🌐");
+  EXPECT_TRUE(g2.scenario(c).label.empty());
+  EXPECT_EQ(serialize(g2), text);
+  // Labelled and unlabelled scenarios with equal metrics are the same vertex.
+  EXPECT_EQ(g2.scenario(a), g.scenario(a));
+}
+
+TEST(Serialize, RejectsMalformedLabels) {
+  EXPECT_THROW(deserialize("scenario 0 1 2\nlabel 7 x\n"), SerializeError);
+  EXPECT_THROW(deserialize("scenario 0 1 2\nlabel 0\n"), SerializeError);
+  EXPECT_THROW(deserialize("label 0 early\nscenario 0 1 2\n"), SerializeError);
+}
+
 TEST(Serialize, SynthesizerResumesFromSavedSession) {
   // Phase 1: run a budgeted session, save the graph mid-flight.
   const auto& sk = sketch::swan_sketch();
