@@ -131,10 +131,14 @@ std::vector<sketch::HoleAssignment> assignments_of(const GridFinder& finder) {
   return out;
 }
 
-// Best-of-reps wall time of one full sync from scratch.
+// Best-of-reps wall time of one full sync from scratch. `threads_used_out`
+// reports the executor count the sync actually engaged (the finder falls
+// back to a serial pass when the work is too small to shard profitably, so
+// this can be 1 even for the "parallel" configuration).
 double time_full_sync(EvalBackend backend, int threads,
                       const pref::PreferenceGraph& graph, int reps,
-                      std::vector<sketch::HoleAssignment>* survivors_out) {
+                      std::vector<sketch::HoleAssignment>* survivors_out,
+                      std::size_t* threads_used_out = nullptr) {
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     GridFinder finder = make_finder(backend, threads);
@@ -142,6 +146,9 @@ double time_full_sync(EvalBackend backend, int threads,
     finder.sync(graph);
     best = std::min(best, watch.elapsed_seconds());
     if (survivors_out != nullptr && r == 0) *survivors_out = assignments_of(finder);
+    if (threads_used_out != nullptr && r == 0) {
+      *threads_used_out = finder.last_sync_threads();
+    }
   }
   return best;
 }
@@ -151,7 +158,8 @@ double time_full_sync(EvalBackend backend, int threads,
 double time_incremental_sync(EvalBackend backend, int threads,
                              const pref::PreferenceGraph& before,
                              const pref::PreferenceGraph& after, int reps,
-                             std::vector<sketch::HoleAssignment>* survivors_out) {
+                             std::vector<sketch::HoleAssignment>* survivors_out,
+                             std::size_t* threads_used_out = nullptr) {
   double best = std::numeric_limits<double>::infinity();
   for (int r = 0; r < reps; ++r) {
     GridFinder finder = make_finder(backend, threads);
@@ -160,6 +168,9 @@ double time_incremental_sync(EvalBackend backend, int threads,
     finder.sync(after);
     best = std::min(best, watch.elapsed_seconds());
     if (survivors_out != nullptr && r == 0) *survivors_out = assignments_of(finder);
+    if (threads_used_out != nullptr && r == 0) {
+      *threads_used_out = finder.last_sync_threads();
+    }
   }
   return best;
 }
@@ -268,12 +279,13 @@ int run(bool smoke, const std::string& out_path) {
   }
 
   std::vector<sketch::HoleAssignment> got_tree, got_seq, got_par;
+  std::size_t full_parallel_threads = 1;
   const double full_tree =
       time_full_sync(EvalBackend::kTree, 1, before, reps, &got_tree);
   const double full_compiled =
       time_full_sync(EvalBackend::kCompiled, 1, before, reps, &got_seq);
-  const double full_parallel =
-      time_full_sync(EvalBackend::kCompiled, 0, before, reps, &got_par);
+  const double full_parallel = time_full_sync(
+      EvalBackend::kCompiled, 0, before, reps, &got_par, &full_parallel_threads);
   if (got_tree != ref || got_seq != ref || got_par != ref) {
     std::cerr << "FAIL: survivor sets differ across configurations\n";
     return 1;
@@ -285,12 +297,14 @@ int run(bool smoke, const std::string& out_path) {
 
   // --- Incremental filter ---------------------------------------------------
   std::vector<sketch::HoleAssignment> inc_ref, inc_seq, inc_par;
+  std::size_t inc_parallel_threads = 1;
   const double inc_tree = time_incremental_sync(EvalBackend::kTree, 1, before,
                                                 graph, reps, &inc_ref);
   const double inc_compiled = time_incremental_sync(
       EvalBackend::kCompiled, 1, before, graph, reps, &inc_seq);
-  const double inc_parallel = time_incremental_sync(
-      EvalBackend::kCompiled, 0, before, graph, reps, &inc_par);
+  const double inc_parallel =
+      time_incremental_sync(EvalBackend::kCompiled, 0, before, graph, reps,
+                            &inc_par, &inc_parallel_threads);
   if (inc_seq != inc_ref || inc_par != inc_ref) {
     std::cerr << "FAIL: incremental survivor sets differ across configurations\n";
     return 1;
@@ -324,7 +338,12 @@ int run(bool smoke, const std::string& out_path) {
        << "  \"candidates\": " << candidates << ",\n"
        << "  \"edges\": " << graph.edges().size() << ",\n"
        << "  \"ties\": " << graph.ties().size() << ",\n"
-       << "  \"threads\": " << util::ThreadPool::shared().size() << ",\n"
+       << "  \"threads_available\": " << util::ThreadPool::shared().size()
+       << ",\n"
+       << "  \"threads_used\": {\n"
+       << "    \"full_parallel\": " << full_parallel_threads << ",\n"
+       << "    \"incremental_parallel\": " << inc_parallel_threads << "\n"
+       << "  },\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"eval_throughput_per_sec\": {\n"
        << "    \"tree\": " << throughput.tree << ",\n"

@@ -1,0 +1,296 @@
+// A/B benchmark for the solver acceleration layer (docs/SOLVER.md) on the
+// SWAN Table-1 workload: each variant is a complete comparative-synthesis
+// run (Fig. 2a sketch, Fig. 2b target, ground-truth oracle) with one
+// combination of accelerations enabled.
+//
+//   z3_baseline     fresh Z3 context per query, no pre-checks, no cache
+//   z3_incremental  push/pop encoding reuse only
+//   z3_accelerated  incremental + interval pre-checks + cold result cache
+//   z3_cache_warm   accelerated re-run sharing the previous run's cache
+//   portfolio_race  GridFinder vs Z3Finder racing every query
+//   grid            version-space back-end, as a reference point
+//
+// The z3_* variants must ask the oracle the byte-identical query sequence
+// and land on the identical objective as the baseline — asserted, not
+// assumed: the accelerations are pure speed (docs/SOLVER.md §Soundness).
+// portfolio_race answers queries with whichever leg wins, so its sequence
+// legitimately differs; it is validated by ranking-equivalence of its
+// learned objective against the latent target instead.
+//
+// Usage:
+//   bench_solver [--out PATH]  full runs; writes BENCH_solver.json
+//   bench_solver --smoke       truncated runs for CTest — exercises every
+//                              variant and fails on any sequence/objective
+//                              divergence, but does not write JSON.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "oracle/ground_truth.h"
+#include "oracle/oracle.h"
+#include "pref/scenario.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "solver/solver_cache.h"
+#include "synth/synthesizer.h"
+#include "util/thread_pool.h"
+
+namespace compsynth::bench {
+namespace {
+
+std::string scenario_key(const pref::Scenario& s) {
+  std::string out;
+  char buf[40];
+  for (double m : s.metrics) {
+    std::snprintf(buf, sizeof buf, "%.17g,", m);
+    out += buf;
+  }
+  return out;
+}
+
+// Ground-truth SWAN oracle that logs one canonical line per query (scenarios
+// and the answer given), so two synthesis runs can be compared interaction
+// for interaction. Only this outer oracle's counters feed the synthesizer;
+// the contained oracle is just the answer source.
+class RecordingOracle final : public oracle::Oracle {
+ public:
+  RecordingOracle()
+      : inner_(sketch::swan_sketch(), sketch::swan_target()) {}
+
+  const std::vector<std::string>& queries() const { return queries_; }
+
+ protected:
+  oracle::Preference do_compare(const pref::Scenario& a,
+                                const pref::Scenario& b) override {
+    const oracle::Preference p = inner_.compare(a, b);
+    const char verdict = p == oracle::Preference::kFirst    ? 'a'
+                         : p == oracle::Preference::kSecond ? 'b'
+                                                            : 't';
+    queries_.push_back("cmp " + scenario_key(a) + " " + scenario_key(b) +
+                       " -> " + verdict);
+    return p;
+  }
+
+  oracle::RankingResponse do_rank(
+      std::span<const pref::Scenario> scenarios) override {
+    const oracle::RankingResponse r = inner_.rank(scenarios);
+    std::string line = "rank";
+    for (const pref::Scenario& s : scenarios) line += ' ' + scenario_key(s);
+    line += " ->";
+    for (const auto& p : r.preferences) {
+      line += ' ' + std::to_string(p.better) + '>' + std::to_string(p.worse);
+    }
+    for (const auto& t : r.ties) {
+      line += ' ' + std::to_string(t.a) + '=' + std::to_string(t.b);
+    }
+    queries_.push_back(std::move(line));
+    return r;
+  }
+
+ private:
+  oracle::GroundTruthOracle inner_;
+  std::vector<std::string> queries_;
+};
+
+enum class Backend { kZ3, kPortfolio, kGrid };
+
+struct VariantRun {
+  synth::SynthesisResult result;
+  std::vector<std::string> queries;
+};
+
+VariantRun run_variant(const std::string& name, Backend backend,
+                       bool incremental, bool precheck,
+                       std::shared_ptr<solver::SolverCache> cache,
+                       int max_iterations) {
+  const sketch::Sketch& sk = sketch::swan_sketch();
+  RecordingOracle user;
+  synth::SynthesisConfig config;
+  config.seed = 7;
+  config.max_iterations = max_iterations;
+  config.finder.incremental = incremental;
+  config.finder.interval_precheck = precheck;
+  config.solver_cache = std::move(cache);
+
+  synth::Synthesizer synthesizer =
+      backend == Backend::kZ3 ? synth::make_z3_synthesizer(sk, config)
+      : backend == Backend::kPortfolio
+          ? synth::make_portfolio_synthesizer(sk, config)
+          : synth::make_grid_synthesizer(sk, config);
+
+  VariantRun run;
+  run.result = synthesizer.run(user);
+  run.queries = user.queries();
+  std::cout << name << ": " << run.result.iterations << " iterations, "
+            << run.result.total_solver_seconds << " s solver ("
+            << run.result.average_iteration_seconds << " s/iter)\n"
+            << std::flush;
+  return run;
+}
+
+bool finished(const VariantRun& run, bool smoke) {
+  if (run.result.status == synth::SynthesisStatus::kConverged) return true;
+  // Truncated smoke runs legitimately stop at the iteration cap.
+  return smoke && run.result.status == synth::SynthesisStatus::kIterationLimit;
+}
+
+double speedup_vs(const VariantRun& baseline, const VariantRun& v) {
+  if (v.result.average_iteration_seconds <= 0) return 0;
+  return baseline.result.average_iteration_seconds /
+         v.result.average_iteration_seconds;
+}
+
+int run(bool smoke, const std::string& out_path) {
+  const int max_iterations = smoke ? 4 : 500;
+  const std::int64_t candidates = sketch::swan_sketch().candidate_space_size();
+  std::cout << "workload: SWAN Table-1 synthesis (" << candidates
+            << " candidates), seed 7, max " << max_iterations
+            << " iterations\n";
+
+  // One cache shared by z3_accelerated (which fills it cold) and
+  // z3_cache_warm (which replays it); the portfolio gets its own.
+  auto z3_cache = std::make_shared<solver::SolverCache>(4096);
+  auto portfolio_cache = std::make_shared<solver::SolverCache>(4096);
+
+  const VariantRun baseline = run_variant(
+      "z3_baseline", Backend::kZ3, false, false, nullptr, max_iterations);
+  const VariantRun incremental = run_variant(
+      "z3_incremental", Backend::kZ3, true, false, nullptr, max_iterations);
+  const VariantRun accelerated = run_variant(
+      "z3_accelerated", Backend::kZ3, true, true, z3_cache, max_iterations);
+  const VariantRun warm = run_variant(
+      "z3_cache_warm", Backend::kZ3, true, true, z3_cache, max_iterations);
+  const VariantRun portfolio =
+      run_variant("portfolio_race", Backend::kPortfolio, true, true,
+                  portfolio_cache, max_iterations);
+  const VariantRun grid = run_variant("grid", Backend::kGrid, true, true,
+                                      nullptr, max_iterations);
+
+  // --- Validity: accelerations must not change what the user experiences. --
+  bool ok = true;
+  const auto check = [&](bool cond, const std::string& what) {
+    if (!cond) {
+      std::cerr << "FAIL: " << what << "\n";
+      ok = false;
+    }
+  };
+
+  for (const auto& [name, v] :
+       std::initializer_list<std::pair<const char*, const VariantRun*>>{
+           {"z3_baseline", &baseline},
+           {"z3_incremental", &incremental},
+           {"z3_accelerated", &accelerated},
+           {"z3_cache_warm", &warm},
+           {"portfolio_race", &portfolio},
+           {"grid", &grid}}) {
+    check(finished(*v, smoke), std::string(name) + " did not finish");
+  }
+
+  const bool sequences_identical = incremental.queries == baseline.queries &&
+                                   accelerated.queries == baseline.queries &&
+                                   warm.queries == baseline.queries;
+  check(sequences_identical,
+        "z3 variants asked a different oracle query sequence than baseline");
+
+  const bool objectives_identical =
+      baseline.result.objective.has_value() &&
+      incremental.result.objective == baseline.result.objective &&
+      accelerated.result.objective == baseline.result.objective &&
+      warm.result.objective == baseline.result.objective;
+  check(objectives_identical,
+        "z3 variants learned a different objective than baseline");
+
+  // Full runs must additionally be *correct*: ranking-equivalent to the
+  // latent target (the portfolio/grid objectives may be syntactically
+  // different representatives of the same ranking).
+  bool portfolio_equivalent = true;
+  if (!smoke) {
+    const sketch::HoleAssignment target = sketch::swan_target();
+    const auto equivalent = [&](const VariantRun& v) {
+      return v.result.objective.has_value() &&
+             solver::ranking_equivalent(sketch::swan_sketch(),
+                                        *v.result.objective, target);
+    };
+    check(equivalent(baseline), "z3_baseline objective not equivalent to target");
+    portfolio_equivalent = equivalent(portfolio);
+    check(portfolio_equivalent,
+          "portfolio_race objective not equivalent to target");
+    check(equivalent(grid), "grid objective not equivalent to target");
+  }
+
+  if (!ok) return 1;
+  if (smoke) {
+    std::cout << "smoke: all variants agree\n";
+    return 0;
+  }
+
+  const double headline = speedup_vs(baseline, portfolio);
+  std::ofstream json(out_path);
+  if (!json) {
+    std::cerr << "FAIL: cannot write " << out_path << "\n";
+    return 1;
+  }
+  const auto row = [&](const char* name, const VariantRun& v,
+                       bool last = false) {
+    json << "    \"" << name << "\": {\n"
+         << "      \"iterations\": " << v.result.iterations << ",\n"
+         << "      \"total_solver_seconds\": " << v.result.total_solver_seconds
+         << ",\n"
+         << "      \"mean_iteration_seconds\": "
+         << v.result.average_iteration_seconds << ",\n"
+         << "      \"speedup_vs_baseline\": " << speedup_vs(baseline, v)
+         << "\n    }" << (last ? "\n" : ",\n");
+  };
+  json << "{\n"
+       << "  \"bench\": \"solver\",\n"
+       << "  \"workload\": \"swan_table1\",\n"
+       << "  \"candidates\": " << candidates << ",\n"
+       << "  \"seed\": 7,\n"
+       << "  \"threads_available\": " << util::ThreadPool::shared().size()
+       << ",\n"
+       << "  \"variants\": {\n";
+  row("z3_baseline", baseline);
+  row("z3_incremental", incremental);
+  row("z3_accelerated", accelerated);
+  row("z3_cache_warm", warm);
+  row("portfolio_race", portfolio);
+  row("grid", grid, /*last=*/true);
+  json << "  },\n"
+       << "  \"sequences_identical\": "
+       << (sequences_identical ? "true" : "false") << ",\n"
+       << "  \"objectives_identical\": "
+       << (objectives_identical ? "true" : "false") << ",\n"
+       << "  \"portfolio_objective_equivalent_to_target\": "
+       << (portfolio_equivalent ? "true" : "false") << ",\n"
+       << "  \"speedup_vs_baseline\": " << headline << ",\n"
+       << "  \"meets_5x_target\": " << (headline >= 5.0 ? "true" : "false")
+       << "\n}\n";
+  std::cout << "wrote " << out_path << " (portfolio speedup " << headline
+            << "x vs non-incremental z3)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace compsynth::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_solver.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_solver [--smoke] [--out PATH]\n";
+      return 2;
+    }
+  }
+  return compsynth::bench::run(smoke, out_path);
+}

@@ -48,7 +48,11 @@ inline constexpr int kTraceSchemaVersion = 1;
 /// 1.2: durable sessions + fault tolerance — "fault", "retry",
 ///      "checkpoint", "checkpoint_write" events; run_start's "resumed_at";
 ///      z3_query's "attempt".
-inline constexpr int kTraceSchemaMinorVersion = 2;
+/// 1.3: solver acceleration — "solver_cache", "interval_precheck",
+///      "z3_incremental", "portfolio" events; grid_sync's "threads" key;
+///      counters solver.cache_{hits,misses,stores}, solver.precheck_hits,
+///      z3.incremental_{reuses,builds}, portfolio.{races,grid_wins,z3_wins}.
+inline constexpr int kTraceSchemaMinorVersion = 3;
 
 /// One field value: integer, double, string or bool.
 struct FieldValue {

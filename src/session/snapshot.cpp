@@ -144,6 +144,7 @@ std::string encode(const Snapshot& snap) {
   append_section(payload, "graph", pref::serialize(snap.state.graph));
   append_section(payload, "finder", snap.state.finder_state);
   append_section(payload, "oracle", snap.state.oracle_state);
+  append_section(payload, "cache", snap.state.cache_state);
 
   std::ostringstream os;
   os << kSnapshotMagic << ' ' << kSnapshotFormatVersion << '\n'
@@ -169,9 +170,9 @@ Snapshot decode(const std::string& bytes) {
     if (!(ms >> magic >> version) || magic != kSnapshotMagic) {
       bad("not a compsynth snapshot (bad magic)");
     }
-    if (version != kSnapshotFormatVersion) {
+    if (version != 1 && version != kSnapshotFormatVersion) {
       bad("snapshot format version " + std::to_string(version) +
-          " is not supported by this build (supported: " +
+          " is not supported by this build (supported: 1.." +
           std::to_string(kSnapshotFormatVersion) +
           "); it was written by a newer compsynth");
     }
@@ -213,6 +214,11 @@ Snapshot decode(const std::string& bytes) {
   const std::string graph_body = take_section(payload, pos, "graph");
   snap.state.finder_state = take_section(payload, pos, "finder");
   snap.state.oracle_state = take_section(payload, pos, "oracle");
+  // v1 snapshots predate the solver cache and simply lack the section;
+  // resuming with an empty (cold) cache is correctness-neutral.
+  if (snap.meta.version >= 2) {
+    snap.state.cache_state = take_section(payload, pos, "cache");
+  }
   if (pos != payload.size()) bad("trailing bytes after the last section");
 
   const bool tolerant = decode_synth_section(synth_body, snap.state);

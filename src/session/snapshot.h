@@ -9,8 +9,8 @@
 //
 // File layout (docs/PERSISTENCE.md is the field-by-field reference):
 //
-//   COMPSYNTH-SNAPSHOT 1
-//   {"v":1,"sketch":"swan","backend":"grid","seed":1,"iteration":7,
+//   COMPSYNTH-SNAPSHOT 2
+//   {"v":2,"sketch":"swan","backend":"grid","seed":1,"iteration":7,
 //    "run":"cli","payload_bytes":N,"payload_crc32":"89abcdef"}
 //   @synth <bytes>
 //   ...
@@ -19,6 +19,8 @@
 //   @finder <bytes>
 //   ...
 //   @oracle <bytes>
+//   ...
+//   @cache <bytes>
 //   ...
 //
 // Line 1 is the magic + format version. Line 2 is a flat JSON manifest
@@ -46,7 +48,10 @@ class SnapshotError : public std::runtime_error {
 /// Format version written to line 1. Readers accept exactly the versions
 /// they know; a higher version fails with a "newer writer" SnapshotError
 /// rather than guessing (docs/PERSISTENCE.md §Versioning).
-inline constexpr int kSnapshotFormatVersion = 1;
+/// v2 appended the @cache section (solver-cache contents); v1 files — no
+/// @cache — are still decoded, yielding an empty cache_state (the cache is
+/// a pure accelerator, so resuming cold is safe).
+inline constexpr int kSnapshotFormatVersion = 2;
 
 inline constexpr char kSnapshotMagic[] = "COMPSYNTH-SNAPSHOT";
 

@@ -47,6 +47,19 @@ struct FinderConfig {
   /// Per-query soft timeout for SMT-backed finders (0 = none).
   unsigned timeout_ms = 120000;
 
+  /// Keep the SMT sketch+G encoding alive across queries (push/pop),
+  /// asserting only the preference graph's new constraints each round
+  /// instead of rebuilding the context. Transparent to verdicts and models
+  /// (docs/SOLVER.md §Incremental); off = rebuild from scratch per query.
+  /// GridFinder ignores this (its version space is inherently incremental).
+  bool incremental = true;
+
+  /// Discharge provably-UNSAT queries with the static analyzer's interval
+  /// bounds before invoking the solver (docs/SOLVER.md §Pre-checks).
+  /// Automatically inert when the sketch's analysis cannot certify clean
+  /// finite bounds. GridFinder ignores this (it has analysis_pruning).
+  bool interval_precheck = true;
+
   /// Retry policy for transient back-end failures (an injected or real
   /// solver hiccup): the query is re-issued with backoff up to max_attempts
   /// times, each fault/retry surfaced as trace events and solver metrics.
@@ -126,7 +139,9 @@ class CandidateFinder {
   /// Observability: when set (non-owning; may be null), back-ends emit
   /// per-query trace events ("z3_query", "grid_sync", "pair_search") and
   /// record solver.* metrics. The synthesizer wires this up per run.
-  void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
+  /// Virtual so composite finders (solver/portfolio_finder.h) can forward
+  /// the context to their legs.
+  virtual void set_run_context(const obs::RunContext* ctx) { obs_ = ctx; }
 
   /// Durable-session persistence (docs/PERSISTENCE.md): back-ends serialize
   /// whatever internal state a resumed run needs to continue the identical

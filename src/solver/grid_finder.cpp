@@ -331,11 +331,23 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
     }
   };
 
+  // The parallel path pays per-leaf scheduling and a result merge; with few
+  // surviving candidates that overhead exceeds the scan itself (the
+  // BENCH_eval "parallel vs compiled" regression), so small totals stay
+  // serial just like the exhaustive rebuild below.
+  std::int64_t leaf_volume = 0;
+  for (const Node& nd : leaves) leaf_volume += volume_of(nd);
+
   std::vector<Tagged> found;
   util::ThreadPool* pool = this->pool();
-  if (pool == nullptr || leaves.size() <= 1) {
+  if (pool == nullptr || leaves.size() <= 1 ||
+      leaf_volume < kMinParallelCandidates) {
+    last_sync_threads_ = 1;
+    last_sync_shards_ = 1;
     for (const Node& nd : leaves) enumerate_leaf(nd, found);
   } else {
+    last_sync_threads_ = pool->size();
+    last_sync_shards_ = leaves.size();
     std::vector<std::vector<Tagged>> parts(leaves.size());
     pool->parallel_for(0, leaves.size(), [&](std::size_t lo, std::size_t hi) {
       for (std::size_t k = lo; k < hi; ++k) enumerate_leaf(leaves[k], parts[k]);
@@ -414,8 +426,11 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
     if (config_.analysis_pruning) pruned = rebuild_pruned(graph);
     const std::int64_t total = sketch_.candidate_space_size();
     if (pruned) {
-      // rebuild_pruned already produced the full survivor sequence.
+      // rebuild_pruned already produced the full survivor sequence (and
+      // recorded the threads/shards it used).
     } else if (pool == nullptr || total < kMinParallelCandidates) {
+      last_sync_threads_ = 1;
+      last_sync_shards_ = 1;
       enumerate_range(0, total, graph, survivors_);
     } else {
       // Shard the linear candidate range; concatenating the per-chunk
@@ -428,6 +443,8 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
           static_cast<std::int64_t>(n_chunks);
       std::vector<std::vector<Survivor>> parts(n_chunks);
       shards = n_chunks;
+      last_sync_threads_ = pool->size();
+      last_sync_shards_ = n_chunks;
       // Per-shard wall times, written into disjoint slots by the workers;
       // only measured when someone is listening.
       if (obs::active(obs_)) shard_secs.assign(n_chunks, 0);
@@ -464,9 +481,23 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
             consistent(survivors_[i], graph, edges_seen_, ties_seen_) ? 1 : 0;
       }
     };
-    if (pool == nullptr) {
+    // Work estimate: each survivor re-checks only the new edges/ties (plus
+    // one freshly interned vertex evaluation at most). Late-loop syncs see a
+    // handful of survivors x one new edge — dispatching pool chunks for that
+    // costs more than the filter itself (the BENCH_eval "parallel" full-sync
+    // regression), so small workloads run on the caller.
+    const std::size_t filter_work =
+        survivors_.size() *
+        (graph.edges().size() - edges_seen_ + graph.ties().size() -
+         ties_seen_ + 1);
+    constexpr std::size_t kMinParallelFilterWork = 8192;
+    if (pool == nullptr || filter_work < kMinParallelFilterWork) {
+      last_sync_threads_ = 1;
+      last_sync_shards_ = 1;
       filter(0, survivors_.size());
     } else {
+      last_sync_threads_ = pool->size();
+      last_sync_shards_ = (survivors_.size() + 15) / 16;
       pool->parallel_for(0, survivors_.size(), filter, /*min_chunk=*/16);
     }
     std::size_t out = 0;
@@ -499,7 +530,8 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
                    static_cast<long long>(survivors_before))
           .integer("new_edges", new_edges)
           .integer("new_ties", new_ties)
-          .integer("shards", static_cast<long long>(shards));
+          .integer("shards", static_cast<long long>(shards))
+          .integer("threads", static_cast<long long>(last_sync_threads_));
       if (!shard_secs.empty()) {
         e->num("shard_min_s", shard_min).num("shard_max_s", shard_max);
       }
@@ -641,6 +673,13 @@ std::optional<DistinguishingPair> GridFinder::distinguish(const Survivor& a,
 FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
                                              int num_pairs) {
   if (num_pairs < 1) throw std::invalid_argument("find_distinguishing: num_pairs < 1");
+  if (cancelled()) {
+    // Cancelled before any work: skip even the sync (the next uncancelled
+    // call will bring the version space in line).
+    FinderResult res;
+    res.status = FinderStatus::kUnknown;
+    return res;
+  }
   sync(graph);
 
   // The span covers the candidate-pair search proper (sync has its own
@@ -706,8 +745,18 @@ FinderResult GridFinder::find_distinguishing(const pref::PreferenceGraph& graph,
   const int wanted =
       config_.strategy == QueryStrategy::kBisection ? config_.bisection_samples : 1;
 
+  std::size_t examined = 0;
   for (const auto& [ia, ib] : schedule) {
     if (static_cast<int>(witnesses.size()) >= wanted) break;
+    if (cancelled()) {
+      // Portfolio racing: the other leg already answered. kUnknown tells
+      // the portfolio this leg has no verdict to contribute.
+      note("cancelled", examined, witnesses.size(), 0);
+      FinderResult res;
+      res.status = FinderStatus::kUnknown;
+      return res;
+    }
+    ++examined;
     if (auto pair = distinguish(survivors_[ia], survivors_[ib])) {
       witnesses.push_back(Witness{ia, ib, *std::move(pair)});
     }

@@ -24,6 +24,7 @@
 // ablation bench (bench_ablation_solver) compares the two head to head.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -117,6 +118,22 @@ class GridFinder final : public CandidateFinder {
   std::size_t version_space_size() const { return survivors_.size(); }
   const std::vector<Survivor>& survivors() const { return survivors_; }
 
+  /// Executor threads / shards the most recent sync() actually used (1 when
+  /// the work was too small to shard and ran serially — see the work-size
+  /// thresholds in grid_finder.cpp). Reported by bench_eval so regressions
+  /// from parallel overhead on small workloads are visible in the JSON.
+  std::size_t last_sync_threads() const { return last_sync_threads_; }
+  std::size_t last_sync_shards() const { return last_sync_shards_; }
+
+  /// Cooperative cancellation for portfolio racing (non-owning; nullptr
+  /// disables). find_distinguishing polls the flag between candidate pairs
+  /// and returns kUnknown promptly once it flips; sync() always runs to
+  /// completion so the version space stays consistent. A cancelled search
+  /// still advances the pair-search RNG by however many pairs it examined,
+  /// so race-mode runs are not replay-deterministic (docs/SOLVER.md
+  /// §Portfolio). Not part of save_state.
+  void set_cancel_flag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   /// Durable-session persistence: the pair-search RNG stream, the sync
   /// cursors (edges/ties already folded into the version space) and the
   /// survivor set as a bitmap over linear candidate indices. Survivor
@@ -175,6 +192,13 @@ class GridFinder final : public CandidateFinder {
   bool initialized_ = false;
   std::size_t edges_seen_ = 0;
   std::size_t ties_seen_ = 0;
+  std::size_t last_sync_threads_ = 1;
+  std::size_t last_sync_shards_ = 1;
+  const std::atomic<bool>* cancel_ = nullptr;
+
+  bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace compsynth::solver

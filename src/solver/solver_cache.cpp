@@ -1,0 +1,126 @@
+#include "solver/solver_cache.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace compsynth::solver {
+
+namespace {
+
+[[noreturn]] void bad(const char* why) {
+  throw std::invalid_argument(std::string("SolverCache::restore_state: ") +
+                              why);
+}
+
+}  // namespace
+
+SolverCache::SolverCache(std::size_t max_entries)
+    : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+std::optional<std::string> SolverCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void SolverCache::store(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = std::move(value);
+    return;
+  }
+  while (entries_.size() >= max_entries_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+  order_.push_back(key);
+  entries_.emplace(key, std::move(value));
+}
+
+std::size_t SolverCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+SolverCache::Stats SolverCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::uint64_t SolverCache::key_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string SolverCache::save_state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "solvercache 1\n"
+     << "stats " << stats_.hits << ' ' << stats_.misses << ' ' << stats_.stores
+     << ' ' << stats_.evictions << '\n'
+     << "entries " << order_.size() << '\n';
+  for (const std::string& key : order_) {
+    const std::string& value = entries_.at(key);
+    os << "entry " << key.size() << ' ' << value.size() << '\n'
+       << key << value << '\n';
+  }
+  return os.str();
+}
+
+void SolverCache::restore_state(const std::string& state) {
+  std::istringstream in(state);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "solvercache") bad("malformed header");
+  if (version != 1) bad("unsupported version");
+  Stats stats;
+  if (!(in >> tag >> stats.hits >> stats.misses >> stats.stores >>
+        stats.evictions) ||
+      tag != "stats") {
+    bad("malformed stats line");
+  }
+  std::size_t count = 0;
+  if (!(in >> tag >> count) || tag != "entries") bad("malformed entry count");
+  if (count > max_entries_) bad("more entries than this cache can hold");
+
+  std::unordered_map<std::string, std::string> entries;
+  std::deque<std::string> order;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t key_bytes = 0, value_bytes = 0;
+    if (!(in >> tag >> key_bytes >> value_bytes) || tag != "entry") {
+      bad("malformed entry header");
+    }
+    in.ignore();  // the newline ending the header
+    std::string key(key_bytes, '\0');
+    std::string value(value_bytes, '\0');
+    if (!in.read(key.data(), static_cast<std::streamsize>(key_bytes)) ||
+        !in.read(value.data(), static_cast<std::streamsize>(value_bytes))) {
+      bad("truncated entry body");
+    }
+    if (in.get() != '\n') bad("entry body is not newline-terminated");
+    if (!entries.emplace(key, std::move(value)).second) {
+      bad("duplicate key");
+    }
+    order.push_back(std::move(key));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(entries);
+  order_ = std::move(order);
+  stats_ = stats;
+}
+
+}  // namespace compsynth::solver

@@ -1,0 +1,78 @@
+// Query cache in front of the SMT back-end (docs/SOLVER.md).
+//
+// The comparative-synthesis loop re-issues structurally identical solver
+// queries whenever the preference graph revisits a state: a repair round
+// that removes the offending edges, a resumed session replaying its tail, a
+// bench re-running the same workload, or an oracle answer that adds nothing
+// to G (duplicate edge / rejected contradiction). Z3 is deterministic over a
+// fixed assertion sequence, so the result of such a re-query is fully
+// determined by (sketch, G, domain, margins, query kind) — caching it and
+// replaying the recorded answer is observationally identical to running the
+// solver again, which is what keeps the cache transparent to differential
+// tests (same objective, same oracle-query sequence, cache on or off).
+//
+// Keys are canonical strings (solver/z3_finder.cpp builds them from the
+// printed sketch, the serialized graph and the printed domain constraint —
+// all round-trip-stable representations); values are opaque blobs encoded by
+// the finder. Known-UNSAT verdicts are cached exactly like satisfying
+// assignments: a FinderResult with status kUniqueRanking / kNoCandidate (or
+// an empty find_consistent answer) is just another value. kUnknown results
+// are never stored — a timeout is not a verdict.
+//
+// Eviction is FIFO with a bounded entry count; insertion order is part of
+// save_state so a restored cache evicts in the same order. The class is
+// internally locked: the portfolio's Z3 leg may consult it from a pool
+// thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace compsynth::solver {
+
+class SolverCache {
+ public:
+  struct Stats {
+    long long hits = 0;
+    long long misses = 0;
+    long long stores = 0;
+    long long evictions = 0;
+  };
+
+  explicit SolverCache(std::size_t max_entries = 4096);
+
+  /// The cached value blob for `key`, or nullopt. Bumps hit/miss counters.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Records `value` under `key`, evicting the oldest entry when full.
+  /// Storing an existing key overwrites the value in place (no re-ordering).
+  void store(const std::string& key, std::string value);
+
+  std::size_t size() const;
+  std::size_t max_entries() const { return max_entries_; }
+  Stats stats() const;
+
+  /// Stable 64-bit FNV-1a of a key, for compact trace/report identifiers.
+  static std::uint64_t key_hash(const std::string& key);
+
+  /// Durable-session persistence (docs/PERSISTENCE.md, the @cache section):
+  /// entries in insertion order plus the counters, length-prefixed so blobs
+  /// may contain anything. restore_state replaces the whole cache and throws
+  /// std::invalid_argument on malformed input, leaving the cache untouched.
+  std::string save_state() const;
+  void restore_state(const std::string& state);
+
+ private:
+  const std::size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::string> entries_;
+  std::deque<std::string> order_;  // FIFO eviction queue (insertion order)
+  Stats stats_;
+};
+
+}  // namespace compsynth::solver

@@ -1,5 +1,8 @@
 #include "solver/z3_finder.h"
 
+#include <z3++.h>
+
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <sstream>
@@ -8,6 +11,9 @@
 #include <utility>
 
 #include "obs/run_context.h"
+#include "pref/serialize.h"
+#include "sketch/printer.h"
+#include "solver/solver_cache.h"
 #include "solver/z3_encoder.h"
 #include "util/log.h"
 
@@ -33,112 +39,386 @@ void set_timeout(z3::context& ctx, z3::solver& s, unsigned timeout_ms) {
 // The queries we emit are pure QF_NRA, for which the nlsat tactic is a
 // complete decision procedure — and measurably faster here than the default
 // portfolio (the final uniqueness proof drops ~10x). nlsat is primary.
+//
+// A tactic-built solver re-runs the tactic over its current assertion list
+// on every check, so its verdict AND model are a pure function of that
+// list: push/pop history never leaks into the answer, only the surviving
+// assertions do. This is what makes the incremental path transparent
+// (docs/SOLVER.md §Incremental).
 z3::solver make_solver(z3::context& ctx, unsigned timeout_ms) {
   z3::solver s = z3::tactic(ctx, "qfnra-nlsat").mk_solver();
   set_timeout(ctx, s, timeout_ms);
   return s;
 }
 
-// Retry an `unknown` (timeout / resource-out) with the default portfolio
-// solver, which sometimes succeeds where a single tactic stalls.
-z3::check_result check_with_fallback(z3::context& ctx, z3::solver& s,
-                                     unsigned timeout_ms) {
-  const z3::check_result r = s.check();
-  if (r != z3::unknown) return r;
-  util::log(util::LogLevel::kDebug, "nlsat returned unknown; retrying with default solver");
-  z3::solver fallback(ctx);
-  set_timeout(ctx, fallback, timeout_ms);
-  for (const z3::expr& a : s.assertions()) fallback.add(a);
-  const z3::check_result r2 = fallback.check();
-  if (r2 != z3::unknown) s = std::move(fallback);  // expose the model via `s`
-  return r2;
+bool same_constraint(const pref::Edge& a, const pref::Edge& b) {
+  // Weight is repair metadata; only the endpoints are asserted.
+  return a.better == b.better && a.worse == b.worse;
 }
 
-// check_with_fallback wrapped in a "z3_query" span: one event + one
-// z3_query.seconds sample per solver invocation, with kind/result/index.
-// When a fault injector is attached, a check may be preceded by an injected
-// slowdown and/or replaced by an injected transient failure; failures are
-// retried with backoff per `retry` ("fault"/"retry" events, z3.failures /
-// z3.retries counters) and degrade to `unknown` once the budget is spent.
-z3::check_result timed_check(const obs::RunContext* obs, z3::context& ctx,
-                             z3::solver& s, unsigned timeout_ms,
-                             const char* kind, long index,
-                             util::FaultInjector* injector,
-                             const util::RetryPolicy& retry) {
-  for (int attempt = 1;; ++attempt) {
-    if (injector != nullptr && injector->z3_slowdown()) {
-      util::sleep_seconds(injector->plan().z3_slowdown_s);
-    }
-    if (injector == nullptr || !injector->z3_failure()) {
-      obs::Span span(obs, "z3_query");
-      const z3::check_result r = check_with_fallback(ctx, s, timeout_ms);
-      if (obs != nullptr) obs->count("z3.queries");
-      if (obs::TraceEvent* e = span.event()) {
-        e->str("kind", kind).integer("index", index).str(
-            "result", check_result_name(r));
-        if (attempt > 1) e->integer("attempt", attempt);
-      }
-      return r;
-    }
-    if (obs::active(obs)) {
-      obs->count("z3.failures");
-      if (obs->tracing()) {
-        obs::TraceEvent e("fault");
-        e.str("site", "z3").str("kind", "failure").str("op", kind)
-            .integer("index", index).integer("attempt", attempt);
-        obs->emit(e);
-      }
-    }
-    if (attempt >= retry.max_attempts) {
-      util::log(util::LogLevel::kWarn,
-                "Z3Finder: transient failure persisted past the retry "
-                "budget; reporting unknown");
-      return z3::unknown;
-    }
-    const double backoff = retry.backoff_before(attempt + 1);
-    if (obs::active(obs)) {
-      obs->count("z3.retries");
-      if (obs->tracing()) {
-        obs::TraceEvent e("retry");
-        e.str("site", "z3").str("op", kind).integer("attempt", attempt + 1)
-            .num("backoff_s", backoff);
-        obs->emit(e);
-      }
-    }
-    util::sleep_seconds(backoff);
-  }
+// --- Cache value blobs ----------------------------------------------------
+//
+// Versioned plain-text encodings of the two query results. Corrupt blobs
+// throw std::invalid_argument (a restored @cache section is external input).
+
+[[noreturn]] void bad_blob(const char* why) {
+  throw std::invalid_argument(std::string("Z3Finder: corrupt cache blob: ") +
+                              why);
 }
 
-// Encodes the sketch body at a concrete scenario under the given hole vars.
-z3::expr objective_at(z3::context& ctx, const sketch::Sketch& sk,
-                      const std::vector<z3::expr>& hole_vars,
-                      const pref::Scenario& scenario) {
-  const std::vector<z3::expr> metrics = encode_scenario(ctx, scenario.metrics);
-  return encode_numeric(ctx, *sk.body(), metrics, hole_vars);
+void encode_assignment(std::ostream& os, const char* tag,
+                       const sketch::HoleAssignment& a) {
+  os << tag << ' ' << a.index.size();
+  for (const std::int64_t i : a.index) os << ' ' << i;
+  os << '\n';
 }
 
-// Adds G's constraints (edges strict, ties within tolerance) for one
-// candidate's hole variables.
-void add_graph_constraints(z3::context& ctx, z3::solver& s,
-                           const sketch::Sketch& sk,
-                           const pref::PreferenceGraph& graph,
-                           const std::vector<z3::expr>& hole_vars,
-                           double tie_bound) {
-  for (const pref::Edge& e : graph.edges()) {
-    const z3::expr better = objective_at(ctx, sk, hole_vars, graph.scenario(e.better));
-    const z3::expr worse = objective_at(ctx, sk, hole_vars, graph.scenario(e.worse));
-    s.add(better > worse);
+sketch::HoleAssignment decode_assignment(std::istream& in, const char* tag) {
+  std::string seen;
+  std::size_t n = 0;
+  if (!(in >> seen >> n) || seen != tag) bad_blob("assignment header");
+  sketch::HoleAssignment a;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::int64_t v = 0;
+    if (!(in >> v)) bad_blob("assignment index");
+    a.index.push_back(v);
   }
-  const z3::expr bound = real_of_double(ctx, tie_bound);
-  for (const auto& [u, v] : graph.ties()) {
-    const z3::expr fu = objective_at(ctx, sk, hole_vars, graph.scenario(u));
-    const z3::expr fv = objective_at(ctx, sk, hole_vars, graph.scenario(v));
-    s.add(fu - fv <= bound);
-    s.add(fv - fu <= bound);
+  return a;
+}
+
+std::string encode_dist_result(const FinderResult& res) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "distresult 1\nstatus " << static_cast<int>(res.status) << '\n';
+  encode_assignment(os, "a", res.candidate_a);
+  encode_assignment(os, "b", res.candidate_b);
+  os << "pairs " << res.pairs.size() << '\n';
+  for (const DistinguishingPair& p : res.pairs) {
+    os << "pair " << p.preferred_by_a.metrics.size();
+    for (const double v : p.preferred_by_a.metrics) os << ' ' << v;
+    for (const double v : p.preferred_by_b.metrics) os << ' ' << v;
+    os << '\n';
   }
+  return os.str();
+}
+
+FinderResult decode_dist_result(const std::string& blob) {
+  std::istringstream in(blob);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "distresult") bad_blob("header");
+  if (version != 1) bad_blob("unsupported version");
+  int status = 0;
+  if (!(in >> tag >> status) || tag != "status" || status < 0 || status > 3) {
+    bad_blob("status");
+  }
+  FinderResult res;
+  res.status = static_cast<FinderStatus>(status);
+  res.candidate_a = decode_assignment(in, "a");
+  res.candidate_b = decode_assignment(in, "b");
+  std::size_t pairs = 0;
+  if (!(in >> tag >> pairs) || tag != "pairs") bad_blob("pair count");
+  for (std::size_t p = 0; p < pairs; ++p) {
+    std::size_t metrics = 0;
+    if (!(in >> tag >> metrics) || tag != "pair") bad_blob("pair header");
+    DistinguishingPair pair;
+    for (std::size_t m = 0; m < 2 * metrics; ++m) {
+      double v = 0;
+      if (!(in >> v)) bad_blob("pair metric");
+      (m < metrics ? pair.preferred_by_a : pair.preferred_by_b)
+          .metrics.push_back(v);
+    }
+    res.pairs.push_back(std::move(pair));
+  }
+  return res;
+}
+
+std::string encode_consistent(const std::optional<sketch::HoleAssignment>& a) {
+  std::ostringstream os;
+  os << "consresult 1\nsome " << (a.has_value() ? 1 : 0) << '\n';
+  if (a.has_value()) encode_assignment(os, "a", *a);
+  return os.str();
+}
+
+std::optional<sketch::HoleAssignment> decode_consistent(
+    const std::string& blob) {
+  std::istringstream in(blob);
+  std::string tag;
+  int version = 0;
+  if (!(in >> tag >> version) || tag != "consresult") bad_blob("header");
+  if (version != 1) bad_blob("unsupported version");
+  int some = 0;
+  if (!(in >> tag >> some) || tag != "some") bad_blob("some flag");
+  if (some == 0) return std::nullopt;
+  return decode_assignment(in, "a");
+}
+
+// Interval pre-check guard band: interval corners are computed in double
+// arithmetic while Z3 reasons over exact rationals, so an enclosure bound
+// can sit a few ulps inside the true real-arithmetic extremum. A refutation
+// is only claimed when the gap clears this absolute+relative slack, so a
+// pre-check can never fire on a query Z3 would have found satisfiable.
+double precheck_slack(const sketch::Interval& a, const sketch::Interval& b) {
+  const double scale = std::max({1.0, std::fabs(a.lo), std::fabs(a.hi),
+                                 std::fabs(b.lo), std::fabs(b.hi)});
+  return 1e-9 * scale;
+}
+
+bool interval_clean(const sketch::Interval& i) {
+  return !i.maybe_nan && !i.maybe_error && i.finite();
 }
 
 }  // namespace
+
+// --- Incremental encodings ------------------------------------------------
+//
+// One encoding = one long-lived Z3 context holding the sketch+G formula.
+// Both the incremental path (encoding reused across queries) and the
+// from-scratch path (config.incremental off, or a rebuild after the graph
+// shrank) run exactly this code, so the assertion sequence — and with a
+// tactic solver therefore the verdict and model — is identical either way.
+//
+// Canonical order (docs/SOLVER.md §Canonical assertion order):
+//   level 0  prelude: hole domains, per-pair scenario vars + domain +
+//            margin + objective bounds, pair-separation constraints;
+//            then every graph edge in arrival order (a's constraint, b's);
+//   level 1  all tie constraints (re-asserted in full whenever G grows);
+//   level 2  per-call viability model-blocking (popped before returning).
+//
+// Ties live above the edges because edges only ever append while a new tie
+// arrives interleaved with them: popping and re-asserting the (few) ties
+// keeps the surviving assertion list in canonical order without touching
+// the (many) edge assertions.
+//
+// Objective terms at graph vertices are memoized in vertex-id order — the
+// term-creation order is then identical whether the encoding was built in
+// one pass or grown across many calls, keeping the two paths' ASTs equal.
+
+struct Z3Finder::DistEncoding {
+  z3::context ctx;
+  z3::solver solver;
+  const int num_pairs;
+  std::vector<z3::expr> ha, hb;
+  std::vector<std::vector<z3::expr>> s1_vars, s2_vars;
+  std::vector<z3::expr> va, vb;  // objective terms per interned vertex
+  std::vector<pref::Edge> edges_asserted;
+  std::vector<std::pair<pref::VertexId, pref::VertexId>> ties_asserted;
+  bool tie_level_open = false;
+
+  DistEncoding(const sketch::Sketch& sk, const FinderConfig& config,
+               const ScenarioDomain& domain,
+               const std::optional<sketch::Interval>& bounds, int pairs)
+      : solver(make_solver(ctx, config.timeout_ms)), num_pairs(pairs) {
+    ha = make_hole_vars(ctx, sk, "a_");
+    hb = make_hole_vars(ctx, sk, "b_");
+    solver.add(hole_domain_constraint(ctx, sk, ha));
+    solver.add(hole_domain_constraint(ctx, sk, hb));
+
+    // Fresh scenario variables for each requested distinguishing pair.
+    const z3::expr margin = real_of_double(ctx, config.distinguish_margin);
+    for (int p = 0; p < num_pairs; ++p) {
+      auto make_scenario_vars = [&](const char* tag) {
+        std::vector<z3::expr> vars;
+        for (const sketch::MetricSpec& m : sk.metrics()) {
+          const std::string name =
+              "p" + std::to_string(p) + "_" + tag + "_" + m.name;
+          z3::expr v = ctx.real_const(name.c_str());
+          solver.add(v >= real_of_double(ctx, m.lo));
+          solver.add(v <= real_of_double(ctx, m.hi));
+          vars.push_back(std::move(v));
+        }
+        if (domain.constraint != nullptr) {
+          solver.add(encode_bool(ctx, *domain.constraint, vars, {}));
+        }
+        return vars;
+      };
+      s1_vars.push_back(make_scenario_vars("s1"));
+      s2_vars.push_back(make_scenario_vars("s2"));
+
+      const z3::expr fa1 = encode_numeric(ctx, *sk.body(), s1_vars.back(), ha);
+      const z3::expr fa2 = encode_numeric(ctx, *sk.body(), s2_vars.back(), ha);
+      const z3::expr fb1 = encode_numeric(ctx, *sk.body(), s1_vars.back(), hb);
+      const z3::expr fb2 = encode_numeric(ctx, *sk.body(), s2_vars.back(), hb);
+      solver.add(fa1 >= fa2 + margin);
+      solver.add(fb2 >= fb1 + margin);
+      if (bounds) {
+        const z3::expr lo = real_of_double(ctx, bounds->lo);
+        const z3::expr hi = real_of_double(ctx, bounds->hi);
+        for (const z3::expr& f : {fa1, fa2, fb1, fb2}) {
+          solver.add(f >= lo);
+          solver.add(f <= hi);
+        }
+      }
+    }
+
+    // Multiple pairs must be genuinely different questions: each pair's
+    // preferred scenario must differ from every earlier pair's by at least
+    // 1% of some metric's range. (Without this the solver happily returns k
+    // copies of one disagreement and the extra answers teach nothing.) The
+    // over-constrained query going UNSAT does NOT prove ranking uniqueness —
+    // fewer than k separated witnesses may remain — so that case re-checks
+    // with a single pair.
+    for (int p = 1; p < num_pairs; ++p) {
+      for (int q = 0; q < p; ++q) {
+        z3::expr separated = ctx.bool_val(false);
+        for (std::size_t m = 0; m < sk.metrics().size(); ++m) {
+          const sketch::MetricSpec& spec = sk.metrics()[m];
+          const z3::expr delta =
+              real_of_double(ctx, (spec.hi - spec.lo) * 0.01);
+          separated = separated || (s1_vars[p][m] - s1_vars[q][m] >= delta) ||
+                      (s1_vars[q][m] - s1_vars[p][m] >= delta);
+        }
+        solver.add(separated);
+      }
+    }
+  }
+
+  void intern_vertices(const sketch::Sketch& sk,
+                       const pref::PreferenceGraph& graph) {
+    for (pref::VertexId v = va.size(); v < graph.vertex_count(); ++v) {
+      const std::vector<z3::expr> metrics =
+          encode_scenario(ctx, graph.scenario(v).metrics);
+      va.push_back(encode_numeric(ctx, *sk.body(), metrics, ha));
+      vb.push_back(encode_numeric(ctx, *sk.body(), metrics, hb));
+    }
+  }
+
+  /// Brings the encoding up to date with `graph`, asserting only what is
+  /// new. Returns false when the graph is not an extension of what was
+  /// already asserted (an edge/tie was removed or replaced — repair,
+  /// transitive reduction, drop_lightest_edge) — the caller must rebuild.
+  bool sync(const sketch::Sketch& sk, const FinderConfig& config,
+            const pref::PreferenceGraph& graph) {
+    const auto& edges = graph.edges();
+    const auto& ties = graph.ties();
+    if (edges.size() < edges_asserted.size() ||
+        ties.size() < ties_asserted.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < edges_asserted.size(); ++i) {
+      if (!same_constraint(edges[i], edges_asserted[i])) return false;
+    }
+    for (std::size_t i = 0; i < ties_asserted.size(); ++i) {
+      if (ties[i] != ties_asserted[i]) return false;
+    }
+    const bool grew = edges.size() > edges_asserted.size() ||
+                      ties.size() > ties_asserted.size();
+    if (!grew && tie_level_open) return true;
+
+    intern_vertices(sk, graph);
+    if (tie_level_open) solver.pop(1);  // drop every tie; re-asserted below
+    for (std::size_t i = edges_asserted.size(); i < edges.size(); ++i) {
+      const pref::Edge& e = edges[i];
+      solver.add(va[e.better] > va[e.worse]);
+      solver.add(vb[e.better] > vb[e.worse]);
+      edges_asserted.push_back(e);
+    }
+    solver.push();
+    tie_level_open = true;
+    // Tie bound gets a hair of slack over the oracle's tolerance so that
+    // exact rational arithmetic never rejects the (double-evaluated) ground
+    // truth.
+    const z3::expr bound = real_of_double(ctx, config.tie_tolerance + 1e-9);
+    for (const auto& [u, v] : ties) {
+      solver.add(va[u] - va[v] <= bound);
+      solver.add(va[v] - va[u] <= bound);
+      solver.add(vb[u] - vb[v] <= bound);
+      solver.add(vb[v] - vb[u] <= bound);
+    }
+    ties_asserted = ties;
+    return true;
+  }
+};
+
+// Single-candidate analogue of DistEncoding, for find_consistent: hole
+// domain at level 0 plus graph edges, ties at level 1, viability blocks at
+// level 2. Same canonical order, same rebuild rule.
+struct Z3Finder::ConsEncoding {
+  z3::context ctx;
+  z3::solver solver;
+  std::vector<z3::expr> holes;
+  std::vector<z3::expr> values;  // objective terms per interned vertex
+  std::vector<pref::Edge> edges_asserted;
+  std::vector<std::pair<pref::VertexId, pref::VertexId>> ties_asserted;
+  bool tie_level_open = false;
+
+  ConsEncoding(const sketch::Sketch& sk, const FinderConfig& config)
+      : solver(make_solver(ctx, config.timeout_ms)) {
+    holes = make_hole_vars(ctx, sk, "h_");
+    solver.add(hole_domain_constraint(ctx, sk, holes));
+  }
+
+  void intern_vertices(const sketch::Sketch& sk,
+                       const pref::PreferenceGraph& graph) {
+    for (pref::VertexId v = values.size(); v < graph.vertex_count(); ++v) {
+      const std::vector<z3::expr> metrics =
+          encode_scenario(ctx, graph.scenario(v).metrics);
+      values.push_back(encode_numeric(ctx, *sk.body(), metrics, holes));
+    }
+  }
+
+  bool sync(const sketch::Sketch& sk, const FinderConfig& config,
+            const pref::PreferenceGraph& graph) {
+    const auto& edges = graph.edges();
+    const auto& ties = graph.ties();
+    if (edges.size() < edges_asserted.size() ||
+        ties.size() < ties_asserted.size()) {
+      return false;
+    }
+    for (std::size_t i = 0; i < edges_asserted.size(); ++i) {
+      if (!same_constraint(edges[i], edges_asserted[i])) return false;
+    }
+    for (std::size_t i = 0; i < ties_asserted.size(); ++i) {
+      if (ties[i] != ties_asserted[i]) return false;
+    }
+    const bool grew = edges.size() > edges_asserted.size() ||
+                      ties.size() > ties_asserted.size();
+    if (!grew && tie_level_open) return true;
+
+    intern_vertices(sk, graph);
+    if (tie_level_open) solver.pop(1);
+    for (std::size_t i = edges_asserted.size(); i < edges.size(); ++i) {
+      const pref::Edge& e = edges[i];
+      solver.add(values[e.better] > values[e.worse]);
+      edges_asserted.push_back(e);
+    }
+    solver.push();
+    tie_level_open = true;
+    const z3::expr bound = real_of_double(ctx, config.tie_tolerance + 1e-9);
+    for (const auto& [u, v] : ties) {
+      solver.add(values[u] - values[v] <= bound);
+      solver.add(values[v] - values[u] <= bound);
+    }
+    ties_asserted = ties;
+    return true;
+  }
+};
+
+struct Z3Finder::CheckOutcome {
+  z3::check_result result = z3::unknown;
+  std::optional<z3::model> model;  // engaged iff result == sat
+};
+
+// Registers the context being checked so interrupt() can reach it from
+// another thread; closes the window where an interrupt lands between the
+// flag flip and the check by re-checking the flag after registration.
+class ActiveCheckGuard {
+ public:
+  ActiveCheckGuard(Z3Finder& finder, z3::context& ctx) : finder_(finder) {
+    std::lock_guard<std::mutex> lock(finder_.active_mutex_);
+    finder_.active_ctx_ = &ctx;
+    if (finder_.interrupted_.load()) ctx.interrupt();
+  }
+  ActiveCheckGuard(const ActiveCheckGuard&) = delete;
+  ActiveCheckGuard& operator=(const ActiveCheckGuard&) = delete;
+  ~ActiveCheckGuard() {
+    std::lock_guard<std::mutex> lock(finder_.active_mutex_);
+    finder_.active_ctx_ = nullptr;
+  }
+
+ private:
+  Z3Finder& finder_;
+};
 
 Z3Finder::Z3Finder(sketch::Sketch sketch, FinderConfig config, Viability viability,
                    ScenarioDomain domain)
@@ -152,16 +432,32 @@ Z3Finder::Z3Finder(sketch::Sketch sketch, FinderConfig config, Viability viabili
         "Z3Finder: distinguish_margin must exceed tie_tolerance "
         "(otherwise an oracle tie answer cannot eliminate candidates)");
   }
-  // Interval precheck: a finite, NaN/error-free enclosure of the objective
+  // Interval analysis: a finite, NaN/error-free enclosure of the objective
   // over the whole input space can be asserted on every encoded objective
   // term. The bound is implied by the existing range/grid constraints, so
   // verdicts (sat/unsat) are unchanged; it only narrows the real search.
+  // The same enclosure gates and powers the interval pre-checks.
   const sketch::AnalysisResult analysis = sketch::analyze(sketch_);
   if (analysis.well_typed && !analysis.output.maybe_nan &&
       !analysis.output.maybe_error && analysis.output.finite()) {
     objective_bounds_ = analysis.output;
   }
+  // Everything constructor-fixed that a query's outcome depends on goes into
+  // the cache-key prefix; the per-query part (kind, num_pairs, graph) is
+  // appended in cache_key(). Timeouts are excluded: they only influence
+  // kUnknown results, which are never cached.
+  std::ostringstream key;
+  key.precision(17);
+  key << "sketch\n" << sketch::print_sketch(sketch_) << "\ndomain\n";
+  if (domain_.constraint != nullptr) {
+    key << sketch::print_expr(*domain_.constraint, sketch_);
+  }
+  key << "\nmargins " << config_.tie_tolerance << ' '
+      << config_.distinguish_margin << '\n';
+  cache_key_prefix_ = key.str();
 }
+
+Z3Finder::~Z3Finder() = default;
 
 void Z3Finder::log_query(z3::solver& solver, const char* kind) {
   if (query_log_ == nullptr) return;
@@ -169,103 +465,328 @@ void Z3Finder::log_query(z3::solver& solver, const char* kind) {
               << solver.to_smt2() << "\n";
 }
 
+void Z3Finder::interrupt() {
+  interrupted_.store(true);
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  if (active_ctx_ != nullptr) active_ctx_->interrupt();
+}
+
+void Z3Finder::reset_after_interrupt() {
+  if (!interrupted_.exchange(false)) return;
+  // An interrupted tactic leaves its solver in an unspecified state (and a
+  // pending interrupt flag may still be set on the context); drop the
+  // incremental encodings so the next query re-encodes in a fresh context.
+  dist_encodings_.clear();
+  cons_encoding_.reset();
+}
+
+void Z3Finder::observe_graph(const pref::PreferenceGraph& graph) {
+  bool match = interned_metrics_.size() <= graph.vertex_count();
+  for (std::size_t v = 0; match && v < interned_metrics_.size(); ++v) {
+    match = interned_metrics_[v] == graph.scenario(v).metrics;
+  }
+  if (!match) {
+    dist_encodings_.clear();
+    cons_encoding_.reset();
+    vertex_intervals_.clear();
+    interned_metrics_.clear();
+  }
+  for (std::size_t v = interned_metrics_.size(); v < graph.vertex_count();
+       ++v) {
+    interned_metrics_.push_back(graph.scenario(v).metrics);
+  }
+}
+
+// --- Checking -------------------------------------------------------------
+
+// Retry an `unknown` (timeout / resource-out) with the default portfolio
+// solver, which sometimes succeeds where a single tactic stalls. The
+// fallback is a scratch solver over a copy of the assertions — the
+// persistent incremental solver is never replaced; the model (if any) is
+// extracted from whichever solver produced it before it goes away.
+Z3Finder::CheckOutcome Z3Finder::check_with_fallback(z3::context& ctx,
+                                                     z3::solver& s) {
+  ActiveCheckGuard guard(*this, ctx);
+  CheckOutcome out;
+  out.result = s.check();
+  if (out.result == z3::sat) {
+    out.model = s.get_model();
+    return out;
+  }
+  if (out.result == z3::unsat) return out;
+  if (interrupted_.load()) return out;  // canceled, not stuck: no fallback
+  util::log(util::LogLevel::kDebug,
+            "nlsat returned unknown; retrying with default solver");
+  z3::solver fallback(ctx);
+  set_timeout(ctx, fallback, config_.timeout_ms);
+  for (const z3::expr& a : s.assertions()) fallback.add(a);
+  out.result = fallback.check();
+  if (out.result == z3::sat) out.model = fallback.get_model();
+  return out;
+}
+
+// check_with_fallback wrapped in a "z3_query" span: one event + one
+// z3_query.seconds sample per solver invocation, with kind/result/index.
+// When a fault injector is attached, a check may be preceded by an injected
+// slowdown and/or replaced by an injected transient failure; failures are
+// retried with backoff per `config_.retry` ("fault"/"retry" events,
+// z3.failures / z3.retries counters) and degrade to `unknown` once the
+// budget is spent.
+Z3Finder::CheckOutcome Z3Finder::timed_check(z3::context& ctx, z3::solver& s,
+                                             const char* kind, long index) {
+  util::FaultInjector* injector = injector_.get();
+  for (int attempt = 1;; ++attempt) {
+    if (injector != nullptr && injector->z3_slowdown()) {
+      util::sleep_seconds(injector->plan().z3_slowdown_s);
+    }
+    if (injector == nullptr || !injector->z3_failure()) {
+      obs::Span span(obs_, "z3_query");
+      CheckOutcome out = check_with_fallback(ctx, s);
+      if (obs_ != nullptr) obs_->count("z3.queries");
+      if (obs::TraceEvent* e = span.event()) {
+        e->str("kind", kind).integer("index", index).str(
+            "result", check_result_name(out.result));
+        if (attempt > 1) e->integer("attempt", attempt);
+      }
+      return out;
+    }
+    if (obs::active(obs_)) {
+      obs_->count("z3.failures");
+      if (obs_->tracing()) {
+        obs::TraceEvent e("fault");
+        e.str("site", "z3").str("kind", "failure").str("op", kind)
+            .integer("index", index).integer("attempt", attempt);
+        obs_->emit(e);
+      }
+    }
+    if (attempt >= config_.retry.max_attempts) {
+      util::log(util::LogLevel::kWarn,
+                "Z3Finder: transient failure persisted past the retry "
+                "budget; reporting unknown");
+      return {};
+    }
+    const double backoff = config_.retry.backoff_before(attempt + 1);
+    if (obs::active(obs_)) {
+      obs_->count("z3.retries");
+      if (obs_->tracing()) {
+        obs::TraceEvent e("retry");
+        e.str("site", "z3").str("op", kind).integer("attempt", attempt + 1)
+            .num("backoff_s", backoff);
+        obs_->emit(e);
+      }
+    }
+    util::sleep_seconds(backoff);
+  }
+}
+
+// --- SolverCache integration ---------------------------------------------
+
+bool Z3Finder::cache_usable() const {
+  // A viability callback and a fault injector both make a query's outcome
+  // depend on state outside the (sketch, G, domain) key — blocked models
+  // and injected-fault decision streams respectively — so the cache stands
+  // down rather than replay a result the live solver might not reproduce.
+  return cache_ != nullptr && !viability_.concrete && injector_ == nullptr;
+}
+
+std::string Z3Finder::cache_key(const char* kind, int num_pairs,
+                                const pref::PreferenceGraph& graph) const {
+  std::ostringstream key;
+  key << cache_key_prefix_ << kind << ' ' << num_pairs << "\ngraph\n";
+  pref::serialize(graph, key);
+  return key.str();
+}
+
+void Z3Finder::note_cache(const char* op, const char* kind,
+                          const std::string& key) const {
+  if (!obs::active(obs_)) return;
+  obs_->count(op[0] == 'h'   ? "solver.cache_hits"
+              : op[0] == 'm' ? "solver.cache_misses"
+                             : "solver.cache_stores");
+  if (obs_->tracing()) {
+    std::ostringstream hash;
+    hash << std::hex << SolverCache::key_hash(key);
+    obs::TraceEvent e("solver_cache");
+    e.str("op", op).str("kind", kind).str("key", hash.str());
+    obs_->emit(e);
+  }
+}
+
+// --- Interval pre-checks --------------------------------------------------
+
+bool Z3Finder::precheck_enabled() const {
+  return config_.interval_precheck && objective_bounds_.has_value();
+}
+
+const sketch::Interval& Z3Finder::vertex_interval(
+    const pref::PreferenceGraph& graph, pref::VertexId v) {
+  while (vertex_intervals_.size() <= v) {
+    const pref::VertexId next = vertex_intervals_.size();
+    sketch::Box box = sketch::full_box(sketch_);
+    const std::vector<double>& metrics = graph.scenario(next).metrics;
+    for (std::size_t m = 0; m < box.metrics.size() && m < metrics.size(); ++m) {
+      box.metrics[m] = sketch::Interval::point(metrics[m]);
+    }
+    vertex_intervals_.push_back(sketch::eval_interval(*sketch_.body(), box));
+  }
+  return vertex_intervals_[v];
+}
+
+bool Z3Finder::precheck_refutes_graph(const pref::PreferenceGraph& graph,
+                                      const char* kind) {
+  for (const pref::Edge& e : graph.edges()) {
+    const sketch::Interval better = vertex_interval(graph, e.better);
+    const sketch::Interval worse = vertex_interval(graph, e.worse);
+    if (!interval_clean(better) || !interval_clean(worse)) continue;
+    // Every candidate satisfies f(better) <= f(worse) with room to spare:
+    // the strict edge constraint is unsatisfiable over the whole grid.
+    if (better.hi < worse.lo - precheck_slack(better, worse)) {
+      note_precheck(kind, "edge_refuted");
+      return true;
+    }
+  }
+  const double tie_bound = config_.tie_tolerance + 1e-9;
+  for (const auto& [u, v] : graph.ties()) {
+    const sketch::Interval iu = vertex_interval(graph, u);
+    const sketch::Interval iv = vertex_interval(graph, v);
+    if (!interval_clean(iu) || !interval_clean(iv)) continue;
+    const sketch::Interval d = sketch::interval_sub(iu, iv);
+    // Every candidate separates the tied pair by more than the tolerance.
+    if (d.lo > tie_bound + precheck_slack(iu, iv) ||
+        d.hi < -(tie_bound + precheck_slack(iu, iv))) {
+      note_precheck(kind, "tie_refuted");
+      return true;
+    }
+  }
+  return false;
+}
+
+void Z3Finder::note_precheck(const char* kind, const char* verdict) const {
+  if (!obs::active(obs_)) return;
+  obs_->count("solver.precheck_hits");
+  if (obs_->tracing()) {
+    obs::TraceEvent e("interval_precheck");
+    e.str("kind", kind).str("verdict", verdict);
+    obs_->emit(e);
+  }
+}
+
+// --- Queries --------------------------------------------------------------
+
 FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
                                            int num_pairs) {
   if (num_pairs < 1) throw std::invalid_argument("find_distinguishing: num_pairs < 1");
+  reset_after_interrupt();
 
-  z3::context ctx;
-  z3::solver solver = make_solver(ctx, config_.timeout_ms);
+  const bool use_cache = cache_usable();
+  std::string key;
+  if (use_cache) {
+    key = cache_key("distinguishing", num_pairs, graph);
+    if (const std::optional<std::string> hit = cache_->lookup(key)) {
+      note_cache("hit", "distinguishing", key);
+      return decode_dist_result(*hit);
+    }
+    note_cache("miss", "distinguishing", key);
+  }
 
-  const std::vector<z3::expr> ha = make_hole_vars(ctx, sketch_, "a_");
-  const std::vector<z3::expr> hb = make_hole_vars(ctx, sketch_, "b_");
-  solver.add(hole_domain_constraint(ctx, sketch_, ha));
-  solver.add(hole_domain_constraint(ctx, sketch_, hb));
+  FinderResult res = find_distinguishing_uncached(graph, num_pairs);
+  if (use_cache && res.status != FinderStatus::kUnknown) {
+    cache_->store(key, encode_dist_result(res));
+    note_cache("store", "distinguishing", key);
+  }
+  return res;
+}
 
-  // Tie bound gets a hair of slack over the oracle's tolerance so that exact
-  // rational arithmetic never rejects the (double-evaluated) ground truth.
-  const double tie_bound = config_.tie_tolerance + 1e-9;
-  add_graph_constraints(ctx, solver, sketch_, graph, ha, tie_bound);
-  add_graph_constraints(ctx, solver, sketch_, graph, hb, tie_bound);
+FinderResult Z3Finder::resolve_unsat(const pref::PreferenceGraph& graph,
+                                     int num_pairs) {
+  if (num_pairs > 1) return find_distinguishing(graph, 1);
+  // Distinguish "no candidate at all" from "unique ranking", and carry
+  // the unique ranking's representative out to the caller.
+  FinderResult res;
+  if (auto representative = find_consistent(graph)) {
+    res.status = FinderStatus::kUniqueRanking;
+    res.candidate_a = *std::move(representative);
+  } else {
+    res.status = FinderStatus::kNoCandidate;
+  }
+  return res;
+}
 
-  // Fresh scenario variables for each requested distinguishing pair.
-  const z3::expr margin = real_of_double(ctx, config_.distinguish_margin);
-  std::vector<std::vector<z3::expr>> s1_vars, s2_vars;
-  for (int p = 0; p < num_pairs; ++p) {
-    auto make_scenario_vars = [&](const char* tag) {
-      std::vector<z3::expr> vars;
-      for (const sketch::MetricSpec& m : sketch_.metrics()) {
-        const std::string name = "p" + std::to_string(p) + "_" + tag + "_" + m.name;
-        z3::expr v = ctx.real_const(name.c_str());
-        solver.add(v >= real_of_double(ctx, m.lo));
-        solver.add(v <= real_of_double(ctx, m.hi));
-        vars.push_back(std::move(v));
-      }
-      if (domain_.constraint != nullptr) {
-        solver.add(encode_bool(ctx, *domain_.constraint, vars, {}));
-      }
-      return vars;
-    };
-    s1_vars.push_back(make_scenario_vars("s1"));
-    s2_vars.push_back(make_scenario_vars("s2"));
+FinderResult Z3Finder::find_distinguishing_uncached(
+    const pref::PreferenceGraph& graph, int num_pairs) {
+  observe_graph(graph);
 
-    const z3::expr fa1 = encode_numeric(ctx, *sketch_.body(), s1_vars.back(), ha);
-    const z3::expr fa2 = encode_numeric(ctx, *sketch_.body(), s2_vars.back(), ha);
-    const z3::expr fb1 = encode_numeric(ctx, *sketch_.body(), s1_vars.back(), hb);
-    const z3::expr fb2 = encode_numeric(ctx, *sketch_.body(), s2_vars.back(), hb);
-    solver.add(fa1 >= fa2 + margin);
-    solver.add(fb2 >= fb1 + margin);
-    if (objective_bounds_) {
-      const z3::expr lo = real_of_double(ctx, objective_bounds_->lo);
-      const z3::expr hi = real_of_double(ctx, objective_bounds_->hi);
-      for (const z3::expr& f : {fa1, fa2, fb1, fb2}) {
-        solver.add(f >= lo);
-        solver.add(f <= hi);
-      }
+  if (precheck_enabled()) {
+    // A refuted edge/tie dooms this query AND find_consistent, so the whole
+    // UNSAT epilogue is answered without the solver.
+    if (precheck_refutes_graph(graph, "distinguishing")) {
+      FinderResult res;
+      res.status = FinderStatus::kNoCandidate;
+      return res;
+    }
+    // The margin constraint needs the objective enclosure to span at least
+    // distinguish_margin; the enclosure is asserted on every objective term,
+    // so a narrower one makes the encoded query UNSAT by construction.
+    if (objective_bounds_->hi - objective_bounds_->lo <
+        config_.distinguish_margin) {
+      note_precheck("distinguishing", "margin_width");
+      return resolve_unsat(graph, num_pairs);
     }
   }
 
-  // Multiple pairs must be genuinely different questions: each pair's
-  // preferred scenario must differ from every earlier pair's by at least 1%
-  // of some metric's range. (Without this the solver happily returns k
-  // copies of one disagreement and the extra answers teach nothing.) The
-  // over-constrained query going UNSAT does NOT prove ranking uniqueness —
-  // fewer than k separated witnesses may remain — so that case re-checks
-  // with a single pair.
-  for (int p = 1; p < num_pairs; ++p) {
-    for (int q = 0; q < p; ++q) {
-      z3::expr separated = ctx.bool_val(false);
-      for (std::size_t m = 0; m < sketch_.metrics().size(); ++m) {
-        const sketch::MetricSpec& spec = sketch_.metrics()[m];
-        const z3::expr delta = real_of_double(ctx, (spec.hi - spec.lo) * 0.01);
-        separated = separated || (s1_vars[p][m] - s1_vars[q][m] >= delta) ||
-                    (s1_vars[q][m] - s1_vars[p][m] >= delta);
-      }
-      solver.add(separated);
+  DistEncoding* enc = nullptr;
+  std::unique_ptr<DistEncoding> scratch;
+  if (config_.incremental) {
+    std::unique_ptr<DistEncoding>& slot = dist_encodings_[num_pairs];
+    if (slot != nullptr && !slot->sync(sketch_, config_, graph)) slot.reset();
+    const char* op = slot != nullptr ? "reuse" : "build";
+    if (slot == nullptr) {
+      slot = std::make_unique<DistEncoding>(sketch_, config_, domain_,
+                                            objective_bounds_, num_pairs);
+      slot->sync(sketch_, config_, graph);
     }
+    if (obs::active(obs_)) {
+      obs_->count(op[0] == 'r' ? "z3.incremental_reuses"
+                               : "z3.incremental_builds");
+      if (obs_->tracing()) {
+        obs::TraceEvent e("z3_incremental");
+        e.str("kind", "distinguishing").str("op", op)
+            .integer("edges", static_cast<long>(graph.edges().size()))
+            .integer("ties", static_cast<long>(graph.ties().size()));
+        obs_->emit(e);
+      }
+    }
+    enc = slot.get();
+  } else {
+    scratch = std::make_unique<DistEncoding>(sketch_, config_, domain_,
+                                             objective_bounds_, num_pairs);
+    scratch->sync(sketch_, config_, graph);
+    enc = scratch.get();
   }
+
+  z3::solver& solver = enc->solver;
+  z3::context& ctx = enc->ctx;
+  // Per-call scope for viability model-blocking: popped on every exit so the
+  // persistent encoding only ever holds the canonical assertions.
+  solver.push();
+  struct PopGuard {
+    z3::solver& s;
+    ~PopGuard() { s.pop(1); }
+  } pop_guard{solver};
 
   for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
     ++query_count_;
     log_query(solver, "distinguishing");
-    const z3::check_result r =
-        timed_check(obs_, ctx, solver, config_.timeout_ms, "distinguishing",
-                    query_count_, injector_.get(), config_.retry);
-    if (r == z3::unsat) {
-      if (num_pairs > 1) return find_distinguishing(graph, 1);
-      // Distinguish "no candidate at all" from "unique ranking", and carry
-      // the unique ranking's representative out to the caller.
+    const CheckOutcome out =
+        timed_check(ctx, solver, "distinguishing", query_count_);
+    if (out.result == z3::unsat) return resolve_unsat(graph, num_pairs);
+    if (out.result == z3::unknown) {
       FinderResult res;
-      if (auto representative = find_consistent(graph)) {
-        res.status = FinderStatus::kUniqueRanking;
-        res.candidate_a = *std::move(representative);
-      } else {
-        res.status = FinderStatus::kNoCandidate;
-      }
+      res.status = FinderStatus::kUnknown;
       return res;
     }
-    if (r == z3::unknown) { FinderResult res; res.status = FinderStatus::kUnknown; return res; }
 
-    const z3::model model = solver.get_model();
+    const z3::model& model = *out.model;
     auto extract_assignment = [&](const std::vector<z3::expr>& vars) {
       sketch::HoleAssignment a;
       for (std::size_t i = 0; i < vars.size(); ++i) {
@@ -275,8 +796,8 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
     };
     FinderResult res;
     res.status = FinderStatus::kFound;
-    res.candidate_a = extract_assignment(ha);
-    res.candidate_b = extract_assignment(hb);
+    res.candidate_a = extract_assignment(enc->ha);
+    res.candidate_b = extract_assignment(enc->hb);
 
     if (viability_.concrete) {
       const std::vector<double> va = sketch_.hole_values(res.candidate_a);
@@ -292,11 +813,11 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
         block = block || !same;
       };
       if (!viability_.concrete(va)) {
-        block_assignment(ha, va);
+        block_assignment(enc->ha, va);
         blocked = true;
       }
       if (!viability_.concrete(vb)) {
-        block_assignment(hb, vb);
+        block_assignment(enc->hb, vb);
         blocked = true;
       }
       if (blocked) {
@@ -307,10 +828,10 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
 
     for (int p = 0; p < num_pairs; ++p) {
       DistinguishingPair pair;
-      for (const z3::expr& v : s1_vars[p]) {
+      for (const z3::expr& v : enc->s1_vars[p]) {
         pair.preferred_by_a.metrics.push_back(value_of(model, v));
       }
-      for (const z3::expr& v : s2_vars[p]) {
+      for (const z3::expr& v : enc->s2_vars[p]) {
         pair.preferred_by_b.metrics.push_back(value_of(model, v));
       }
       res.pairs.push_back(std::move(pair));
@@ -323,37 +844,101 @@ FinderResult Z3Finder::find_distinguishing(const pref::PreferenceGraph& graph,
 
 std::optional<sketch::HoleAssignment> Z3Finder::find_consistent(
     const pref::PreferenceGraph& graph) {
-  z3::context ctx;
-  z3::solver solver = make_solver(ctx, config_.timeout_ms);
-  const std::vector<z3::expr> holes = make_hole_vars(ctx, sketch_, "h_");
-  solver.add(hole_domain_constraint(ctx, sketch_, holes));
-  add_graph_constraints(ctx, solver, sketch_, graph, holes,
-                        config_.tie_tolerance + 1e-9);
+  reset_after_interrupt();
+
+  const bool use_cache = cache_usable();
+  std::string key;
+  if (use_cache) {
+    key = cache_key("consistent", 0, graph);
+    if (const std::optional<std::string> hit = cache_->lookup(key)) {
+      note_cache("hit", "consistent", key);
+      return decode_consistent(*hit);
+    }
+    note_cache("miss", "consistent", key);
+  }
+
+  bool decisive = true;
+  std::optional<sketch::HoleAssignment> res =
+      find_consistent_uncached(graph, &decisive);
+  if (use_cache && decisive) {
+    cache_->store(key, encode_consistent(res));
+    note_cache("store", "consistent", key);
+  }
+  return res;
+}
+
+std::optional<sketch::HoleAssignment> Z3Finder::find_consistent_uncached(
+    const pref::PreferenceGraph& graph, bool* decisive) {
+  observe_graph(graph);
+
+  if (precheck_enabled() && precheck_refutes_graph(graph, "consistent")) {
+    return std::nullopt;
+  }
+
+  ConsEncoding* enc = nullptr;
+  std::unique_ptr<ConsEncoding> scratch;
+  if (config_.incremental) {
+    if (cons_encoding_ != nullptr &&
+        !cons_encoding_->sync(sketch_, config_, graph)) {
+      cons_encoding_.reset();
+    }
+    const char* op = cons_encoding_ != nullptr ? "reuse" : "build";
+    if (cons_encoding_ == nullptr) {
+      cons_encoding_ = std::make_unique<ConsEncoding>(sketch_, config_);
+      cons_encoding_->sync(sketch_, config_, graph);
+    }
+    if (obs::active(obs_)) {
+      obs_->count(op[0] == 'r' ? "z3.incremental_reuses"
+                               : "z3.incremental_builds");
+      if (obs_->tracing()) {
+        obs::TraceEvent e("z3_incremental");
+        e.str("kind", "consistent").str("op", op)
+            .integer("edges", static_cast<long>(graph.edges().size()))
+            .integer("ties", static_cast<long>(graph.ties().size()));
+        obs_->emit(e);
+      }
+    }
+    enc = cons_encoding_.get();
+  } else {
+    scratch = std::make_unique<ConsEncoding>(sketch_, config_);
+    scratch->sync(sketch_, config_, graph);
+    enc = scratch.get();
+  }
+
+  z3::solver& solver = enc->solver;
+  z3::context& ctx = enc->ctx;
+  solver.push();
+  struct PopGuard {
+    z3::solver& s;
+    ~PopGuard() { s.pop(1); }
+  } pop_guard{solver};
 
   for (int attempt = 0; attempt < kMaxViabilityBlocks; ++attempt) {
     ++query_count_;
     log_query(solver, "consistent");
-    if (timed_check(obs_, ctx, solver, config_.timeout_ms, "consistent",
-                    query_count_, injector_.get(),
-                    config_.retry) != z3::sat) {
+    const CheckOutcome out = timed_check(ctx, solver, "consistent", query_count_);
+    if (out.result != z3::sat) {
+      if (out.result == z3::unknown && decisive != nullptr) *decisive = false;
       return std::nullopt;
     }
-    const z3::model model = solver.get_model();
+    const z3::model& model = *out.model;
     sketch::HoleAssignment a;
-    for (std::size_t i = 0; i < holes.size(); ++i) {
-      a.index.push_back(sketch_.holes()[i].nearest_index(value_of(model, holes[i])));
+    for (std::size_t i = 0; i < enc->holes.size(); ++i) {
+      a.index.push_back(
+          sketch_.holes()[i].nearest_index(value_of(model, enc->holes[i])));
     }
     if (!viability_.concrete || viability_.concrete(sketch_.hole_values(a))) {
       return a;
     }
     z3::expr same = ctx.bool_val(true);
     const std::vector<double> vals = sketch_.hole_values(a);
-    for (std::size_t i = 0; i < holes.size(); ++i) {
-      same = same && (holes[i] == real_of_double(ctx, vals[i]));
+    for (std::size_t i = 0; i < enc->holes.size(); ++i) {
+      same = same && (enc->holes[i] == real_of_double(ctx, vals[i]));
     }
     solver.add(!same);
   }
   util::log(util::LogLevel::kWarn, "Z3Finder: viability blocking budget exhausted");
+  if (decisive != nullptr) *decisive = false;
   return std::nullopt;
 }
 

@@ -11,20 +11,37 @@
 // Hole variables are reals constrained to their finite grids (pure QF_NRA),
 // so UNSAT exactly means "all viable G-consistent candidates induce the same
 // margin-separated ranking" and synthesis can stop.
+//
+// Acceleration layer (docs/SOLVER.md): queries go through four filters, each
+// transparent to the verdict/model sequence —
+//   1. SolverCache replay of previously solved (sketch, G, domain) queries;
+//   2. interval pre-checks that discharge provably-UNSAT queries without Z3;
+//   3. incremental encodings kept alive across iterations via push/pop,
+//      asserting only the preference graph's new constraints each round;
+//   4. (one level up) solver/portfolio_finder.h races this finder against
+//      GridFinder and cancels the loser through interrupt().
 #pragma once
 
+#include <atomic>
 #include <iosfwd>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "sketch/analyze.h"
 #include "solver/finder.h"
 
 namespace z3 {
-class solver;  // from z3++.h; kept out of this header deliberately
+class context;  // from z3++.h; kept out of this header deliberately
+class solver;
 }
 
 namespace compsynth::solver {
+
+class SolverCache;
 
 class Z3Finder final : public CandidateFinder {
  public:
@@ -33,6 +50,7 @@ class Z3Finder final : public CandidateFinder {
   /// sound and complete over the finite hole grid.
   explicit Z3Finder(sketch::Sketch sketch, FinderConfig config = {},
                     Viability viability = {}, ScenarioDomain domain = {});
+  ~Z3Finder() override;
 
   FinderResult find_distinguishing(const pref::PreferenceGraph& graph,
                                    int num_pairs) override;
@@ -41,6 +59,8 @@ class Z3Finder final : public CandidateFinder {
       const pref::PreferenceGraph& graph) override;
 
   /// Number of solver checks issued so far (for benchmarking/diagnostics).
+  /// Cache replays and interval pre-check discharges do not count — no
+  /// check was issued.
   long query_count() const { return query_count_; }
 
   /// Streams every emitted query as SMT-LIB2 text to `log` (nullptr
@@ -55,18 +75,88 @@ class Z3Finder final : public CandidateFinder {
   /// failing after the attempt budget reports `unknown`, which the
   /// synthesizer surfaces as kSolverGaveUp rather than crashing the session.
   /// The injector's decision stream is part of save_state when attached.
+  /// An attached injector disables the solver cache (a replayed result
+  /// would skip the injected faults and desynchronize the decision stream).
   void set_fault_injector(std::shared_ptr<util::FaultInjector> injector) {
     injector_ = std::move(injector);
   }
 
+  /// Query/counterexample cache (solver/solver_cache.h); null disables.
+  /// Shared so the synthesizer can persist it through the @cache snapshot
+  /// section. Ignored while a viability callback or fault injector is
+  /// attached (both make a query's outcome depend on more than the key).
+  void set_cache(std::shared_ptr<SolverCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+  /// Cancels an in-flight check from another thread (portfolio racing): the
+  /// running query returns kUnknown promptly, and the next query rebuilds
+  /// the incremental encodings (an interrupted tactic leaves them in an
+  /// unspecified state). Safe to call at any time, including when no check
+  /// is running.
+  void interrupt();
+
   /// Durable-session persistence: the query counter plus the attached fault
   /// injector's decision stream (when any), so a resumed run keeps stable
-  /// query indices in traces and replays the identical fault sequence.
+  /// query indices in traces and replays the identical fault sequence. The
+  /// incremental encodings are deliberately not part of the state: they are
+  /// rebuilt from the graph on the next query, and the canonical assertion
+  /// order guarantees the rebuilt solver answers identically.
   std::string save_state() const override;
   void restore_state(const std::string& state) override;
 
+  // Incremental sketch+G encodings (defined in z3_finder.cpp; public so the
+  // implementation structs can be out-of-line without friend gymnastics).
+  struct DistEncoding;
+  struct ConsEncoding;
+  struct CheckOutcome;
+
  private:
+  friend class ActiveCheckGuard;
+
+  FinderResult find_distinguishing_uncached(const pref::PreferenceGraph& graph,
+                                            int num_pairs);
+  /// `decisive` is cleared when the answer came from a timeout or an
+  /// exhausted blocking budget rather than a real verdict (not cacheable).
+  std::optional<sketch::HoleAssignment> find_consistent_uncached(
+      const pref::PreferenceGraph& graph, bool* decisive);
+  /// The shared UNSAT epilogue of the distinguishing query: multi-pair
+  /// queries retry with a single pair (fewer separated witnesses may remain
+  /// even when k do not), then find_consistent splits "unique ranking" from
+  /// "no candidate".
+  FinderResult resolve_unsat(const pref::PreferenceGraph& graph, int num_pairs);
+
+  CheckOutcome timed_check(z3::context& ctx, z3::solver& s, const char* kind,
+                           long index);
+  CheckOutcome check_with_fallback(z3::context& ctx, z3::solver& s);
   void log_query(z3::solver& solver, const char* kind);
+
+  /// Drops poisoned incremental state after an interrupt; called on entry to
+  /// every query.
+  void reset_after_interrupt();
+
+  // --- SolverCache integration -------------------------------------------
+  bool cache_usable() const;
+  std::string cache_key(const char* kind, int num_pairs,
+                        const pref::PreferenceGraph& graph) const;
+  void note_cache(const char* op, const char* kind,
+                  const std::string& key) const;
+
+  // --- Interval pre-checks (docs/SOLVER.md §Pre-checks) ------------------
+  bool precheck_enabled() const;
+  /// True when some edge or tie of `graph` is interval-refuted over the full
+  /// hole grid — no candidate can satisfy it, so the query (and
+  /// find_consistent) would come back UNSAT.
+  bool precheck_refutes_graph(const pref::PreferenceGraph& graph,
+                              const char* kind);
+  const sketch::Interval& vertex_interval(const pref::PreferenceGraph& graph,
+                                          pref::VertexId v);
+  void note_precheck(const char* kind, const char* verdict) const;
+
+  /// Guards every memoized structure against a caller switching to an
+  /// unrelated graph mid-lifetime: if a previously seen vertex id now names
+  /// a different scenario, encodings and interval memos are invalidated.
+  void observe_graph(const pref::PreferenceGraph& graph);
 
   sketch::Sketch sketch_;
   FinderConfig config_;
@@ -76,12 +166,35 @@ class Z3Finder final : public CandidateFinder {
   /// ctor): a proven enclosure of the objective over the full metric box x
   /// hole grid. Asserted as redundant-but-sound bounds on every encoded
   /// objective term, which narrows nlsat's search without changing any
-  /// verdict. Absent when the analysis cannot certify a clean finite bound
-  /// (possible NaN / EvalError / unbounded output).
+  /// verdict; also gates the pre-checks. Absent when the analysis cannot
+  /// certify a clean finite bound (possible NaN / EvalError / unbounded
+  /// output).
   std::optional<sketch::Interval> objective_bounds_;
   long query_count_ = 0;
   std::ostream* query_log_ = nullptr;
   std::shared_ptr<util::FaultInjector> injector_;
+  std::shared_ptr<SolverCache> cache_;
+  /// Constructor-fixed prefix of every cache key: canonical sketch print,
+  /// domain constraint print and margins (docs/SOLVER.md §Cache keys).
+  std::string cache_key_prefix_;
+  /// Objective enclosure per interned graph vertex (point metric box x full
+  /// hole grid), memoized — vertices are immutable once interned.
+  std::vector<sketch::Interval> vertex_intervals_;
+  /// Metric vectors of the vertices the memos were built against
+  /// (observe_graph's staleness check).
+  std::vector<std::vector<double>> interned_metrics_;
+
+  /// Live incremental encodings, one distinguishing encoding per num_pairs
+  /// value plus one consistency encoding. Empty when config_.incremental is
+  /// off (a scratch encoding is built and dropped per query instead).
+  std::map<int, std::unique_ptr<DistEncoding>> dist_encodings_;
+  std::unique_ptr<ConsEncoding> cons_encoding_;
+
+  /// Cross-thread cancellation: interrupt() flips the flag and interrupts
+  /// whichever context is mid-check (registered under the mutex).
+  std::mutex active_mutex_;
+  z3::context* active_ctx_ = nullptr;
+  std::atomic<bool> interrupted_{false};
 };
 
 }  // namespace compsynth::solver

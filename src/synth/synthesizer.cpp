@@ -138,6 +138,11 @@ SynthesisResult Synthesizer::resume(oracle::Oracle& user, SessionState state) {
   // mismatched blobs, and a failed resume must not start a half-restored run.
   finder_->restore_state(state.finder_state);
   user.restore_state(state.oracle_state);
+  // The cache is a pure accelerator, so a missing blob (e.g. a snapshot
+  // taken by a run without one) is fine — we just start cold.
+  if (config_.solver_cache != nullptr && !state.cache_state.empty()) {
+    config_.solver_cache->restore_state(state.cache_state);
+  }
   return run_impl(user, std::move(state), /*resumed=*/true);
 }
 
@@ -203,6 +208,9 @@ SynthesisResult Synthesizer::run_impl(oracle::Oracle& user, SessionState st,
     if (!final_state && st.iterations % every != 0) return;
     st.finder_state = finder_->save_state();
     st.oracle_state = user.save_state();
+    if (config_.solver_cache != nullptr) {
+      st.cache_state = config_.solver_cache->save_state();
+    }
     st.oracle_comparisons = user.comparisons() - comparisons_before;
     config_.checkpoint(st);
     if (obs::active(obs)) {
@@ -336,11 +344,10 @@ SynthesisResult Synthesizer::run_impl(oracle::Oracle& user, SessionState st,
 Synthesizer make_z3_synthesizer(const sketch::Sketch& sketch,
                                 SynthesisConfig config,
                                 solver::Viability viability) {
-  return Synthesizer(sketch,
-                     std::make_unique<solver::Z3Finder>(
-                         sketch, config.finder, std::move(viability),
-                         config.scenario_domain),
-                     config);
+  auto finder = std::make_unique<solver::Z3Finder>(
+      sketch, config.finder, std::move(viability), config.scenario_domain);
+  if (config.solver_cache != nullptr) finder->set_cache(config.solver_cache);
+  return Synthesizer(sketch, std::move(finder), config);
 }
 
 namespace {
@@ -376,6 +383,27 @@ Synthesizer make_bisection_synthesizer(const sketch::Sketch& sketch,
                                        solver::Viability viability) {
   return make_grid_based(sketch, config, std::move(viability),
                          solver::QueryStrategy::kBisection);
+}
+
+Synthesizer make_portfolio_synthesizer(const sketch::Sketch& sketch,
+                                       SynthesisConfig config,
+                                       solver::Viability viability) {
+  solver::PortfolioConfig pc;
+  pc.mode = config.portfolio_mode;
+  pc.grid.base = config.finder;
+  // Same grid seed derivation as make_grid_synthesizer, so a pinned-grid
+  // portfolio run asks the identical query sequence as the plain grid
+  // back-end (the differential tests rely on this).
+  pc.grid.seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  pc.grid.eval_backend = config.grid_eval_backend;
+  pc.grid.threads = config.grid_threads;
+  pc.grid.analysis_pruning = config.grid_analysis_pruning;
+  auto finder = std::make_unique<solver::PortfolioFinder>(
+      sketch, pc, std::move(viability), config.scenario_domain);
+  if (config.solver_cache != nullptr) {
+    finder->z3().set_cache(config.solver_cache);
+  }
+  return Synthesizer(sketch, std::move(finder), config);
 }
 
 }  // namespace compsynth::synth

@@ -25,6 +25,8 @@
 #include "sketch/ast.h"
 #include "solver/finder.h"
 #include "solver/grid_finder.h"
+#include "solver/portfolio_finder.h"
+#include "solver/solver_cache.h"
 #include "util/rng.h"
 
 namespace compsynth::synth {
@@ -68,6 +70,20 @@ struct SynthesisConfig {
   /// enumerated. Survivor sets are provably identical either way
   /// (tests/prune_differential_test.cpp); this is purely a speed knob.
   bool grid_analysis_pruning = true;
+
+  /// Cross-query result cache for the Z3 back-end (docs/SOLVER.md §Cache).
+  /// When set, make_z3_synthesizer / make_portfolio_synthesizer wire it into
+  /// the Z3Finder, which then replays cached verdicts for repeated
+  /// (sketch, graph, domain) queries without touching the solver. Shared_ptr
+  /// so several synthesizers (e.g. bench variants, or a portfolio's Z3 leg
+  /// across restarts) can share one cache; its contents ride through
+  /// checkpoints via SessionState::cache_state. Null = no caching.
+  std::shared_ptr<solver::SolverCache> solver_cache;
+
+  /// Leg selection for make_portfolio_synthesizer (ignored by the other
+  /// factories): kRace races grid vs Z3 per query; kPinGrid / kPinZ3 pin
+  /// one leg for deterministic differential runs.
+  solver::PortfolioMode portfolio_mode = solver::PortfolioMode::kRace;
 
   /// Noise handling (§6.1): record contradictory answers instead of
   /// rejecting them, and greedily repair cycles / drop least-trusted answers
@@ -130,6 +146,11 @@ struct SessionState {
   pref::PreferenceGraph graph{true};
   std::string finder_state;  ///< CandidateFinder::save_state blob
   std::string oracle_state;  ///< oracle::Oracle::save_state blob
+  /// solver::SolverCache::save_state blob, filled only when the run has a
+  /// SynthesisConfig::solver_cache. Losing it is harmless for correctness
+  /// (the cache is a pure accelerator) but a resumed session would re-pay
+  /// every solver query the original had already answered.
+  std::string cache_state;
 };
 
 struct SynthesisResult {
@@ -208,6 +229,14 @@ Synthesizer make_grid_synthesizer(const sketch::Sketch& sketch,
 /// question is chosen to split the surviving candidate set most evenly,
 /// reducing the number of user interactions (see bench_ablation_query).
 Synthesizer make_bisection_synthesizer(const sketch::Sketch& sketch,
+                                       SynthesisConfig config = {},
+                                       solver::Viability viability = {});
+
+/// Portfolio back-end (solver/portfolio_finder.h): a GridFinder and a
+/// Z3Finder answering every query per config.portfolio_mode — racing
+/// concurrently (kRace, the performance default) or pinned to one leg for
+/// deterministic runs. config.solver_cache, if set, accelerates the Z3 leg.
+Synthesizer make_portfolio_synthesizer(const sketch::Sketch& sketch,
                                        SynthesisConfig config = {},
                                        solver::Viability viability = {});
 

@@ -125,6 +125,18 @@ void ThreadPool::parallel_for(
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(0);
   return pool;

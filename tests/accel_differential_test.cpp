@@ -1,0 +1,380 @@
+// Differential tests for the solver acceleration layer (docs/SOLVER.md).
+//
+// Every acceleration — incremental push/pop encodings, the solver result
+// cache (cold and warm), interval pre-checks, pinned portfolio legs — must
+// be *transparent*: the same seed produces the identical oracle query
+// sequence and the identical learned objective with the feature on or off,
+// across the SWAN, ABR-QoE and homenet sketches. The racing portfolio mode
+// is exempt from sequence identity by design (the winning leg varies with
+// load) and is instead held to ranking-equivalence against the target.
+//
+// Also covers SolverCache in isolation (FIFO eviction, persistence) and the
+// kill/resume path through the snapshot @cache section.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "oracle/ground_truth.h"
+#include "session/snapshot.h"
+#include "sketch/library.h"
+#include "solver/equivalence.h"
+#include "solver/portfolio_finder.h"
+#include "solver/solver_cache.h"
+#include "synth/synthesizer.h"
+
+namespace compsynth {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SolverCache unit behavior.
+
+TEST(SolverCache, MissThenStoreThenHit) {
+  solver::SolverCache cache(8);
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  cache.store("k", "value");
+  const auto hit = cache.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "value");
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.stores, 1);
+  EXPECT_EQ(stats.evictions, 0);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SolverCache, OverwriteReplacesValueWithoutGrowing) {
+  solver::SolverCache cache(8);
+  cache.store("k", "old");
+  cache.store("k", "new");
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.lookup("k"), "new");
+}
+
+TEST(SolverCache, EvictsOldestEntryFirst) {
+  solver::SolverCache cache(2);
+  cache.store("a", "1");
+  cache.store("b", "2");
+  cache.store("c", "3");  // evicts "a"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.lookup("b"), "2");
+  EXPECT_EQ(cache.lookup("c"), "3");
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(SolverCache, KeyHashIsStableAndDiscriminates) {
+  const std::string key = "sketch swan | graph ... | domain none";
+  EXPECT_EQ(solver::SolverCache::key_hash(key),
+            solver::SolverCache::key_hash(key));
+  EXPECT_NE(solver::SolverCache::key_hash("a"),
+            solver::SolverCache::key_hash("b"));
+}
+
+TEST(SolverCache, SaveRestorePreservesEntriesAndEvictionOrder) {
+  solver::SolverCache cache(2);
+  cache.store("first", "1");
+  cache.store("second", std::string("blob with\nnewlines and \0bytes", 29));
+  const std::string blob = cache.save_state();
+
+  solver::SolverCache back(2);
+  back.restore_state(blob);
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.lookup("first"), cache.lookup("first"));
+  EXPECT_EQ(back.lookup("second"), cache.lookup("second"));
+  // Insertion order survived: the next store evicts "first", not "second".
+  back.store("third", "3");
+  EXPECT_FALSE(back.lookup("first").has_value());
+  EXPECT_TRUE(back.lookup("second").has_value());
+}
+
+TEST(SolverCache, RestoreRejectsMalformedState) {
+  solver::SolverCache cache(4);
+  cache.store("keep", "me");
+  EXPECT_THROW(cache.restore_state("not a cache blob"),
+               std::invalid_argument);
+  // A failed restore leaves the cache untouched.
+  EXPECT_EQ(cache.lookup("keep"), "me");
+}
+
+// ---------------------------------------------------------------------------
+// Query-sequence logging oracle (mirrors tests/session_test.cpp): one
+// canonical line per do_compare / do_rank call, with persistence hooks so
+// resumed runs replay the identical answer stream.
+
+std::string scenario_key(const pref::Scenario& s) {
+  std::string out;
+  char buf[40];
+  for (double m : s.metrics) {
+    std::snprintf(buf, sizeof(buf), " %.17g", m);
+    out += buf;
+  }
+  return out;
+}
+
+class LoggingOracle final : public oracle::Oracle {
+ public:
+  LoggingOracle(const sketch::Sketch& sk, const sketch::HoleAssignment& target,
+                double tie_tolerance)
+      : inner_(sk, target, tie_tolerance) {}
+
+  std::vector<std::string> log;
+
+ protected:
+  oracle::Preference do_compare(const pref::Scenario& a,
+                                const pref::Scenario& b) override {
+    log.push_back("cmp" + scenario_key(a) + " |" + scenario_key(b));
+    return inner_.compare(a, b);
+  }
+  oracle::RankingResponse do_rank(
+      std::span<const pref::Scenario> scenarios) override {
+    std::string entry = "rank";
+    for (const auto& s : scenarios) entry += scenario_key(s);
+    log.push_back(entry);
+    return inner_.rank(scenarios);
+  }
+  void do_save_state(std::ostream& out) const override {
+    inner_.save_state(out);
+  }
+  void do_restore_state(std::istream& in) override { inner_.restore_state(in); }
+
+ private:
+  oracle::GroundTruthOracle inner_;
+};
+
+// ---------------------------------------------------------------------------
+// Differential harness.
+
+struct Workload {
+  const sketch::Sketch& sketch;
+  sketch::HoleAssignment target;
+  std::uint64_t seed = 1;
+};
+
+Workload swan_workload() {
+  return {sketch::swan_sketch(), sketch::swan_target(), 11};
+}
+
+Workload abr_workload() {
+  const auto& sk = sketch::abr_qoe_sketch();
+  sketch::HoleAssignment target;
+  target.index = {sk.holes()[0].nearest_index(2),
+                  sk.holes()[1].nearest_index(2),
+                  sk.holes()[2].nearest_index(0.5),
+                  sk.holes()[3].nearest_index(1)};
+  return {sk, target, 606};
+}
+
+Workload homenet_workload() {
+  const auto& sk = sketch::homenet_sketch();
+  sketch::HoleAssignment target;
+  target.index = {sk.holes()[0].nearest_index(20),
+                  sk.holes()[1].nearest_index(1),
+                  sk.holes()[2].nearest_index(1)};
+  return {sk, target, 77};
+}
+
+enum class Backend { kZ3, kGrid, kPortfolio };
+
+struct RunOut {
+  synth::SynthesisResult result;
+  std::vector<std::string> log;
+};
+
+synth::SynthesisConfig base_config(const Workload& w, int max_iterations) {
+  synth::SynthesisConfig config;
+  config.seed = w.seed;
+  config.max_iterations = max_iterations;
+  return config;
+}
+
+RunOut run_once(const Workload& w, Backend backend,
+                synth::SynthesisConfig config) {
+  LoggingOracle user(w.sketch, w.target, config.finder.tie_tolerance);
+  synth::Synthesizer s =
+      backend == Backend::kZ3 ? synth::make_z3_synthesizer(w.sketch, config)
+      : backend == Backend::kGrid
+          ? synth::make_grid_synthesizer(w.sketch, config)
+          : synth::make_portfolio_synthesizer(w.sketch, config);
+  RunOut out;
+  out.result = s.run(user);
+  out.log = std::move(user.log);
+  return out;
+}
+
+void expect_same_run(const RunOut& expected, const RunOut& got,
+                     const std::string& what) {
+  EXPECT_EQ(got.result.status, expected.result.status) << what;
+  ASSERT_TRUE(expected.result.objective.has_value()) << what;
+  ASSERT_TRUE(got.result.objective.has_value()) << what;
+  EXPECT_EQ(got.result.objective->index, expected.result.objective->index)
+      << what;
+  EXPECT_EQ(got.result.iterations, expected.result.iterations) << what;
+  EXPECT_EQ(got.log, expected.log) << what;
+}
+
+// Each Z3 acceleration, alone and combined, must reproduce the baseline's
+// oracle query sequence and objective exactly. Runs are truncated — sequence
+// identity over a fixed iteration budget is the property, convergence is
+// covered elsewhere (bench_solver, smoke tests).
+void check_z3_accelerations(const Workload& w, int max_iterations) {
+  synth::SynthesisConfig baseline_config = base_config(w, max_iterations);
+  baseline_config.finder.incremental = false;
+  baseline_config.finder.interval_precheck = false;
+  const RunOut baseline = run_once(w, Backend::kZ3, baseline_config);
+  ASSERT_FALSE(baseline.log.empty());
+
+  {
+    synth::SynthesisConfig config = base_config(w, max_iterations);
+    config.finder.incremental = true;
+    config.finder.interval_precheck = false;
+    expect_same_run(baseline, run_once(w, Backend::kZ3, config),
+                    "incremental");
+  }
+  {
+    synth::SynthesisConfig config = base_config(w, max_iterations);
+    config.finder.incremental = false;
+    config.finder.interval_precheck = true;
+    expect_same_run(baseline, run_once(w, Backend::kZ3, config), "precheck");
+  }
+  {
+    auto cache = std::make_shared<solver::SolverCache>(4096);
+    synth::SynthesisConfig config = base_config(w, max_iterations);
+    config.solver_cache = cache;
+    expect_same_run(baseline, run_once(w, Backend::kZ3, config),
+                    "cold cache + incremental + precheck");
+    // Second run replays the warmed cache: still byte-identical, and served
+    // from memory rather than the solver.
+    const auto before = cache->stats();
+    expect_same_run(baseline, run_once(w, Backend::kZ3, config),
+                    "warm cache");
+    EXPECT_GT(cache->stats().hits, before.hits);
+  }
+  {
+    // A pinned-Z3 portfolio is pure delegation to its Z3 leg.
+    synth::SynthesisConfig config = base_config(w, max_iterations);
+    config.portfolio_mode = solver::PortfolioMode::kPinZ3;
+    expect_same_run(baseline, run_once(w, Backend::kPortfolio, config),
+                    "portfolio pin-z3");
+  }
+}
+
+TEST(AccelDifferential, SwanZ3AccelerationsPreserveSequence) {
+  check_z3_accelerations(swan_workload(), 4);
+}
+
+TEST(AccelDifferential, AbrQoeZ3AccelerationsPreserveSequence) {
+  check_z3_accelerations(abr_workload(), 3);
+}
+
+TEST(AccelDifferential, HomenetZ3AccelerationsPreserveSequence) {
+  check_z3_accelerations(homenet_workload(), 4);
+}
+
+// A pinned-grid portfolio must be indistinguishable from the plain grid
+// back-end, all the way to convergence (the factories derive the identical
+// pair-search RNG seed for both).
+void check_pinned_grid(const Workload& w) {
+  synth::SynthesisConfig config = base_config(w, 300);
+  const RunOut grid = run_once(w, Backend::kGrid, config);
+  ASSERT_EQ(grid.result.status, synth::SynthesisStatus::kConverged);
+
+  config.portfolio_mode = solver::PortfolioMode::kPinGrid;
+  expect_same_run(grid, run_once(w, Backend::kPortfolio, config),
+                  "portfolio pin-grid");
+}
+
+TEST(AccelDifferential, SwanPinnedGridPortfolioMatchesGridBackend) {
+  check_pinned_grid(swan_workload());
+}
+
+TEST(AccelDifferential, AbrQoePinnedGridPortfolioMatchesGridBackend) {
+  check_pinned_grid(abr_workload());
+}
+
+TEST(AccelDifferential, HomenetPinnedGridPortfolioMatchesGridBackend) {
+  check_pinned_grid(homenet_workload());
+}
+
+// The racing portfolio is not replay-deterministic (a cancelled grid search
+// still advances its RNG), so it is held to the outcome, not the sequence:
+// it must converge to a ranking-equivalent objective.
+TEST(AccelDifferential, RacingPortfolioConvergesToEquivalentObjective) {
+  const Workload w = swan_workload();
+  synth::SynthesisConfig config = base_config(w, 300);
+  config.solver_cache = std::make_shared<solver::SolverCache>(4096);
+  const RunOut race = run_once(w, Backend::kPortfolio, config);
+  ASSERT_EQ(race.result.status, synth::SynthesisStatus::kConverged);
+  ASSERT_TRUE(race.result.objective.has_value());
+  EXPECT_TRUE(solver::ranking_equivalent(w.sketch, *race.result.objective,
+                                         w.target, config.finder));
+}
+
+// Kill/resume through the snapshot @cache section: a cached Z3 run is
+// checkpointed mid-flight, the state round-trips through the v2 snapshot
+// encoding (cache contents included), and a fresh synthesizer + fresh cache
+// resumes to the identical continuation.
+TEST(AccelDifferential, CacheSurvivesKillResumeThroughSnapshot) {
+  const Workload w = homenet_workload();
+  const int max_iterations = 5;
+
+  auto ref_cache = std::make_shared<solver::SolverCache>(4096);
+  synth::SynthesisConfig ref_config = base_config(w, max_iterations);
+  ref_config.solver_cache = ref_cache;
+
+  std::vector<std::pair<synth::SessionState, std::size_t>> checkpoints;
+  LoggingOracle ref_user(w.sketch, w.target, ref_config.finder.tie_tolerance);
+  synth::SynthesisConfig cap_config = ref_config;
+  cap_config.checkpoint = [&](const synth::SessionState& st) {
+    checkpoints.emplace_back(st, ref_user.log.size());
+  };
+  synth::Synthesizer ref_synth = synth::make_z3_synthesizer(w.sketch, cap_config);
+  const synth::SynthesisResult ref = ref_synth.run(ref_user);
+  ASSERT_TRUE(ref.objective.has_value());
+  ASSERT_GE(checkpoints.size(), 2u);
+
+  for (const auto& [state, log_len] : checkpoints) {
+    if (state.iterations >= ref.iterations || state.iterations == 0) continue;
+    ASSERT_FALSE(state.cache_state.empty())
+        << "a cached run's checkpoint must carry the cache";
+
+    // Round-trip through the on-disk form, @cache section included.
+    session::Snapshot snap;
+    snap.meta.sketch = "homenet";
+    snap.meta.backend = "z3";
+    snap.meta.seed = w.seed;
+    snap.meta.iteration = state.iterations;
+    snap.state = state;
+    const std::string bytes = session::encode(snap);
+    EXPECT_NE(bytes.find("@cache "), std::string::npos);
+    const session::Snapshot back = session::decode(bytes);
+    EXPECT_EQ(back.state.cache_state, state.cache_state);
+
+    // Resume with a fresh synthesizer and an EMPTY cache: restore must
+    // repopulate it from the snapshot.
+    auto cache = std::make_shared<solver::SolverCache>(4096);
+    synth::SynthesisConfig config = base_config(w, max_iterations);
+    config.solver_cache = cache;
+    LoggingOracle user(w.sketch, w.target, config.finder.tie_tolerance);
+    synth::Synthesizer s = synth::make_z3_synthesizer(w.sketch, config);
+    const synth::SynthesisResult r = s.resume(user, back.state);
+    EXPECT_GT(cache->size(), 0u) << "resume did not restore the cache";
+    ASSERT_TRUE(r.objective.has_value());
+    EXPECT_EQ(r.objective->index, ref.objective->index)
+        << "resume at iteration " << state.iterations;
+    EXPECT_EQ(r.iterations, ref.iterations);
+    const std::vector<std::string> expected(ref_user.log.begin() + log_len,
+                                            ref_user.log.end());
+    EXPECT_EQ(user.log, expected)
+        << "resumed query sequence diverged at iteration "
+        << state.iterations;
+  }
+}
+
+}  // namespace
+}  // namespace compsynth

@@ -19,6 +19,7 @@
 #include "session/snapshot.h"
 #include "sketch/library.h"
 #include "synth/synthesizer.h"
+#include "util/checksum.h"
 
 namespace compsynth::session {
 namespace {
@@ -233,15 +234,61 @@ TEST(Snapshot, RejectsTornAndTamperedBytes) {
 
 TEST(Snapshot, RejectsNewerFormatVersion) {
   std::string bytes = encode(sample_snapshot());
-  const std::string old = "COMPSYNTH-SNAPSHOT 1\n";
-  ASSERT_EQ(bytes.rfind(old, 0), 0u);
-  bytes.replace(0, old.size(), "COMPSYNTH-SNAPSHOT 2\n");
+  const std::string current =
+      "COMPSYNTH-SNAPSHOT " + std::to_string(kSnapshotFormatVersion) + "\n";
+  ASSERT_EQ(bytes.rfind(current, 0), 0u);
+  bytes.replace(0, current.size(),
+                "COMPSYNTH-SNAPSHOT " +
+                    std::to_string(kSnapshotFormatVersion + 1) + "\n");
   try {
     decode(bytes);
     FAIL() << "a newer format version must be rejected";
   } catch (const SnapshotError& e) {
     EXPECT_NE(std::string(e.what()).find("newer"), std::string::npos);
   }
+}
+
+// Version-1 files predate the @cache section; decode must still accept them
+// (yielding an empty, cold cache). The v1 bytes are reconstructed from a v2
+// encoding by stripping the trailing @cache section and rewriting the
+// envelope exactly as the v1 writer produced it.
+TEST(Snapshot, DecodesVersion1FilesWithoutCacheSection) {
+  const Snapshot snap = sample_snapshot();
+  const std::string bytes = encode(snap);
+  const std::string cache_section = "@cache 0\n\n";
+  ASSERT_TRUE(bytes.size() >= cache_section.size() &&
+              bytes.compare(bytes.size() - cache_section.size(),
+                            cache_section.size(), cache_section) == 0)
+      << "expected the empty @cache section to close a v2 snapshot";
+  const std::size_t manifest_begin = bytes.find('\n') + 1;
+  const std::size_t payload_begin = bytes.find('\n', manifest_begin) + 1;
+  std::string manifest =
+      bytes.substr(manifest_begin, payload_begin - manifest_begin - 1);
+  std::string payload = bytes.substr(payload_begin);
+  payload.resize(payload.size() - cache_section.size());
+
+  const auto rewrite = [&manifest](const std::string& from,
+                                   const std::string& to) {
+    const std::size_t at = manifest.find(from);
+    ASSERT_NE(at, std::string::npos) << "manifest lacks '" << from << "'";
+    manifest.replace(at, from.size(), to);
+  };
+  rewrite("\"v\":" + std::to_string(kSnapshotFormatVersion), "\"v\":1");
+  rewrite("\"payload_bytes\":" +
+              std::to_string(payload.size() + cache_section.size()),
+          "\"payload_bytes\":" + std::to_string(payload.size()));
+  rewrite(util::crc32_hex(
+              util::crc32(bytes.substr(payload_begin))),
+          util::crc32_hex(util::crc32(payload)));
+
+  const std::string v1 = "COMPSYNTH-SNAPSHOT 1\n" + manifest + "\n" + payload;
+  const Snapshot back = decode(v1);
+  EXPECT_EQ(back.meta.version, 1);
+  EXPECT_TRUE(back.state.cache_state.empty());
+  EXPECT_EQ(back.state.finder_state, snap.state.finder_state);
+  EXPECT_EQ(back.state.oracle_state, snap.state.oracle_state);
+  EXPECT_EQ(pref::serialize(back.state.graph),
+            pref::serialize(snap.state.graph));
 }
 
 TEST(Snapshot, WriteReadFileRoundTrip) {

@@ -39,7 +39,12 @@ double num(const JsonObject& obj, const std::string& key) {
 class TraceGoldenTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "/golden_trace.jsonl";
+    // Unique per test: ctest -j runs each TEST_F as its own process, and a
+    // shared filename would let one test's TearDown delete the file another
+    // is still reading.
+    path_ = ::testing::TempDir() + "/golden_trace_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".jsonl";
 
     obs::FileTraceSink sink(path_);
     synth::SynthesisConfig config;

@@ -9,6 +9,17 @@
 //                       (e.g. --target "throughput - 2*latency");
 //                       without it, YOU answer preference queries (1/2/=)
 //   --backend z3|grid   candidate finder (default: z3, the paper's engine)
+//   --portfolio [mode]  race the grid and Z3 finders per query (the solver
+//                       acceleration layer, docs/SOLVER.md §Portfolio);
+//                       mode = race (default) | pin-grid | pin-z3, the pins
+//                       being deterministic single-leg variants. Overrides
+//                       --backend.
+//   --solver-cache [n]  cache Z3 verdicts across queries (n = max entries,
+//                       default 4096); repeated identical (sketch, graph)
+//                       queries replay without touching the solver
+//   --no-incremental    rebuild the Z3 encoding from scratch every query
+//                       instead of extending it via push/pop (debugging /
+//                       A-B timing; verdicts are identical either way)
 //   --pairs <k>         scenario pairs ranked per iteration (default 1)
 //   --initial <n>       initial random scenarios (default 5)
 //   --max-iters <n>     interaction budget (default 500)
@@ -46,6 +57,7 @@ struct Options {
   std::string sketch_path;
   std::optional<std::string> target_expr;
   std::string backend = "z3";
+  bool portfolio = false;
   std::optional<std::string> resume_path;
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
@@ -56,9 +68,10 @@ struct Options {
 
 void usage(std::ostream& os) {
   os << "usage: compsynth_cli <sketch-file> [--target <expr>] [--backend z3|grid]\n"
-        "       [--pairs k] [--initial n] [--max-iters n] [--seed n]\n"
-        "       [--resume file] [--save file] [--trace file] [--metrics]\n"
-        "       [--quiet]\n";
+        "       [--portfolio [race|pin-grid|pin-z3]] [--solver-cache [entries]]\n"
+        "       [--no-incremental] [--pairs k] [--initial n] [--max-iters n]\n"
+        "       [--seed n] [--resume file] [--save file] [--trace file]\n"
+        "       [--metrics] [--quiet]\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -83,6 +96,31 @@ std::optional<Options> parse_args(int argc, char** argv) {
         std::cerr << "unknown backend '" << opt.backend << "'\n";
         return std::nullopt;
       }
+    } else if (arg == "--portfolio") {
+      opt.portfolio = true;
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (next == "race" || next == "pin-grid" || next == "pin-z3") {
+          ++i;
+          opt.config.portfolio_mode =
+              next == "race"       ? solver::PortfolioMode::kRace
+              : next == "pin-grid" ? solver::PortfolioMode::kPinGrid
+                                   : solver::PortfolioMode::kPinZ3;
+        }
+      }
+    } else if (arg == "--solver-cache") {
+      std::size_t entries = 4096;
+      if (i + 1 < argc) {
+        const std::string next = argv[i + 1];
+        if (!next.empty() &&
+            next.find_first_not_of("0123456789") == std::string::npos) {
+          ++i;
+          entries = static_cast<std::size_t>(std::stoull(next));
+        }
+      }
+      opt.config.solver_cache = std::make_shared<solver::SolverCache>(entries);
+    } else if (arg == "--no-incremental") {
+      opt.config.finder.incremental = false;
     } else if (arg == "--pairs") {
       if (auto v = need_value(i)) opt.config.pairs_per_iteration = std::stoi(*v);
       else return std::nullopt;
@@ -168,8 +206,9 @@ int main(int argc, char** argv) {
     config.obs.seed = config.seed;
 
     synth::Synthesizer synthesizer =
-        opt->backend == "grid" ? synth::make_grid_synthesizer(sk, config)
-                               : synth::make_z3_synthesizer(sk, config);
+        opt->portfolio ? synth::make_portfolio_synthesizer(sk, config)
+        : opt->backend == "grid" ? synth::make_grid_synthesizer(sk, config)
+                                 : synth::make_z3_synthesizer(sk, config);
 
     pref::PreferenceGraph initial(opt->config.tolerate_inconsistency);
     if (opt->resume_path) {

@@ -90,6 +90,17 @@ struct RunReport {
   // Static-analysis events: the synthesizer's lint summary (kind=lint) and
   // accumulated GridFinder pruning totals (kind=prune).
   std::optional<JsonObject> lint;
+  // Solver-acceleration events (docs/SOLVER.md): cache traffic, interval
+  // pre-check discharges, incremental encoding reuse, portfolio race wins.
+  long long cache_hits = 0;
+  long long cache_misses = 0;
+  long long cache_stores = 0;
+  long long precheck_hits = 0;
+  long long incremental_reuses = 0;
+  long long incremental_builds = 0;
+  long long portfolio_races = 0;
+  long long portfolio_grid_wins = 0;
+  long long portfolio_z3_wins = 0;
   long long prune_events = 0;
   long long pruned_regions = 0;
   long long pruned_candidates = 0;
@@ -139,6 +150,27 @@ void absorb(RunReport& run, const JsonObject& obj, const std::string& ev) {
           run.degenerate_dims,
           static_cast<long long>(num_or(obj, "degenerate_dims", 0)));
     }
+  } else if (ev == "solver_cache") {
+    const std::string op = str_or(obj, "op", "?");
+    if (op == "hit") ++run.cache_hits;
+    if (op == "miss") ++run.cache_misses;
+    if (op == "store") ++run.cache_stores;
+  } else if (ev == "interval_precheck") {
+    ++run.precheck_hits;
+  } else if (ev == "z3_incremental") {
+    if (str_or(obj, "op", "?") == "reuse") {
+      ++run.incremental_reuses;
+    } else {
+      ++run.incremental_builds;
+    }
+  } else if (ev == "portfolio") {
+    ++run.portfolio_races;
+    const std::string winner = str_or(obj, "winner", "?");
+    if (winner == "grid") ++run.portfolio_grid_wins;
+    if (winner == "z3") ++run.portfolio_z3_wins;
+    auto& [count, secs] = run.components["portfolio"];
+    ++count;
+    secs += num_or(obj, "secs", 0);
   } else if (ev == "oracle_query") {
     const std::string kind = str_or(obj, "kind", "?");
     std::string key = kind;
@@ -203,6 +235,41 @@ void render_run(std::ostream& os, const RunReport& run) {
        << " refuted region(s), " << run.degenerate_dims
        << " degenerate dim(s), over " << run.prune_events
        << " rebuild(s).\n\n";
+  }
+
+  // Solver acceleration: only rendered when the run exercised any of it, so
+  // plain grid-backend reports stay unchanged.
+  if (run.cache_hits + run.cache_misses + run.precheck_hits +
+          run.incremental_reuses + run.incremental_builds +
+          run.portfolio_races >
+      0) {
+    os << "### Solver acceleration\n\n| accelerator | value |\n|---|---|\n";
+    if (run.cache_hits + run.cache_misses > 0) {
+      const double rate =
+          100.0 * run.cache_hits / (run.cache_hits + run.cache_misses);
+      os << "| cache hits / lookups | " << run.cache_hits << " / "
+         << (run.cache_hits + run.cache_misses) << " (" << fmt(rate, 1)
+         << "%) |\n"
+         << "| cache stores | " << run.cache_stores << " |\n";
+    }
+    if (run.precheck_hits > 0) {
+      os << "| interval pre-check discharges | " << run.precheck_hits
+         << " |\n";
+    }
+    if (run.incremental_reuses + run.incremental_builds > 0) {
+      os << "| incremental encoding reuses / builds | "
+         << run.incremental_reuses << " / " << run.incremental_builds
+         << " |\n";
+    }
+    if (run.portfolio_races > 0) {
+      const double grid_rate =
+          100.0 * run.portfolio_grid_wins / run.portfolio_races;
+      os << "| portfolio races | " << run.portfolio_races << " |\n"
+         << "| portfolio wins grid / z3 | " << run.portfolio_grid_wins
+         << " / " << run.portfolio_z3_wins << " (grid " << fmt(grid_rate, 1)
+         << "%) |\n";
+    }
+    os << "\n";
   }
 
   if (!run.components.empty()) {
