@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Standalone dead-link checker for the documentation: every relative
 # Markdown link target in docs/*.md, README.md, DESIGN.md and
-# EXPERIMENTS.md must exist on disk. Same contract as the `docs_check`
-# ctest (tools/docs_check.cmake), but runnable without a configured build
-# tree — scripts/ci_full.sh calls it, and it is cheap enough for a
-# pre-commit hook.
+# EXPERIMENTS.md must exist on disk, and every document under docs/ must
+# be linked from README.md's documentation index (so a new doc —
+# docs/SERVICE.md was the motivating case — cannot land invisible). Same
+# link contract as the `docs_check` ctest (tools/docs_check.cmake), but
+# runnable without a configured build tree — scripts/ci_full.sh calls it,
+# and it is cheap enough for a pre-commit hook.
 #
 # Usage: scripts/check_docs_links.sh [repo-root]
 set -u
@@ -33,12 +35,24 @@ for doc in "$root"/docs/*.md "$root"/README.md "$root"/DESIGN.md \
   done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
 done
 
-if [ "$checked" -eq 0 ]; then
-  echo "check_docs_links: no links found — extraction regex drifted?" >&2
+# Index completeness: each docs/*.md must be referenced from README.md.
+indexed=0
+for doc in "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  name="docs/$(basename "$doc")"
+  indexed=$((indexed + 1))
+  if ! grep -q "($name)" "$root/README.md"; then
+    echo "unindexed doc: $name is not linked from README.md" >&2
+    fail=1
+  fi
+done
+
+if [ "$checked" -eq 0 ] || [ "$indexed" -eq 0 ]; then
+  echo "check_docs_links: nothing found — extraction regex drifted?" >&2
   exit 1
 fi
 if [ "$fail" -ne 0 ]; then
   echo "check_docs_links: FAILED" >&2
   exit 1
 fi
-echo "check_docs_links: $checked links OK"
+echo "check_docs_links: $checked links OK, $indexed docs indexed"

@@ -3,8 +3,14 @@
 #   1. configure + build the main tree
 #   2. the complete ctest suite (unit, integration, differential, lint
 #      gates, docs_check, docs_blocks, session kill/resume end to end)
-#   3. the standalone docs checkers (links + code blocks)
-#   4. the address+undefined sanitizer build/test sweep
+#   3. the synthesis-service end-to-end smokes, re-run explicitly so a
+#      daemon/protocol regression is named in the CI log even when the
+#      suite above was filtered (serve_smoke drives every protocol verb
+#      and error code through a live daemon; serve_kill_resume kill -9s
+#      the daemon mid-run and diffs against an uninterrupted reference)
+#   4. the standalone docs checkers (links + code blocks + README index
+#      completeness, which gates docs/SERVICE.md and friends)
+#   5. the address+undefined sanitizer build/test sweep
 #
 # Run it before sending a change; scripts/check_tsan.sh adds the (slower)
 # ThreadSanitizer pass that exercises the parallel version-space engine.
@@ -23,6 +29,9 @@ cmake --build "$build" -j "$(nproc)"
 
 echo "== test suite =="
 ctest --test-dir "$build" -j "$(nproc)" --output-on-failure
+
+echo "== synthesis service end to end =="
+ctest --test-dir "$build" -R '^serve_(smoke|kill_resume)$' --output-on-failure
 
 echo "== docs: links =="
 "$repo/scripts/check_docs_links.sh" "$repo"

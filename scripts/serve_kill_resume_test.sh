@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Durability check for the synthesis service (docs/SERVICE.md §Durability):
+# a daemon killed with SIGKILL mid-run and restarted on the same --root must
+# resume every session to the *identical* oracle-query sequence.
+#
+# Two roots, same sessions, same seeds:
+#   reference: one daemon, every session driven to completion.
+#   killed:    sessions driven partway (2 answers each, parked on a pending
+#              query), daemon killed -9, a fresh daemon started on the same
+#              root, sessions driven to completion with --continue.
+# Every per-session answers.log and done.json must then be byte-identical
+# across the two roots — both files are canonical renderings, so cmp is the
+# whole verification.
+#
+# Usage: scripts/serve_kill_resume_test.sh <compsynth_serve> <compsynth_load> <sketch>
+set -euo pipefail
+
+serve_bin="$1"
+load_bin="$2"
+sketch="$3"
+
+sessions=8
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+  return 0
+}
+trap cleanup EXIT
+
+start_daemon() {  # start_daemon <root> <logfile>
+  "$serve_bin" --listen "unix:$work/sock" --root "$1" --sketch "$sketch" \
+    --max-active 3 --workers 4 >"$2" 2>&1 &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$2" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "listening on" "$2" || { echo "daemon did not come up:"; cat "$2"; exit 1; }
+}
+
+drive() {  # drive <extra-flags...>
+  "$load_bin" --connect "unix:$work/sock" --sketch-file "$sketch" \
+    --sessions "$sessions" --threads 2 --prefix kr --seed-base 40 "$@"
+}
+
+echo "== reference run (uninterrupted) =="
+start_daemon "$work/ref" "$work/ref.log"
+drive --shutdown >/dev/null
+wait "$daemon_pid" || { echo "reference daemon exited non-zero"; exit 1; }
+daemon_pid=""
+
+echo "== killed run: part one, then SIGKILL =="
+start_daemon "$work/killed" "$work/k1.log"
+drive --stop-after-answers 2 >/dev/null
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "== killed run: restart on the same root, resume to completion =="
+start_daemon "$work/killed" "$work/k2.log"
+drive --continue --shutdown >/dev/null
+wait "$daemon_pid" || { echo "restarted daemon exited non-zero"; exit 1; }
+daemon_pid=""
+
+echo "== verify: identical query sequences and outcomes =="
+for i in $(seq 0 $((sessions - 1))); do
+  for f in answers.log done.json; do
+    cmp "$work/ref/kr$i/$f" "$work/killed/kr$i/$f" || {
+      echo "divergence in session kr$i ($f)"; exit 1; }
+  done
+done
+
+echo "serve_kill_resume: OK ($sessions sessions byte-identical after kill -9)"

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the synthesis service (docs/SERVICE.md): starts a
+# compsynth_serve daemon on a unix socket, probes every protocol verb and
+# the headline error codes with `compsynth_load request`, then drives a
+# multi-session interleaved load with --max-active far below the session
+# count and asserts the daemon actually swapped and rehydrated.
+#
+# Usage: scripts/serve_smoke_test.sh <compsynth_serve> <compsynth_load> <sketch>
+# (the serve_smoke ctest passes the built binaries and tools/sketches/serve.sketch)
+set -euo pipefail
+
+serve_bin="$1"
+load_bin="$2"
+sketch="$3"
+
+work="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+  return 0
+}
+trap cleanup EXIT
+
+sock="unix:$work/sock"
+
+"$serve_bin" --listen "$sock" --root "$work/root" --sketch "$sketch" \
+  --max-active 4 --workers 4 --trace "$work/trace.jsonl" \
+  >"$work/daemon.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$work/daemon.log" 2>/dev/null && break
+  sleep 0.1
+done
+grep -q "listening on" "$work/daemon.log" || {
+  echo "daemon did not come up:"; cat "$work/daemon.log"; exit 1; }
+
+probe() {  # probe '<request-json>' '<expected-substring>'
+  local response
+  response="$("$load_bin" request --connect "$sock" "$1")"
+  case "$response" in
+    *"$2"*) ;;
+    *) echo "probe failed: $1"; echo "  got:  $response"; echo "  want: $2"
+       exit 1 ;;
+  esac
+}
+
+# Every verb and the headline error codes, one probe each.
+probe 'this is not json'                                  '"code":"E_PARSE"'
+probe '{"verb":"frobnicate"}'                             '"code":"E_VERB"'
+probe '{"verb":"create","session":"bad/id"}'              '"code":"E_ID"'
+probe '{"verb":"next","session":"ghost"}'                 '"code":"E_UNKNOWN_SESSION"'
+probe '{"verb":"create","session":"probe","seed":7}'      '"ok":true'
+probe '{"verb":"create","session":"probe"}'               '"code":"E_EXISTS"'
+probe '{"verb":"create","session":"p2","sketch":"nope"}'  '"code":"E_SKETCH"'
+probe '{"verb":"create","session":"p2","backend":"cray"}' '"code":"E_BACKEND"'
+probe '{"verb":"next","session":"probe","wait_ms":10000}' '"phase":"waiting"'
+probe '{"verb":"next","session":"probe"}'                 '"index":0'
+probe '{"verb":"answer","session":"probe","index":99,"answer":"first"}' \
+                                                          '"code":"E_INDEX"'
+probe '{"verb":"answer","session":"probe","index":0,"answer":"dunno"}' \
+                                                          '"code":"E_ANSWER"'
+probe '{"verb":"answer","session":"probe","index":0,"answer":"first"}' \
+                                                          '"ok":true'
+# Idempotent re-delivery of an acked answer.
+probe '{"verb":"answer","session":"probe","index":0,"answer":"first"}' \
+                                                          '"ok":true'
+probe '{"verb":"inspect","session":"probe"}'              '"answers":1'
+probe '{"verb":"evict","session":"probe"}'                '"ok":true'
+probe '{"verb":"inspect","session":"probe"}'              '"resident":false'
+# Rehydrates transparently and re-publishes the same pending index.
+probe '{"verb":"next","session":"probe","wait_ms":10000}' '"index":1'
+probe '{"verb":"inspect"}'                                '"sessions_created"'
+
+# Interleaved load: 32 sessions on 4 connections against 4 resident slots.
+"$load_bin" --connect "$sock" --sketch-file "$sketch" \
+  --sessions 32 --threads 4 --evict-every 5 --seed-base 100 --prefix load \
+  --out "$work/bench.json"
+
+grep -q '"failed": 0' "$work/bench.json" || {
+  echo "load run had failures:"; cat "$work/bench.json"; exit 1; }
+grep -q '"completed": 32' "$work/bench.json" || {
+  echo "not every session completed:"; cat "$work/bench.json"; exit 1; }
+swaps="$(sed -n 's/.*"swaps": \([0-9]*\).*/\1/p' "$work/bench.json")"
+[ -n "$swaps" ] && [ "$swaps" -gt 0 ] || {
+  echo "expected swaps > 0 with --max-active 4, got '${swaps:-none}'"; exit 1; }
+
+# The daemon traced the service events (schema rev 1.4).
+grep -q '"ev":"serve_request"' "$work/trace.jsonl"
+grep -q '"ev":"session_swap"' "$work/trace.jsonl"
+grep -q '"ev":"session_rehydrate"' "$work/trace.jsonl"
+
+probe '{"verb":"shutdown"}' '"ok":true'
+wait "$daemon_pid" || { echo "daemon exited non-zero"; exit 1; }
+daemon_pid=""
+
+echo "serve_smoke: OK (swaps=$swaps)"

@@ -52,7 +52,11 @@ inline constexpr int kTraceSchemaVersion = 1;
 ///      "z3_incremental", "portfolio" events; grid_sync's "threads" key;
 ///      counters solver.cache_{hits,misses,stores}, solver.precheck_hits,
 ///      z3.incremental_{reuses,builds}, portfolio.{races,grid_wins,z3_wins}.
-inline constexpr int kTraceSchemaMinorVersion = 3;
+/// 1.4: synthesis service — "serve_request", "session_swap",
+///      "session_rehydrate" events; counters serve.{requests,errors,
+///      sessions_created,swaps,rehydrations,advances}, gauge
+///      serve.sessions_active, histograms serve.latency.<verb>.seconds.
+inline constexpr int kTraceSchemaMinorVersion = 4;
 
 /// One field value: integer, double, string or bool.
 struct FieldValue {

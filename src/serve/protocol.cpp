@@ -1,0 +1,300 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.h"
+
+namespace compsynth::serve {
+
+namespace {
+
+// Pulls an integer-valued field out of a parsed request object. Returns
+// false (with an error message) on a non-numeric or non-integral value.
+bool take_int(const obs::JsonObject& obj, const char* name, long long lo,
+              long long hi, long long* out, std::string* err) {
+  const auto it = obj.find(name);
+  if (it == obj.end()) return true;  // optional; keep the default
+  if (it->second.kind != obs::JsonValue::Kind::kNumber) {
+    *err = std::string(name) + " must be a number";
+    return false;
+  }
+  const double v = it->second.num;
+  if (!std::isfinite(v) || v != std::floor(v)) {
+    *err = std::string(name) + " must be an integer";
+    return false;
+  }
+  if (v < static_cast<double>(lo) || v > static_cast<double>(hi)) {
+    *err = std::string(name) + " out of range";
+    return false;
+  }
+  *out = static_cast<long long>(v);
+  return true;
+}
+
+bool take_str(const obs::JsonObject& obj, const char* name, std::string* out) {
+  const auto it = obj.find(name);
+  if (it == obj.end()) return true;
+  if (it->second.kind != obs::JsonValue::Kind::kString) return false;
+  *out = it->second.str;
+  return true;
+}
+
+}  // namespace
+
+const char* verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kCreate: return "create";
+    case Verb::kNext: return "next";
+    case Verb::kAnswer: return "answer";
+    case Verb::kInspect: return "inspect";
+    case Verb::kEvict: return "evict";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::optional<Verb> parse_verb(std::string_view name) {
+  if (name == "create") return Verb::kCreate;
+  if (name == "next") return Verb::kNext;
+  if (name == "answer") return Verb::kAnswer;
+  if (name == "inspect") return Verb::kInspect;
+  if (name == "evict") return Verb::kEvict;
+  if (name == "shutdown") return Verb::kShutdown;
+  return std::nullopt;
+}
+
+const char* preference_name(oracle::Preference p) {
+  switch (p) {
+    case oracle::Preference::kFirst: return "first";
+    case oracle::Preference::kSecond: return "second";
+    case oracle::Preference::kTie: return "tie";
+  }
+  return "?";
+}
+
+std::optional<oracle::Preference> parse_preference(std::string_view name) {
+  if (name == "first") return oracle::Preference::kFirst;
+  if (name == "second") return oracle::Preference::kSecond;
+  if (name == "tie") return oracle::Preference::kTie;
+  return std::nullopt;
+}
+
+bool valid_session_id(std::string_view id) {
+  if (id.empty() || id.size() > 64 || id.front() == '.') return false;
+  for (const char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string encode_metrics(const std::vector<double>& metrics) {
+  std::string out;
+  char buf[64];
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%.17g", metrics[i]);
+    if (i > 0) out += ' ';
+    out += buf;
+  }
+  return out;
+}
+
+std::string scenario_key(const pref::Scenario& s) {
+  return encode_metrics(s.metrics);
+}
+
+std::optional<std::vector<double>> decode_metrics(std::string_view text) {
+  std::vector<double> out;
+  std::istringstream is{std::string(text)};
+  std::string token;
+  while (is >> token) {
+    std::size_t used = 0;
+    double v = 0;
+    try {
+      v = std::stod(token, &used);
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    if (used != token.size()) return std::nullopt;
+    out.push_back(v);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+std::variant<Request, ParseError> parse_request(std::string_view line) {
+  const std::optional<obs::JsonObject> parsed = obs::parse_flat_json(line);
+  if (!parsed) {
+    return ParseError{kErrParse, "request is not one flat JSON object"};
+  }
+  const obs::JsonObject& obj = *parsed;
+
+  const auto verb_it = obj.find("verb");
+  if (verb_it == obj.end() ||
+      verb_it->second.kind != obs::JsonValue::Kind::kString) {
+    return ParseError{kErrVerb, "missing string field 'verb'"};
+  }
+  const std::optional<Verb> verb = parse_verb(verb_it->second.str);
+  if (!verb) {
+    return ParseError{kErrVerb, "unknown verb '" + verb_it->second.str + "'"};
+  }
+
+  Request req;
+  req.verb = *verb;
+  std::string err;
+  if (!take_str(obj, "session", &req.session)) {
+    return ParseError{kErrField, "session must be a string"};
+  }
+  const bool needs_session = req.verb != Verb::kShutdown &&
+                             !(req.verb == Verb::kInspect && req.session.empty());
+  if (needs_session && !valid_session_id(req.session)) {
+    return ParseError{kErrId,
+                      "session id must match [A-Za-z0-9._-]{1,64} and not "
+                      "start with '.'"};
+  }
+
+  if (req.verb == Verb::kCreate) {
+    if (!take_str(obj, "sketch", &req.sketch)) {
+      return ParseError{kErrField, "sketch must be a string"};
+    }
+    if (!take_str(obj, "backend", &req.backend)) {
+      return ParseError{kErrField, "backend must be a string"};
+    }
+    long long v = 0;
+    if (!take_int(obj, "seed", 0, (1LL << 53), &v, &err)) {
+      return ParseError{kErrField, err};
+    }
+    if (obj.count("seed") != 0) req.seed = static_cast<std::uint64_t>(v);
+    v = req.initial;
+    if (!take_int(obj, "initial", 0, 1000, &v, &err)) {
+      return ParseError{kErrField, err};
+    }
+    req.initial = static_cast<int>(v);
+    v = req.pairs;
+    if (!take_int(obj, "pairs", 1, 100, &v, &err)) {
+      return ParseError{kErrField, err};
+    }
+    req.pairs = static_cast<int>(v);
+    v = req.max_iters;
+    if (!take_int(obj, "max_iters", 1, 1000000, &v, &err)) {
+      return ParseError{kErrField, err};
+    }
+    req.max_iters = static_cast<int>(v);
+  } else if (req.verb == Verb::kNext) {
+    long long v = 0;
+    if (!take_int(obj, "wait_ms", 0, 600000, &v, &err)) {
+      return ParseError{kErrField, err};
+    }
+    req.wait_ms = static_cast<int>(v);
+  } else if (req.verb == Verb::kAnswer) {
+    long long v = -1;
+    if (!take_int(obj, "index", 0, (1LL << 40), &v, &err) ||
+        obj.count("index") == 0) {
+      return ParseError{kErrIndex,
+                        err.empty() ? "missing integer field 'index'" : err};
+    }
+    req.index = static_cast<long>(v);
+    std::string answer;
+    if (!take_str(obj, "answer", &answer) || answer.empty()) {
+      return ParseError{kErrAnswer, "missing string field 'answer'"};
+    }
+    const std::optional<oracle::Preference> p = parse_preference(answer);
+    if (!p) {
+      return ParseError{kErrAnswer,
+                        "answer must be 'first', 'second' or 'tie'"};
+    }
+    req.answer = *p;
+  }
+  return req;
+}
+
+std::string render_request(const Request& req) {
+  JsonWriter w;
+  w.str("verb", verb_name(req.verb));
+  if (!req.session.empty()) w.str("session", req.session);
+  switch (req.verb) {
+    case Verb::kCreate:
+      if (!req.sketch.empty()) w.str("sketch", req.sketch);
+      w.str("backend", req.backend);
+      w.integer("seed", static_cast<long long>(req.seed));
+      w.integer("initial", req.initial);
+      w.integer("pairs", req.pairs);
+      w.integer("max_iters", req.max_iters);
+      break;
+    case Verb::kNext:
+      if (req.wait_ms > 0) w.integer("wait_ms", req.wait_ms);
+      break;
+    case Verb::kAnswer:
+      w.integer("index", req.index);
+      w.str("answer", preference_name(req.answer));
+      break;
+    case Verb::kInspect:
+    case Verb::kEvict:
+    case Verb::kShutdown:
+      break;
+  }
+  return w.done();
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (!first_) out_ += ',';
+  first_ = false;
+  out_ += '"';
+  out_ += obs::json_escape(k);
+  out_ += "\":";
+}
+
+JsonWriter& JsonWriter::str(std::string_view k, std::string_view value) {
+  key(k);
+  out_ += '"';
+  out_ += obs::json_escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::integer(std::string_view k, long long value) {
+  key(k);
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::num(std::string_view k, double value) {
+  key(k);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::boolean(std::string_view k, bool value) {
+  key(k);
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::done() {
+  out_ += '}';
+  return std::move(out_);
+}
+
+std::string error_response(std::string_view code, std::string_view message) {
+  JsonWriter w;
+  w.integer("v", kProtocolVersion);
+  w.boolean("ok", false);
+  w.str("code", code);
+  w.str("error", message);
+  return w.done();
+}
+
+JsonWriter ok_response(Verb verb) {
+  JsonWriter w;
+  w.integer("v", kProtocolVersion);
+  w.boolean("ok", true);
+  w.str("verb", verb_name(verb));
+  return w;
+}
+
+}  // namespace compsynth::serve

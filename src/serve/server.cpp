@@ -1,0 +1,382 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/timer.h"
+
+namespace compsynth::serve {
+
+namespace {
+
+// One request line is at most this long; longer floods the connection shut.
+constexpr std::size_t kMaxLine = 1 << 20;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config, SessionHost& host)
+    : config_(std::move(config)), host_(host) {
+  const std::string& listen = config_.listen;
+  if (listen.rfind("unix:", 0) == 0) {
+    unix_socket_ = true;
+    unix_path_ = listen.substr(5);
+    if (unix_path_.empty()) {
+      throw std::runtime_error("--listen unix: requires a socket path");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (unix_path_.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("unix socket path too long: " + unix_path_);
+    }
+    std::strncpy(addr.sun_path, unix_path_.c_str(), sizeof addr.sun_path - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    ::unlink(unix_path_.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      throw_errno("bind " + unix_path_);
+    }
+    endpoint_ = "unix:" + unix_path_;
+  } else if (listen.rfind("tcp:", 0) == 0) {
+    std::string host_part = "127.0.0.1";
+    std::string port_part = listen.substr(4);
+    const std::size_t colon = port_part.rfind(':');
+    if (colon != std::string::npos) {
+      host_part = port_part.substr(0, colon);
+      port_part = port_part.substr(colon + 1);
+    }
+    int port = -1;
+    try {
+      port = std::stoi(port_part);
+    } catch (const std::exception&) {
+      port = -1;
+    }
+    if (port < 0 || port > 65535) {
+      throw std::runtime_error("bad tcp port in --listen: " + listen);
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host_part.c_str(), &addr.sin_addr) != 1) {
+      throw std::runtime_error("bad tcp host in --listen (numeric IPv4): " +
+                               host_part);
+    }
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      throw_errno("bind " + listen);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    endpoint_ =
+        "tcp:" + host_part + ":" + std::to_string(ntohs(bound.sin_port));
+  } else {
+    throw std::runtime_error(
+        "--listen must be unix:<path> or tcp:[host:]<port>, got '" + listen +
+        "'");
+  }
+  if (::listen(listen_fd_, config_.backlog) < 0) throw_errno("listen");
+}
+
+Server::~Server() {
+  stop();
+  wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (unix_socket_) ::unlink(unix_path_.c_str());
+}
+
+std::string Server::endpoint() const { return endpoint_; }
+
+void Server::start() { accept_thread_ = std::thread([this] { accept_loop(); }); }
+
+void Server::begin_stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  // Unblock accept(); on Linux shutdown() on a listening socket makes a
+  // blocked accept return. Closing happens in the destructor.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void Server::stop() {
+  begin_stop();
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // No new connections can appear now; close out the existing ones.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    threads.swap(conn_threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  host_.drain();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (stopping_) {
+        if (fd >= 0) ::close(fd);
+        return;
+      }
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // listener gone
+      }
+      conn_fds_.insert(fd);
+      conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+    }
+  }
+}
+
+void Server::connection_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool stop_requested = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t pos = 0;
+    for (;;) {
+      const std::size_t nl = buffer.find('\n', pos);
+      if (nl == std::string::npos) break;
+      std::string line = buffer.substr(pos, nl - pos);
+      pos = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      bool stop_after = false;
+      const std::string response = handle_line(line, &stop_after);
+      if (!send_all(fd, response) || !send_all(fd, "\n")) {
+        pos = buffer.size();
+        stop_requested = true;  // peer gone; just leave the loop below
+        break;
+      }
+      if (stop_after) {
+        // Shutdown verb: the response is on the wire *before* the stop is
+        // initiated, so the requester always hears the ack.
+        begin_stop();
+        stop_requested = true;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+          stop_requested = true;
+          break;
+        }
+      }
+    }
+    buffer.erase(0, pos);
+    if (stop_requested || buffer.size() > kMaxLine) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lk(mu_);
+  conn_fds_.erase(fd);
+}
+
+std::string Server::handle_line(const std::string& line, bool* stop_after) {
+  const util::Stopwatch watch;
+  std::variant<Request, ParseError> parsed = parse_request(line);
+  std::string response;
+  std::string verb_label = "invalid";
+  std::string session;
+  bool ok = false;
+  std::string code;
+
+  if (const ParseError* err = std::get_if<ParseError>(&parsed)) {
+    code = err->code;
+    response = error_response(err->code, err->message);
+  } else {
+    const Request& req = std::get<Request>(parsed);
+    verb_label = verb_name(req.verb);
+    session = req.session;
+    try {
+      switch (req.verb) {
+        case Verb::kCreate: {
+          CreateParams params;
+          params.id = req.session;
+          params.sketch = req.sketch;
+          params.backend = req.backend;
+          params.seed = req.seed;
+          params.initial = req.initial;
+          params.pairs = req.pairs;
+          params.max_iters = req.max_iters;
+          const HostResult r = host_.create(params);
+          if (r.ok) {
+            ok = true;
+            response =
+                ok_response(Verb::kCreate).str("session", req.session).done();
+          } else {
+            code = r.code;
+            response = error_response(r.code, r.message);
+          }
+          break;
+        }
+        case Verb::kNext: {
+          SessionView view;
+          const HostResult r = host_.next(req.session, req.wait_ms, &view);
+          if (!r.ok) {
+            code = r.code;
+            response = error_response(r.code, r.message);
+            break;
+          }
+          ok = true;
+          JsonWriter w = ok_response(Verb::kNext);
+          w.str("session", view.id)
+              .str("phase", phase_name(view.phase))
+              .integer("answers", view.answers)
+              .integer("iterations", view.iterations);
+          if (view.pending) {
+            w.integer("index", view.pending->index)
+                .str("a", scenario_key(view.pending->a))
+                .str("b", scenario_key(view.pending->b));
+          }
+          if (view.phase == SessionPhase::kDone) {
+            w.str("status", view.status).str("objective", view.objective);
+          }
+          if (view.phase == SessionPhase::kFailed) {
+            w.str("error", view.error);
+          }
+          response = w.done();
+          break;
+        }
+        case Verb::kAnswer: {
+          const HostResult r = host_.answer(req.session, req.index, req.answer);
+          if (r.ok) {
+            ok = true;
+            response = ok_response(Verb::kAnswer)
+                           .str("session", req.session)
+                           .integer("index", req.index)
+                           .done();
+          } else {
+            code = r.code;
+            response = error_response(r.code, r.message);
+          }
+          break;
+        }
+        case Verb::kInspect: {
+          if (req.session.empty()) {
+            const HostStats stats = host_.stats();
+            ok = true;
+            response = ok_response(Verb::kInspect)
+                           .integer("sessions_created", stats.sessions_created)
+                           .integer("resident", stats.sessions_resident)
+                           .integer("swaps", stats.swaps)
+                           .integer("rehydrations", stats.rehydrations)
+                           .integer("advances", stats.advances)
+                           .done();
+            break;
+          }
+          SessionView view;
+          const HostResult r = host_.inspect(req.session, &view);
+          if (!r.ok) {
+            code = r.code;
+            response = error_response(r.code, r.message);
+            break;
+          }
+          ok = true;
+          JsonWriter w = ok_response(Verb::kInspect);
+          w.str("session", view.id)
+              .str("phase", phase_name(view.phase))
+              .boolean("resident", view.resident)
+              .integer("answers", view.answers)
+              .integer("iterations", view.iterations);
+          if (view.phase == SessionPhase::kDone) {
+            w.str("status", view.status).str("objective", view.objective);
+          }
+          if (view.phase == SessionPhase::kFailed) {
+            w.str("error", view.error);
+          }
+          response = w.done();
+          break;
+        }
+        case Verb::kEvict: {
+          const HostResult r = host_.evict(req.session);
+          if (r.ok) {
+            ok = true;
+            response = ok_response(Verb::kEvict)
+                           .str("session", req.session)
+                           .done();
+          } else {
+            code = r.code;
+            response = error_response(r.code, r.message);
+          }
+          break;
+        }
+        case Verb::kShutdown: {
+          ok = true;
+          response = ok_response(Verb::kShutdown).done();
+          *stop_after = true;  // caller stops after the response is sent
+          break;
+        }
+      }
+    } catch (const std::exception& ex) {
+      code = kErrInternal;
+      response = error_response(kErrInternal, ex.what());
+    }
+  }
+
+  const double secs = watch.elapsed_seconds();
+  config_.obs.count("serve.requests");
+  if (!ok) config_.obs.count("serve.errors");
+  config_.obs.observe("serve.latency." + verb_label + ".seconds", secs);
+  if (config_.obs.tracing()) {
+    obs::TraceEvent ev("serve_request");
+    ev.str("verb", verb_label);
+    if (!session.empty()) ev.str("session", session);
+    ev.boolean("ok", ok);
+    if (!code.empty()) ev.str("code", code);
+    ev.num("secs", secs);
+    config_.obs.emit(ev);
+  }
+  return response;
+}
+
+}  // namespace compsynth::serve

@@ -1,0 +1,81 @@
+// The daemon's network face: accepts line-delimited JSON protocol
+// connections on a Unix or TCP socket and dispatches each request line to a
+// SessionHost (docs/SERVICE.md documents the protocol; session_host.h the
+// semantics behind it).
+//
+// Threading: one accept thread plus one thread per connection. Connection
+// threads do only parsing, dispatch and I/O — all synthesis work runs on
+// the host's advance pool — so a connection blocked in a `next` wait costs
+// one mostly-idle thread, and the architect count a daemon can serve is
+// bounded by sessions on disk, not threads.
+//
+// Every request is measured: serve.requests / serve.errors counters, a
+// per-verb serve.latency.<verb>.seconds histogram and a "serve_request"
+// trace event (schema rev 1.4, docs/OBSERVABILITY.md).
+#pragma once
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/run_context.h"
+#include "serve/session_host.h"
+
+namespace compsynth::serve {
+
+struct ServerConfig {
+  /// "unix:<path>" or "tcp:<port>" / "tcp:<host>:<port>" (numeric IPv4
+  /// host; default 127.0.0.1). TCP port 0 binds an ephemeral port —
+  /// endpoint() reports the one chosen.
+  std::string listen;
+  int backlog = 64;
+  /// Daemon-level observability (typically run id "serve").
+  obs::RunContext obs;
+};
+
+class Server {
+ public:
+  /// Binds immediately; throws std::runtime_error on a bad endpoint or bind
+  /// failure. `host` must outlive the server.
+  Server(ServerConfig config, SessionHost& host);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Starts the accept thread.
+  void start();
+
+  /// The bound endpoint in listen syntax (resolves TCP port 0).
+  std::string endpoint() const;
+
+  /// Blocks until a shutdown request or stop(), then joins every thread and
+  /// drains the host.
+  void wait();
+
+  /// Initiates shutdown from outside the protocol (signal handlers, tests).
+  void stop();
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  std::string handle_line(const std::string& line, bool* stop_after);
+  void begin_stop();
+
+  ServerConfig config_;
+  SessionHost& host_;
+  int listen_fd_ = -1;
+  bool unix_socket_ = false;
+  std::string unix_path_;
+  std::string endpoint_;
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::thread accept_thread_;
+};
+
+}  // namespace compsynth::serve

@@ -1,0 +1,833 @@
+#include "serve/session_host.h"
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/trace.h"
+#include "session/checkpoint.h"
+#include "session/snapshot.h"
+#include "sketch/printer.h"
+#include "synth/synthesizer.h"
+
+namespace compsynth::serve {
+
+namespace {
+
+// Thrown by ReplayOracle when the answer log is exhausted: the synthesizer
+// has discovered the session's next distinguishing pair and must now wait
+// for a human. Deliberately NOT a std::exception (and not a
+// util::TransientError), so no retry wrapper or generic handler between the
+// oracle and run_advance can swallow it.
+struct PendingQuerySignal {
+  PendingQuery query;
+};
+
+// The passive architect: replays acked answers from the session log,
+// verifying that the resumed loop re-asks the identical queries, and
+// signals the first unanswered query instead of blocking.
+class ReplayOracle final : public oracle::Oracle {
+ public:
+  explicit ReplayOracle(const std::vector<AnswerRecord>& log) : log_(&log) {}
+
+ protected:
+  oracle::Preference do_compare(const pref::Scenario& a,
+                                const pref::Scenario& b) override {
+    if (consumed_ < log_->size()) {
+      const AnswerRecord& rec = (*log_)[consumed_];
+      const std::string ka = scenario_key(a);
+      const std::string kb = scenario_key(b);
+      if (rec.key_a != ka || rec.key_b != kb) {
+        throw std::runtime_error(
+            "serve replay diverged at answers.log entry " +
+            std::to_string(consumed_) + ": logged pair [" + rec.key_a +
+            " | " + rec.key_b + "] but the resumed loop asked [" + ka +
+            " | " + kb + "]");
+      }
+      return (*log_)[consumed_++].answer;
+    }
+    throw PendingQuerySignal{
+        {static_cast<long>(consumed_), a, b}};
+  }
+
+  // The consumed-count is the session's real answer cursor: the base class
+  // counts compare() calls, but the seed-phase ranking consumes answers
+  // through do_compare directly, so we persist our own position.
+  void do_save_state(std::ostream& out) const override {
+    out << "serve " << consumed_ << "\n";
+  }
+  void do_restore_state(std::istream& in) override {
+    std::string tag;
+    std::size_t n = 0;
+    if (!(in >> tag >> n) || tag != "serve") {
+      throw std::invalid_argument("ReplayOracle: malformed state blob");
+    }
+    consumed_ = n;
+  }
+
+ private:
+  const std::vector<AnswerRecord>* log_;
+  std::size_t consumed_ = 0;
+};
+
+const char* status_name(synth::SynthesisStatus status) {
+  switch (status) {
+    case synth::SynthesisStatus::kConverged: return "converged";
+    case synth::SynthesisStatus::kIterationLimit: return "iteration_limit";
+    case synth::SynthesisStatus::kNoCandidate: return "no_candidate";
+    case synth::SynthesisStatus::kSolverGaveUp: return "solver_gave_up";
+  }
+  return "?";
+}
+
+// Stable across processes (std::hash is not guaranteed to be), so a
+// restarted daemon re-derives the same per-session fault stream.
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void atomic_write_file(const std::filesystem::path& path,
+                       const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    out << content;
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("cannot write " + tmp.string());
+    }
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+std::optional<obs::JsonObject> read_flat_json_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string line;
+  std::getline(in, line);
+  return obs::parse_flat_json(line);
+}
+
+std::string json_string_field(const obs::JsonObject& obj, const char* name) {
+  const auto it = obj.find(name);
+  if (it == obj.end() || it->second.kind != obs::JsonValue::Kind::kString) {
+    throw std::runtime_error(std::string("missing string field '") + name +
+                             "'");
+  }
+  return it->second.str;
+}
+
+long long json_int_field(const obs::JsonObject& obj, const char* name) {
+  const auto it = obj.find(name);
+  if (it == obj.end() || it->second.kind != obs::JsonValue::Kind::kNumber) {
+    throw std::runtime_error(std::string("missing numeric field '") + name +
+                             "'");
+  }
+  return static_cast<long long>(it->second.num);
+}
+
+}  // namespace
+
+const char* phase_name(SessionPhase phase) {
+  switch (phase) {
+    case SessionPhase::kAdvancing: return "advancing";
+    case SessionPhase::kWaiting: return "waiting";
+    case SessionPhase::kDone: return "done";
+    case SessionPhase::kFailed: return "failed";
+    case SessionPhase::kSwapped: return "swapped";
+  }
+  return "?";
+}
+
+struct SessionHost::SessionEntry {
+  std::mutex mu;
+  std::condition_variable cv;
+
+  // Immutable after construction (mirrors session.json).
+  CreateParams params;
+  std::filesystem::path dir;
+  obs::RunContext run_obs;  // per-session context; address must stay stable
+  std::unique_ptr<session::CheckpointManager> ckpt;
+
+  // Guarded by `mu`.
+  std::ofstream log_out;
+  std::vector<AnswerRecord> log;
+  SessionPhase phase = SessionPhase::kAdvancing;
+  bool advancing = false;  // an advance task is in flight
+  bool detached = false;   // dropped from the resident map (swapped out)
+  std::optional<PendingQuery> pending;
+  std::optional<synth::SessionState> snap;  // newest checkpoint, in memory
+  int iterations = 0;
+  std::string done_status;
+  std::string objective;
+  std::string error;
+
+  // Guarded by the host mutex.
+  std::uint64_t lru = 0;
+};
+
+SessionHost::SessionHost(HostConfig config)
+    : config_(std::move(config)), root_(config_.root) {
+  if (root_.empty()) {
+    throw std::invalid_argument("SessionHost: root directory is required");
+  }
+  std::filesystem::create_directories(root_);
+}
+
+SessionHost::~SessionHost() { drain(); }
+
+void SessionHost::register_sketch(sketch::Sketch sk) {
+  sketches_.push_back(std::move(sk));
+}
+
+const sketch::Sketch* SessionHost::find_sketch(const std::string& name) const {
+  if (sketches_.empty()) return nullptr;
+  if (name.empty()) return &sketches_.front();
+  for (const sketch::Sketch& sk : sketches_) {
+    if (sk.name() == name) return &sk;
+  }
+  return nullptr;
+}
+
+// --- per-entry plumbing ----------------------------------------------------
+
+void SessionHost::write_session_json(const SessionEntry& e) {
+  JsonWriter w;
+  w.integer("v", 1);
+  w.str("id", e.params.id);
+  w.str("sketch", e.params.sketch);
+  w.str("backend", e.params.backend);
+  w.integer("seed", static_cast<long long>(e.params.seed));
+  w.integer("initial", e.params.initial);
+  w.integer("pairs", e.params.pairs);
+  w.integer("max_iters", e.params.max_iters);
+  atomic_write_file(e.dir / "session.json", w.done() + "\n");
+}
+
+namespace {
+
+CreateParams read_session_json(const std::filesystem::path& path) {
+  const std::optional<obs::JsonObject> obj = read_flat_json_file(path);
+  if (!obj) {
+    throw std::runtime_error("cannot parse " + path.string());
+  }
+  CreateParams p;
+  p.id = json_string_field(*obj, "id");
+  p.sketch = json_string_field(*obj, "sketch");
+  p.backend = json_string_field(*obj, "backend");
+  p.seed = static_cast<std::uint64_t>(json_int_field(*obj, "seed"));
+  p.initial = static_cast<int>(json_int_field(*obj, "initial"));
+  p.pairs = static_cast<int>(json_int_field(*obj, "pairs"));
+  p.max_iters = static_cast<int>(json_int_field(*obj, "max_iters"));
+  return p;
+}
+
+}  // namespace
+
+void SessionHost::load_answer_log(SessionEntry& e) {
+  std::ifstream in(e.dir / "answers.log", std::ios::binary);
+  if (!in) return;  // no answers yet
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t nl = content.find('\n', pos);
+    // A trailing fragment without its newline is a torn append (the answer
+    // was never acked); drop it and re-present the query.
+    if (nl == std::string::npos) break;
+    const std::string_view line(content.data() + pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = p1 == std::string_view::npos
+                               ? std::string_view::npos
+                               : line.find('|', p1 + 1);
+    const std::size_t p3 = p2 == std::string_view::npos
+                               ? std::string_view::npos
+                               : line.find('|', p2 + 1);
+    if (p3 == std::string_view::npos) {
+      throw std::runtime_error("answers.log corrupt: malformed line");
+    }
+    long index = -1;
+    try {
+      index = std::stol(std::string(line.substr(0, p1)));
+    } catch (const std::exception&) {
+      throw std::runtime_error("answers.log corrupt: bad index");
+    }
+    if (index != static_cast<long>(e.log.size())) {
+      throw std::runtime_error("answers.log corrupt: index out of sequence");
+    }
+    const std::optional<oracle::Preference> answer =
+        parse_preference(line.substr(p1 + 1, p2 - p1 - 1));
+    if (!answer) {
+      throw std::runtime_error("answers.log corrupt: bad answer");
+    }
+    AnswerRecord rec;
+    rec.answer = *answer;
+    rec.key_a = std::string(line.substr(p2 + 1, p3 - p2 - 1));
+    rec.key_b = std::string(line.substr(p3 + 1));
+    e.log.push_back(std::move(rec));
+  }
+}
+
+void SessionHost::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drained_.wait(lk, [&] { return in_flight_ == 0; });
+}
+
+HostStats SessionHost::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+SessionView SessionHost::view_of(SessionEntry& e) const {
+  SessionView v;
+  v.id = e.params.id;
+  v.phase = e.phase;
+  v.resident = !e.detached;
+  v.answers = static_cast<long>(e.log.size());
+  v.iterations = e.iterations;
+  if (e.phase == SessionPhase::kWaiting) v.pending = e.pending;
+  v.status = e.done_status;
+  v.objective = e.objective;
+  v.error = e.error;
+  return v;
+}
+
+// Builds the per-entry runtime pieces shared by create and rehydrate:
+// the session's RunContext, its CheckpointManager (with a per-session
+// deterministic fault injector when torn-write rehearsal is on) and the
+// answers.log append stream.
+void SessionHost::init_entry(SessionEntry& e) {
+  e.run_obs.metrics = config_.obs.metrics;
+  e.run_obs.tracer = config_.obs.tracer;
+  e.run_obs.run_id = e.params.id;
+  e.run_obs.seed = e.params.seed;
+  session::CheckpointConfig ck;
+  ck.directory = (e.dir).string();
+  ck.keep = config_.keep_snapshots;
+  ck.obs = &e.run_obs;
+  if (config_.checkpoint_faults.torn_write_p > 0) {
+    util::FaultPlan plan;
+    plan.torn_write_p = config_.checkpoint_faults.torn_write_p;
+    plan.seed = config_.checkpoint_faults.seed ^ fnv1a64(e.params.id);
+    ck.injector = std::make_shared<util::FaultInjector>(plan);
+  }
+  e.ckpt = std::make_unique<session::CheckpointManager>(ck);
+  e.log_out.open(e.dir / "answers.log", std::ios::app | std::ios::binary);
+  if (!e.log_out) {
+    throw std::runtime_error("cannot open " + (e.dir / "answers.log").string());
+  }
+}
+
+HostResult SessionHost::create(const CreateParams& params) {
+  if (!valid_session_id(params.id)) {
+    return HostResult::failure(kErrId, "malformed session id");
+  }
+  if (find_sketch(params.sketch) == nullptr) {
+    return HostResult::failure(
+        kErrSketch, sketches_.empty()
+                        ? "no sketches registered with this daemon"
+                        : "sketch '" + params.sketch + "' is not registered");
+  }
+  if (params.backend != "grid" && params.backend != "bisection" &&
+      params.backend != "z3") {
+    return HostResult::failure(kErrBackend,
+                               "backend must be grid, bisection or z3");
+  }
+  if (params.initial < 0 || params.pairs < 1 || params.max_iters < 1) {
+    return HostResult::failure(kErrField, "initial/pairs/max_iters out of range");
+  }
+
+  std::shared_ptr<SessionEntry> e;
+  long resident = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (residents_.count(params.id) != 0) {
+      return HostResult::failure(
+          kErrExists, "session '" + params.id + "' already exists");
+    }
+    const std::filesystem::path dir = root_ / params.id;
+    std::error_code ec;
+    if (std::filesystem::exists(dir, ec)) {
+      return HostResult::failure(
+          kErrExists, "session '" + params.id + "' already exists on disk");
+    }
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return HostResult::failure(
+          kErrInternal, "cannot create " + dir.string() + ": " + ec.message());
+    }
+    e = std::make_shared<SessionEntry>();
+    e->params = params;
+    if (e->params.sketch.empty()) {
+      e->params.sketch = sketches_.front().name();
+    }
+    e->dir = dir;
+    try {
+      init_entry(*e);
+      write_session_json(*e);
+    } catch (const std::exception& ex) {
+      residents_.erase(params.id);
+      return HostResult::failure(kErrInternal, ex.what());
+    }
+    e->lru = ++lru_clock_;
+    residents_[params.id] = e;
+    ++stats_.sessions_created;
+    stats_.sessions_resident = static_cast<long>(residents_.size());
+    resident = stats_.sessions_resident;
+  }
+  config_.obs.count("serve.sessions_created");
+  config_.obs.gauge("serve.sessions_active", static_cast<double>(resident));
+  schedule_advance(e);
+  enforce_cap();
+  return HostResult::success();
+}
+
+std::shared_ptr<SessionHost::SessionEntry> SessionHost::acquire(
+    const std::string& id, HostResult* error) {
+  std::shared_ptr<SessionEntry> e;
+  bool rehydrated = false;
+  int snapshot_iteration = -1;
+  long replayed = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = residents_.find(id);
+    if (it != residents_.end()) {
+      e = it->second;
+      e->lru = ++lru_clock_;
+    } else {
+      e = rehydrate_locked(id, error);
+      if (e == nullptr) return nullptr;
+      rehydrated = true;
+      snapshot_iteration = e->snap ? e->snap->iterations : 0;
+      replayed = static_cast<long>(e->log.size());
+    }
+  }
+  if (rehydrated) {
+    config_.obs.count("serve.rehydrations");
+    config_.obs.gauge("serve.sessions_active",
+                      static_cast<double>(stats().sessions_resident));
+    if (config_.obs.tracing()) {
+      obs::TraceEvent ev("session_rehydrate");
+      ev.str("session", id)
+          .integer("snapshot_iteration", snapshot_iteration)
+          .integer("replayed", replayed);
+      config_.obs.emit(ev);
+    }
+    schedule_advance(e);  // no-op when the session is already done/failed
+    enforce_cap();
+  }
+  return e;
+}
+
+std::shared_ptr<SessionHost::SessionEntry> SessionHost::rehydrate_locked(
+    const std::string& id, HostResult* error) {
+  const std::filesystem::path dir = root_ / id;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir / "session.json", ec)) {
+    *error =
+        HostResult::failure(kErrUnknownSession, "unknown session '" + id + "'");
+    return nullptr;
+  }
+  auto e = std::make_shared<SessionEntry>();
+  try {
+    e->params = read_session_json(dir / "session.json");
+    if (e->params.id != id) {
+      throw std::runtime_error("session.json id mismatch");
+    }
+    e->dir = dir;
+    init_entry(*e);
+    load_answer_log(*e);
+    std::string snap_path;
+    std::optional<session::Snapshot> snap =
+        session::CheckpointManager::recover_latest(dir.string(), &snap_path);
+    if (snap) {
+      if (snap->meta.backend != e->params.backend ||
+          snap->meta.seed != e->params.seed) {
+        throw std::runtime_error(
+            "snapshot identity (backend/seed) disagrees with session.json");
+      }
+      e->iterations = snap->state.iterations;
+      e->snap = std::move(snap->state);
+    }
+    const std::optional<obs::JsonObject> done =
+        read_flat_json_file(dir / "done.json");
+    if (done) {
+      e->phase = SessionPhase::kDone;
+      e->done_status = json_string_field(*done, "status");
+      e->objective = json_string_field(*done, "objective");
+      e->iterations = static_cast<int>(json_int_field(*done, "iterations"));
+    }
+  } catch (const std::exception& ex) {
+    *error = HostResult::failure(
+        kErrInternal, "cannot rehydrate session '" + id + "': " + ex.what());
+    return nullptr;
+  }
+  e->lru = ++lru_clock_;
+  residents_[id] = e;
+  ++stats_.rehydrations;
+  stats_.sessions_resident = static_cast<long>(residents_.size());
+  return e;
+}
+
+void SessionHost::schedule_advance(const std::shared_ptr<SessionEntry>& e) {
+  {
+    std::lock_guard<std::mutex> lk(e->mu);
+    if (e->detached || e->advancing || e->phase == SessionPhase::kDone ||
+        e->phase == SessionPhase::kFailed) {
+      return;
+    }
+    e->advancing = true;
+    e->phase = SessionPhase::kAdvancing;
+    e->pending.reset();
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++in_flight_;
+    ++stats_.advances;
+  }
+  config_.obs.count("serve.advances");
+  SessionHost* self = this;
+  auto task = [self, e] { self->run_advance(e); };
+  if (config_.pool != nullptr) {
+    config_.pool->submit(std::move(task));
+  } else {
+    task();
+  }
+}
+
+void SessionHost::run_advance(const std::shared_ptr<SessionEntry>& e) {
+  std::vector<AnswerRecord> log;
+  std::optional<synth::SessionState> snap;
+  {
+    std::lock_guard<std::mutex> lk(e->mu);
+    log = e->log;
+    snap = e->snap;
+  }
+
+  const sketch::Sketch* sk = find_sketch(e->params.sketch);
+  std::optional<PendingQuery> pending;
+  std::optional<synth::SynthesisResult> result;
+  std::string error;
+  if (sk == nullptr) {
+    error = "sketch '" + e->params.sketch +
+            "' is no longer registered with this daemon";
+  } else {
+    ReplayOracle oracle(log);
+    try {
+      // A fresh synthesizer per advance: run()/resume() determinism assumes
+      // a finder in construction state, and a previous advance that escaped
+      // mid-iteration left the old one dirty.
+      synth::SynthesisConfig cfg;
+      cfg.initial_scenarios = e->params.initial;
+      cfg.pairs_per_iteration = e->params.pairs;
+      cfg.max_iterations = e->params.max_iters;
+      cfg.seed = e->params.seed;
+      cfg.grid_threads = config_.grid_threads;
+      cfg.keep_transcript = false;
+      cfg.obs = e->run_obs;
+      cfg.checkpoint_every = config_.checkpoint_every;
+      session::SnapshotMeta meta;
+      meta.sketch = sk->name();
+      meta.backend = e->params.backend;
+      meta.seed = e->params.seed;
+      meta.run_id = e->params.id;
+      const auto to_disk = session::checkpoint_hook(*e->ckpt, meta);
+      cfg.checkpoint = [e, to_disk](const synth::SessionState& st) {
+        to_disk(st);  // durable first, then the in-memory mirror
+        std::lock_guard<std::mutex> lk(e->mu);
+        e->snap = st;
+        e->iterations = st.iterations;
+      };
+      synth::Synthesizer s =
+          e->params.backend == "z3"
+              ? synth::make_z3_synthesizer(*sk, cfg)
+              : e->params.backend == "bisection"
+                    ? synth::make_bisection_synthesizer(*sk, cfg)
+                    : synth::make_grid_synthesizer(*sk, cfg);
+      result = snap ? s.resume(oracle, *snap) : s.run(oracle);
+    } catch (const PendingQuerySignal& sig) {
+      pending = sig.query;
+    } catch (const std::exception& ex) {
+      error = ex.what();
+    }
+  }
+
+  std::string objective;
+  if (result) {
+    if (result->objective && sk != nullptr) {
+      objective = sketch::print_instantiated(*sk, *result->objective);
+    }
+    // Completion is durable before it is visible: a restarted daemon reads
+    // done.json instead of re-running the (already converged) loop.
+    JsonWriter w;
+    w.integer("v", 1);
+    w.str("status", status_name(result->status));
+    w.str("objective", objective);
+    w.integer("iterations", result->iterations);
+    w.integer("answers", static_cast<long long>(log.size()));
+    try {
+      atomic_write_file(e->dir / "done.json", w.done() + "\n");
+    } catch (const std::exception& ex) {
+      result.reset();
+      error = ex.what();
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(e->mu);
+    if (pending) {
+      e->pending = *pending;
+      e->phase = SessionPhase::kWaiting;
+    } else if (result) {
+      e->phase = SessionPhase::kDone;
+      e->done_status = status_name(result->status);
+      e->objective = objective;
+      e->iterations = result->iterations;
+    } else {
+      e->phase = SessionPhase::kFailed;
+      e->error = error;
+    }
+    e->advancing = false;
+  }
+  e->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --in_flight_;
+  }
+  drained_.notify_all();
+}
+
+HostResult SessionHost::next(const std::string& id, int wait_ms,
+                             SessionView* view) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(wait_ms > 0 ? wait_ms : 0);
+  for (;;) {
+    HostResult error;
+    const std::shared_ptr<SessionEntry> e = acquire(id, &error);
+    if (e == nullptr) return error;
+    std::unique_lock<std::mutex> lk(e->mu);
+    while (!e->detached && e->phase == SessionPhase::kAdvancing &&
+           wait_ms > 0) {
+      if (e->cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
+    }
+    if (e->detached) continue;  // swapped out while we looked; re-acquire
+    *view = view_of(*e);
+    return HostResult::success();
+  }
+}
+
+HostResult SessionHost::answer(const std::string& id, long index,
+                               oracle::Preference answer) {
+  for (;;) {
+    HostResult error;
+    const std::shared_ptr<SessionEntry> e = acquire(id, &error);
+    if (e == nullptr) return error;
+    std::unique_lock<std::mutex> lk(e->mu);
+    if (e->detached) continue;
+    if (index >= 0 && index < static_cast<long>(e->log.size())) {
+      return HostResult::success();  // already acked: idempotent re-delivery
+    }
+    switch (e->phase) {
+      case SessionPhase::kDone:
+        return HostResult::failure(kErrState,
+                                   "session is done; no query pending");
+      case SessionPhase::kFailed:
+        return HostResult::failure(kErrState, "session failed: " + e->error);
+      case SessionPhase::kAdvancing:
+        // An advance is (re)discovering the pending pair — typically the
+        // LRU swapped this session out between the client's `next` and its
+        // `answer`, and rehydration is replaying. The answer is not wrong,
+        // just early: wait for the pair to be re-published, then validate
+        // against it.
+        e->cv.wait(lk, [&] {
+          return e->detached || e->phase != SessionPhase::kAdvancing;
+        });
+        continue;
+      case SessionPhase::kSwapped:
+        continue;  // unreachable for resident entries
+      case SessionPhase::kWaiting:
+        break;
+    }
+    if (!e->pending || index != e->pending->index) {
+      return HostResult::failure(
+          kErrIndex,
+          "expected index " +
+              (e->pending ? std::to_string(e->pending->index) : "?"));
+    }
+    AnswerRecord rec;
+    rec.answer = answer;
+    rec.key_a = scenario_key(e->pending->a);
+    rec.key_b = scenario_key(e->pending->b);
+    // The ack is durable before it is given: log line flushed first.
+    e->log_out << e->log.size() << '|' << preference_name(answer) << '|'
+               << rec.key_a << '|' << rec.key_b << '\n';
+    e->log_out.flush();
+    if (!e->log_out) {
+      return HostResult::failure(kErrInternal, "cannot append to answers.log");
+    }
+    e->log.push_back(std::move(rec));
+    lk.unlock();
+    schedule_advance(e);
+    return HostResult::success();
+  }
+}
+
+HostResult SessionHost::evict(const std::string& id) {
+  std::shared_ptr<SessionEntry> e;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = residents_.find(id);
+    if (it == residents_.end()) {
+      std::error_code ec;
+      if (!std::filesystem::exists(root_ / id / "session.json", ec)) {
+        return HostResult::failure(kErrUnknownSession,
+                                   "unknown session '" + id + "'");
+      }
+      return HostResult::success();  // already swapped out
+    }
+    e = it->second;
+  }
+  drop(e, "evict");
+  return HostResult::success();
+}
+
+// Swaps one resident entry to disk: waits out any in-flight advance (its
+// checkpoint must land before the memory goes away — though even that is
+// belt-and-braces, since the answers.log alone can rebuild the state), then
+// detaches the entry under both locks so no new advance can start on it.
+void SessionHost::drop(const std::shared_ptr<SessionEntry>& e,
+                       const char* reason) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(e->mu);
+      e->cv.wait(lk, [&] { return !e->advancing || e->detached; });
+      if (e->detached) return;  // someone else swapped it
+    }
+    std::lock_guard<std::mutex> host(mu_);
+    std::lock_guard<std::mutex> lk(e->mu);
+    if (e->detached) return;
+    if (e->advancing) continue;  // an answer slipped in; wait again
+    e->detached = true;
+    residents_.erase(e->params.id);
+    ++stats_.swaps;
+    stats_.sessions_resident = static_cast<long>(residents_.size());
+    break;
+  }
+  e->cv.notify_all();
+  config_.obs.count("serve.swaps");
+  config_.obs.gauge("serve.sessions_active",
+                    static_cast<double>(stats().sessions_resident));
+  if (config_.obs.tracing()) {
+    obs::TraceEvent ev("session_swap");
+    ev.str("session", e->params.id).str("reason", reason);
+    config_.obs.emit(ev);
+  }
+}
+
+// LRU bound: while too many sessions are resident, swap out the
+// least-recently-touched one that is neither mid-advance nor the newest
+// touch (evicting the entry the current request just pulled in would
+// livelock a tiny --max-active against itself).
+void SessionHost::enforce_cap() {
+  if (config_.max_active <= 0) return;
+  for (;;) {
+    std::shared_ptr<SessionEntry> victim;
+    bool retry = false;
+    {
+      std::lock_guard<std::mutex> host(mu_);
+      if (static_cast<int>(residents_.size()) <= config_.max_active) return;
+      std::uint64_t oldest = UINT64_MAX;
+      std::uint64_t newest = 0;
+      for (const auto& [id, entry] : residents_) {
+        newest = std::max(newest, entry->lru);
+      }
+      for (const auto& [id, entry] : residents_) {
+        if (entry->lru == newest) continue;
+        std::lock_guard<std::mutex> lk(entry->mu);
+        if (entry->advancing) continue;
+        if (entry->lru < oldest) {
+          oldest = entry->lru;
+          victim = entry;
+        }
+      }
+      if (victim == nullptr) return;  // everything is computing; retry later
+      {
+        std::lock_guard<std::mutex> lk(victim->mu);
+        if (victim->advancing) {
+          retry = true;  // started advancing since selection
+        } else {
+          victim->detached = true;
+          residents_.erase(victim->params.id);
+          ++stats_.swaps;
+          stats_.sessions_resident = static_cast<long>(residents_.size());
+        }
+      }
+    }
+    if (retry) continue;
+    victim->cv.notify_all();
+    config_.obs.count("serve.swaps");
+    config_.obs.gauge("serve.sessions_active",
+                      static_cast<double>(stats().sessions_resident));
+    if (config_.obs.tracing()) {
+      obs::TraceEvent ev("session_swap");
+      ev.str("session", victim->params.id).str("reason", "lru");
+      config_.obs.emit(ev);
+    }
+  }
+}
+
+HostResult SessionHost::inspect(const std::string& id, SessionView* view) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = residents_.find(id);
+    if (it != residents_.end()) {
+      std::lock_guard<std::mutex> elk(it->second->mu);
+      *view = view_of(*it->second);
+      return HostResult::success();
+    }
+  }
+  // Disk-only view: never rehydrates.
+  const std::filesystem::path dir = root_ / id;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir / "session.json", ec)) {
+    return HostResult::failure(kErrUnknownSession,
+                               "unknown session '" + id + "'");
+  }
+  view->id = id;
+  view->resident = false;
+  view->phase = SessionPhase::kSwapped;
+  view->answers = 0;
+  {
+    std::ifstream in(dir / "answers.log", std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) ++view->answers;
+    }
+  }
+  try {
+    const std::optional<obs::JsonObject> done =
+        read_flat_json_file(dir / "done.json");
+    if (done) {
+      view->phase = SessionPhase::kDone;
+      view->status = json_string_field(*done, "status");
+      view->objective = json_string_field(*done, "objective");
+      view->iterations = static_cast<int>(json_int_field(*done, "iterations"));
+    }
+  } catch (const std::exception& ex) {
+    return HostResult::failure(kErrInternal, ex.what());
+  }
+  return HostResult::success();
+}
+
+}  // namespace compsynth::serve

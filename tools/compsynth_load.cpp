@@ -1,0 +1,627 @@
+// compsynth_load — load generator and raw protocol client for the
+// compsynth_serve daemon (protocol: docs/SERVICE.md).
+//
+// Drive mode (default) simulates many architects against one daemon. Each
+// simulated architect is a scripted oracle: session i draws a latent target
+// objective — a deterministic hole assignment of the sketch, from
+// util::Rng(seed-base + i) — and answers every distinguishing pair by
+// evaluating both scenarios under it client-side (ties within 1e-4, the
+// library's FinderConfig::tie_tolerance). Sessions are interleaved: each
+// client thread owns a shard and advances every live session one protocol
+// step per pass, so a daemon with --max-active below the session count is
+// forced to swap and rehydrate continuously.
+//
+// Usage:
+//   compsynth_load --connect <endpoint> --sketch-file <file> [options]
+//   compsynth_load request --connect <endpoint> '<json-request-line>'
+//
+// Drive options:
+//   --connect E           unix:<path> or tcp:[host:]<port>
+//   --sketch-file F       sketch source for client-side answer evaluation
+//                         (must be the daemon's sketch for the sessions)
+//   --sessions N          simulated architects (default 16)
+//   --threads T           client threads, each with its own connection
+//                         (default 4)
+//   --prefix P            session ids are <P><i> (default "s")
+//   --seed-base N         session i uses synthesis seed and target-draw seed
+//                         N + i (default 1)
+//   --sketch-name NAME    sketch name sent in create ("" = daemon default)
+//   --backend B           create backend (default grid)
+//   --initial N / --pairs N / --max-iters N   create parameters
+//   --wait-ms N           next long-poll budget (default 2000)
+//   --evict-every M       after every M-th answer of a session, evict it —
+//                         forces a rehydration on its next step (0 = never)
+//   --stop-after-answers K  stop driving a session after K answers this run,
+//                         leaving it parked mid-interaction (kill/resume
+//                         rehearsal; 0 = drive to completion)
+//   --continue            do not create sessions — drive ids that already
+//                         exist on the daemon (the resume half of the
+//                         kill/resume rehearsal)
+//   --shutdown            send a daemon shutdown after the run
+//   --out FILE            write a BENCH_serve.json-shaped report
+//
+// Raw mode sends one request line verbatim and prints the response line —
+// the scripts' and docs' probe for individual verbs and error codes.
+//
+// Exit status: 0 when every session reached its goal (done, or K answers
+// with --stop-after-answers), 1 on usage errors, 2 when any session failed
+// or the transport broke.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/protocol.h"
+#include "sketch/eval.h"
+#include "sketch/parser.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace compsynth;
+
+// --- Blocking line-protocol client -----------------------------------------
+
+class Client {
+ public:
+  explicit Client(const std::string& endpoint) {
+    if (endpoint.rfind("unix:", 0) == 0) {
+      const std::string path = endpoint.substr(5);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (path.empty() || path.size() >= sizeof addr.sun_path) {
+        throw std::runtime_error("bad unix endpoint: " + endpoint);
+      }
+      std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd_ < 0 ||
+          ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        throw std::runtime_error("connect " + endpoint + ": " +
+                                 std::strerror(errno));
+      }
+    } else if (endpoint.rfind("tcp:", 0) == 0) {
+      std::string host = "127.0.0.1";
+      std::string port = endpoint.substr(4);
+      const std::size_t colon = port.rfind(':');
+      if (colon != std::string::npos) {
+        host = port.substr(0, colon);
+        port = port.substr(colon + 1);
+      }
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(std::stoi(port)));
+      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("bad tcp endpoint (numeric IPv4): " +
+                                 endpoint);
+      }
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd_ < 0 ||
+          ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+        throw std::runtime_error("connect " + endpoint + ": " +
+                                 std::strerror(errno));
+      }
+    } else {
+      throw std::runtime_error("--connect must be unix:<path> or tcp:...: " +
+                               endpoint);
+    }
+  }
+
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request line and blocks for the one response line.
+  std::string request(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("send failed (daemon gone?)");
+      sent += static_cast<std::size_t>(n);
+    }
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string response = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return response;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) throw std::runtime_error("connection closed by daemon");
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// --- Options ---------------------------------------------------------------
+
+struct Options {
+  std::string connect;
+  std::string sketch_file;
+  int sessions = 16;
+  int threads = 4;
+  std::string prefix = "s";
+  std::uint64_t seed_base = 1;
+  std::string sketch_name;
+  std::string backend = "grid";
+  int initial = 5;
+  int pairs = 1;
+  int max_iters = 500;
+  int wait_ms = 2000;
+  int evict_every = 0;
+  int stop_after_answers = 0;
+  bool continue_mode = false;
+  bool shutdown = false;
+  std::optional<std::string> out_path;
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --connect <endpoint> --sketch-file <file> [--sessions N]\n"
+               "  [--threads T] [--prefix P] [--seed-base N] [--sketch-name S]\n"
+               "  [--backend B] [--initial N] [--pairs N] [--max-iters N]\n"
+               "  [--wait-ms N] [--evict-every M] [--stop-after-answers K]\n"
+               "  [--continue] [--shutdown] [--out FILE]\n"
+               "   or: " << argv0
+            << " request --connect <endpoint> '<json-line>'\n";
+  return 1;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::optional<std::string> {
+      if (i + 1 >= argc) return std::nullopt;
+      return std::string(argv[++i]);
+    };
+    auto next_int = [&](int& slot) {
+      auto v = next();
+      if (!v) return false;
+      slot = std::stoi(*v);
+      return true;
+    };
+    if (arg == "--connect") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.connect = *v;
+    } else if (arg == "--sketch-file") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.sketch_file = *v;
+    } else if (arg == "--sessions") {
+      if (!next_int(opt.sessions)) return std::nullopt;
+    } else if (arg == "--threads") {
+      if (!next_int(opt.threads)) return std::nullopt;
+    } else if (arg == "--prefix") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.prefix = *v;
+    } else if (arg == "--seed-base") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.seed_base = std::stoull(*v);
+    } else if (arg == "--sketch-name") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.sketch_name = *v;
+    } else if (arg == "--backend") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.backend = *v;
+    } else if (arg == "--initial") {
+      if (!next_int(opt.initial)) return std::nullopt;
+    } else if (arg == "--pairs") {
+      if (!next_int(opt.pairs)) return std::nullopt;
+    } else if (arg == "--max-iters") {
+      if (!next_int(opt.max_iters)) return std::nullopt;
+    } else if (arg == "--wait-ms") {
+      if (!next_int(opt.wait_ms)) return std::nullopt;
+    } else if (arg == "--evict-every") {
+      if (!next_int(opt.evict_every)) return std::nullopt;
+    } else if (arg == "--stop-after-answers") {
+      if (!next_int(opt.stop_after_answers)) return std::nullopt;
+    } else if (arg == "--continue") {
+      opt.continue_mode = true;
+    } else if (arg == "--shutdown") {
+      opt.shutdown = true;
+    } else if (arg == "--out") {
+      auto v = next();
+      if (!v) return std::nullopt;
+      opt.out_path = *v;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return std::nullopt;
+    }
+  }
+  if (opt.connect.empty() || opt.sketch_file.empty() || opt.sessions < 1 ||
+      opt.threads < 1) {
+    return std::nullopt;
+  }
+  return opt;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// --- Drive mode ------------------------------------------------------------
+
+/// One simulated architect: session id + latent target assignment.
+struct Driver {
+  std::string id;
+  std::uint64_t seed = 1;
+  sketch::HoleAssignment target;
+  bool created = false;
+  bool done = false;     // daemon reported done (or failed)
+  bool failed = false;
+  bool stopped = false;  // hit --stop-after-answers
+  int answers = 0;       // answers sent by THIS run
+};
+
+struct Totals {
+  std::atomic<long> answers{0};
+  std::atomic<long> evictions{0};
+  std::atomic<long> completed{0};
+  std::atomic<long> failed{0};
+  std::atomic<long> stopped{0};
+};
+
+class LoadRun {
+ public:
+  LoadRun(const Options& opt, sketch::Sketch sk)
+      : opt_(opt), sketch_(std::move(sk)) {}
+
+  int run() {
+    std::vector<Driver> drivers(static_cast<std::size_t>(opt_.sessions));
+    for (int i = 0; i < opt_.sessions; ++i) {
+      Driver& d = drivers[static_cast<std::size_t>(i)];
+      d.id = opt_.prefix + std::to_string(i);
+      d.seed = opt_.seed_base + static_cast<std::uint64_t>(i);
+      util::Rng rng(d.seed);
+      for (const sketch::HoleSpec& hole : sketch_.holes()) {
+        d.target.index.push_back(rng.uniform_int(0, hole.count - 1));
+      }
+    }
+
+    const util::Stopwatch wall;
+    std::vector<std::thread> threads;
+    const int t_count = std::min(opt_.threads, opt_.sessions);
+    threads.reserve(static_cast<std::size_t>(t_count));
+    for (int t = 0; t < t_count; ++t) {
+      threads.emplace_back([this, t, t_count, &drivers] {
+        try {
+          Client client(opt_.connect);
+          // Round-robin shard; one protocol step per live session per pass
+          // keeps the daemon's working set as interleaved as possible.
+          bool live = true;
+          while (live) {
+            live = false;
+            for (int i = t; i < opt_.sessions; i += t_count) {
+              Driver& d = drivers[static_cast<std::size_t>(i)];
+              if (d.done || d.failed || d.stopped) continue;
+              step(client, d);
+              if (!(d.done || d.failed || d.stopped)) live = true;
+            }
+          }
+        } catch (const std::exception& ex) {
+          std::lock_guard<std::mutex> lk(io_mu_);
+          std::cerr << "client thread " << t << ": " << ex.what() << "\n";
+          transport_failed_ = true;
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double wall_seconds = wall.elapsed_seconds();
+
+    for (const Driver& d : drivers) {
+      if (d.failed) {
+        totals_.failed.fetch_add(1);
+      } else if (d.done) {
+        totals_.completed.fetch_add(1);
+      } else if (d.stopped) {
+        totals_.stopped.fetch_add(1);
+      }
+    }
+
+    // Daemon-wide stats (and optional shutdown) on a fresh connection.
+    obs::JsonObject daemon_stats;
+    try {
+      Client client(opt_.connect);
+      serve::Request inspect;
+      inspect.verb = serve::Verb::kInspect;
+      const std::string response =
+          timed(client, "inspect", serve::render_request(inspect));
+      if (auto parsed = obs::parse_flat_json(response)) {
+        daemon_stats = *parsed;
+      }
+      if (opt_.shutdown) {
+        serve::Request req;
+        req.verb = serve::Verb::kShutdown;
+        timed(client, "shutdown", serve::render_request(req));
+      }
+    } catch (const std::exception& ex) {
+      std::cerr << "final inspect: " << ex.what() << "\n";
+      transport_failed_ = true;
+    }
+
+    report(wall_seconds, daemon_stats);
+
+    const bool ok = !transport_failed_ && totals_.failed.load() == 0;
+    return ok ? 0 : 2;
+  }
+
+ private:
+  /// Sends one request, records its latency under `verb`.
+  std::string timed(Client& client, const std::string& verb,
+                    const std::string& line) {
+    const util::Stopwatch watch;
+    std::string response = client.request(line);
+    metrics_.histogram(verb).record(watch.elapsed_seconds());
+    return response;
+  }
+
+  static bool response_ok(const obs::JsonObject& obj) {
+    const auto it = obj.find("ok");
+    return it != obj.end() && it->second.kind == obs::JsonValue::Kind::kBool &&
+           it->second.b;
+  }
+
+  static std::string field_str(const obs::JsonObject& obj, const char* key) {
+    const auto it = obj.find(key);
+    if (it == obj.end() || it->second.kind != obs::JsonValue::Kind::kString) {
+      return {};
+    }
+    return it->second.str;
+  }
+
+  static double field_num(const obs::JsonObject& obj, const char* key,
+                          double fallback = 0) {
+    const auto it = obj.find(key);
+    if (it == obj.end() || it->second.kind != obs::JsonValue::Kind::kNumber) {
+      return fallback;
+    }
+    return it->second.num;
+  }
+
+  void fail(Driver& d, const std::string& what) {
+    d.failed = true;
+    std::lock_guard<std::mutex> lk(io_mu_);
+    std::cerr << d.id << ": " << what << "\n";
+  }
+
+  /// One protocol step for one session: create it if needed, otherwise poll
+  /// `next` and answer the pending pair under the latent target.
+  void step(Client& client, Driver& d) {
+    if (!d.created && !opt_.continue_mode) {
+      serve::Request req;
+      req.verb = serve::Verb::kCreate;
+      req.session = d.id;
+      req.sketch = opt_.sketch_name;
+      req.backend = opt_.backend;
+      req.seed = d.seed;
+      req.initial = opt_.initial;
+      req.pairs = opt_.pairs;
+      req.max_iters = opt_.max_iters;
+      const std::string response =
+          timed(client, "create", serve::render_request(req));
+      const auto parsed = obs::parse_flat_json(response);
+      if (!parsed || !response_ok(*parsed)) {
+        fail(d, "create failed: " + response);
+        return;
+      }
+      d.created = true;
+      return;
+    }
+    d.created = true;
+
+    serve::Request req;
+    req.verb = serve::Verb::kNext;
+    req.session = d.id;
+    req.wait_ms = opt_.wait_ms;
+    const std::string response =
+        timed(client, "next", serve::render_request(req));
+    const auto parsed = obs::parse_flat_json(response);
+    if (!parsed || !response_ok(*parsed)) {
+      fail(d, "next failed: " + response);
+      return;
+    }
+    const std::string phase = field_str(*parsed, "phase");
+    if (phase == "done") {
+      d.done = true;
+      return;
+    }
+    if (phase == "failed") {
+      fail(d, "session failed: " + field_str(*parsed, "error"));
+      return;
+    }
+    if (phase != "waiting") return;  // advancing; try again next pass
+
+    const auto a = serve::decode_metrics(field_str(*parsed, "a"));
+    const auto b = serve::decode_metrics(field_str(*parsed, "b"));
+    if (!a || !b) {
+      fail(d, "unparseable pending pair: " + response);
+      return;
+    }
+    if (opt_.stop_after_answers > 0 && d.answers >= opt_.stop_after_answers) {
+      d.stopped = true;
+      return;
+    }
+    const double va = sketch::eval(sketch_, d.target, *a);
+    const double vb = sketch::eval(sketch_, d.target, *b);
+    oracle::Preference pref = oracle::Preference::kTie;
+    if (va > vb + kTieTolerance) pref = oracle::Preference::kFirst;
+    if (vb > va + kTieTolerance) pref = oracle::Preference::kSecond;
+
+    serve::Request ans;
+    ans.verb = serve::Verb::kAnswer;
+    ans.session = d.id;
+    ans.index = static_cast<long>(field_num(*parsed, "index", -1));
+    ans.answer = pref;
+    const std::string ans_response =
+        timed(client, "answer", serve::render_request(ans));
+    const auto ans_parsed = obs::parse_flat_json(ans_response);
+    if (!ans_parsed || !response_ok(*ans_parsed)) {
+      fail(d, "answer failed: " + ans_response);
+      return;
+    }
+    ++d.answers;
+    totals_.answers.fetch_add(1);
+
+    if (opt_.evict_every > 0 && d.answers % opt_.evict_every == 0) {
+      serve::Request evict;
+      evict.verb = serve::Verb::kEvict;
+      evict.session = d.id;
+      const std::string ev_response =
+          timed(client, "evict", serve::render_request(evict));
+      const auto ev_parsed = obs::parse_flat_json(ev_response);
+      if (!ev_parsed || !response_ok(*ev_parsed)) {
+        fail(d, "evict failed: " + ev_response);
+        return;
+      }
+      totals_.evictions.fetch_add(1);
+    }
+  }
+
+  void report(double wall_seconds, const obs::JsonObject& daemon_stats) {
+    long requests = 0;
+    for (const auto& [name, hist] : metrics_.histograms()) {
+      requests += hist->count();
+    }
+    const double rps = wall_seconds > 0 ? requests / wall_seconds : 0;
+
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"bench\": \"serve\",\n";
+    out << "  \"endpoint\": \"" << obs::json_escape(opt_.connect) << "\",\n";
+    out << "  \"sessions\": " << opt_.sessions << ",\n";
+    out << "  \"threads\": " << opt_.threads << ",\n";
+    out << "  \"completed\": " << totals_.completed.load() << ",\n";
+    out << "  \"stopped_early\": " << totals_.stopped.load() << ",\n";
+    out << "  \"failed\": " << totals_.failed.load() << ",\n";
+    out << "  \"answers\": " << totals_.answers.load() << ",\n";
+    out << "  \"evictions\": " << totals_.evictions.load() << ",\n";
+    out << "  \"requests\": " << requests << ",\n";
+    out << "  \"wall_seconds\": " << wall_seconds << ",\n";
+    out << "  \"requests_per_sec\": " << rps << ",\n";
+    out << "  \"latency_seconds\": {\n";
+    const auto histograms = metrics_.histograms();
+    for (std::size_t i = 0; i < histograms.size(); ++i) {
+      const auto& [name, hist] = histograms[i];
+      out << "    \"" << obs::json_escape(name) << "\": {"
+          << "\"count\": " << hist->count() << ", \"mean\": " << hist->mean()
+          << ", \"p50\": " << hist->quantile(0.5)
+          << ", \"p99\": " << hist->quantile(0.99) << ", \"max\": "
+          << hist->max() << "}" << (i + 1 < histograms.size() ? "," : "")
+          << "\n";
+    }
+    out << "  },\n";
+    out << "  \"daemon\": {";
+    const char* keys[] = {"sessions_created", "resident", "swaps",
+                          "rehydrations", "advances"};
+    bool first = true;
+    for (const char* key : keys) {
+      const auto it = daemon_stats.find(key);
+      if (it == daemon_stats.end() ||
+          it->second.kind != obs::JsonValue::Kind::kNumber) {
+        continue;
+      }
+      out << (first ? "" : ", ") << "\"" << key
+          << "\": " << static_cast<long>(it->second.num);
+      first = false;
+    }
+    out << "}\n";
+    out << "}\n";
+
+    const std::string rendered = out.str();
+    if (opt_.out_path) {
+      std::ofstream f(*opt_.out_path);
+      f << rendered;
+    }
+    std::cout << rendered;
+  }
+
+  static constexpr double kTieTolerance = 1e-4;
+
+  const Options& opt_;
+  sketch::Sketch sketch_;
+  obs::MetricsRegistry metrics_;
+  Totals totals_;
+  std::mutex io_mu_;
+  std::atomic<bool> transport_failed_{false};
+};
+
+// --- Raw mode --------------------------------------------------------------
+
+int raw_mode(int argc, char** argv) {
+  std::string connect;
+  std::string line;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      connect = argv[++i];
+    } else if (line.empty()) {
+      line = arg;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (connect.empty() || line.empty()) return usage(argv[0]);
+  try {
+    Client client(connect);
+    std::cout << client.request(line) << "\n";
+    return 0;
+  } catch (const std::exception& ex) {
+    std::cerr << "compsynth_load: " << ex.what() << "\n";
+    return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "request") {
+    return raw_mode(argc, argv);
+  }
+  const std::optional<Options> opt = parse_args(argc, argv);
+  if (!opt) return usage(argv[0]);
+  try {
+    sketch::Sketch sk = sketch::parse_sketch(read_file(opt->sketch_file));
+    LoadRun run(*opt, std::move(sk));
+    return run.run();
+  } catch (const std::exception& ex) {
+    std::cerr << "compsynth_load: " << ex.what() << "\n";
+    return 2;
+  }
+}

@@ -105,6 +105,15 @@ struct RunReport {
   long long pruned_regions = 0;
   long long pruned_candidates = 0;
   long long degenerate_dims = 0;
+  // Service events (schema rev 1.4): verb -> (count, errors, total seconds)
+  // from serve_request, plus session swap / rehydrate tallies.
+  std::map<std::string, std::tuple<long long, long long, double>> serve;
+  long long swaps = 0;
+  long long rehydrations = 0;
+  long long replayed_answers = 0;
+  // Event kinds this report does not understand (a newer producer's schema
+  // revision): tallied and rendered rather than silently dropped.
+  std::map<std::string, long long> unknown;
   long long events = 0;
 };
 
@@ -180,6 +189,26 @@ void absorb(RunReport& run, const JsonObject& obj, const std::string& ev) {
     const std::string result = str_or(obj, "result", "?");
     if (result == "added") ++run.pref_edges;
     if (result == "cycle") ++run.pref_cycles;
+  } else if (ev == "serve_request") {
+    auto& [count, errors, secs] = run.serve[str_or(obj, "verb", "?")];
+    ++count;
+    const auto ok = obj.find("ok");
+    if (ok == obj.end() || ok->second.kind != JsonValue::Kind::kBool ||
+        !ok->second.b) {
+      ++errors;
+    }
+    secs += num_or(obj, "secs", 0);
+  } else if (ev == "session_swap") {
+    ++run.swaps;
+  } else if (ev == "session_rehydrate") {
+    ++run.rehydrations;
+    run.replayed_answers += static_cast<long long>(num_or(obj, "replayed", 0));
+  } else if (ev == "fault" || ev == "retry" || ev == "checkpoint" ||
+             ev == "checkpoint_write") {
+    // Known but not tabulated here; sessions' reports cover them.
+  } else if (!ev.empty()) {
+    // A future schema revision's event: keep the report usable, tally it.
+    ++run.unknown[ev];
   }
 }
 
@@ -268,6 +297,30 @@ void render_run(std::ostream& os, const RunReport& run) {
          << "| portfolio wins grid / z3 | " << run.portfolio_grid_wins
          << " / " << run.portfolio_z3_wins << " (grid " << fmt(grid_rate, 1)
          << "%) |\n";
+    }
+    os << "\n";
+  }
+
+  if (!run.serve.empty() || run.swaps > 0 || run.rehydrations > 0) {
+    os << "### Service requests\n\n"
+       << "| verb | count | errors | total s |\n|---|---|---|---|\n";
+    for (const auto& [verb, row] : run.serve) {
+      const auto& [count, errors, secs] = row;
+      os << "| " << verb << " | " << count << " | " << errors << " | "
+         << fmt(secs, 4) << " |\n";
+    }
+    os << "\nSessions swapped out " << run.swaps << " time(s), rehydrated "
+       << run.rehydrations << " time(s) (" << run.replayed_answers
+       << " answer(s) replayed).\n\n";
+  }
+
+  if (!run.unknown.empty()) {
+    os << "### Unknown events\n\n"
+       << "Event kinds this trace_report does not understand (newer schema "
+          "revision?); counted, not dropped.\n\n"
+       << "| event | count |\n|---|---|\n";
+    for (const auto& [ev, count] : run.unknown) {
+      os << "| " << ev << " | " << count << " |\n";
     }
     os << "\n";
   }
