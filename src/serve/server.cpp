@@ -216,9 +216,14 @@ void Server::connection_loop(int fd) {
     buffer.erase(0, pos);
     if (stop_requested || buffer.size() > kMaxLine) break;
   }
+  // Untrack before close: once closed, the kernel may hand the same fd
+  // number to a concurrent accept, and erasing afterwards would drop the
+  // *new* connection's entry (stop() would then never shut it down).
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    conn_fds_.erase(fd);
+  }
   ::close(fd);
-  std::lock_guard<std::mutex> lk(mu_);
-  conn_fds_.erase(fd);
 }
 
 std::string Server::handle_line(const std::string& line, bool* stop_after) {

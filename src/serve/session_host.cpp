@@ -234,10 +234,14 @@ CreateParams read_session_json(const std::filesystem::path& path) {
 }  // namespace
 
 void SessionHost::load_answer_log(SessionEntry& e) {
-  std::ifstream in(e.dir / "answers.log", std::ios::binary);
-  if (!in) return;  // no answers yet
-  const std::string content((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
+  const std::filesystem::path path = e.dir / "answers.log";
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return;  // no answers yet
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
   std::size_t pos = 0;
   for (;;) {
     const std::size_t nl = content.find('\n', pos);
@@ -277,6 +281,12 @@ void SessionHost::load_answer_log(SessionEntry& e) {
     rec.key_b = std::string(line.substr(p3 + 1));
     e.log.push_back(std::move(rec));
   }
+  // Dropping the torn tail in memory is not enough: the bytes must also go
+  // from the file, or the next acked answer would append onto the fragment
+  // and fuse into one corrupt line. Must run before open_answer_log.
+  if (pos < content.size()) {
+    std::filesystem::resize_file(path, pos);
+  }
 }
 
 void SessionHost::drain() {
@@ -303,10 +313,12 @@ SessionView SessionHost::view_of(SessionEntry& e) const {
   return v;
 }
 
-// Builds the per-entry runtime pieces shared by create and rehydrate:
-// the session's RunContext, its CheckpointManager (with a per-session
-// deterministic fault injector when torn-write rehearsal is on) and the
-// answers.log append stream.
+// Builds the per-entry runtime pieces shared by create and rehydrate: the
+// session's RunContext and its CheckpointManager (with a per-session
+// deterministic fault injector when torn-write rehearsal is on). The
+// answers.log append stream is opened separately (open_answer_log) because
+// rehydration must truncate any torn tail from the log *before* an append
+// stream exists.
 void SessionHost::init_entry(SessionEntry& e) {
   e.run_obs.metrics = config_.obs.metrics;
   e.run_obs.tracer = config_.obs.tracer;
@@ -323,6 +335,9 @@ void SessionHost::init_entry(SessionEntry& e) {
     ck.injector = std::make_shared<util::FaultInjector>(plan);
   }
   e.ckpt = std::make_unique<session::CheckpointManager>(ck);
+}
+
+void SessionHost::open_answer_log(SessionEntry& e) {
   e.log_out.open(e.dir / "answers.log", std::ios::app | std::ios::binary);
   if (!e.log_out) {
     throw std::runtime_error("cannot open " + (e.dir / "answers.log").string());
@@ -375,9 +390,14 @@ HostResult SessionHost::create(const CreateParams& params) {
     e->dir = dir;
     try {
       init_entry(*e);
+      open_answer_log(*e);
       write_session_json(*e);
     } catch (const std::exception& ex) {
-      residents_.erase(params.id);
+      // The entry never reached residents_; undo the directory so a
+      // transient failure does not poison the id with E_EXISTS forever.
+      e->log_out.close();
+      std::error_code cleanup_ec;
+      std::filesystem::remove_all(dir, cleanup_ec);
       return HostResult::failure(kErrInternal, ex.what());
     }
     e->lru = ++lru_clock_;
@@ -447,7 +467,8 @@ std::shared_ptr<SessionHost::SessionEntry> SessionHost::rehydrate_locked(
     }
     e->dir = dir;
     init_entry(*e);
-    load_answer_log(*e);
+    load_answer_log(*e);  // truncates any torn tail before the stream opens
+    open_answer_log(*e);
     std::string snap_path;
     std::optional<session::Snapshot> snap =
         session::CheckpointManager::recover_latest(dir.string(), &snap_path);
@@ -636,7 +657,19 @@ HostResult SessionHost::answer(const std::string& id, long index,
     std::unique_lock<std::mutex> lk(e->mu);
     if (e->detached) continue;
     if (index >= 0 && index < static_cast<long>(e->log.size())) {
-      return HostResult::success();  // already acked: idempotent re-delivery
+      // Idempotent re-delivery of the acked answer succeeds; a contradictory
+      // one is refused rather than silently acked-as-OK while the original
+      // answer stands.
+      const oracle::Preference acked =
+          e->log[static_cast<std::size_t>(index)].answer;
+      if (answer != acked) {
+        return HostResult::failure(
+            kErrAnswer, "index " + std::to_string(index) +
+                            " was already acked as '" +
+                            preference_name(acked) +
+                            "'; contradictory re-delivery refused");
+      }
+      return HostResult::success();
     }
     switch (e->phase) {
       case SessionPhase::kDone:
@@ -809,10 +842,19 @@ HostResult SessionHost::inspect(const std::string& id, SessionView* view) {
   view->phase = SessionPhase::kSwapped;
   view->answers = 0;
   {
+    // Count only newline-terminated records, matching load_answer_log: a
+    // torn trailing fragment was never acked and will not be replayed.
     std::ifstream in(dir / "answers.log", std::ios::binary);
-    std::string line;
-    while (std::getline(in, line)) {
-      if (!line.empty()) ++view->answers;
+    if (in) {
+      const std::string content((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+      std::size_t pos = 0;
+      for (;;) {
+        const std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) break;
+        if (nl > pos) ++view->answers;
+        pos = nl + 1;
+      }
     }
   }
   try {

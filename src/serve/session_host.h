@@ -179,8 +179,9 @@ class SessionHost {
   HostResult next(const std::string& id, int wait_ms, SessionView* view);
 
   /// Accepts the answer for pending-query `index`. Re-sending an already
-  /// acked index succeeds idempotently; anything else out of step fails
-  /// with E_INDEX / E_STATE.
+  /// acked index with the same preference succeeds idempotently; a
+  /// contradictory re-delivery fails with E_ANSWER (the logged answer
+  /// stands), and anything else out of step fails with E_INDEX / E_STATE.
   HostResult answer(const std::string& id, long index,
                     oracle::Preference answer);
 
@@ -207,6 +208,7 @@ class SessionHost {
   void init_entry(SessionEntry& entry);
   static void write_session_json(const SessionEntry& entry);
   static void load_answer_log(SessionEntry& entry);
+  static void open_answer_log(SessionEntry& entry);
   void schedule_advance(const std::shared_ptr<SessionEntry>& entry);
   void run_advance(const std::shared_ptr<SessionEntry>& entry);
   void enforce_cap();

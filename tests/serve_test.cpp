@@ -457,6 +457,64 @@ TEST(ServeHost, TruncatedNewestSnapshotRehydrates) {
             logged_sequence(ref_root.path, "s"));
 }
 
+TEST(ServeHost, TornAnswerLogTailTruncatedOnRehydrate) {
+  // A crash can cut an answers.log append short, leaving a trailing
+  // fragment with no newline. That answer was never acked: rehydration must
+  // truncate the fragment from the file (not fuse the next append onto it
+  // into one corrupt line) and re-present the interrupted query.
+  const sketch::Sketch sk = test_sketch();
+  const sketch::HoleAssignment target = target_for(5);
+
+  TempRoot ref_root;
+  HostConfig ref_cfg;
+  ref_cfg.root = ref_root.path.string();
+  SessionHost ref_host(ref_cfg);
+  ref_host.register_sketch(test_sketch());
+  ScriptedArchitect architect(sk, target);
+  ASSERT_TRUE(ref_host.create(params_for("s", 81)).ok);
+  const DriveOutcome expected = drive(ref_host, "s", architect);
+  ASSERT_TRUE(expected.completed);
+  ASSERT_GE(expected.answers, 3) << "sketch too easy to exercise the tear";
+
+  TempRoot root;
+  HostConfig hc;
+  hc.root = root.path.string();
+  SessionHost host(hc);
+  host.register_sketch(test_sketch());
+  ASSERT_TRUE(host.create(params_for("s", 81)).ok);
+  for (int i = 0; i < 2; ++i) {
+    SessionView view;
+    ASSERT_TRUE(host.next("s", 30000, &view).ok);
+    ASSERT_EQ(view.phase, SessionPhase::kWaiting);
+    ASSERT_TRUE(host.answer("s", view.pending->index,
+                            architect.judge(view.pending->a, view.pending->b))
+                    .ok);
+  }
+  ASSERT_TRUE(host.evict("s").ok);
+
+  // Simulate the torn append: a fragment of the next record, no newline.
+  {
+    std::ofstream out(root.path / "s" / "answers.log",
+                      std::ios::app | std::ios::binary);
+    out << "2|first|m=0.5";
+  }
+
+  // The disk-only inspect must not count the unacked fragment.
+  SessionView swapped;
+  ASSERT_TRUE(host.inspect("s", &swapped).ok);
+  EXPECT_EQ(swapped.phase, SessionPhase::kSwapped);
+  EXPECT_EQ(swapped.answers, 2);
+
+  // Rehydration truncates the fragment and the session converges
+  // identically; evicting after every answer proves the log stays
+  // parseable across repeated rehydrations of the repaired file.
+  const DriveOutcome out = drive(host, "s", architect, /*evict_every=*/1);
+  ASSERT_TRUE(out.completed);
+  EXPECT_EQ(out.objective, expected.objective);
+  EXPECT_EQ(logged_sequence(root.path, "s"),
+            logged_sequence(ref_root.path, "s"));
+}
+
 TEST(ServeHost, DoubleCreateRefusedEverywhere) {
   TempRoot root;
   HostConfig hc;
@@ -513,7 +571,14 @@ TEST(ServeHost, AnswerValidation) {
   ASSERT_TRUE(host.answer("s", 0, answer).ok);
   // Duplicate delivery of an acked index: idempotent success, no state change.
   EXPECT_TRUE(host.answer("s", 0, answer).ok);
-  EXPECT_TRUE(host.answer("s", 0, oracle::Preference::kTie).ok);
+  // A contradictory re-delivery of an acked index is refused; the logged
+  // answer stands.
+  const oracle::Preference other = answer == oracle::Preference::kFirst
+                                       ? oracle::Preference::kSecond
+                                       : oracle::Preference::kFirst;
+  r = host.answer("s", 0, other);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, kErrAnswer);
   ASSERT_TRUE(host.next("s", 30000, &view).ok);
   if (view.phase == SessionPhase::kWaiting) {
     EXPECT_EQ(view.pending->index, 1);
