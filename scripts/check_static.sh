@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Custom static pass over the concurrency and observability conventions that
+# neither the compiler nor clang-tidy enforces. Fails (exit 1) on:
+#
+#   1. A Mutex member declared in src/ that no GUARDED_BY/PT_GUARDED_BY in
+#      the same file references — an unannotated lock guards nothing the
+#      analysis can see, which is how annotation coverage rots. Waive a
+#      deliberate exception with `// tsa-ok(<member>): <why>` in that file.
+#   2. A raw std::mutex / std::condition_variable member anywhere outside
+#      util/sync.h — raw primitives are invisible to -Wthread-safety; use
+#      util::Mutex / util::CondVar (see docs/CONCURRENCY.md).
+#   3. std::thread::detach() — every thread in this tree is joined;
+#      a detached thread outliving its captures is a use-after-free in
+#      waiting.
+#   4. `volatile` in src/ — it is not a synchronization primitive; use
+#      std::atomic (waive hardware-register cases, should any ever appear,
+#      with `// volatile-ok: <why>`).
+#   5. A trace-event kind emitted in src/ that docs/OBSERVABILITY.md's
+#      schema table has no `### \`kind\`` heading for — the golden trace
+#      tests pin the schema, so an undocumented kind is doc drift.
+#
+# Also prints a tally of NO_THREAD_SAFETY_ANALYSIS uses; each one must carry
+# a justification comment on the same or previous line.
+#
+# Usage: scripts/check_static.sh [--self-test]
+#   --self-test seeds one violation of each class into a temp tree and
+#   asserts this script catches it (wired up as the check_static_detects
+#   ctest, so the checker itself cannot silently rot).
+set -u
+
+cd "$(dirname "$0")/.."
+
+fail=0
+say() { printf '%s\n' "$*"; }
+violation() {
+  say "check_static: FAIL: $*"
+  fail=1
+}
+
+run_checks() {
+  local src_root="$1"
+
+  # --- 1. every Mutex member is referenced by a GUARDED_BY ------------------
+  while IFS=: read -r file _line decl; do
+    [ -n "$file" ] || continue
+    local member
+    member=$(printf '%s' "$decl" |
+      sed -nE 's/^[[:space:]]*(mutable[[:space:]]+)?(util::)?Mutex[[:space:]]+([A-Za-z_][A-Za-z0-9_]*)[[:space:]]*;.*/\3/p')
+    [ -n "$member" ] || continue
+    if ! grep -qE "(GUARDED_BY|PT_GUARDED_BY)\($member\)" "$file" &&
+       ! grep -qE "tsa-ok\($member\)" "$file"; then
+      violation "$file: Mutex member '$member' has no GUARDED_BY($member)" \
+        "(annotate the fields it guards, or waive with // tsa-ok($member): <why>)"
+    fi
+  done < <(grep -rnE '^[[:space:]]*(mutable[[:space:]]+)?(util::)?Mutex[[:space:]]+[A-Za-z_][A-Za-z0-9_]*[[:space:]]*;' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -v 'util/sync\.h')
+
+  # --- 2. raw primitives outside util/sync.h --------------------------------
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    violation "$hit — raw std primitive is invisible to -Wthread-safety;" \
+      "use util::Mutex / util::CondVar / util::MutexLock (util/sync.h)"
+  done < <(grep -rnE 'std::(mutex|condition_variable|lock_guard|unique_lock|scoped_lock|shared_mutex)\b' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -v 'util/sync\.h' | grep -v '^\s*//' | grep -vE ':[0-9]+:\s*(//|\*)')
+
+  # --- 3. no detached threads ----------------------------------------------
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    violation "$hit — detached threads are banned (join everything;" \
+      "a detached thread outliving its captures is a use-after-free)"
+  done < <(grep -rnE '\.detach\(\)' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -vE ':[0-9]+:\s*(//|\*)')
+
+  # --- 4. no volatile -------------------------------------------------------
+  while IFS= read -r hit; do
+    [ -n "$hit" ] || continue
+    violation "$hit — volatile is not a synchronization primitive;" \
+      "use std::atomic (or waive with // volatile-ok: <why>)"
+  done < <(grep -rnE '\bvolatile\b' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -vE ':[0-9]+:\s*(//|\*)' | grep -v 'volatile-ok')
+}
+
+check_trace_schema() {
+  local src_root="$1" schema="$2"
+  local kinds
+  kinds=$( (grep -rhoE 'TraceEvent[[:space:]]+[A-Za-z_]+\("[a-z_]+"\)' \
+              "$src_root" --include='*.cpp' 2>/dev/null |
+              grep -oE '"[a-z_]+"';
+            grep -rhoE 'Span[[:space:]]+[A-Za-z_]+\([^,]+,[[:space:]]*"[a-z_]+"' \
+              "$src_root" --include='*.cpp' 2>/dev/null |
+              grep -oE '"[a-z_]+"') | tr -d '"' | sort -u)
+  local kind
+  for kind in $kinds; do
+    if ! grep -qE "^### \`$kind\`" "$schema" 2>/dev/null; then
+      violation "trace event kind '$kind' is emitted in $src_root but has no" \
+        "'### \`$kind\`' heading in $schema (document it or rename it)"
+    fi
+  done
+}
+
+check_nsa_justified() {
+  local src_root="$1"
+  local count=0
+  while IFS=: read -r file line _rest; do
+    [ -n "$file" ] || continue
+    count=$((count + 1))
+    # The use line itself or the line above must say why.
+    local context
+    context=$(sed -n "$((line > 1 ? line - 1 : 1)),${line}p" "$file")
+    if ! printf '%s' "$context" | grep -q '//'; then
+      violation "$file:$line: NO_THREAD_SAFETY_ANALYSIS without a" \
+        "justification comment on the same or previous line"
+    fi
+  done < <(grep -rn 'NO_THREAD_SAFETY_ANALYSIS' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -v 'thread_annotations\.h' | grep -vE ':[0-9]+:\s*(//|\*)')
+  say "check_static: NO_THREAD_SAFETY_ANALYSIS uses outside the macro header: $count"
+}
+
+self_test() {
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' EXIT
+  mkdir -p "$tmp/src" "$tmp/docs"
+
+  cat > "$tmp/src/bad.h" <<'EOF'
+#include <mutex>
+class Bad {
+  void go() { worker_.detach(); }
+  volatile int flag = 0;
+  util::Mutex unreferenced_mu_;
+  std::mutex raw_mu_;
+  std::thread worker_;
+};
+EOF
+  cat > "$tmp/src/bad.cpp" <<'EOF'
+void emit() { obs::TraceEvent ev("undocumented_kind"); }
+EOF
+  printf '# schema\n' > "$tmp/docs/OBSERVABILITY.md"
+
+  local out
+  out=$(fail=0; run_checks "$tmp/src"
+        check_trace_schema "$tmp/src" "$tmp/docs/OBSERVABILITY.md"
+        exit "$fail")
+  local status=$?
+  local expected ok=1
+  for expected in "unreferenced_mu_" "std::mutex" "detach" "volatile" \
+                  "undocumented_kind"; do
+    if ! printf '%s' "$out" | grep -q "$expected"; then
+      say "check_static --self-test: seeded '$expected' violation NOT caught"
+      ok=0
+    fi
+  done
+  if [ "$status" -eq 0 ]; then
+    say "check_static --self-test: seeded tree passed (checker is broken)"
+    ok=0
+  fi
+  if [ "$ok" -eq 1 ]; then
+    say "check_static --self-test: OK (all 5 seeded violation classes caught)"
+    exit 0
+  fi
+  printf '%s\n' "$out"
+  exit 1
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+  self_test
+fi
+
+run_checks src
+check_trace_schema src docs/OBSERVABILITY.md
+check_nsa_justified src
+
+if [ "$fail" -ne 0 ]; then
+  say "check_static: FAILED"
+  exit 1
+fi
+say "check_static: OK"

@@ -10,14 +10,18 @@
 #      the daemon mid-run and diffs against an uninterrupted reference)
 #   4. the standalone docs checkers (links + code blocks + README index
 #      completeness, which gates docs/SERVICE.md and friends)
-#   5. the address+undefined sanitizer build/test sweep
-#
-# Run it before sending a change; scripts/check_tsan.sh adds the (slower)
-# ThreadSanitizer pass that exercises the parallel version-space engine.
+#   5. the concurrency-convention static pass (scripts/check_static.sh)
+#   6. the thread-safety analysis build: with clang++ on PATH, a full
+#      -Wthread-safety -Werror=thread-safety configure+build in its own
+#      build dir (plus the negative-control ctest); otherwise a named skip
+#   7. the address+undefined sanitizer build/test sweep
+#   8. the ThreadSanitizer build/test sweep (scripts/check_tsan.sh) over
+#      the concurrent paths, including the seeded stress suite
 #
 # Usage:
 #   scripts/ci_full.sh                 # everything
-#   COMPSYNTH_SKIP_SANITIZERS=1 scripts/ci_full.sh   # fast pass, no asan/ubsan
+#   COMPSYNTH_SKIP_SANITIZERS=1 scripts/ci_full.sh   # fast pass, no
+#                                      # asan/ubsan/tsan rebuilds
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,11 +43,31 @@ echo "== docs: links =="
 echo "== docs: code blocks =="
 "$repo/scripts/check_docs_blocks.sh" "$repo" "$build/tools/compsynth_lint"
 
+echo "== static pass: concurrency conventions =="
+bash "$repo/scripts/check_static.sh"
+bash "$repo/scripts/check_static.sh" --self-test
+
+echo "== thread-safety analysis build =="
+if command -v clang++ >/dev/null 2>&1; then
+  tsbuild="$repo/build-thread-safety"
+  cmake -B "$tsbuild" -S "$repo" \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCOMPSYNTH_THREAD_SAFETY=ON >/dev/null
+  cmake --build "$tsbuild" -j "$(nproc)"
+  ctest --test-dir "$tsbuild" -R '^thread_safety_negative$' --output-on-failure
+else
+  echo "thread-safety build skipped (no clang++ on PATH; annotations are"
+  echo "inert under this toolchain — scripts/check_static.sh still gates"
+  echo "annotation coverage)"
+fi
+
 if [ "${COMPSYNTH_SKIP_SANITIZERS:-0}" != "1" ]; then
   echo "== asan + ubsan sweep =="
   "$repo/scripts/check_asan_ubsan.sh"
+  echo "== tsan sweep =="
+  "$repo/scripts/check_tsan.sh"
 else
-  echo "== asan + ubsan sweep skipped (COMPSYNTH_SKIP_SANITIZERS=1) =="
+  echo "== asan/ubsan/tsan sweeps skipped (COMPSYNTH_SKIP_SANITIZERS=1) =="
 fi
 
 echo "ci_full: all green"

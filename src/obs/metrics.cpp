@@ -57,15 +57,15 @@ void Histogram::record(double value) {
   bins_[static_cast<std::size_t>(bin_of(value))].fetch_add(
       1, std::memory_order_relaxed);
   atomic_add(sum_, value);
-  // First sample initializes min/max; count_ is bumped last so a concurrent
-  // reader seeing count > 0 also sees a seeded min/max. (Racing first
-  // writers both CAS against the seed; atomic_min/max keep the extremum.)
-  if (count_.load(std::memory_order_acquire) == 0) {
-    double expected = 0;
-    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
-    expected = 0;
-    max_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
-  }
+  // min_/max_ are seeded to +/-infinity, so the plain CAS loops are the
+  // whole story: any sample beats the seed, racing first recorders each
+  // fold their own value in, and no interleaving can lose one. (The
+  // previous count_==0 guarded seed-CAS could: a legitimately recorded 0.0
+  // was indistinguishable from the unrecorded-sentinel 0, so a racing
+  // writer's seed-CAS clobbered it — tests/concurrency_stress_test.cpp
+  // MetricsStress.FirstRecordRace* pins the fix.) count_ is bumped last
+  // with release order so a reader that observes count_ > 0 with acquire
+  // also observes this sample's min/max updates.
   atomic_min(min_, value);
   atomic_max(max_, value);
   count_.fetch_add(1, std::memory_order_release);
@@ -77,11 +77,15 @@ double Histogram::mean() const {
 }
 
 double Histogram::min() const {
-  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  if (count_.load(std::memory_order_acquire) == 0) return 0;
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0 : m;  // only NaN samples recorded so far
 }
 
 double Histogram::max() const {
-  return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  if (count_.load(std::memory_order_acquire) == 0) return 0;
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0 : m;
 }
 
 double Histogram::quantile(double q) const {
@@ -102,28 +106,28 @@ double Histogram::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::vector<std::pair<std::string, long>> MetricsRegistry::counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, long>> out;
   out.reserve(counters_.size());
   for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
@@ -131,7 +135,7 @@ std::vector<std::pair<std::string, long>> MetricsRegistry::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [name, g] : gauges_) out.emplace_back(name, g->value());
@@ -140,7 +144,7 @@ std::vector<std::pair<std::string, double>> MetricsRegistry::gauges() const {
 
 std::vector<std::pair<std::string, const Histogram*>>
 MetricsRegistry::histograms() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::vector<std::pair<std::string, const Histogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) out.emplace_back(name, h.get());

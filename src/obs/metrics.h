@@ -17,12 +17,15 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::obs {
 
@@ -51,7 +54,9 @@ class Gauge {
 class Histogram {
  public:
   /// Records one sample (seconds). Values outside [1e-9, 1e4) land in the
-  /// under/overflow bins; min/max/sum stay exact regardless.
+  /// under/overflow bins; min/max/sum stay exact regardless. NaN samples
+  /// are counted and binned (underflow) but excluded from min/max (every
+  /// comparison against NaN is false) and poison sum.
   void record(double value);
 
   long count() const { return count_.load(std::memory_order_relaxed); }
@@ -84,22 +89,28 @@ class Histogram {
   std::array<std::atomic<long>, kBins> bins_{};
   std::atomic<long> count_{0};
   std::atomic<double> sum_{0};
-  std::atomic<double> min_{0};  // valid only when count_ > 0
-  std::atomic<double> max_{0};
+  // Seeded to +/-infinity so the extremum CAS loops in record() need no
+  // first-sample special case: any recorded value beats the seed, so two
+  // racing first recorders cannot lose a value (the old count_==0 seed-CAS
+  // could — a legitimately recorded 0.0 was indistinguishable from the
+  // unrecorded sentinel). min()/max() map a still-infinite extremum to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Named instrument registry. Thread-safe; returned references stay valid
 /// (and keep their counts) for the registry's lifetime.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) EXCLUDES(mutex_);
 
   /// Sorted snapshots for reporting.
-  std::vector<std::pair<std::string, long>> counters() const;
-  std::vector<std::pair<std::string, double>> gauges() const;
-  std::vector<std::pair<std::string, const Histogram*>> histograms() const;
+  std::vector<std::pair<std::string, long>> counters() const EXCLUDES(mutex_);
+  std::vector<std::pair<std::string, double>> gauges() const EXCLUDES(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> histograms() const
+      EXCLUDES(mutex_);
 
   /// Renders every instrument as Markdown tables (counters, gauges, then
   /// histograms with count/mean/p50/p90/p99/max), the format the CLI's
@@ -107,10 +118,15 @@ class MetricsRegistry {
   std::string render_markdown() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards only name -> instrument resolution; the instruments themselves
+  /// are internally atomic and have stable addresses, so returned
+  /// references are touched lock-free.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
 };
 
 }  // namespace compsynth::obs

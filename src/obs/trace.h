@@ -130,6 +130,11 @@ class FileTraceSink final : public TraceSink {
   const std::string& path() const { return path_; }
 
  private:
+  // No mutex here by design: path_/out_/epoch_ are written only in the
+  // constructor, and all post-construction writes flow through writer_,
+  // which serializes at line granularity (util/line_writer.h). The
+  // Stopwatch read in emit() is a const steady_clock query — safe
+  // concurrently.
   std::string path_;
   std::ofstream out_;
   util::LineWriter writer_;

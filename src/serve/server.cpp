@@ -122,7 +122,7 @@ void Server::start() { accept_thread_ = std::thread([this] { accept_loop(); }); 
 
 void Server::begin_stop() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -133,7 +133,7 @@ void Server::begin_stop() {
 
 void Server::stop() {
   begin_stop();
-  std::lock_guard<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
 }
 
@@ -141,12 +141,12 @@ void Server::wait() {
   if (accept_thread_.joinable()) accept_thread_.join();
   // No new connections can appear now; close out the existing ones.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     threads.swap(conn_threads_);
   }
   for (std::thread& t : threads) {
@@ -159,7 +159,7 @@ void Server::accept_loop() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      const util::MutexLock lk(mu_);
       if (stopping_) {
         if (fd >= 0) ::close(fd);
         return;
@@ -206,7 +206,7 @@ void Server::connection_loop(int fd) {
         break;
       }
       {
-        std::lock_guard<std::mutex> lk(mu_);
+        const util::MutexLock lk(mu_);
         if (stopping_) {
           stop_requested = true;
           break;
@@ -220,7 +220,7 @@ void Server::connection_loop(int fd) {
   // number to a concurrent accept, and erasing afterwards would drop the
   // *new* connection's entry (stop() would then never shut it down).
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     conn_fds_.erase(fd);
   }
   ::close(fd);

@@ -14,7 +14,6 @@
 // trace event (schema rev 1.4, docs/OBSERVABILITY.md).
 #pragma once
 
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -22,6 +21,8 @@
 
 #include "obs/run_context.h"
 #include "serve/session_host.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::serve {
 
@@ -59,22 +60,25 @@ class Server {
   void stop();
 
  private:
-  void accept_loop();
-  void connection_loop(int fd);
+  void accept_loop() EXCLUDES(mu_);
+  void connection_loop(int fd) EXCLUDES(mu_);
   std::string handle_line(const std::string& line, bool* stop_after);
-  void begin_stop();
+  void begin_stop() EXCLUDES(mu_);
 
   ServerConfig config_;
   SessionHost& host_;
+  // Set in the constructor, read-only afterwards (the accept thread and the
+  // destructor both touch listen_fd_, ordered by start()/join()).
   int listen_fd_ = -1;
   bool unix_socket_ = false;
   std::string unix_path_;
   std::string endpoint_;
 
-  std::mutex mu_;
-  bool stopping_ = false;
-  std::set<int> conn_fds_;
-  std::vector<std::thread> conn_threads_;
+  util::Mutex mu_;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::set<int> conn_fds_ GUARDED_BY(mu_);
+  std::vector<std::thread> conn_threads_ GUARDED_BY(mu_);
+  // Joined by wait(); started once by start(). Never detached.
   std::thread accept_thread_;
 };
 

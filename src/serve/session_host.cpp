@@ -149,8 +149,9 @@ const char* phase_name(SessionPhase phase) {
 }
 
 struct SessionHost::SessionEntry {
-  std::mutex mu;
-  std::condition_variable cv;
+  util::Mutex mu;
+  /// Signaled on every phase change and on detach; next/answer/drop wait.
+  util::CondVar cv;
 
   // Immutable after construction (mirrors session.json).
   CreateParams params;
@@ -158,20 +159,24 @@ struct SessionHost::SessionEntry {
   obs::RunContext run_obs;  // per-session context; address must stay stable
   std::unique_ptr<session::CheckpointManager> ckpt;
 
-  // Guarded by `mu`.
-  std::ofstream log_out;
-  std::vector<AnswerRecord> log;
-  SessionPhase phase = SessionPhase::kAdvancing;
-  bool advancing = false;  // an advance task is in flight
-  bool detached = false;   // dropped from the resident map (swapped out)
-  std::optional<PendingQuery> pending;
-  std::optional<synth::SessionState> snap;  // newest checkpoint, in memory
-  int iterations = 0;
-  std::string done_status;
-  std::string objective;
-  std::string error;
+  std::ofstream log_out GUARDED_BY(mu);
+  std::vector<AnswerRecord> log GUARDED_BY(mu);
+  SessionPhase phase GUARDED_BY(mu) = SessionPhase::kAdvancing;
+  /// An advance task is in flight.
+  bool advancing GUARDED_BY(mu) = false;
+  /// Dropped from the resident map (swapped out).
+  bool detached GUARDED_BY(mu) = false;
+  std::optional<PendingQuery> pending GUARDED_BY(mu);
+  /// Newest checkpoint, in memory.
+  std::optional<synth::SessionState> snap GUARDED_BY(mu);
+  int iterations GUARDED_BY(mu) = 0;
+  std::string done_status GUARDED_BY(mu);
+  std::string objective GUARDED_BY(mu);
+  std::string error GUARDED_BY(mu);
 
-  // Guarded by the host mutex.
+  // Guarded by the *host's* mu_, not this entry's mu (GUARDED_BY cannot
+  // name another object's capability from here); only SessionHost code
+  // holding mu_ may touch it.
   std::uint64_t lru = 0;
 };
 
@@ -233,7 +238,7 @@ CreateParams read_session_json(const std::filesystem::path& path) {
 
 }  // namespace
 
-void SessionHost::load_answer_log(SessionEntry& e) {
+void SessionHost::load_answer_log(SessionEntry& e) REQUIRES(e.mu) {
   const std::filesystem::path path = e.dir / "answers.log";
   std::string content;
   {
@@ -290,16 +295,16 @@ void SessionHost::load_answer_log(SessionEntry& e) {
 }
 
 void SessionHost::drain() {
-  std::unique_lock<std::mutex> lk(mu_);
-  drained_.wait(lk, [&] { return in_flight_ == 0; });
+  const util::MutexLock lk(mu_);
+  drained_.wait(mu_, [this]() REQUIRES(mu_) { return in_flight_ == 0; });
 }
 
 HostStats SessionHost::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  const util::MutexLock lk(mu_);
   return stats_;
 }
 
-SessionView SessionHost::view_of(SessionEntry& e) const {
+SessionView SessionHost::view_of(SessionEntry& e) const REQUIRES(e.mu) {
   SessionView v;
   v.id = e.params.id;
   v.phase = e.phase;
@@ -337,7 +342,7 @@ void SessionHost::init_entry(SessionEntry& e) {
   e.ckpt = std::make_unique<session::CheckpointManager>(ck);
 }
 
-void SessionHost::open_answer_log(SessionEntry& e) {
+void SessionHost::open_answer_log(SessionEntry& e) REQUIRES(e.mu) {
   e.log_out.open(e.dir / "answers.log", std::ios::app | std::ios::binary);
   if (!e.log_out) {
     throw std::runtime_error("cannot open " + (e.dir / "answers.log").string());
@@ -366,7 +371,7 @@ HostResult SessionHost::create(const CreateParams& params) {
   std::shared_ptr<SessionEntry> e;
   long resident = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     if (residents_.count(params.id) != 0) {
       return HostResult::failure(
           kErrExists, "session '" + params.id + "' already exists");
@@ -388,6 +393,10 @@ HostResult SessionHost::create(const CreateParams& params) {
       e->params.sketch = sketches_.front().name();
     }
     e->dir = dir;
+    // The entry is unpublished, so this lock is uncontended; it exists to
+    // satisfy the guarded-field contract (log_out is GUARDED_BY(e->mu)).
+    // mu_ -> entry mu matches the documented lock order.
+    const util::MutexLock elk(e->mu);
     try {
       init_entry(*e);
       open_answer_log(*e);
@@ -420,7 +429,7 @@ std::shared_ptr<SessionHost::SessionEntry> SessionHost::acquire(
   int snapshot_iteration = -1;
   long replayed = 0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     const auto it = residents_.find(id);
     if (it != residents_.end()) {
       e = it->second;
@@ -429,6 +438,7 @@ std::shared_ptr<SessionHost::SessionEntry> SessionHost::acquire(
       e = rehydrate_locked(id, error);
       if (e == nullptr) return nullptr;
       rehydrated = true;
+      const util::MutexLock elk(e->mu);
       snapshot_iteration = e->snap ? e->snap->iterations : 0;
       replayed = static_cast<long>(e->log.size());
     }
@@ -460,6 +470,9 @@ std::shared_ptr<SessionHost::SessionEntry> SessionHost::rehydrate_locked(
     return nullptr;
   }
   auto e = std::make_shared<SessionEntry>();
+  // Unpublished entry: uncontended, taken for the guarded-field contract
+  // (load_answer_log fills e->log). mu_ is already held (mu_ -> entry mu).
+  const util::MutexLock elk(e->mu);
   try {
     e->params = read_session_json(dir / "session.json");
     if (e->params.id != id) {
@@ -503,7 +516,7 @@ std::shared_ptr<SessionHost::SessionEntry> SessionHost::rehydrate_locked(
 
 void SessionHost::schedule_advance(const std::shared_ptr<SessionEntry>& e) {
   {
-    std::lock_guard<std::mutex> lk(e->mu);
+    const util::MutexLock lk(e->mu);
     if (e->detached || e->advancing || e->phase == SessionPhase::kDone ||
         e->phase == SessionPhase::kFailed) {
       return;
@@ -513,7 +526,7 @@ void SessionHost::schedule_advance(const std::shared_ptr<SessionEntry>& e) {
     e->pending.reset();
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     ++in_flight_;
     ++stats_.advances;
   }
@@ -531,7 +544,7 @@ void SessionHost::run_advance(const std::shared_ptr<SessionEntry>& e) {
   std::vector<AnswerRecord> log;
   std::optional<synth::SessionState> snap;
   {
-    std::lock_guard<std::mutex> lk(e->mu);
+    const util::MutexLock lk(e->mu);
     log = e->log;
     snap = e->snap;
   }
@@ -566,7 +579,7 @@ void SessionHost::run_advance(const std::shared_ptr<SessionEntry>& e) {
       const auto to_disk = session::checkpoint_hook(*e->ckpt, meta);
       cfg.checkpoint = [e, to_disk](const synth::SessionState& st) {
         to_disk(st);  // durable first, then the in-memory mirror
-        std::lock_guard<std::mutex> lk(e->mu);
+        const util::MutexLock lk(e->mu);
         e->snap = st;
         e->iterations = st.iterations;
       };
@@ -606,7 +619,7 @@ void SessionHost::run_advance(const std::shared_ptr<SessionEntry>& e) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(e->mu);
+    const util::MutexLock lk(e->mu);
     if (pending) {
       e->pending = *pending;
       e->phase = SessionPhase::kWaiting;
@@ -623,7 +636,7 @@ void SessionHost::run_advance(const std::shared_ptr<SessionEntry>& e) {
   }
   e->cv.notify_all();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     --in_flight_;
   }
   drained_.notify_all();
@@ -637,10 +650,10 @@ HostResult SessionHost::next(const std::string& id, int wait_ms,
     HostResult error;
     const std::shared_ptr<SessionEntry> e = acquire(id, &error);
     if (e == nullptr) return error;
-    std::unique_lock<std::mutex> lk(e->mu);
+    const util::MutexLock lk(e->mu);
     while (!e->detached && e->phase == SessionPhase::kAdvancing &&
            wait_ms > 0) {
-      if (e->cv.wait_until(lk, deadline) == std::cv_status::timeout) break;
+      if (e->cv.wait_until(e->mu, deadline) == std::cv_status::timeout) break;
     }
     if (e->detached) continue;  // swapped out while we looked; re-acquire
     *view = view_of(*e);
@@ -654,7 +667,7 @@ HostResult SessionHost::answer(const std::string& id, long index,
     HostResult error;
     const std::shared_ptr<SessionEntry> e = acquire(id, &error);
     if (e == nullptr) return error;
-    std::unique_lock<std::mutex> lk(e->mu);
+    util::MutexLock lk(e->mu);
     if (e->detached) continue;
     if (index >= 0 && index < static_cast<long>(e->log.size())) {
       // Idempotent re-delivery of the acked answer succeeds; a contradictory
@@ -683,7 +696,7 @@ HostResult SessionHost::answer(const std::string& id, long index,
         // `answer`, and rehydration is replaying. The answer is not wrong,
         // just early: wait for the pair to be re-published, then validate
         // against it.
-        e->cv.wait(lk, [&] {
+        e->cv.wait(e->mu, [&]() REQUIRES(e->mu) {
           return e->detached || e->phase != SessionPhase::kAdvancing;
         });
         continue;
@@ -710,7 +723,8 @@ HostResult SessionHost::answer(const std::string& id, long index,
       return HostResult::failure(kErrInternal, "cannot append to answers.log");
     }
     e->log.push_back(std::move(rec));
-    lk.unlock();
+    // schedule_advance re-takes e->mu; drop it first (never held across).
+    lk.release();
     schedule_advance(e);
     return HostResult::success();
   }
@@ -719,7 +733,7 @@ HostResult SessionHost::answer(const std::string& id, long index,
 HostResult SessionHost::evict(const std::string& id) {
   std::shared_ptr<SessionEntry> e;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     const auto it = residents_.find(id);
     if (it == residents_.end()) {
       std::error_code ec;
@@ -743,12 +757,15 @@ void SessionHost::drop(const std::shared_ptr<SessionEntry>& e,
                        const char* reason) {
   for (;;) {
     {
-      std::unique_lock<std::mutex> lk(e->mu);
-      e->cv.wait(lk, [&] { return !e->advancing || e->detached; });
+      const util::MutexLock lk(e->mu);
+      e->cv.wait(e->mu, [&]() REQUIRES(e->mu) {
+        return !e->advancing || e->detached;
+      });
       if (e->detached) return;  // someone else swapped it
     }
-    std::lock_guard<std::mutex> host(mu_);
-    std::lock_guard<std::mutex> lk(e->mu);
+    // mu_ before e->mu: the documented lock order (docs/CONCURRENCY.md).
+    const util::MutexLock host(mu_);
+    const util::MutexLock lk(e->mu);
     if (e->detached) return;
     if (e->advancing) continue;  // an answer slipped in; wait again
     e->detached = true;
@@ -778,7 +795,7 @@ void SessionHost::enforce_cap() {
     std::shared_ptr<SessionEntry> victim;
     bool retry = false;
     {
-      std::lock_guard<std::mutex> host(mu_);
+      const util::MutexLock host(mu_);
       if (static_cast<int>(residents_.size()) <= config_.max_active) return;
       std::uint64_t oldest = UINT64_MAX;
       std::uint64_t newest = 0;
@@ -787,7 +804,7 @@ void SessionHost::enforce_cap() {
       }
       for (const auto& [id, entry] : residents_) {
         if (entry->lru == newest) continue;
-        std::lock_guard<std::mutex> lk(entry->mu);
+        const util::MutexLock lk(entry->mu);
         if (entry->advancing) continue;
         if (entry->lru < oldest) {
           oldest = entry->lru;
@@ -796,7 +813,7 @@ void SessionHost::enforce_cap() {
       }
       if (victim == nullptr) return;  // everything is computing; retry later
       {
-        std::lock_guard<std::mutex> lk(victim->mu);
+        const util::MutexLock lk(victim->mu);
         if (victim->advancing) {
           retry = true;  // started advancing since selection
         } else {
@@ -822,10 +839,10 @@ void SessionHost::enforce_cap() {
 
 HostResult SessionHost::inspect(const std::string& id, SessionView* view) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    const util::MutexLock lk(mu_);
     const auto it = residents_.find(id);
     if (it != residents_.end()) {
-      std::lock_guard<std::mutex> elk(it->second->mu);
+      const util::MutexLock elk(it->second->mu);
       *view = view_of(*it->second);
       return HostResult::success();
     }

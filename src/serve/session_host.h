@@ -34,12 +34,10 @@
 // docs/SERVICE.md §Costs quantifies it.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -50,6 +48,8 @@
 #include "serve/protocol.h"
 #include "sketch/ast.h"
 #include "util/fault.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace compsynth::serve {
@@ -192,27 +192,33 @@ class SessionHost {
   /// Cheap status read: never rehydrates, never schedules work.
   HostResult inspect(const std::string& id, SessionView* view);
 
-  HostStats stats() const;
+  HostStats stats() const EXCLUDES(mu_);
 
   /// Blocks until no advance is in flight. New requests may schedule more;
   /// callers stop the request source first.
-  void drain();
+  void drain() EXCLUDES(mu_);
 
  private:
   struct SessionEntry;
 
   std::shared_ptr<SessionEntry> acquire(const std::string& id,
-                                        HostResult* error);
+                                        HostResult* error) EXCLUDES(mu_);
   std::shared_ptr<SessionEntry> rehydrate_locked(const std::string& id,
-                                                 HostResult* error);
+                                                 HostResult* error)
+      REQUIRES(mu_);
   void init_entry(SessionEntry& entry);
   static void write_session_json(const SessionEntry& entry);
   static void load_answer_log(SessionEntry& entry);
   static void open_answer_log(SessionEntry& entry);
-  void schedule_advance(const std::shared_ptr<SessionEntry>& entry);
-  void run_advance(const std::shared_ptr<SessionEntry>& entry);
-  void enforce_cap();
-  void drop(const std::shared_ptr<SessionEntry>& entry, const char* reason);
+  void schedule_advance(const std::shared_ptr<SessionEntry>& entry)
+      EXCLUDES(mu_);
+  void run_advance(const std::shared_ptr<SessionEntry>& entry) EXCLUDES(mu_);
+  void enforce_cap() EXCLUDES(mu_);
+  void drop(const std::shared_ptr<SessionEntry>& entry, const char* reason)
+      EXCLUDES(mu_);
+  // view_of additionally requires the entry's own mutex; the REQUIRES
+  // attribute lives on the definition (SessionEntry is incomplete here, so
+  // `entry.mu` cannot be named in this header).
   SessionView view_of(SessionEntry& entry) const;
   const sketch::Sketch* find_sketch(const std::string& name) const;
 
@@ -220,12 +226,17 @@ class SessionHost {
   std::filesystem::path root_;
   std::vector<sketch::Sketch> sketches_;
 
-  mutable std::mutex mu_;  // guards residents_, stats_, in_flight_, lru_clock_
-  std::condition_variable drained_;
-  std::map<std::string, std::shared_ptr<SessionEntry>> residents_;
-  HostStats stats_;
-  int in_flight_ = 0;
-  std::uint64_t lru_clock_ = 0;
+  /// Host-level lock. When an entry's own mutex is also needed, mu_ is
+  /// acquired FIRST (drop, enforce_cap, inspect); never the reverse — see
+  /// docs/CONCURRENCY.md §Lock ordering.
+  mutable util::Mutex mu_;
+  /// Signaled whenever in_flight_ drops; drain() waits on it.
+  util::CondVar drained_;
+  std::map<std::string, std::shared_ptr<SessionEntry>> residents_
+      GUARDED_BY(mu_);
+  HostStats stats_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;
+  std::uint64_t lru_clock_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace compsynth::serve

@@ -188,6 +188,13 @@ class GridFinder final : public CandidateFinder {
   util::Rng rng_;
   std::unique_ptr<util::ThreadPool> own_pool_;  // when config_.threads > 1
 
+  // Shard state. GridFinder holds no mutex: parallel_for shards write only
+  // their own slots of pre-sized output vectors (never these members), and
+  // every member write below happens on the caller's thread either before
+  // the shards are submitted or after parallel_for's completion barrier —
+  // the pool's own synchronization publishes them. The only cross-thread
+  // member is cancel_, a pointer to the caller-owned atomic, set strictly
+  // before (and cleared strictly after) the racing search it cancels.
   std::vector<Survivor> survivors_;
   bool initialized_ = false;
   std::size_t edges_seen_ = 0;

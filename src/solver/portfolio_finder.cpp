@@ -1,15 +1,15 @@
 #include "solver/portfolio_finder.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
 #include "obs/run_context.h"
 #include "obs/trace.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -141,9 +141,11 @@ FinderResult PortfolioFinder::race(const pref::PreferenceGraph& graph,
     // kFound first cancels the other; the Z3 task references call locals,
     // so it is ALWAYS joined before this frame returns, cancelled or not.
     std::atomic<bool> cancel_grid{false};
-    std::mutex join_mutex;
-    std::condition_variable join_cv;
-    bool z3_done = false;
+    // tsa-ok(join_mutex): function-local, guards the z3_done flag below;
+    // GUARDED_BY only applies to members, so the association is by comment.
+    util::Mutex join_mutex;
+    util::CondVar join_cv;
+    bool z3_done = false;  // guarded by join_mutex
 
     z3_ran = true;
     pool.submit([&] {
@@ -151,7 +153,7 @@ FinderResult PortfolioFinder::race(const pref::PreferenceGraph& graph,
       FinderResult r = z3_->find_distinguishing(graph, num_pairs);
       const double secs = z3_sw.elapsed_seconds();
       {
-        std::lock_guard<std::mutex> lock(join_mutex);
+        const util::MutexLock lock(join_mutex);
         z3_result = std::move(r);
         z3_secs = secs;
         z3_done = true;
@@ -174,8 +176,8 @@ FinderResult PortfolioFinder::race(const pref::PreferenceGraph& graph,
       // next query's entry, which resets the flag).
       z3_->interrupt();
     }
-    std::unique_lock<std::mutex> lock(join_mutex);
-    join_cv.wait(lock, [&] { return z3_done; });
+    const util::MutexLock lock(join_mutex);
+    join_cv.wait(join_mutex, [&] { return z3_done; });
   }
 
   // Winner order: a concrete distinguishing pair beats everything (grid's

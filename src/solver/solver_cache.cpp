@@ -19,7 +19,7 @@ SolverCache::SolverCache(std::size_t max_entries)
     : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
 std::optional<std::string> SolverCache::lookup(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -30,7 +30,7 @@ std::optional<std::string> SolverCache::lookup(const std::string& key) {
 }
 
 void SolverCache::store(const std::string& key, std::string value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   ++stats_.stores;
   const auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -47,12 +47,12 @@ void SolverCache::store(const std::string& key, std::string value) {
 }
 
 std::size_t SolverCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return entries_.size();
 }
 
 SolverCache::Stats SolverCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -66,7 +66,7 @@ std::uint64_t SolverCache::key_hash(const std::string& key) {
 }
 
 std::string SolverCache::save_state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   std::ostringstream os;
   os << "solvercache 1\n"
      << "stats " << stats_.hits << ' ' << stats_.misses << ' ' << stats_.stores
@@ -117,7 +117,7 @@ void SolverCache::restore_state(const std::string& state) {
     order.push_back(std::move(key));
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   entries_ = std::move(entries);
   order_ = std::move(order);
   stats_ = stats;

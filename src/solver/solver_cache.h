@@ -28,10 +28,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::solver {
 
@@ -47,15 +49,15 @@ class SolverCache {
   explicit SolverCache(std::size_t max_entries = 4096);
 
   /// The cached value blob for `key`, or nullopt. Bumps hit/miss counters.
-  std::optional<std::string> lookup(const std::string& key);
+  std::optional<std::string> lookup(const std::string& key) EXCLUDES(mutex_);
 
   /// Records `value` under `key`, evicting the oldest entry when full.
   /// Storing an existing key overwrites the value in place (no re-ordering).
-  void store(const std::string& key, std::string value);
+  void store(const std::string& key, std::string value) EXCLUDES(mutex_);
 
-  std::size_t size() const;
+  std::size_t size() const EXCLUDES(mutex_);
   std::size_t max_entries() const { return max_entries_; }
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
   /// Stable 64-bit FNV-1a of a key, for compact trace/report identifiers.
   static std::uint64_t key_hash(const std::string& key);
@@ -64,15 +66,16 @@ class SolverCache {
   /// entries in insertion order plus the counters, length-prefixed so blobs
   /// may contain anything. restore_state replaces the whole cache and throws
   /// std::invalid_argument on malformed input, leaving the cache untouched.
-  std::string save_state() const;
-  void restore_state(const std::string& state);
+  std::string save_state() const EXCLUDES(mutex_);
+  void restore_state(const std::string& state) EXCLUDES(mutex_);
 
  private:
   const std::size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::string> entries_;
-  std::deque<std::string> order_;  // FIFO eviction queue (insertion order)
-  Stats stats_;
+  mutable util::Mutex mutex_;
+  std::unordered_map<std::string, std::string> entries_ GUARDED_BY(mutex_);
+  /// FIFO eviction queue (insertion order).
+  std::deque<std::string> order_ GUARDED_BY(mutex_);
+  Stats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace compsynth::solver

@@ -405,14 +405,14 @@ struct Z3Finder::CheckOutcome {
 class ActiveCheckGuard {
  public:
   ActiveCheckGuard(Z3Finder& finder, z3::context& ctx) : finder_(finder) {
-    std::lock_guard<std::mutex> lock(finder_.active_mutex_);
+    const util::MutexLock lock(finder_.active_mutex_);
     finder_.active_ctx_ = &ctx;
     if (finder_.interrupted_.load()) ctx.interrupt();
   }
   ActiveCheckGuard(const ActiveCheckGuard&) = delete;
   ActiveCheckGuard& operator=(const ActiveCheckGuard&) = delete;
   ~ActiveCheckGuard() {
-    std::lock_guard<std::mutex> lock(finder_.active_mutex_);
+    const util::MutexLock lock(finder_.active_mutex_);
     finder_.active_ctx_ = nullptr;
   }
 
@@ -467,7 +467,7 @@ void Z3Finder::log_query(z3::solver& solver, const char* kind) {
 
 void Z3Finder::interrupt() {
   interrupted_.store(true);
-  std::lock_guard<std::mutex> lock(active_mutex_);
+  const util::MutexLock lock(active_mutex_);
   if (active_ctx_ != nullptr) active_ctx_->interrupt();
 }
 

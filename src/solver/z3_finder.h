@@ -26,13 +26,14 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "sketch/analyze.h"
 #include "solver/finder.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace z3 {
 class context;  // from z3++.h; kept out of this header deliberately
@@ -191,9 +192,11 @@ class Z3Finder final : public CandidateFinder {
   std::unique_ptr<ConsEncoding> cons_encoding_;
 
   /// Cross-thread cancellation: interrupt() flips the flag and interrupts
-  /// whichever context is mid-check (registered under the mutex).
-  std::mutex active_mutex_;
-  z3::context* active_ctx_ = nullptr;
+  /// whichever context is mid-check (registered under the mutex). The flag
+  /// is atomic rather than guarded because checking threads poll it on hot
+  /// paths where taking active_mutex_ would serialize against interrupt().
+  util::Mutex active_mutex_;
+  z3::context* active_ctx_ GUARDED_BY(active_mutex_) = nullptr;
   std::atomic<bool> interrupted_{false};
 };
 

@@ -8,7 +8,7 @@
 namespace compsynth::util {
 
 std::string FaultInjector::save_state() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::ostringstream os;
   os << "faults " << injected_ << '\n' << rng_.save_state() << '\n';
   return os.str();
@@ -24,7 +24,7 @@ void FaultInjector::restore_state(const std::string& state) {
   is.ignore();  // the newline after the counter
   std::string rng_state;
   std::getline(is, rng_state);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   rng_.restore_state(rng_state);  // throws before any member is touched
   injected_ = injected;
 }

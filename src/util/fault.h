@@ -17,11 +17,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
 #include "util/rng.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::util {
 
@@ -72,29 +73,29 @@ class FaultInjector {
   bool torn_write() { return roll(plan_.torn_write_p); }
 
   /// Total faults injected so far (all sites).
-  long injected() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  long injected() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return injected_;
   }
 
   /// Decision-stream persistence, so a resumed session replays the same
   /// fault sequence (format: "faults <injected>\n<rng state>\n").
-  std::string save_state() const;
-  void restore_state(const std::string& state);
+  std::string save_state() const EXCLUDES(mu_);
+  void restore_state(const std::string& state) EXCLUDES(mu_);
 
  private:
-  bool roll(double p) {
+  bool roll(double p) EXCLUDES(mu_) {
     if (p <= 0) return false;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const bool fire = rng_.bernoulli(p);
     if (fire) ++injected_;
     return fire;
   }
 
-  mutable std::mutex mu_;
-  FaultPlan plan_;
-  Rng rng_;
-  long injected_ = 0;
+  mutable Mutex mu_;
+  FaultPlan plan_;  // immutable after construction
+  Rng rng_ GUARDED_BY(mu_);
+  long injected_ GUARDED_BY(mu_) = 0;
 };
 
 /// Bounded retry with exponential backoff. A policy with max_attempts == 1

@@ -10,9 +10,11 @@
 #pragma once
 
 #include <iostream>
-#include <mutex>
 #include <ostream>
 #include <string_view>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::util {
 
@@ -27,15 +29,17 @@ class LineWriter {
   /// Writes `line` plus a trailing newline atomically with respect to other
   /// write_line calls on this writer, then flushes (lines are observability
   /// output: losing buffered tail lines on a crash would defeat the point).
-  void write_line(std::string_view line) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void write_line(std::string_view line) EXCLUDES(mutex_) {
+    const MutexLock lock(mutex_);
     *os_ << line << '\n';
     os_->flush();
   }
 
  private:
-  std::mutex mutex_;
-  std::ostream* os_;
+  Mutex mutex_;
+  /// The pointer is set once in the constructor; the stream behind it is
+  /// only ever touched with mutex_ held.
+  std::ostream* os_ PT_GUARDED_BY(mutex_);
 };
 
 /// The process-wide stderr writer. util::log_line routes through it, and

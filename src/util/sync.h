@@ -1,0 +1,117 @@
+// Annotated synchronization primitives: Mutex, MutexLock, CondVar.
+//
+// Clang's thread-safety analysis (-Wthread-safety, see
+// util/thread_annotations.h) only tracks lock state through functions that
+// carry ACQUIRE/RELEASE attributes. libstdc++'s std::mutex and
+// std::lock_guard carry none, so GUARDED_BY fields protected by raw
+// std::mutex are unanalyzable: every access would warn with no way to
+// discharge it. These thin wrappers restore the attributes without changing
+// the runtime behaviour —
+//
+//   util::Mutex      std::mutex with ACQUIRE/RELEASE-annotated lock/unlock.
+//   util::MutexLock  std::lock_guard equivalent (SCOPED_CAPABILITY), plus an
+//                    explicit release() for the handful of flows that must
+//                    drop the lock before scope end (e.g. scheduling work
+//                    that re-takes it).
+//   util::CondVar    std::condition_variable_any over a util::Mutex; wait
+//                    overloads are REQUIRES(mu) so waiting without the lock
+//                    is a compile error.
+//
+// CondVar costs one indirection over std::condition_variable (the _any
+// variant wraps the lockable); every wait in this codebase sits on a
+// blocking slow path where that is noise. Mutex satisfies Lockable, so
+// std::scoped_lock/std::unique_lock still work in generic code — but those
+// guards are invisible to the analysis, so first-party code uses MutexLock.
+//
+// The locking model each subsystem builds from these primitives (which
+// mutex guards what, lock ordering) is documented in docs/CONCURRENCY.md.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace compsynth::util {
+
+/// std::mutex with thread-safety-analysis attributes. Non-recursive.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock with an early-release escape (std::lock_guard +
+/// std::unique_lock::unlock, annotated). Not movable; one mutex for life.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Drops the lock before scope end (idempotence is a bug, not a feature:
+  /// the analysis rejects a second release on any path).
+  void release() RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to util::Mutex. All waits take the Mutex the
+/// caller already holds (enforced at compile time under Clang); predicates
+/// run with the lock held, exactly like the std counterparts.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& timeout)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  // _any because util::Mutex is not std::mutex; it unlocks/relocks through
+  // the annotated lock()/unlock(), which is invisible to the analysis (the
+  // wait as a whole holds the lock on entry and exit, which is the contract
+  // REQUIRES expresses).
+  std::condition_variable_any cv_;
+};
+
+}  // namespace compsynth::util

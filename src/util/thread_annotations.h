@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// Under Clang with -Wthread-safety (the COMPSYNTH_THREAD_SAFETY CMake
+// option, default ON when the compiler supports it) these expand to the
+// attributes that let the compiler prove, per translation unit, that every
+// GUARDED_BY field is only touched with its mutex held and that every
+// ACQUIRE has a matching RELEASE on every path. On GCC/MSVC they expand to
+// nothing — the annotations are free documentation there, and the Clang CI
+// leg (scripts/ci_full.sh "thread-safety build" stage) is what enforces
+// them. docs/CONCURRENCY.md describes the locking model the annotations
+// encode; src/util/sync.h provides the annotated Mutex/MutexLock/CondVar
+// primitives the rest of the tree locks with.
+//
+// The macro set and spellings follow the Clang documentation's mutex.h
+// reference header (capability-style names): GUARDED_BY / PT_GUARDED_BY on
+// data members, REQUIRES / EXCLUDES on functions that expect a lock held /
+// not held, ACQUIRE / RELEASE / TRY_ACQUIRE on lock primitives, CAPABILITY /
+// SCOPED_CAPABILITY on the primitives' types, and NO_THREAD_SAFETY_ANALYSIS
+// as the per-function escape hatch (every use must carry a written
+// justification; scripts/check_static.sh counts them).
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define COMPSYNTH_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define COMPSYNTH_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares that a type is a synchronization capability (a mutex).
+#define CAPABILITY(x) COMPSYNTH_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define SCOPED_CAPABILITY COMPSYNTH_THREAD_ANNOTATION(scoped_lockable)
+
+/// The annotated data member may only be read or written while holding `x`.
+#define GUARDED_BY(x) COMPSYNTH_THREAD_ANNOTATION(guarded_by(x))
+
+/// The annotated pointer's *pointee* may only be accessed while holding `x`
+/// (the pointer itself is unguarded).
+#define PT_GUARDED_BY(x) COMPSYNTH_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called with the listed capabilities held; it
+/// neither acquires nor releases them.
+#define REQUIRES(...) \
+  COMPSYNTH_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function may only be called with the listed capabilities held in
+/// shared (reader) mode.
+#define REQUIRES_SHARED(...) \
+  COMPSYNTH_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// The function must NOT be called with the listed capabilities held (it
+/// acquires them itself; calling with them held would deadlock).
+#define EXCLUDES(...) COMPSYNTH_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// The function acquires the listed capabilities (or `this` when empty) and
+/// holds them on return.
+#define ACQUIRE(...) \
+  COMPSYNTH_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (or `this` when empty).
+#define RELEASE(...) \
+  COMPSYNTH_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value meaning success.
+#define TRY_ACQUIRE(...) \
+  COMPSYNTH_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Asserts (without acquiring) that the calling thread already holds the
+/// capability — for code reached only from annotated callers the analysis
+/// cannot see through (callbacks, std::function).
+#define ASSERT_CAPABILITY(x) \
+  COMPSYNTH_THREAD_ANNOTATION(assert_capability(x))
+
+/// Documents lock-ordering constraints; Clang checks declared orderings.
+#define ACQUIRED_BEFORE(...) \
+  COMPSYNTH_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  COMPSYNTH_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) COMPSYNTH_THREAD_ANNOTATION(lock_returned(x))
+
+/// Disables the analysis for one function. Escape hatch of last resort:
+/// every use must carry a comment justifying why the locking is correct but
+/// not expressible (scripts/check_static.sh tallies uses).
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COMPSYNTH_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -39,7 +39,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_available_.notify_all();
@@ -50,8 +50,10 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      work_available_.wait(mutex_, [this]() REQUIRES(mutex_) {
+        return stop_ || !tasks_.empty();
+      });
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -79,9 +81,9 @@ void ThreadPool::parallel_for(
   struct State {
     std::atomic<std::size_t> next;
     std::atomic<std::size_t> active{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar done;
+    std::exception_ptr error GUARDED_BY(mutex);
   };
   auto state = std::make_shared<State>();
   state->next.store(begin);
@@ -94,7 +96,7 @@ void ThreadPool::parallel_for(
       try {
         body(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         if (!state->error) state->error = std::current_exception();
       }
     }
@@ -105,12 +107,14 @@ void ThreadPool::parallel_for(
   const std::size_t helpers = std::min(workers_.size(), (n - 1) / min_chunk);
   state->active.store(helpers);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       tasks_.push([state, drain] {
         drain();
         if (state->active.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> lock(state->mutex);
+          // Taking the mutex orders the notify after a concurrent waiter's
+          // predicate check, so the wakeup cannot be lost.
+          MutexLock lock(state->mutex);
           state->done.notify_all();
         }
       });
@@ -120,8 +124,9 @@ void ThreadPool::parallel_for(
 
   drain();  // the caller participates
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] { return state->active.load() == 0; });
+  MutexLock lock(state->mutex);
+  state->done.wait(state->mutex,
+                   [&] { return state->active.load() == 0; });
   if (state->error) std::rethrow_exception(state->error);
 }
 
@@ -131,7 +136,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     tasks_.push(std::move(task));
   }
   work_available_.notify_one();

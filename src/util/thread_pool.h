@@ -18,13 +18,14 @@
 // same pool), work stealing, task priorities.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
+#include "util/thread_annotations.h"
 
 namespace compsynth::util {
 
@@ -70,11 +71,13 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::queue<std::function<void()>> tasks_;
+  Mutex mutex_;
+  CondVar work_available_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  /// Written only by the constructor; workers never touch it, and the
+  /// destructor joins after stop_ — safe to read unlocked thereafter.
   std::vector<std::thread> workers_;
-  bool stop_ = false;
+  bool stop_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace compsynth::util

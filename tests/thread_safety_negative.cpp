@@ -1,0 +1,44 @@
+// Negative control for the thread-safety build (COMPSYNTH_THREAD_SAFETY):
+// a deliberately missing lock acquisition that Clang's -Wthread-safety MUST
+// reject. tools/thread_safety_negative_test.cmake compiles this TU twice —
+// once as-is (the compile must FAIL) and once with -DTSN_FIXED (the compile
+// must SUCCEED) — so the ctest proves the annotations are actually enforced
+// and have not rotted into no-ops behind a macro or flag change.
+//
+// This file is never linked into any target; it exists only for that
+// compile check. It must stay minimal (util-only includes) so the check is
+// a fast -fsyntax-only run.
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+
+namespace compsynth::tsn {
+
+class Account {
+ public:
+  void deposit(long amount) EXCLUDES(mu_) {
+    const util::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  long balance() const EXCLUDES(mu_) {
+#ifdef TSN_FIXED
+    const util::MutexLock lock(mu_);
+#endif
+    // Without TSN_FIXED this reads a GUARDED_BY field with no lock held —
+    // the exact bug class the analysis exists to catch.
+    return balance_;
+  }
+
+ private:
+  mutable util::Mutex mu_;
+  long balance_ GUARDED_BY(mu_) = 0;
+};
+
+// Odr-use the methods so the analysis definitely visits them.
+long exercise() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}
+
+}  // namespace compsynth::tsn

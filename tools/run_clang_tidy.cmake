@@ -19,10 +19,12 @@ if(NOT EXISTS ${DB})
   return()
 endif()
 
-# Lint only first-party sources: src/ and tools/, not tests or third parties.
+# Lint first-party sources: src/, tools/ and bench/, not tests or third
+# parties.
 file(GLOB_RECURSE SOURCES
   ${SOURCE_DIR}/src/*.cpp
-  ${SOURCE_DIR}/tools/*.cpp)
+  ${SOURCE_DIR}/tools/*.cpp
+  ${SOURCE_DIR}/bench/*.cpp)
 
 set(FAILED 0)
 foreach(src IN LISTS SOURCES)

@@ -1,0 +1,57 @@
+# Proves the thread-safety annotations are enforced, not decorative: compile
+# tests/thread_safety_negative.cpp with clang's -Werror=thread-safety and
+# require that
+#   1. the TU as written (a guarded read with no lock held) FAILS to compile,
+#   2. the same TU with -DTSN_FIXED (lock taken) compiles cleanly.
+# Failing (1) means the annotation macros expanded to nothing (or the flag
+# was dropped); failing (2) means the annotations themselves are broken.
+#
+# Needs a clang++ on PATH — the analysis is Clang-only. Without one, report
+# SKIP (matched by SKIP_REGULAR_EXPRESSION in tools/CMakeLists.txt), same
+# convention as run_clang_tidy.cmake.
+#
+# Usage: cmake -DSOURCE_DIR=<repo root> -P thread_safety_negative_test.cmake
+
+find_program(CLANGXX NAMES clang++ clang++-19 clang++-18 clang++-17
+                           clang++-16 clang++-15 clang++-14)
+if(NOT CLANGXX)
+  message(STATUS "thread_safety_negative: SKIP (no clang++ on PATH; "
+                 "-Wthread-safety is Clang-only)")
+  return()
+endif()
+
+set(TU "${SOURCE_DIR}/tests/thread_safety_negative.cpp")
+set(FLAGS -std=c++20 -fsyntax-only
+          -Wthread-safety -Werror=thread-safety
+          "-I${SOURCE_DIR}/src")
+
+execute_process(
+  COMMAND "${CLANGXX}" ${FLAGS} "${TU}"
+  RESULT_VARIABLE seeded_result
+  OUTPUT_VARIABLE seeded_out
+  ERROR_VARIABLE seeded_err)
+if(seeded_result EQUAL 0)
+  message(FATAL_ERROR
+    "thread_safety_negative: the seeded missing-lock TU compiled cleanly — "
+    "the thread-safety annotations are not being enforced "
+    "(check util/thread_annotations.h and the -Wthread-safety flags)")
+endif()
+if(NOT seeded_err MATCHES "thread-safety")
+  message(FATAL_ERROR
+    "thread_safety_negative: the seeded TU failed for a reason other than "
+    "the thread-safety analysis:\n${seeded_err}")
+endif()
+
+execute_process(
+  COMMAND "${CLANGXX}" ${FLAGS} -DTSN_FIXED "${TU}"
+  RESULT_VARIABLE fixed_result
+  OUTPUT_VARIABLE fixed_out
+  ERROR_VARIABLE fixed_err)
+if(NOT fixed_result EQUAL 0)
+  message(FATAL_ERROR
+    "thread_safety_negative: the corrected TU (-DTSN_FIXED) did not "
+    "compile — the annotations in util/sync.h are broken:\n${fixed_err}")
+endif()
+
+message(STATUS "thread_safety_negative: OK "
+               "(seeded bug rejected, corrected TU accepted; ${CLANGXX})")
