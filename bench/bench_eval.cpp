@@ -1,21 +1,28 @@
 // Microbenchmark for the sketch evaluators and the GridFinder version-space
 // engine on the SWAN Table-1 workload (Fig. 2a sketch, Fig. 2b target).
 //
-// Three configurations are compared at identical results (the survivor sets
-// must match exactly or the bench fails):
-//   tree      — recursive AST interpreter, single-threaded (the seed's code)
-//   compiled  — flat-tape stack machine (sketch/compile.h), single-threaded
-//   parallel  — compiled evaluator + thread-pool sharding (the default)
+// Configurations are compared at identical results (the survivor sets must
+// match exactly or the bench fails):
+//   tree            — recursive AST interpreter, single-threaded (seed code)
+//   compiled        — flat-tape stack machine (sketch/compile.h), 1 thread
+//   parallel        — compiled evaluator + thread-pool sharding
+//   batched_scalar  — lane tape (sketch::BatchTape), scalar kernel, 1 thread
+//   batched         — lane tape, dispatcher-selected kernel (SIMD where the
+//                     host supports it), 1 thread — the production default
+//   batched_parallel— lane tape + fixed-range shards on the pool
 // measuring raw evaluation throughput, a full version-space rebuild
 // (GridFinder::sync from scratch over the 54,571-candidate SWAN grid) and an
-// incremental filter after new answers arrive.
+// incremental filter after new answers arrive. The JSON records which lane
+// ISA the dispatcher picked (lane_isa / lane_width) so numbers from
+// different hosts are comparable; docs/EVALUATOR.md explains the engine.
 //
 // Usage:
 //   bench_eval [--out PATH]   full run; writes BENCH_eval.json (default PATH)
 //   bench_eval --smoke        quick correctness pass for CTest — exercises
-//                             every code path (incl. under TSan/ASan builds)
-//                             and fails on any survivor-set mismatch, but
-//                             does not time or write JSON.
+//                             every code path (incl. under TSan/ASan builds),
+//                             asserts the scalar and SIMD lane kernels return
+//                             identical survivor sets, and fails on any
+//                             mismatch, but does not time or write JSON.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -180,12 +187,15 @@ struct EvalThroughput {
   double tree = 0;
   double compiled = 0;
   double compiled_batched = 0;
+  double lanes_scalar = 0;
+  double lanes_dispatch = 0;  // 0 when the dispatcher's pick IS scalar
 };
 
 EvalThroughput measure_eval_throughput(int n_candidates, int n_scenarios,
                                        int reps) {
   const sketch::Sketch& sk = sketch::swan_sketch();
   const sketch::CompiledSketch compiled(sk);
+  const sketch::BatchTape batch(sk);
   util::Rng rng(4242);
 
   std::vector<std::vector<double>> candidates;
@@ -238,12 +248,55 @@ EvalThroughput measure_eval_throughput(int n_candidates, int n_scenarios,
   }
   const double batch_seconds = batch_watch.elapsed_seconds();
 
+  // Lane tape: candidates transposed into kBatchLaneWidth-wide SoA groups
+  // (the tail group pads with the last candidate, its lanes discarded from
+  // the eval count like GridFinder discards them from the survivor scan).
+  constexpr std::size_t W = sketch::kBatchLaneWidth;
+  const std::size_t n_groups = (candidates.size() + W - 1) / W;
+  std::vector<std::vector<double>> groups_soa(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    groups_soa[g].resize(sk.holes().size() * W);
+    for (std::size_t l = 0; l < W; ++l) {
+      const std::size_t c = std::min(g * W + l, candidates.size() - 1);
+      for (std::size_t h = 0; h < sk.holes().size(); ++h) {
+        groups_soa[g][h * W + l] = candidates[c][h];
+      }
+    }
+  }
+  double lane_out[W];
+  sketch::LaneError lane_err[W];
+  const auto time_lanes = [&](sketch::LaneIsa isa) -> double {
+    if (!sketch::set_active_lane_isa(isa)) return 0;
+    util::Stopwatch lane_watch;
+    for (int r = 0; r < reps; ++r) {
+      for (const auto& soa : groups_soa) {
+        for (int s = 0; s < n_scenarios; ++s) {
+          batch.eval_lanes(
+              std::span<const double>(flat).subspan(
+                  static_cast<std::size_t>(s) * width, width),
+              soa, lane_out, lane_err);
+          sink += lane_out[0];
+        }
+      }
+    }
+    return lane_watch.elapsed_seconds();
+  };
+  const sketch::LaneIsa detected = sketch::active_lane_isa();
+  const double lanes_scalar_seconds = time_lanes(sketch::LaneIsa::kScalar);
+  const double lanes_dispatch_seconds =
+      detected == sketch::LaneIsa::kScalar ? 0 : time_lanes(detected);
+  sketch::set_active_lane_isa(detected);
+
   if (sink == 42.0) std::cerr << "";  // keep `sink` observable
 
   EvalThroughput result;
   result.tree = total_evals / tree_seconds;
   result.compiled = total_evals / tape_seconds;
   result.compiled_batched = total_evals / batch_seconds;
+  result.lanes_scalar = total_evals / lanes_scalar_seconds;
+  result.lanes_dispatch = lanes_dispatch_seconds > 0
+                              ? total_evals / lanes_dispatch_seconds
+                              : 0;
   return result;
 }
 
@@ -262,11 +315,14 @@ int run(bool smoke, const std::string& out_path) {
 
   const std::int64_t candidates =
       sketch::swan_sketch().candidate_space_size();
+  const sketch::LaneIsa detected = sketch::active_lane_isa();
+  const char* lane_isa = sketch::lane_isa_name(detected);
   std::cout << "workload: SWAN Table-1 grid (" << candidates << " candidates), "
             << before.edges().size() << "+"
             << (graph.edges().size() - before.edges().size()) << " edges, "
             << before.ties().size() << "+"
-            << (graph.ties().size() - before.ties().size()) << " ties\n";
+            << (graph.ties().size() - before.ties().size()) << " ties, lane ISA "
+            << lane_isa << " x" << sketch::kBatchLaneWidth << "\n";
 
   // --- Full rebuild ---------------------------------------------------------
   std::vector<sketch::HoleAssignment> ref;
@@ -286,14 +342,39 @@ int run(bool smoke, const std::string& out_path) {
       time_full_sync(EvalBackend::kCompiled, 1, before, reps, &got_seq);
   const double full_parallel = time_full_sync(
       EvalBackend::kCompiled, 0, before, reps, &got_par, &full_parallel_threads);
+
+  // The lane-dispatch assertion: the scalar and SIMD kernels must produce
+  // the identical survivor set (they are bit-for-bit the same arithmetic),
+  // checked in every mode including --smoke so CTest guards the dispatch.
+  std::vector<sketch::HoleAssignment> got_batch_scalar, got_batch, got_batch_par;
+  std::size_t batch_parallel_threads = 1;
+  sketch::set_active_lane_isa(sketch::LaneIsa::kScalar);
+  const double full_batch_scalar =
+      time_full_sync(EvalBackend::kBatch, 1, before, reps, &got_batch_scalar);
+  sketch::set_active_lane_isa(detected);
+  const double full_batch =
+      time_full_sync(EvalBackend::kBatch, 1, before, reps, &got_batch);
+  const double full_batch_par =
+      time_full_sync(EvalBackend::kBatch, 0, before, reps, &got_batch_par,
+                     &batch_parallel_threads);
+
   if (got_tree != ref || got_seq != ref || got_par != ref) {
     std::cerr << "FAIL: survivor sets differ across configurations\n";
     return 1;
   }
+  if (got_batch_scalar != ref || got_batch != ref || got_batch_par != ref) {
+    std::cerr << "FAIL: batched survivor sets differ (lane ISA " << lane_isa
+              << ")\n";
+    return 1;
+  }
   std::cout << "full sync       seed-tree " << baseline << " s, tree(memo) "
             << full_tree << " s, compiled " << full_compiled
-            << " s, parallel " << full_parallel << " s  (" << ref.size()
-            << " survivors; speedup " << baseline / full_parallel << "x)\n";
+            << " s, parallel " << full_parallel << " s, batched(scalar) "
+            << full_batch_scalar << " s, batched(" << lane_isa << ") "
+            << full_batch << " s, batched+shards " << full_batch_par
+            << " s  (" << ref.size() << " survivors; speedup "
+            << baseline / full_batch << "x vs seed, "
+            << full_compiled / full_batch << "x vs compiled)\n";
 
   // --- Incremental filter ---------------------------------------------------
   std::vector<sketch::HoleAssignment> inc_ref, inc_seq, inc_par;
@@ -305,16 +386,34 @@ int run(bool smoke, const std::string& out_path) {
   const double inc_parallel =
       time_incremental_sync(EvalBackend::kCompiled, 0, before, graph, reps,
                             &inc_par, &inc_parallel_threads);
+  std::vector<sketch::HoleAssignment> inc_batch_scalar, inc_batch, inc_batch_par;
+  sketch::set_active_lane_isa(sketch::LaneIsa::kScalar);
+  const double inc_batch_scalar_s = time_incremental_sync(
+      EvalBackend::kBatch, 1, before, graph, reps, &inc_batch_scalar);
+  sketch::set_active_lane_isa(detected);
+  const double inc_batch_s = time_incremental_sync(
+      EvalBackend::kBatch, 1, before, graph, reps, &inc_batch);
+  const double inc_batch_par_s = time_incremental_sync(
+      EvalBackend::kBatch, 0, before, graph, reps, &inc_batch_par);
   if (inc_seq != inc_ref || inc_par != inc_ref) {
     std::cerr << "FAIL: incremental survivor sets differ across configurations\n";
     return 1;
   }
+  if (inc_batch_scalar != inc_ref || inc_batch != inc_ref ||
+      inc_batch_par != inc_ref) {
+    std::cerr << "FAIL: incremental batched survivor sets differ (lane ISA "
+              << lane_isa << ")\n";
+    return 1;
+  }
   std::cout << "incremental     tree " << inc_tree << " s, compiled "
-            << inc_compiled << " s, parallel " << inc_parallel << " s  ("
-            << inc_ref.size() << " survivors)\n";
+            << inc_compiled << " s, parallel " << inc_parallel
+            << " s, batched(scalar) " << inc_batch_scalar_s << " s, batched("
+            << lane_isa << ") " << inc_batch_s << " s, batched+shards "
+            << inc_batch_par_s << " s  (" << inc_ref.size() << " survivors)\n";
 
   if (smoke) {
-    std::cout << "smoke: all configurations agree\n";
+    std::cout << "smoke: all configurations agree (lane ISA " << lane_isa
+              << " vs scalar included)\n";
     return 0;
   }
 
@@ -324,9 +423,12 @@ int run(bool smoke, const std::string& out_path) {
   std::cout << "eval throughput tree " << throughput.tree / 1e6
             << " Me/s, compiled " << throughput.compiled / 1e6
             << " Me/s, batched " << throughput.compiled_batched / 1e6
-            << " Me/s\n";
+            << " Me/s, lanes(scalar) " << throughput.lanes_scalar / 1e6
+            << " Me/s, lanes(" << lane_isa << ") "
+            << throughput.lanes_dispatch / 1e6 << " Me/s\n";
 
-  const double sync_speedup = baseline / full_parallel;
+  const double sync_speedup = baseline / full_batch;
+  const double speedup_vs_compiled = full_compiled / full_batch;
   std::ofstream json(out_path);
   if (!json) {
     std::cerr << "FAIL: cannot write " << out_path << "\n";
@@ -338,35 +440,48 @@ int run(bool smoke, const std::string& out_path) {
        << "  \"candidates\": " << candidates << ",\n"
        << "  \"edges\": " << graph.edges().size() << ",\n"
        << "  \"ties\": " << graph.ties().size() << ",\n"
+       << "  \"lane_isa\": \"" << lane_isa << "\",\n"
+       << "  \"lane_width\": " << sketch::kBatchLaneWidth << ",\n"
        << "  \"threads_available\": " << util::ThreadPool::shared().size()
        << ",\n"
        << "  \"threads_used\": {\n"
        << "    \"full_parallel\": " << full_parallel_threads << ",\n"
+       << "    \"batched_parallel\": " << batch_parallel_threads << ",\n"
        << "    \"incremental_parallel\": " << inc_parallel_threads << "\n"
        << "  },\n"
        << "  \"reps\": " << reps << ",\n"
        << "  \"eval_throughput_per_sec\": {\n"
        << "    \"tree\": " << throughput.tree << ",\n"
        << "    \"compiled\": " << throughput.compiled << ",\n"
-       << "    \"compiled_batched\": " << throughput.compiled_batched << "\n"
+       << "    \"compiled_batched\": " << throughput.compiled_batched << ",\n"
+       << "    \"lanes_scalar\": " << throughput.lanes_scalar << ",\n"
+       << "    \"lanes_dispatch\": " << throughput.lanes_dispatch << "\n"
        << "  },\n"
        << "  \"sync_full_seconds\": {\n"
        << "    \"tree_seed_baseline\": " << baseline << ",\n"
        << "    \"tree_memoized\": " << full_tree << ",\n"
        << "    \"compiled\": " << full_compiled << ",\n"
-       << "    \"parallel\": " << full_parallel << "\n"
+       << "    \"parallel\": " << full_parallel << ",\n"
+       << "    \"batched_scalar\": " << full_batch_scalar << ",\n"
+       << "    \"batched\": " << full_batch << ",\n"
+       << "    \"batched_parallel\": " << full_batch_par << "\n"
        << "  },\n"
        << "  \"sync_incremental_seconds\": {\n"
        << "    \"tree\": " << inc_tree << ",\n"
        << "    \"compiled\": " << inc_compiled << ",\n"
-       << "    \"parallel\": " << inc_parallel << "\n"
+       << "    \"parallel\": " << inc_parallel << ",\n"
+       << "    \"batched_scalar\": " << inc_batch_scalar_s << ",\n"
+       << "    \"batched\": " << inc_batch_s << ",\n"
+       << "    \"batched_parallel\": " << inc_batch_par_s << "\n"
        << "  },\n"
        << "  \"sync_full_speedup_vs_seed_tree\": " << sync_speedup << ",\n"
+       << "  \"sync_full_speedup_vs_compiled\": " << speedup_vs_compiled
+       << ",\n"
        << "  \"survivor_sets_identical\": true,\n"
-       << "  \"meets_5x_target\": " << (sync_speedup >= 5.0 ? "true" : "false")
-       << "\n}\n";
-  std::cout << "wrote " << out_path << " (sync speedup "
-            << sync_speedup << "x vs tree)\n";
+       << "  \"meets_5x_target\": "
+       << (speedup_vs_compiled >= 5.0 ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out_path << " (sync speedup " << sync_speedup
+            << "x vs tree, " << speedup_vs_compiled << "x vs compiled)\n";
   return 0;
 }
 

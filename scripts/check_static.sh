@@ -18,6 +18,12 @@
 #   5. A trace-event kind emitted in src/ that docs/OBSERVABILITY.md's
 #      schema table has no `### \`kind\`` heading for — the golden trace
 #      tests pin the schema, so an undocumented kind is doc drift.
+#   6. Raw SIMD intrinsics (<immintrin.h> / _mm* calls) in a src/ TU that
+#      does not carry a `// simd-ok: <why>` waiver — intrinsics belong in
+#      the dedicated per-ISA kernel TUs (src/sketch/batch_avx2.cpp), which
+#      the build compiles with the matching -m flags; stray intrinsics in
+#      generic TUs either break non-x86 builds or silently require host
+#      flags (docs/EVALUATOR.md).
 #
 # Also prints a tally of NO_THREAD_SAFETY_ANALYSIS uses; each one must carry
 # a justification comment on the same or previous line.
@@ -82,6 +88,18 @@ run_checks() {
   done < <(grep -rnE '\bvolatile\b' \
              "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
            grep -vE ':[0-9]+:\s*(//|\*)' | grep -v 'volatile-ok')
+
+  # --- 6. raw intrinsics confined to waived per-ISA TUs ---------------------
+  while IFS=: read -r file _line _hit; do
+    [ -n "$file" ] || continue
+    if ! grep -q 'simd-ok:' "$file"; then
+      violation "$file: raw SIMD intrinsics without a '// simd-ok: <why>'" \
+        "waiver — keep intrinsics in dedicated per-ISA kernel TUs" \
+        "(docs/EVALUATOR.md)"
+    fi
+  done < <(grep -rnE '(#include[[:space:]]*<immintrin\.h>|\b_mm(256|512)?_[a-z0-9_]+\()' \
+             "$src_root" --include='*.h' --include='*.cpp' 2>/dev/null |
+           grep -vE ':[0-9]+:\s*(//|\*)' | cut -d: -f1,2 | sort -u -t: -k1,1)
 }
 
 check_trace_schema() {
@@ -140,6 +158,13 @@ EOF
   cat > "$tmp/src/bad.cpp" <<'EOF'
 void emit() { obs::TraceEvent ev("undocumented_kind"); }
 EOF
+  cat > "$tmp/src/bad_simd.cpp" <<'EOF'
+#include <immintrin.h>
+double sum2(const double* p) {
+  __m128d v = _mm_loadu_pd(p);
+  return _mm_cvtsd_f64(_mm_hadd_pd(v, v));
+}
+EOF
   printf '# schema\n' > "$tmp/docs/OBSERVABILITY.md"
 
   local out
@@ -149,7 +174,7 @@ EOF
   local status=$?
   local expected ok=1
   for expected in "unreferenced_mu_" "std::mutex" "detach" "volatile" \
-                  "undocumented_kind"; do
+                  "undocumented_kind" "bad_simd.cpp"; do
     if ! printf '%s' "$out" | grep -q "$expected"; then
       say "check_static --self-test: seeded '$expected' violation NOT caught"
       ok=0
@@ -160,7 +185,7 @@ EOF
     ok=0
   fi
   if [ "$ok" -eq 1 ]; then
-    say "check_static --self-test: OK (all 5 seeded violation classes caught)"
+    say "check_static --self-test: OK (all 6 seeded violation classes caught)"
     exit 0
   fi
   printf '%s\n' "$out"

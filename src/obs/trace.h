@@ -56,7 +56,10 @@ inline constexpr int kTraceSchemaVersion = 1;
 ///      "session_rehydrate" events; counters serve.{requests,errors,
 ///      sessions_created,swaps,rehydrations,advances}, gauge
 ///      serve.sessions_active, histograms serve.latency.<verb>.seconds.
-inline constexpr int kTraceSchemaMinorVersion = 4;
+/// 1.5: batched lane evaluator — grid_sync's "lane_isa" (scalar|avx2) and
+///      "lane_width" keys when the kBatch backend ran; counters
+///      grid.lane_evals, grid.batch_groups.
+inline constexpr int kTraceSchemaMinorVersion = 5;
 
 /// One field value: integer, double, string or bool.
 struct FieldValue {

@@ -1,8 +1,13 @@
 #include "sketch/compile.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
+
+#include "sketch/batch_kernel.h"
 
 namespace compsynth::sketch {
 
@@ -317,6 +322,242 @@ class Emitter {
   }
 };
 
+// --- Batch lowering ----------------------------------------------------------
+//
+// Emits the structured (jump-free) tape batch_kernel.h executes under
+// per-lane masks. The traversal mirrors Emitter exactly — same type
+// contexts, same ill-typed-node kRaise placement — so per lane the two
+// tapes perform the identical operation sequence on the identical path.
+
+std::size_t batch_need_numeric(const Expr& e);
+std::size_t batch_need_bool(const Expr& e);
+
+std::size_t batch_need_numeric(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kConst:
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+      return 1;
+    case Expr::Kind::kNeg:
+      return batch_need_numeric(*e.children[0]);
+    case Expr::Kind::kBinary:
+      return std::max(batch_need_numeric(*e.children[0]),
+                      1 + batch_need_numeric(*e.children[1]));
+    case Expr::Kind::kIte:
+      // Unlike the jump tape, the then-value stays parked on the stack
+      // while the else branch evaluates, hence the extra slot.
+      return std::max({batch_need_bool(*e.children[0]),
+                       batch_need_numeric(*e.children[1]),
+                       1 + batch_need_numeric(*e.children[2])});
+    case Expr::Kind::kChoice: {
+      // Arm 0's value becomes the accumulator; later arms evaluate on top
+      // of it and blend in via kChoiceAccum.
+      std::size_t deepest = std::max<std::size_t>(
+          1, batch_need_numeric(*e.children[0]));
+      for (std::size_t i = 1; i < e.children.size(); ++i) {
+        deepest = std::max(deepest, 1 + batch_need_numeric(*e.children[i]));
+      }
+      return deepest;
+    }
+    case Expr::Kind::kCmp:
+    case Expr::Kind::kBoolBinary:
+    case Expr::Kind::kNot:
+    case Expr::Kind::kBoolConst:
+      return 1;  // compiles to kRaise (one placeholder slot)
+  }
+  return 1;
+}
+
+std::size_t batch_need_bool(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kBoolConst:
+      return 1;
+    case Expr::Kind::kCmp:
+      return std::max(batch_need_numeric(*e.children[0]),
+                      1 + batch_need_numeric(*e.children[1]));
+    case Expr::Kind::kBoolBinary:
+      return std::max(batch_need_bool(*e.children[0]),
+                      1 + batch_need_bool(*e.children[1]));
+    case Expr::Kind::kNot:
+      return batch_need_bool(*e.children[0]);
+    case Expr::Kind::kConst:
+    case Expr::Kind::kMetric:
+    case Expr::Kind::kHole:
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kBinary:
+    case Expr::Kind::kIte:
+    case Expr::Kind::kChoice:
+      return 1;  // compiles to kRaise
+  }
+  return 1;
+}
+
+// Upper bound on mask-frame nesting. Type-blind (an ill-typed subtree that
+// lowers to kRaise contributes frames it will never use), which only
+// over-allocates — the interpreter preallocates this many frames.
+std::size_t batch_frames_bound(const Expr& e) {
+  std::size_t deepest = 0;
+  for (const ExprPtr& c : e.children) {
+    deepest = std::max(deepest, batch_frames_bound(*c));
+  }
+  if (e.kind == Expr::Kind::kIte || e.kind == Expr::Kind::kChoice) {
+    return 1 + deepest;
+  }
+  return deepest;
+}
+
+class BatchEmitter {
+ public:
+  void numeric(const Expr& e) {
+    using Op = internal::BatchInstr::Op;
+    switch (e.kind) {
+      case Expr::Kind::kConst: {
+        internal::BatchInstr in{Op::kPushConst};
+        in.value = e.literal;
+        code.push_back(in);
+        return;
+      }
+      case Expr::Kind::kMetric:
+        push_indexed(Op::kPushMetric, e.metric);
+        return;
+      case Expr::Kind::kHole:
+        push_indexed(Op::kPushHole, e.hole);
+        return;
+      case Expr::Kind::kNeg:
+        numeric(*e.children[0]);
+        code.push_back(internal::BatchInstr{Op::kNeg});
+        return;
+      case Expr::Kind::kBinary: {
+        numeric(*e.children[0]);
+        numeric(*e.children[1]);
+        Op op = Op::kAdd;
+        switch (e.bin_op) {
+          case BinOp::kAdd: op = Op::kAdd; break;
+          case BinOp::kSub: op = Op::kSub; break;
+          case BinOp::kMul: op = Op::kMul; break;
+          case BinOp::kDiv: op = Op::kDiv; break;
+          case BinOp::kMin: op = Op::kMin; break;
+          case BinOp::kMax: op = Op::kMax; break;
+        }
+        code.push_back(internal::BatchInstr{op});
+        return;
+      }
+      case Expr::Kind::kIte:
+        boolean(*e.children[0]);
+        code.push_back(internal::BatchInstr{Op::kIteBegin});
+        numeric(*e.children[1]);
+        code.push_back(internal::BatchInstr{Op::kIteElse});
+        numeric(*e.children[2]);
+        code.push_back(internal::BatchInstr{Op::kIteEnd});
+        return;
+      case Expr::Kind::kChoice: {
+        internal::BatchInstr begin{Op::kChoiceBegin};
+        begin.a = static_cast<std::int32_t>(e.hole);
+        begin.b = static_cast<std::int32_t>(e.children.size());
+        code.push_back(begin);
+        for (std::size_t i = 0; i < e.children.size(); ++i) {
+          internal::BatchInstr arm{Op::kChoiceArm};
+          arm.a = static_cast<std::int32_t>(i);
+          code.push_back(arm);
+          numeric(*e.children[i]);
+          if (i > 0) code.push_back(internal::BatchInstr{Op::kChoiceAccum});
+        }
+        code.push_back(internal::BatchInstr{Op::kChoiceEnd});
+        return;
+      }
+      case Expr::Kind::kCmp:
+      case Expr::Kind::kBoolBinary:
+      case Expr::Kind::kNot:
+      case Expr::Kind::kBoolConst:
+        raise(/*numeric_position=*/true);
+        return;
+    }
+  }
+
+  void boolean(const Expr& e) {
+    using Op = internal::BatchInstr::Op;
+    switch (e.kind) {
+      case Expr::Kind::kBoolConst: {
+        internal::BatchInstr in{Op::kPushConst};
+        in.value = e.literal != 0 ? 1.0 : 0.0;
+        code.push_back(in);
+        return;
+      }
+      case Expr::Kind::kCmp: {
+        numeric(*e.children[0]);
+        numeric(*e.children[1]);
+        Op op = Op::kLt;
+        switch (e.cmp_op) {
+          case CmpOp::kLt: op = Op::kLt; break;
+          case CmpOp::kLe: op = Op::kLe; break;
+          case CmpOp::kGt: op = Op::kGt; break;
+          case CmpOp::kGe: op = Op::kGe; break;
+          case CmpOp::kEq: op = Op::kEq; break;
+          case CmpOp::kNe: op = Op::kNe; break;
+        }
+        code.push_back(internal::BatchInstr{op});
+        return;
+      }
+      case Expr::Kind::kBoolBinary:
+        boolean(*e.children[0]);
+        boolean(*e.children[1]);
+        code.push_back(internal::BatchInstr{
+            e.bool_op == BoolOp::kAnd ? Op::kAnd : Op::kOr});
+        return;
+      case Expr::Kind::kNot:
+        boolean(*e.children[0]);
+        code.push_back(internal::BatchInstr{Op::kNot});
+        return;
+      case Expr::Kind::kConst:
+      case Expr::Kind::kMetric:
+      case Expr::Kind::kHole:
+      case Expr::Kind::kNeg:
+      case Expr::Kind::kBinary:
+      case Expr::Kind::kIte:
+      case Expr::Kind::kChoice:
+        raise(/*numeric_position=*/false);
+        return;
+    }
+  }
+
+  std::vector<internal::BatchInstr> code;
+
+ private:
+  void push_indexed(internal::BatchInstr::Op op, std::size_t id) {
+    internal::BatchInstr in{op};
+    in.a = static_cast<std::int32_t>(id);
+    code.push_back(in);
+  }
+
+  void raise(bool numeric_position) {
+    internal::BatchInstr in{internal::BatchInstr::Op::kRaise};
+    in.a = numeric_position ? 0 : 1;
+    code.push_back(in);
+  }
+};
+
+// --- Lane-ISA dispatch -------------------------------------------------------
+
+LaneIsa detect_lane_isa() {
+  if (const char* env = std::getenv("COMPSYNTH_LANE_ISA")) {
+    const std::string_view want(env);
+    if (want == "scalar") return LaneIsa::kScalar;
+    if (want == "avx2") {
+      return lane_isa_supported(LaneIsa::kAvx2) ? LaneIsa::kAvx2
+                                                : LaneIsa::kScalar;
+    }
+    // "auto" or anything unrecognized falls through to detection.
+  }
+  return lane_isa_supported(LaneIsa::kAvx2) ? LaneIsa::kAvx2
+                                            : LaneIsa::kScalar;
+}
+
+std::atomic<std::uint8_t>& lane_isa_cell() {
+  static std::atomic<std::uint8_t> cell{
+      static_cast<std::uint8_t>(detect_lane_isa())};
+  return cell;
+}
+
 }  // namespace
 
 CompiledSketch::CompiledSketch(const Sketch& sketch)
@@ -478,6 +719,139 @@ void CompiledSketch::eval_many(std::span<const double> metrics_flat,
     out[i] = run(metrics_flat.subspan(i * metric_count_, metric_count_), holes,
                  stack);
   }
+}
+
+// --- BatchTape ---------------------------------------------------------------
+
+namespace internal {
+
+void run_batch_scalar(const BatchProgram& p, const double* metrics,
+                      const double* holes, double* out, LaneError* err) {
+  run_batch<ScalarLanes>(p, metrics, holes, out, err);
+}
+
+unsigned lane_gt_bits_scalar(const double* a, const double* b) {
+  return run_gt_bits<ScalarLanes>(a, b);
+}
+
+unsigned lane_abs_diff_gt_bits_scalar(const double* a, const double* b,
+                                      double bound) {
+  return run_abs_diff_gt_bits<ScalarLanes>(a, b, bound);
+}
+
+}  // namespace internal
+
+unsigned lane_gt_bits(const double* a, const double* b) {
+#if defined(COMPSYNTH_HAVE_AVX2)
+  if (active_lane_isa() == LaneIsa::kAvx2) {
+    return internal::lane_gt_bits_avx2(a, b);
+  }
+#endif
+  return internal::lane_gt_bits_scalar(a, b);
+}
+
+unsigned lane_abs_diff_gt_bits(const double* a, const double* b, double bound) {
+#if defined(COMPSYNTH_HAVE_AVX2)
+  if (active_lane_isa() == LaneIsa::kAvx2) {
+    return internal::lane_abs_diff_gt_bits_avx2(a, b, bound);
+  }
+#endif
+  return internal::lane_abs_diff_gt_bits_scalar(a, b, bound);
+}
+
+const char* lane_isa_name(LaneIsa isa) {
+  switch (isa) {
+    case LaneIsa::kScalar: return "scalar";
+    case LaneIsa::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+bool lane_isa_supported(LaneIsa isa) {
+  switch (isa) {
+    case LaneIsa::kScalar:
+      return true;
+    case LaneIsa::kAvx2:
+#if defined(COMPSYNTH_HAVE_AVX2) && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+LaneIsa active_lane_isa() {
+  return static_cast<LaneIsa>(lane_isa_cell().load(std::memory_order_relaxed));
+}
+
+bool set_active_lane_isa(LaneIsa isa) {
+  if (!lane_isa_supported(isa)) return false;
+  lane_isa_cell().store(static_cast<std::uint8_t>(isa),
+                        std::memory_order_relaxed);
+  return true;
+}
+
+const char* lane_error_message(LaneError err) {
+  switch (err) {
+    case LaneError::kNone: return nullptr;
+    case LaneError::kDivZero: return "division by zero";
+    case LaneError::kRaiseNumeric: return kNumericPositionError;
+    case LaneError::kRaiseBool: return kBoolPositionError;
+  }
+  return nullptr;
+}
+
+void throw_lane_error(LaneError err) {
+  const char* message = lane_error_message(err);
+  throw EvalError(message != nullptr ? message : "lane error");
+}
+
+BatchTape::BatchTape(const Sketch& sketch)
+    : BatchTape(*sketch.body(), sketch.metrics().size(),
+                sketch.holes().size()) {}
+
+BatchTape::BatchTape(const Expr& body, std::size_t metric_count,
+                     std::size_t hole_count)
+    : program_(std::make_unique<internal::BatchProgram>()) {
+  const ExprPtr folded = fold(std::make_shared<const Expr>(body));
+  BatchEmitter emitter;
+  emitter.numeric(*folded);
+  program_->code = std::move(emitter.code);
+  program_->metric_count = metric_count;
+  program_->hole_count = hole_count;
+  program_->max_stack = batch_need_numeric(*folded);
+  program_->max_frames = batch_frames_bound(*folded);
+}
+
+BatchTape::BatchTape(BatchTape&&) noexcept = default;
+BatchTape& BatchTape::operator=(BatchTape&&) noexcept = default;
+BatchTape::~BatchTape() = default;
+
+std::size_t BatchTape::metric_count() const { return program_->metric_count; }
+std::size_t BatchTape::hole_count() const { return program_->hole_count; }
+std::size_t BatchTape::op_count() const { return program_->code.size(); }
+std::size_t BatchTape::max_stack() const { return program_->max_stack; }
+std::size_t BatchTape::max_mask_depth() const { return program_->max_frames; }
+
+void BatchTape::eval_lanes(std::span<const double> metrics,
+                           std::span<const double> holes_lanes, double* out,
+                           LaneError* err) const {
+  if (metrics.size() != program_->metric_count) {
+    throw EvalError("eval: scenario arity does not match sketch metrics");
+  }
+  if (holes_lanes.size() != program_->hole_count * kLaneWidth) {
+    throw EvalError("eval: hole values arity does not match sketch holes");
+  }
+#if defined(COMPSYNTH_HAVE_AVX2)
+  if (active_lane_isa() == LaneIsa::kAvx2) {
+    internal::run_batch_avx2(*program_, metrics.data(), holes_lanes.data(),
+                             out, err);
+    return;
+  }
+#endif
+  internal::run_batch_scalar(*program_, metrics.data(), holes_lanes.data(),
+                             out, err);
 }
 
 }  // namespace compsynth::sketch

@@ -1,7 +1,9 @@
 #include "solver/grid_finder.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
+#include <bit>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -33,6 +35,7 @@ GridFinder::GridFinder(sketch::Sketch sketch, GridFinderConfig config,
                        Viability viability, ScenarioDomain domain)
     : sketch_(std::move(sketch)),
       compiled_(sketch_),
+      batch_(sketch_),
       hole_used_(sketch::used_holes(*sketch_.body(), sketch_.holes().size())),
       config_(config),
       viability_(std::move(viability)),
@@ -64,7 +67,11 @@ util::ThreadPool* GridFinder::pool() const {
 
 double GridFinder::objective(std::span<const double> hole_values,
                              std::span<const double> metrics) const {
-  if (config_.eval_backend == EvalBackend::kCompiled) {
+  // kBatch shares the scalar tape here: distinguishing-pair search and
+  // bisection scoring evaluate ONE candidate against many scenarios — the
+  // transpose of the lane tape's 8-candidates-1-scenario shape — and the
+  // two tapes are bit-identical anyway (tests/compile_test.cpp).
+  if (config_.eval_backend != EvalBackend::kTree) {
     return compiled_.eval(metrics, hole_values);
   }
   return sketch::eval_with_values(sketch_, hole_values, metrics);
@@ -74,7 +81,7 @@ std::vector<double> GridFinder::objective_batch(
     std::span<const double> hole_values,
     const std::vector<pref::Scenario>& scenarios) const {
   std::vector<double> out(scenarios.size());
-  if (config_.eval_backend == EvalBackend::kCompiled) {
+  if (config_.eval_backend != EvalBackend::kTree) {
     const std::size_t width = sketch_.metrics().size();
     std::vector<double> flat(scenarios.size() * width);
     for (std::size_t i = 0; i < scenarios.size(); ++i) {
@@ -142,6 +149,7 @@ void GridFinder::enumerate_range(std::int64_t lo, std::int64_t hi,
   scratch.assignment = assignment_at(lo);
   scratch.hole_values.resize(holes.size());
   for (std::int64_t i = lo; i < hi; ++i) {
+    scratch.linear = i;
     for (std::size_t h = 0; h < holes.size(); ++h) {
       scratch.hole_values[h] = holes[h].value_at(scratch.assignment.index[h]);
     }
@@ -158,6 +166,310 @@ void GridFinder::enumerate_range(std::int64_t lo, std::int64_t hi,
       if (++scratch.assignment.index[pos] < holes[pos].count) break;
       scratch.assignment.index[pos] = 0;
       ++pos;
+    }
+  }
+}
+
+std::int64_t GridFinder::shard_span(std::int64_t total) {
+  // Wide enough that per-shard overhead (part vectors, scratch buffers) is
+  // noise, narrow enough that a big grid still yields ~64 shards to balance
+  // across a pool. Depends only on `total`, never on the thread count, so
+  // the serialized per-shard state (save_state v2) is machine-independent.
+  return std::max<std::int64_t>(4096, (total + 63) / 64);
+}
+
+void GridFinder::enumerate_range_batch(std::int64_t lo, std::int64_t hi,
+                                       const pref::PreferenceGraph& graph,
+                                       std::vector<Survivor>& out,
+                                       BatchCounters& counters) const {
+  constexpr std::size_t W = sketch::kBatchLaneWidth;
+  const std::size_t n_vertices = graph.vertex_count();
+  const auto& holes = sketch_.holes();
+  const std::size_t n_holes = holes.size();
+  const double tie_bound = config_.base.tie_tolerance + 1e-9;
+  const auto& edges = graph.edges();
+  const auto& ties = graph.ties();
+
+  // Odometer cursor shared across groups (index 0 varies fastest, matching
+  // assignment_at / enumerate_range).
+  sketch::HoleAssignment cursor = assignment_at(lo);
+
+  std::vector<std::int64_t> idx(W * n_holes);    // lane-major hole indices
+  std::vector<double> holes_soa(n_holes * W);    // hole h, lane l at h*W+l
+  std::vector<double> lane_values(n_holes);      // AoS view for viability
+  std::vector<double> vvals(n_vertices * W);     // vertex v, lane l at v*W+l
+  std::vector<sketch::LaneError> verrs(n_vertices * W);
+  std::vector<char> vdone(n_vertices, 0);
+  // Bit l of verr_bits[v] = lane l errored on vertex v (valid when vdone[v]).
+  std::vector<unsigned char> verr_bits(n_vertices, 0);
+  std::array<sketch::LaneError, W> lane_err{};
+
+  for (std::int64_t base = lo; base < hi; base += W) {
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::int64_t>(W, hi - base));
+    ++counters.groups;
+
+    // Stage the group: decode + advance the odometer per lane, compute hole
+    // values, run the viability gate. Spare lanes (a tail group narrower
+    // than W) copy the last real candidate so every lane holds in-domain
+    // values; they start dead and their outputs are ignored.
+    unsigned alive_bits = 0;  // bit l = lane l still satisfies everything
+    for (std::size_t l = 0; l < n; ++l) {
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        idx[l * n_holes + h] = cursor.index[h];
+        const double v = holes[h].value_at(cursor.index[h]);
+        lane_values[h] = v;
+        holes_soa[h * W + l] = v;
+      }
+      if (!viability_.concrete || viability_.concrete(lane_values)) {
+        alive_bits |= 1u << l;
+      }
+      lane_err[l] = sketch::LaneError::kNone;
+      std::size_t pos = 0;
+      while (pos < n_holes) {
+        if (++cursor.index[pos] < holes[pos].count) break;
+        cursor.index[pos] = 0;
+        ++pos;
+      }
+    }
+    for (std::size_t l = n; l < W; ++l) {
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        holes_soa[h * W + l] = holes_soa[h * W + (n - 1)];
+      }
+      lane_err[l] = sketch::LaneError::kNone;
+    }
+    std::fill(vdone.begin(), vdone.end(), char{0});
+
+    const auto ensure = [&](pref::VertexId v) {
+      if (vdone[v]) return;
+      vdone[v] = 1;
+      batch_.eval_lanes(graph.scenario(v).metrics, holes_soa, &vvals[v * W],
+                        &verrs[v * W]);
+      unsigned bits = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        if (verrs[v * W + l] != sketch::LaneError::kNone) bits |= 1u << l;
+      }
+      verr_bits[v] = static_cast<unsigned char>(bits);
+      counters.lane_evals += static_cast<long long>(W);
+    };
+
+    // Constraint checks mirror consistent() per lane: the better vertex's
+    // error is observed first (value_at order), then the worse one's, then
+    // the comparison — so each lane's first recorded error is exactly the
+    // EvalError the scalar scan would have thrown for that candidate. Error
+    // lanes take the scalar slow path (rare); the comparison itself is one
+    // vectorized mask per edge. lane_gt_bits is false on NaN, matching
+    // `!(fb > fw)` killing the lane.
+    for (const auto& e : edges) {
+      if (alive_bits == 0) break;
+      ensure(e.better);
+      ensure(e.worse);
+      const unsigned err_mask =
+          static_cast<unsigned>(verr_bits[e.better] | verr_bits[e.worse]) &
+          alive_bits;
+      if (err_mask != 0) {
+        for (unsigned bits = err_mask; bits != 0; bits &= bits - 1) {
+          const auto l = static_cast<std::size_t>(std::countr_zero(bits));
+          const sketch::LaneError eb = verrs[e.better * W + l];
+          lane_err[l] =
+              eb != sketch::LaneError::kNone ? eb : verrs[e.worse * W + l];
+        }
+        alive_bits &= ~err_mask;
+      }
+      alive_bits &=
+          sketch::lane_gt_bits(&vvals[e.better * W], &vvals[e.worse * W]);
+    }
+    // lane_abs_diff_gt_bits is false on NaN, so a NaN difference never
+    // exceeds the bound and the lane survives, matching consistent().
+    for (const auto& t : ties) {
+      if (alive_bits == 0) break;
+      ensure(t.first);
+      ensure(t.second);
+      const unsigned err_mask =
+          static_cast<unsigned>(verr_bits[t.first] | verr_bits[t.second]) &
+          alive_bits;
+      if (err_mask != 0) {
+        for (unsigned bits = err_mask; bits != 0; bits &= bits - 1) {
+          const auto l = static_cast<std::size_t>(std::countr_zero(bits));
+          const sketch::LaneError eu = verrs[t.first * W + l];
+          lane_err[l] =
+              eu != sketch::LaneError::kNone ? eu : verrs[t.second * W + l];
+        }
+        alive_bits &= ~err_mask;
+      }
+      alive_bits &= ~sketch::lane_abs_diff_gt_bits(
+          &vvals[t.first * W], &vvals[t.second * W], tie_bound);
+    }
+
+    // Drain the group in candidate order: survivors below an erroring lane
+    // are appended before its EvalError is re-thrown, exactly as the scalar
+    // scan would have produced them before throwing.
+    for (std::size_t l = 0; l < n; ++l) {
+      if (lane_err[l] != sketch::LaneError::kNone) {
+        sketch::throw_lane_error(lane_err[l]);
+      }
+      if (((alive_bits >> l) & 1u) == 0) continue;
+      Survivor s;
+      s.linear = base + static_cast<std::int64_t>(l);
+      s.assignment.index.assign(
+          idx.begin() + static_cast<std::ptrdiff_t>(l * n_holes),
+          idx.begin() + static_cast<std::ptrdiff_t>((l + 1) * n_holes));
+      s.hole_values.resize(n_holes);
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        s.hole_values[h] = holes_soa[h * W + l];
+      }
+      // An alive lane was alive through every constraint check, so every
+      // evaluated vertex had its error flag inspected for this lane: all
+      // its values are clean and safe to memoize.
+      s.vertex_values.assign(n_vertices, kNotComputed);
+      for (std::size_t v = 0; v < n_vertices; ++v) {
+        if (vdone[v]) s.vertex_values[v] = vvals[v * W + l];
+      }
+      out.push_back(std::move(s));
+    }
+  }
+}
+
+void GridFinder::filter_range_batch(std::size_t lo, std::size_t hi,
+                                    const pref::PreferenceGraph& graph,
+                                    std::vector<char>& keep,
+                                    BatchCounters& counters) {
+  constexpr std::size_t W = sketch::kBatchLaneWidth;
+  const std::size_t n_vertices = graph.vertex_count();
+  const std::size_t n_holes = sketch_.holes().size();
+  const double tie_bound = config_.base.tie_tolerance + 1e-9;
+  const auto& edges = graph.edges();
+  const auto& ties = graph.ties();
+
+  std::vector<double> holes_soa(n_holes * W);
+  std::vector<double> vvals(n_vertices * W);
+  std::vector<sketch::LaneError> verrs(n_vertices * W);
+  std::vector<char> vdone(n_vertices, 0);
+  // Bit l of verr_bits[v] = lane l errored on vertex v (valid when vdone[v]).
+  std::vector<unsigned char> verr_bits(n_vertices, 0);
+  std::array<double, W> fresh_vals{};
+  std::array<sketch::LaneError, W> fresh_errs{};
+  std::array<sketch::LaneError, W> lane_err{};
+
+  for (std::size_t base = lo; base < hi; base += W) {
+    const std::size_t n = std::min(W, hi - base);
+    ++counters.groups;
+    unsigned alive_bits =
+        static_cast<unsigned>((1u << n) - 1);  // real lanes start alive
+    for (std::size_t l = 0; l < n; ++l) {
+      const Survivor& s = survivors_[base + l];
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        holes_soa[h * W + l] = s.hole_values[h];
+      }
+      lane_err[l] = sketch::LaneError::kNone;
+    }
+    for (std::size_t l = n; l < W; ++l) {
+      for (std::size_t h = 0; h < n_holes; ++h) {
+        holes_soa[h * W + l] = holes_soa[h * W + (n - 1)];
+      }
+      lane_err[l] = sketch::LaneError::kNone;
+    }
+    std::fill(vdone.begin(), vdone.end(), char{0});
+
+    // Memo-aware vertex evaluation, the same contract as value_at: a lane
+    // with a cached (non-NaN) value for `v` reuses it and cannot error; the
+    // tape runs only when at least one lane lacks the memo. Evaluation is
+    // deterministic, so a memoized lane's recomputed value would be
+    // bit-identical anyway — using the memo just skips the work.
+    const auto ensure = [&](pref::VertexId v) {
+      if (vdone[v]) return;
+      vdone[v] = 1;
+      double* vals = &vvals[v * W];
+      sketch::LaneError* errs = &verrs[v * W];
+      bool any_fresh = false;
+      for (std::size_t l = 0; l < n; ++l) {
+        const Survivor& s = survivors_[base + l];
+        if (v < s.vertex_values.size() && !std::isnan(s.vertex_values[v])) {
+          vals[l] = s.vertex_values[v];
+          errs[l] = sketch::LaneError::kNone;
+        } else {
+          any_fresh = true;
+        }
+      }
+      if (!any_fresh) {
+        verr_bits[v] = 0;  // memoized values cannot error
+        return;
+      }
+      batch_.eval_lanes(graph.scenario(v).metrics, holes_soa,
+                        fresh_vals.data(), fresh_errs.data());
+      counters.lane_evals += static_cast<long long>(W);
+      unsigned bits = 0;
+      for (std::size_t l = 0; l < n; ++l) {
+        const Survivor& s = survivors_[base + l];
+        if (v < s.vertex_values.size() && !std::isnan(s.vertex_values[v])) {
+          continue;  // memo already copied above
+        }
+        vals[l] = fresh_vals[l];
+        errs[l] = fresh_errs[l];
+        if (errs[l] != sketch::LaneError::kNone) bits |= 1u << l;
+      }
+      verr_bits[v] = static_cast<unsigned char>(bits);
+    };
+
+    // Same bitmask pattern as enumerate_range_batch: scalar slow path only
+    // for erroring lanes, one vectorized mask per constraint otherwise.
+    for (std::size_t ei = edges_seen_; ei < edges.size(); ++ei) {
+      if (alive_bits == 0) break;
+      const auto& e = edges[ei];
+      ensure(e.better);
+      ensure(e.worse);
+      const unsigned err_mask =
+          static_cast<unsigned>(verr_bits[e.better] | verr_bits[e.worse]) &
+          alive_bits;
+      if (err_mask != 0) {
+        for (unsigned bits = err_mask; bits != 0; bits &= bits - 1) {
+          const auto l = static_cast<std::size_t>(std::countr_zero(bits));
+          const sketch::LaneError eb = verrs[e.better * W + l];
+          lane_err[l] =
+              eb != sketch::LaneError::kNone ? eb : verrs[e.worse * W + l];
+        }
+        alive_bits &= ~err_mask;
+      }
+      alive_bits &=
+          sketch::lane_gt_bits(&vvals[e.better * W], &vvals[e.worse * W]);
+    }
+    for (std::size_t ti = ties_seen_; ti < ties.size(); ++ti) {
+      if (alive_bits == 0) break;
+      const auto& t = ties[ti];
+      ensure(t.first);
+      ensure(t.second);
+      const unsigned err_mask =
+          static_cast<unsigned>(verr_bits[t.first] | verr_bits[t.second]) &
+          alive_bits;
+      if (err_mask != 0) {
+        for (unsigned bits = err_mask; bits != 0; bits &= bits - 1) {
+          const auto l = static_cast<std::size_t>(std::countr_zero(bits));
+          const sketch::LaneError eu = verrs[t.first * W + l];
+          lane_err[l] =
+              eu != sketch::LaneError::kNone ? eu : verrs[t.second * W + l];
+        }
+        alive_bits &= ~err_mask;
+      }
+      alive_bits &= ~sketch::lane_abs_diff_gt_bits(
+          &vvals[t.first * W], &vvals[t.second * W], tie_bound);
+    }
+
+    for (std::size_t l = 0; l < n; ++l) {
+      if (lane_err[l] != sketch::LaneError::kNone) {
+        sketch::throw_lane_error(lane_err[l]);
+      }
+      if (((alive_bits >> l) & 1u) == 0) {
+        keep[base + l] = 0;
+        continue;
+      }
+      keep[base + l] = 1;
+      Survivor& s = survivors_[base + l];
+      if (s.vertex_values.size() < n_vertices) {
+        s.vertex_values.resize(n_vertices, kNotComputed);
+      }
+      for (std::size_t v = 0; v < n_vertices; ++v) {
+        if (vdone[v]) s.vertex_values[v] = vvals[v * W + l];
+      }
     }
   }
 }
@@ -300,26 +612,25 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
     stride[h] = stride[h - 1] * holes[h - 1].count;
   }
 
-  // Enumerate the surviving leaves; each survivor is tagged with its linear
+  // Enumerate the surviving leaves; each survivor carries its linear
   // candidate index so the final sort reproduces the exhaustive scan order.
-  using Tagged = std::pair<std::int64_t, Survivor>;
-  const auto enumerate_leaf = [&](const Node& nd, std::vector<Tagged>& out) {
+  const auto enumerate_leaf = [&](const Node& nd, std::vector<Survivor>& out) {
     const std::size_t n_vertices = graph.vertex_count();
     Survivor scratch;
     scratch.assignment.index = nd.lo;
     scratch.hole_values.resize(n_holes);
     for (;;) {
-      std::int64_t linear = 0;
+      scratch.linear = 0;
       for (std::size_t h = 0; h < n_holes; ++h) {
         scratch.hole_values[h] =
             holes[h].value_at(scratch.assignment.index[h]);
-        linear += scratch.assignment.index[h] * stride[h];
+        scratch.linear += scratch.assignment.index[h] * stride[h];
       }
       const bool viable =
           !viability_.concrete || viability_.concrete(scratch.hole_values);
       if (viable) {
         scratch.vertex_values.assign(n_vertices, kNotComputed);
-        if (consistent(scratch, graph, 0, 0)) out.emplace_back(linear, scratch);
+        if (consistent(scratch, graph, 0, 0)) out.push_back(scratch);
       }
       std::size_t pos = 0;
       while (pos < n_holes) {
@@ -338,7 +649,7 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
   std::int64_t leaf_volume = 0;
   for (const Node& nd : leaves) leaf_volume += volume_of(nd);
 
-  std::vector<Tagged> found;
+  std::vector<Survivor> found;
   util::ThreadPool* pool = this->pool();
   if (pool == nullptr || leaves.size() <= 1 ||
       leaf_volume < kMinParallelCandidates) {
@@ -348,7 +659,7 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
   } else {
     last_sync_threads_ = pool->size();
     last_sync_shards_ = leaves.size();
-    std::vector<std::vector<Tagged>> parts(leaves.size());
+    std::vector<std::vector<Survivor>> parts(leaves.size());
     pool->parallel_for(0, leaves.size(), [&](std::size_t lo, std::size_t hi) {
       for (std::size_t k = lo; k < hi; ++k) enumerate_leaf(leaves[k], parts[k]);
     });
@@ -356,7 +667,7 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
     for (const auto& p : parts) total += p.size();
     found.reserve(total);
     for (auto& p : parts) {
-      for (Tagged& t : p) found.push_back(std::move(t));
+      for (Survivor& s : p) found.push_back(std::move(s));
     }
   }
 
@@ -369,20 +680,20 @@ bool GridFinder::rebuild_pruned(const pref::PreferenceGraph& graph) {
     for (std::int64_t idx = 1; idx < spec.count; ++idx) {
       const double val = spec.value_at(idx);
       for (std::size_t i = 0; i < base_n; ++i) {
-        Tagged copy = found[i];
-        copy.first += idx * stride[p];
-        copy.second.assignment.index[p] = idx;
-        copy.second.hole_values[p] = val;
+        Survivor copy = found[i];
+        copy.linear += idx * stride[p];
+        copy.assignment.index[p] = idx;
+        copy.hole_values[p] = val;
         found.push_back(std::move(copy));
       }
     }
   }
 
-  std::sort(found.begin(), found.end(),
-            [](const Tagged& a, const Tagged& b) { return a.first < b.first; });
-  survivors_.clear();
-  survivors_.reserve(found.size());
-  for (Tagged& t : found) survivors_.push_back(std::move(t.second));
+  std::sort(found.begin(), found.end(), [](const Survivor& a,
+                                           const Survivor& b) {
+    return a.linear < b.linear;
+  });
+  survivors_ = std::move(found);
 
   if (obs::active(obs_)) {
     obs_->count("analysis.pruned_regions", pruned_regions);
@@ -418,14 +729,68 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
                              static_cast<long long>(ties_seen_);
   std::size_t shards = 1;
   std::vector<double> shard_secs;
+  const bool batch_backend = config_.eval_backend == EvalBackend::kBatch;
+  BatchCounters batch_tally;
 
   util::ThreadPool* pool = this->pool();
   bool pruned = false;
   if (rebuild) {
     survivors_.clear();
-    if (config_.analysis_pruning) pruned = rebuild_pruned(graph);
+    // kBatch always runs the sharded exhaustive scan: interval refutation
+    // costs more than it saves at lane-tape speeds (measured in
+    // docs/EVALUATOR.md §Why kBatch skips analysis pruning), and the
+    // differential suite proves pruning never changes the sequence anyway.
+    if (!batch_backend && config_.analysis_pruning) {
+      pruned = rebuild_pruned(graph);
+    }
     const std::int64_t total = sketch_.candidate_space_size();
-    if (pruned) {
+    if (batch_backend) {
+      // Fixed-range shards: geometry is a pure function of the candidate
+      // space (shard_span), never of the thread count, so the shard list —
+      // and the per-shard snapshot state derived from it — is identical
+      // whether the scan runs serially or across a pool. Shards share no
+      // mutable state: each appends to its own part vector, merged here in
+      // shard order, which reproduces the sequential survivor order.
+      const std::int64_t span_len = shard_span(total);
+      const auto n_shards =
+          static_cast<std::size_t>((total + span_len - 1) / span_len);
+      std::vector<std::vector<Survivor>> parts(n_shards);
+      std::vector<BatchCounters> tallies(n_shards);
+      if (obs::active(obs_)) shard_secs.assign(n_shards, 0);
+      const auto run_shard = [&](std::size_t k) {
+        const std::int64_t a = static_cast<std::int64_t>(k) * span_len;
+        const std::int64_t b = std::min<std::int64_t>(total, a + span_len);
+        if (shard_secs.empty()) {
+          enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
+        } else {
+          util::Stopwatch shard_watch;
+          enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
+          shard_secs[k] = shard_watch.elapsed_seconds();
+        }
+      };
+      if (pool == nullptr || n_shards <= 1 ||
+          total < kMinParallelCandidates) {
+        last_sync_threads_ = 1;
+        for (std::size_t k = 0; k < n_shards; ++k) run_shard(k);
+      } else {
+        last_sync_threads_ = pool->size();
+        pool->parallel_for(0, n_shards, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) run_shard(k);
+        });
+      }
+      shards = n_shards;
+      last_sync_shards_ = n_shards;
+      std::size_t found = 0;
+      for (const auto& p : parts) found += p.size();
+      survivors_.reserve(found);
+      for (auto& p : parts) {
+        for (Survivor& s : p) survivors_.push_back(std::move(s));
+      }
+      for (const BatchCounters& t : tallies) {
+        batch_tally.lane_evals += t.lane_evals;
+        batch_tally.groups += t.groups;
+      }
+    } else if (pruned) {
       // rebuild_pruned already produced the full survivor sequence (and
       // recorded the threads/shards it used).
     } else if (pool == nullptr || total < kMinParallelCandidates) {
@@ -475,12 +840,6 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
     // survivor's memoized vertex values mean only newly interned scenarios
     // are evaluated at all.
     std::vector<char> keep(survivors_.size(), 1);
-    auto filter = [&](std::size_t lo, std::size_t hi) {
-      for (std::size_t i = lo; i < hi; ++i) {
-        keep[i] =
-            consistent(survivors_[i], graph, edges_seen_, ties_seen_) ? 1 : 0;
-      }
-    };
     // Work estimate: each survivor re-checks only the new edges/ties (plus
     // one freshly interned vertex evaluation at most). Late-loop syncs see a
     // handful of survivors x one new edge — dispatching pool chunks for that
@@ -491,14 +850,67 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
         (graph.edges().size() - edges_seen_ + graph.ties().size() -
          ties_seen_ + 1);
     constexpr std::size_t kMinParallelFilterWork = 8192;
-    if (pool == nullptr || filter_work < kMinParallelFilterWork) {
-      last_sync_threads_ = 1;
-      last_sync_shards_ = 1;
-      filter(0, survivors_.size());
+    if (batch_backend) {
+      // survivors_ stays sorted by linear index, so each fixed-range shard
+      // owns a contiguous position range: find the boundaries by shard id
+      // (linear / span). Shards mutate only their own survivors' memos and
+      // keep slots — no shared mutable state until the compaction below.
+      const std::int64_t span_len = shard_span(sketch_.candidate_space_size());
+      std::vector<std::size_t> bounds{0};
+      for (std::size_t i = 1; i < survivors_.size(); ++i) {
+        if (survivors_[i].linear / span_len !=
+            survivors_[i - 1].linear / span_len) {
+          bounds.push_back(i);
+        }
+      }
+      bounds.push_back(survivors_.size());
+      const std::size_t n_ranges = bounds.size() - 1;
+      std::vector<BatchCounters> tallies(n_ranges);
+      if (obs::active(obs_)) shard_secs.assign(n_ranges, 0);
+      const auto run_range = [&](std::size_t k) {
+        if (shard_secs.empty()) {
+          filter_range_batch(bounds[k], bounds[k + 1], graph, keep,
+                             tallies[k]);
+        } else {
+          util::Stopwatch shard_watch;
+          filter_range_batch(bounds[k], bounds[k + 1], graph, keep,
+                             tallies[k]);
+          shard_secs[k] = shard_watch.elapsed_seconds();
+        }
+      };
+      if (pool == nullptr || n_ranges <= 1 ||
+          filter_work < kMinParallelFilterWork) {
+        last_sync_threads_ = 1;
+        for (std::size_t k = 0; k < n_ranges; ++k) run_range(k);
+      } else {
+        last_sync_threads_ = pool->size();
+        pool->parallel_for(0, n_ranges, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t k = lo; k < hi; ++k) run_range(k);
+        });
+      }
+      shards = n_ranges;
+      last_sync_shards_ = n_ranges;
+      for (const BatchCounters& t : tallies) {
+        batch_tally.lane_evals += t.lane_evals;
+        batch_tally.groups += t.groups;
+      }
     } else {
-      last_sync_threads_ = pool->size();
-      last_sync_shards_ = (survivors_.size() + 15) / 16;
-      pool->parallel_for(0, survivors_.size(), filter, /*min_chunk=*/16);
+      auto filter = [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          keep[i] =
+              consistent(survivors_[i], graph, edges_seen_, ties_seen_) ? 1
+                                                                        : 0;
+        }
+      };
+      if (pool == nullptr || filter_work < kMinParallelFilterWork) {
+        last_sync_threads_ = 1;
+        last_sync_shards_ = 1;
+        filter(0, survivors_.size());
+      } else {
+        last_sync_threads_ = pool->size();
+        last_sync_shards_ = (survivors_.size() + 15) / 16;
+        pool->parallel_for(0, survivors_.size(), filter, /*min_chunk=*/16);
+      }
     }
     std::size_t out = 0;
     for (std::size_t i = 0; i < survivors_.size(); ++i) {
@@ -516,6 +928,10 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
   if (obs::active(obs_)) {
     obs_->count("grid.syncs");
     obs_->gauge("grid.survivors", static_cast<double>(survivors_.size()));
+    if (batch_backend) {
+      obs_->count("grid.lane_evals", batch_tally.lane_evals);
+      obs_->count("grid.batch_groups", batch_tally.groups);
+    }
     double shard_min = 0, shard_max = 0;
     for (std::size_t k = 0; k < shard_secs.size(); ++k) {
       obs_->observe("grid.shard.seconds", shard_secs[k]);
@@ -532,6 +948,14 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
           .integer("new_ties", new_ties)
           .integer("shards", static_cast<long long>(shards))
           .integer("threads", static_cast<long long>(last_sync_threads_));
+      if (batch_backend) {
+        // Which lane kernel the dispatcher ran (schema rev 1.5): the ISA is
+        // selected once at startup, so benches and bug reports can tell the
+        // SIMD and scalar paths apart from the trace alone.
+        e->str("lane_isa", sketch::lane_isa_name(sketch::active_lane_isa()))
+            .integer("lane_width",
+                     static_cast<long long>(sketch::kBatchLaneWidth));
+      }
       if (!shard_secs.empty()) {
         e->num("shard_min_s", shard_min).num("shard_max_s", shard_max);
       }
@@ -843,7 +1267,9 @@ std::optional<sketch::HoleAssignment> GridFinder::find_consistent(
 namespace {
 
 constexpr char kGridStateTag[] = "gridfinder";
-constexpr int kGridStateVersion = 1;
+// v2 stores the survivor set as one bitmap per fixed-range shard
+// (self-describing [lo, hi) ranges); v1 single-bitmap blobs still restore.
+constexpr int kGridStateVersion = 2;
 
 [[noreturn]] void bad_grid_state(const char* why) {
   throw std::invalid_argument(std::string("GridFinder::restore_state: ") + why);
@@ -853,32 +1279,57 @@ constexpr int kGridStateVersion = 1;
 
 std::string GridFinder::save_state() const {
   const std::int64_t total = sketch_.candidate_space_size();
-  // Bitmap over linear candidate indices: bit i%8 of byte i/8, hex-encoded.
-  std::string bitmap(static_cast<std::size_t>((total + 7) / 8), '\0');
+  const std::int64_t span_len = shard_span(total);
+  const auto n_shards =
+      static_cast<std::size_t>((total + span_len - 1) / span_len);
   std::vector<std::int64_t> stride(sketch_.holes().size(), 1);
   for (std::size_t h = 1; h < stride.size(); ++h) {
     stride[h] = stride[h - 1] * sketch_.holes()[h - 1].count;
+  }
+  // Per-shard bitmaps over shard-relative indices: bit j%8 of byte j/8 marks
+  // candidate lo + j, hex-encoded like v1. The linear index is recomputed
+  // from the assignment (not taken from Survivor::linear) so serialization
+  // never depends on that cache being fresh.
+  struct ShardBlob {
+    std::int64_t lo = 0, hi = 0;
+    std::size_t count = 0;
+    std::string bitmap;
+  };
+  std::vector<ShardBlob> blobs(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    blobs[k].lo = static_cast<std::int64_t>(k) * span_len;
+    blobs[k].hi = std::min<std::int64_t>(total, blobs[k].lo + span_len);
+    blobs[k].bitmap.assign(
+        static_cast<std::size_t>((blobs[k].hi - blobs[k].lo + 7) / 8), '\0');
   }
   for (const Survivor& s : survivors_) {
     std::int64_t linear = 0;
     for (std::size_t h = 0; h < stride.size(); ++h) {
       linear += s.assignment.index[h] * stride[h];
     }
-    bitmap[static_cast<std::size_t>(linear / 8)] |=
-        static_cast<char>(1 << (linear % 8));
+    ShardBlob& blob = blobs[static_cast<std::size_t>(linear / span_len)];
+    const std::int64_t j = linear - blob.lo;
+    blob.bitmap[static_cast<std::size_t>(j / 8)] |=
+        static_cast<char>(1 << (j % 8));
+    ++blob.count;
   }
   std::ostringstream os;
   os << kGridStateTag << ' ' << kGridStateVersion << '\n'
      << "rng " << rng_.save_state() << '\n'
      << "seen " << (initialized_ ? 1 : 0) << ' ' << edges_seen_ << ' '
      << ties_seen_ << '\n'
-     << "survivors " << survivors_.size() << ' ' << total << '\n';
+     << "shards " << n_shards << ' ' << span_len << ' ' << total << ' '
+     << survivors_.size() << '\n';
   static constexpr char kHex[] = "0123456789abcdef";
-  for (const char byte : bitmap) {
-    const auto u = static_cast<unsigned char>(byte);
-    os << kHex[u >> 4] << kHex[u & 0xf];
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    os << "shard " << k << ' ' << blobs[k].lo << ' ' << blobs[k].hi << ' '
+       << blobs[k].count << ' ';
+    for (const char byte : blobs[k].bitmap) {
+      const auto u = static_cast<unsigned char>(byte);
+      os << kHex[u >> 4] << kHex[u & 0xf];
+    }
+    os << '\n';
   }
-  os << '\n';
   return os.str();
 }
 
@@ -889,7 +1340,9 @@ void GridFinder::restore_state(const std::string& state) {
   if (!(in >> tag >> version) || tag != kGridStateTag) {
     bad_grid_state("malformed header");
   }
-  if (version != kGridStateVersion) bad_grid_state("unsupported version");
+  if (version != 1 && version != kGridStateVersion) {
+    bad_grid_state("unsupported version");
+  }
 
   std::string rng_line;
   if (!(in >> tag) || tag != "rng") bad_grid_state("missing rng section");
@@ -902,43 +1355,96 @@ void GridFinder::restore_state(const std::string& state) {
     bad_grid_state("malformed seen section");
   }
 
-  std::size_t survivor_count = 0;
-  std::int64_t total = 0;
-  if (!(in >> tag >> survivor_count >> total) || tag != "survivors") {
-    bad_grid_state("malformed survivors section");
-  }
-  if (total != sketch_.candidate_space_size()) {
-    bad_grid_state("candidate space size mismatch (different sketch/config?)");
-  }
-  std::string hex;
-  if (!(in >> hex)) bad_grid_state("truncated bitmap");
-  const std::size_t bytes = static_cast<std::size_t>((total + 7) / 8);
-  if (hex.size() != 2 * bytes) bad_grid_state("bitmap length mismatch");
   const auto nibble = [](char c) -> int {
     if (c >= '0' && c <= '9') return c - '0';
     if (c >= 'a' && c <= 'f') return c - 'a' + 10;
     return -1;
   };
-
+  const auto& holes = sketch_.holes();
   // Decode into a fresh survivor vector first so a throw leaves `this`
   // untouched; hole values are re-materialized from the grid and the vertex
   // memoization restarts empty (value_at fills it deterministically).
   std::vector<Survivor> restored;
-  restored.reserve(survivor_count);
-  const auto& holes = sketch_.holes();
-  for (std::int64_t i = 0; i < total; ++i) {
-    const char c = hex[static_cast<std::size_t>(i / 8) * 2 +
-                       (i % 8 < 4 ? 1 : 0)];
-    const int nib = nibble(c);
-    if (nib < 0) bad_grid_state("bitmap is not lowercase hex");
-    if ((nib >> (i % 4)) & 1) {
-      Survivor s;
-      s.assignment = assignment_at(i);
-      s.hole_values.resize(holes.size());
-      for (std::size_t h = 0; h < holes.size(); ++h) {
-        s.hole_values[h] = holes[h].value_at(s.assignment.index[h]);
+  const auto materialize = [&](std::int64_t linear) {
+    Survivor s;
+    s.linear = linear;
+    s.assignment = assignment_at(linear);
+    s.hole_values.resize(holes.size());
+    for (std::size_t h = 0; h < holes.size(); ++h) {
+      s.hole_values[h] = holes[h].value_at(s.assignment.index[h]);
+    }
+    restored.push_back(std::move(s));
+  };
+
+  std::size_t survivor_count = 0;
+  if (version == 1) {
+    // v1: one bitmap over the whole candidate space.
+    std::int64_t total = 0;
+    if (!(in >> tag >> survivor_count >> total) || tag != "survivors") {
+      bad_grid_state("malformed survivors section");
+    }
+    if (total != sketch_.candidate_space_size()) {
+      bad_grid_state(
+          "candidate space size mismatch (different sketch/config?)");
+    }
+    std::string hex;
+    if (!(in >> hex)) bad_grid_state("truncated bitmap");
+    const std::size_t bytes = static_cast<std::size_t>((total + 7) / 8);
+    if (hex.size() != 2 * bytes) bad_grid_state("bitmap length mismatch");
+    restored.reserve(survivor_count);
+    for (std::int64_t i = 0; i < total; ++i) {
+      const char c =
+          hex[static_cast<std::size_t>(i / 8) * 2 + (i % 8 < 4 ? 1 : 0)];
+      const int nib = nibble(c);
+      if (nib < 0) bad_grid_state("bitmap is not lowercase hex");
+      if ((nib >> (i % 4)) & 1) materialize(i);
+    }
+  } else {
+    // v2: one bitmap per shard. The `shard` lines are self-describing
+    // [lo, hi) ranges required to tile [0, total) contiguously in order, so
+    // restore accepts any shard geometry — a future span-formula change or
+    // a multi-worker split (one shard per worker) needs no format change.
+    std::size_t n_shards = 0;
+    std::int64_t span_len = 0, total = 0;
+    if (!(in >> tag >> n_shards >> span_len >> total >> survivor_count) ||
+        tag != "shards") {
+      bad_grid_state("malformed shards section");
+    }
+    if (total != sketch_.candidate_space_size()) {
+      bad_grid_state(
+          "candidate space size mismatch (different sketch/config?)");
+    }
+    restored.reserve(survivor_count);
+    std::int64_t next_lo = 0;
+    for (std::size_t k = 0; k < n_shards; ++k) {
+      std::size_t shard_idx = 0, count = 0;
+      std::int64_t lo = 0, hi = 0;
+      std::string hex;
+      if (!(in >> tag >> shard_idx >> lo >> hi >> count >> hex) ||
+          tag != "shard") {
+        bad_grid_state("malformed shard line");
       }
-      restored.push_back(std::move(s));
+      if (shard_idx != k) bad_grid_state("shard lines out of order");
+      if (lo != next_lo || hi <= lo || hi > total) {
+        bad_grid_state("shards do not tile the candidate space");
+      }
+      next_lo = hi;
+      const std::size_t bytes = static_cast<std::size_t>((hi - lo + 7) / 8);
+      if (hex.size() != 2 * bytes) bad_grid_state("bitmap length mismatch");
+      const std::size_t before = restored.size();
+      for (std::int64_t j = 0; j < hi - lo; ++j) {
+        const char c =
+            hex[static_cast<std::size_t>(j / 8) * 2 + (j % 8 < 4 ? 1 : 0)];
+        const int nib = nibble(c);
+        if (nib < 0) bad_grid_state("bitmap is not lowercase hex");
+        if ((nib >> (j % 4)) & 1) materialize(lo + j);
+      }
+      if (restored.size() - before != count) {
+        bad_grid_state("shard survivor count disagrees with its bitmap");
+      }
+    }
+    if (next_lo != total) {
+      bad_grid_state("shards do not tile the candidate space");
     }
   }
   if (restored.size() != survivor_count) {

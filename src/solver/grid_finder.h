@@ -49,12 +49,16 @@ enum class QueryStrategy {
   kBisection,
 };
 
-/// Which evaluator scores candidates. The two are semantically identical
-/// bit-for-bit (differentially tested); kTree exists as the reference
-/// baseline and for perf comparisons in bench_eval.
+/// Which evaluator scores candidates during sync. All three are semantically
+/// identical bit-for-bit (differentially tested); kTree exists as the
+/// reference baseline and kCompiled as the scalar perf comparison in
+/// bench_eval. kBatch — the default — evaluates kBatchLaneWidth candidates
+/// per tape pass (SIMD where the host supports it, see docs/EVALUATOR.md)
+/// and syncs the version space in fixed-range shards.
 enum class EvalBackend {
   kTree,      // recursive AST interpreter (sketch/eval.h)
-  kCompiled,  // flat-tape stack machine (sketch/compile.h)
+  kCompiled,  // flat-tape stack machine, one candidate at a time
+  kBatch,     // structure-of-arrays lane tape (sketch::BatchTape)
 };
 
 struct GridFinderConfig {
@@ -69,7 +73,7 @@ struct GridFinderConfig {
   /// Disagreement witnesses scored per iteration under kBisection.
   int bisection_samples = 12;
   std::uint64_t seed = 0x5eed;
-  EvalBackend eval_backend = EvalBackend::kCompiled;
+  EvalBackend eval_backend = EvalBackend::kBatch;
   /// Worker threads for sync / filtering / bisection scoring: 0 = the
   /// process-wide shared pool, 1 = fully sequential, N > 1 = a dedicated
   /// pool of N. Any Viability::concrete callback must be thread-safe when
@@ -81,7 +85,10 @@ struct GridFinderConfig {
   /// evaluation refutes some edge/tie are discarded without enumerating
   /// them. Guaranteed to produce the identical survivor sequence as the
   /// plain enumeration (tests/prune_differential_test.cpp); off switches
-  /// back to the exhaustive scan.
+  /// back to the exhaustive scan. Applies to kTree/kCompiled only: the
+  /// kBatch engine always runs the sharded exhaustive scan, because
+  /// interval refutation costs more than it saves at lane-tape speeds
+  /// (measured — docs/EVALUATOR.md §Why kBatch skips analysis pruning).
   bool analysis_pruning = true;
 };
 
@@ -95,6 +102,11 @@ struct Survivor {
   /// never need invalidation; incremental filtering only evaluates vertices
   /// first referenced by new edges/ties.
   std::vector<double> vertex_values;
+  /// Linear candidate index over the hole grid (index 0 fastest-varying,
+  /// see GridFinder::assignment_at). survivors_ is always sorted ascending
+  /// by this, so fixed-range shards are contiguous subranges and the
+  /// serialized per-shard bitmaps partition the survivor set.
+  std::int64_t linear = -1;
 };
 
 class GridFinder final : public CandidateFinder {
@@ -120,8 +132,11 @@ class GridFinder final : public CandidateFinder {
 
   /// Executor threads / shards the most recent sync() actually used (1 when
   /// the work was too small to shard and ran serially — see the work-size
-  /// thresholds in grid_finder.cpp). Reported by bench_eval so regressions
-  /// from parallel overhead on small workloads are visible in the JSON.
+  /// thresholds in grid_finder.cpp). Under kBatch the shard count is the
+  /// fixed-range geometry (shard_span), which holds even when the scan runs
+  /// serially; only the thread count drops to 1 then. Reported by
+  /// bench_eval so regressions from parallel overhead on small workloads
+  /// are visible in the JSON.
   std::size_t last_sync_threads() const { return last_sync_threads_; }
   std::size_t last_sync_shards() const { return last_sync_shards_; }
 
@@ -136,10 +151,14 @@ class GridFinder final : public CandidateFinder {
 
   /// Durable-session persistence: the pair-search RNG stream, the sync
   /// cursors (edges/ties already folded into the version space) and the
-  /// survivor set as a bitmap over linear candidate indices. Survivor
-  /// hole values are re-materialized from the grid on restore and the
-  /// per-vertex objective memoization is rebuilt lazily (deterministic),
-  /// so a restored finder continues the identical query sequence.
+  /// survivor set as per-shard bitmaps over linear candidate indices
+  /// (format v2; self-describing `shard <k> <lo> <hi>` ranges so a future
+  /// multi-worker split can emit one shard per worker with no format
+  /// change — docs/EVALUATOR.md §Shard state). v1 single-bitmap blobs from
+  /// older snapshots still restore. Survivor hole values are
+  /// re-materialized from the grid on restore and the per-vertex objective
+  /// memoization is rebuilt lazily (deterministic), so a restored finder
+  /// continues the identical query sequence.
   std::string save_state() const override;
   void restore_state(const std::string& state) override;
 
@@ -164,6 +183,31 @@ class GridFinder final : public CandidateFinder {
   void enumerate_range(std::int64_t lo, std::int64_t hi,
                        const pref::PreferenceGraph& graph,
                        std::vector<Survivor>& out) const;
+  /// Per-shard evaluation tallies, summed into the grid_sync trace event.
+  struct BatchCounters {
+    long long lane_evals = 0;  // lanes pushed through BatchTape::eval_lanes
+    long long groups = 0;      // kLaneWidth-candidate groups formed
+  };
+  /// Fixed-range shard width for `total` candidates. A pure function of the
+  /// candidate-space size — never of thread count — so shard geometry (and
+  /// therefore the serialized per-shard state) is machine-independent.
+  static std::int64_t shard_span(std::int64_t total);
+  /// kBatch full rebuild of one shard: enumerates [lo, hi) in
+  /// kBatchLaneWidth groups through the lane tape, appending survivors in
+  /// order. Sequence and error behaviour are bit-for-bit those of
+  /// enumerate_range (lane errors re-thrown in candidate order).
+  void enumerate_range_batch(std::int64_t lo, std::int64_t hi,
+                             const pref::PreferenceGraph& graph,
+                             std::vector<Survivor>& out,
+                             BatchCounters& counters) const;
+  /// kBatch incremental filter of survivors_[lo, hi) (one shard's
+  /// contiguous position range) against the new edges/ties: writes keep
+  /// flags and refreshes kept survivors' vertex memos. Mutates only this
+  /// range's survivors and keep slots, so shards run in parallel without
+  /// shared mutable state.
+  void filter_range_batch(std::size_t lo, std::size_t hi,
+                          const pref::PreferenceGraph& graph,
+                          std::vector<char>& keep, BatchCounters& counters);
   /// Analysis-driven full rebuild (see GridFinderConfig::analysis_pruning):
   /// branch-and-prune over index sub-boxes plus degenerate-dimension
   /// replication. Returns false when there is nothing to exploit (caller
@@ -179,6 +223,7 @@ class GridFinder final : public CandidateFinder {
 
   sketch::Sketch sketch_;
   sketch::CompiledSketch compiled_;  // must follow sketch_ (init order)
+  sketch::BatchTape batch_;          // must follow sketch_ (init order)
   /// Which holes the body actually reads (sketch::used_holes), computed
   /// once; unread dimensions are candidates for pinning + replication.
   std::vector<bool> hole_used_;

@@ -58,10 +58,12 @@ struct SynthesisConfig {
   solver::ScenarioDomain scenario_domain;
 
   /// Evaluator and parallelism for the grid back-end factories (ignored by
-  /// the Z3 back-end): the compiled tape evaluator is the default; kTree
-  /// selects the reference AST interpreter, and grid_threads follows
-  /// GridFinderConfig::threads (0 = shared pool, 1 = sequential).
-  solver::EvalBackend grid_eval_backend = solver::EvalBackend::kCompiled;
+  /// the Z3 back-end): the batched lane evaluator is the default; kCompiled
+  /// selects the scalar tape, kTree the reference AST interpreter, and
+  /// grid_threads follows GridFinderConfig::threads (0 = shared pool,
+  /// 1 = sequential). All three produce identical survivor sequences
+  /// (docs/EVALUATOR.md).
+  solver::EvalBackend grid_eval_backend = solver::EvalBackend::kBatch;
   int grid_threads = 0;
 
   /// Analysis-driven version-space pruning for the grid back-end

@@ -8,9 +8,11 @@
 // sequential vs parallel, produce identical version spaces.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -423,6 +425,193 @@ TEST_P(IllTypedFuzz, ErrorPathsMatchTreeInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(Random, IllTypedFuzz, ::testing::Range(0, 50));
 
+// --- Batched lanes -----------------------------------------------------------
+//
+// Per-lane differential oracle for BatchTape (docs/EVALUATOR.md): up to
+// kBatchLaneWidth candidates evaluated under EVERY supported lane ISA, each
+// real lane required to reproduce the tree interpreter's outcome for its
+// candidate exactly — bitwise value or the identical EvalError message, with
+// raising lanes poisoning only themselves.
+
+// Restores the dispatched lane kernel when a test that forces ISAs exits.
+struct IsaRestore {
+  LaneIsa saved = active_lane_isa();
+  ~IsaRestore() { set_active_lane_isa(saved); }
+};
+
+std::vector<LaneIsa> supported_isas() {
+  std::vector<LaneIsa> isas{LaneIsa::kScalar};
+  if (lane_isa_supported(LaneIsa::kAvx2)) isas.push_back(LaneIsa::kAvx2);
+  return isas;
+}
+
+void expect_lanes_equivalent(const Expr& body, const BatchTape& tape,
+                             std::span<const double> metrics,
+                             const std::vector<std::vector<double>>& lanes,
+                             const std::string& context) {
+  constexpr std::size_t W = BatchTape::kLaneWidth;
+  ASSERT_FALSE(lanes.empty());
+  ASSERT_LE(lanes.size(), W);
+  const std::size_t n_holes = tape.hole_count();
+  // SoA staging with the documented pad rule: spare lanes copy the last real
+  // candidate and their outputs are ignored.
+  std::vector<double> soa(n_holes * W);
+  for (std::size_t l = 0; l < W; ++l) {
+    const auto& src = lanes[std::min(l, lanes.size() - 1)];
+    ASSERT_EQ(src.size(), n_holes) << context;
+    for (std::size_t h = 0; h < n_holes; ++h) soa[h * W + l] = src[h];
+  }
+
+  IsaRestore restore;
+  for (const LaneIsa isa : supported_isas()) {
+    ASSERT_TRUE(set_active_lane_isa(isa));
+    std::array<double, W> out{};
+    std::array<LaneError, W> err{};
+    tape.eval_lanes(metrics, soa, out.data(), err.data());
+    for (std::size_t l = 0; l < lanes.size(); ++l) {
+      const std::string where = context + " [isa " + lane_isa_name(isa) +
+                                ", lane " + std::to_string(l) + "]";
+      bool tree_threw = false;
+      std::string tree_err;
+      double tree_val = 0;
+      try {
+        tree_val = eval_numeric(body, metrics, lanes[l]);
+      } catch (const EvalError& e) {
+        tree_threw = true;
+        tree_err = e.what();
+      }
+      if (tree_threw) {
+        ASSERT_NE(err[l], LaneError::kNone) << where;
+        EXPECT_EQ(std::string(lane_error_message(err[l])), tree_err) << where;
+      } else {
+        ASSERT_EQ(err[l], LaneError::kNone) << where;
+        EXPECT_TRUE(bit_equal(out[l], tree_val))
+            << where << "\n tree: " << tree_val << "\n lane: " << out[l];
+      }
+    }
+  }
+}
+
+TEST(BatchTape, MixedLaneDivZeroPoisonsOnlyItsLane) {
+  // 1 / h: lanes whose hole is zero must poison with the division-by-zero
+  // error while their siblings keep bit-exact quotients.
+  const ExprPtr body = binary(BinOp::kDiv, constant(1), hole(0));
+  const BatchTape tape(*body, /*metric_count=*/0, /*hole_count=*/1);
+  std::vector<std::vector<double>> lanes;
+  for (const double h : {0.0, 1.0, 2.0, 0.0, 4.0, -2.0, 0.0, 8.0}) {
+    lanes.push_back({h});
+  }
+  expect_lanes_equivalent(*body, tape, {}, lanes, "1/h mixed zeros");
+}
+
+TEST(BatchTape, MixedLaneIllTypedRaisePoisonsOnlyItsLane) {
+  // A boolean node in numeric position raises only when reached: lanes whose
+  // selector routes through the bad branch poison with the exact ill-typed
+  // message, siblings keep evaluating the healthy branch.
+  const ExprPtr body = ite(compare(CmpOp::kGt, hole(0), constant(0)),
+                           bool_constant(true),  // ill-typed when taken
+                           metric(0));
+  const BatchTape tape(*body, /*metric_count=*/1, /*hole_count=*/1);
+  std::vector<std::vector<double>> lanes;
+  for (const double h : {1.0, -1.0, 0.0, 3.0, -2.0, 0.5, 0.0, 2.0}) {
+    lanes.push_back({h});
+  }
+  expect_lanes_equivalent(*body, tape, std::vector<double>{42.0}, lanes,
+                          "ill-typed branch per lane");
+}
+
+TEST(BatchTape, NaNMinMaxAsymmetryPerLane) {
+  // std::min/std::max return the FIRST operand when the comparison is false,
+  // so a NaN second operand is dropped while a NaN first operand propagates.
+  // Every lane must reproduce that asymmetry bitwise, in both operand orders
+  // and with the NaN arriving via either the hole or the metric.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<std::vector<double>> lanes;
+  for (const double h : {nan, 1.0, -3.0, nan, 0.0, 7.0, nan, 2.0}) {
+    lanes.push_back({h});
+  }
+  for (const BinOp op : {BinOp::kMin, BinOp::kMax}) {
+    for (const bool hole_first : {true, false}) {
+      const ExprPtr body = hole_first ? binary(op, hole(0), metric(0))
+                                      : binary(op, metric(0), hole(0));
+      const BatchTape tape(*body, /*metric_count=*/1, /*hole_count=*/1);
+      for (const double m : {nan, 4.0}) {
+        expect_lanes_equivalent(*body, tape, std::vector<double>{m}, lanes,
+                                "min/max NaN asymmetry");
+      }
+    }
+  }
+}
+
+TEST(BatchTape, TailGroupNarrowerThanLaneWidth) {
+  // Fewer real candidates than lanes: the pad lanes copy the last real
+  // candidate — which here raises — and their outputs are ignored, while the
+  // three real lanes (one of them also raising) come back exact.
+  const ExprPtr body = binary(BinOp::kDiv, metric(0), hole(0));
+  const BatchTape tape(*body, /*metric_count=*/1, /*hole_count=*/1);
+  const std::vector<std::vector<double>> lanes{{2.0}, {-4.0}, {0.0}};
+  expect_lanes_equivalent(*body, tape, std::vector<double>{6.0}, lanes,
+                          "tail group");
+}
+
+// 50 params x 3 sketches x 4 groups x 8 lanes of fuzzer-generated candidates
+// through every supported lane ISA.
+class BatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchFuzz, LanesAgreeWithTreeInterpreter) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 40961 + 3);
+  for (int round = 0; round < 3; ++round) {
+    const Sketch sk = random_sketch(rng);
+    const BatchTape tape(sk);
+    for (int group = 0; group < 4; ++group) {
+      std::vector<double> point;
+      for (std::size_t m = 0; m < sk.metrics().size(); ++m) {
+        // Quarter-integer grid makes zero divisors common.
+        point.push_back(static_cast<double>(rng.uniform_int(-12, 12)) / 4.0);
+      }
+      std::vector<std::vector<double>> lanes;
+      for (std::size_t l = 0; l < BatchTape::kLaneWidth; ++l) {
+        HoleAssignment a;
+        for (const auto& h : sk.holes()) {
+          a.index.push_back(rng.uniform_int(0, h.count - 1));
+        }
+        lanes.push_back(sk.hole_values(a));
+      }
+      expect_lanes_equivalent(*sk.body(), tape, point, lanes,
+                              print_sketch(sk));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, BatchFuzz, ::testing::Range(0, 50));
+
+// Ill-typed trees through the lanes: mixed raising/healthy candidates in one
+// group, cross-checked against the tree interpreter's reachable-only errors.
+class IllTypedBatchFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(IllTypedBatchFuzz, LaneErrorPathsMatchTreeInterpreter) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 65537 + 17);
+  constexpr std::size_t kMetrics = 2, kHoles = 2;
+  for (int round = 0; round < 3; ++round) {
+    IllTypedGen gen(rng, kMetrics, kHoles);
+    const ExprPtr body = gen.numeric_maybe_bad(4);
+    const BatchTape tape(*body, kMetrics, kHoles);
+    for (int group = 0; group < 4; ++group) {
+      const std::vector<double> point{
+          static_cast<double>(rng.uniform_int(-8, 8)) / 2.0,
+          static_cast<double>(rng.uniform_int(-8, 8)) / 2.0};
+      std::vector<std::vector<double>> lanes;
+      for (std::size_t l = 0; l < BatchTape::kLaneWidth; ++l) {
+        lanes.push_back({static_cast<double>(rng.uniform_int(0, 2)),
+                         static_cast<double>(rng.uniform_int(-4, 4)) / 2.0});
+      }
+      expect_lanes_equivalent(*body, tape, point, lanes, "ill-typed lanes");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IllTypedBatchFuzz, ::testing::Range(0, 50));
+
 }  // namespace
 }  // namespace compsynth::sketch
 
@@ -486,20 +675,98 @@ GridFinder make_finder(EvalBackend backend, int threads) {
   return GridFinder(sketch::swan_sketch(), config);
 }
 
+// Restores the dispatched lane kernel when a test that forces ISAs exits.
+struct IsaOverride {
+  sketch::LaneIsa saved = sketch::active_lane_isa();
+  explicit IsaOverride(sketch::LaneIsa isa) {
+    EXPECT_TRUE(sketch::set_active_lane_isa(isa));
+  }
+  ~IsaOverride() { sketch::set_active_lane_isa(saved); }
+};
+
 TEST(GridFinderBackends, IdenticalVersionSpacesAcrossBackendsAndThreads) {
   const pref::PreferenceGraph graph = swan_workload_graph(10, 77);
 
   GridFinder tree = make_finder(EvalBackend::kTree, 1);
   GridFinder compiled_seq = make_finder(EvalBackend::kCompiled, 1);
   GridFinder compiled_par = make_finder(EvalBackend::kCompiled, 4);
+  GridFinder batch_seq = make_finder(EvalBackend::kBatch, 1);
+  GridFinder batch_par = make_finder(EvalBackend::kBatch, 4);
   tree.sync(graph);
   compiled_seq.sync(graph);
   compiled_par.sync(graph);
+  batch_seq.sync(graph);
+  batch_par.sync(graph);
 
   const auto reference = assignments_of(tree);
   ASSERT_FALSE(reference.empty());
   EXPECT_EQ(assignments_of(compiled_seq), reference);
   EXPECT_EQ(assignments_of(compiled_par), reference);
+  EXPECT_EQ(assignments_of(batch_seq), reference);
+  EXPECT_EQ(assignments_of(batch_par), reference);
+
+  // The batch backend must land on the same version space under every lane
+  // kernel the host supports — the survivors are the user-visible product of
+  // the SIMD path, so this is the dispatch-equivalence assertion.
+  for (const sketch::LaneIsa isa :
+       {sketch::LaneIsa::kScalar, sketch::LaneIsa::kAvx2}) {
+    if (!sketch::lane_isa_supported(isa)) continue;
+    IsaOverride force(isa);
+    GridFinder batch_isa = make_finder(EvalBackend::kBatch, 1);
+    batch_isa.sync(graph);
+    EXPECT_EQ(assignments_of(batch_isa), reference)
+        << sketch::lane_isa_name(isa);
+  }
+}
+
+TEST(GridFinderBackends, BatchHandlesGridNotDivisibleByLaneWidth) {
+  // 13 candidates: one full 8-wide lane group plus a 5-wide tail. The batch
+  // backend must produce exactly the tree backend's survivors.
+  const sketch::Sketch sk = sketch::parse_sketch(
+      "sketch tail(m in [0, 10]) {"
+      "  hole a in grid(0, 3, 13);"
+      "  if m > 5 then a * m else a + m"
+      "}");
+  ASSERT_NE(static_cast<std::size_t>(13) % sketch::kBatchLaneWidth, 0u);
+
+  sketch::HoleAssignment target;
+  target.index.push_back(7);
+  oracle::GroundTruthOracle user(sk, target);
+  util::Rng rng(5);
+  pref::PreferenceGraph graph;
+  std::vector<pref::VertexId> vertices;
+  for (int i = 0; i < 6; ++i) {
+    pref::Scenario s;
+    s.metrics.push_back(rng.uniform_real(0, 10));
+    vertices.push_back(graph.intern(s));
+  }
+  for (std::size_t j = 0; j < vertices.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      const auto pref = user.compare(graph.scenario(vertices[i]),
+                                     graph.scenario(vertices[j]));
+      if (pref == oracle::Preference::kFirst) {
+        graph.add_preference(vertices[i], vertices[j]);
+      } else if (pref == oracle::Preference::kSecond) {
+        graph.add_preference(vertices[j], vertices[i]);
+      } else {
+        graph.add_tie(vertices[i], vertices[j]);
+      }
+    }
+  }
+
+  GridFinderConfig tree_config;
+  tree_config.eval_backend = EvalBackend::kTree;
+  tree_config.threads = 1;
+  GridFinder tree(sk, tree_config);
+  GridFinderConfig batch_config;
+  batch_config.eval_backend = EvalBackend::kBatch;
+  batch_config.threads = 1;
+  GridFinder batch(sk, batch_config);
+  tree.sync(graph);
+  batch.sync(graph);
+
+  ASSERT_FALSE(assignments_of(tree).empty());
+  EXPECT_EQ(assignments_of(batch), assignments_of(tree));
 }
 
 TEST(GridFinderBackends, IncrementalFilterMatchesFullRebuild) {
@@ -513,17 +780,23 @@ TEST(GridFinderBackends, IncrementalFilterMatchesFullRebuild) {
   grow_swan_graph(graph, vertices, 6, user, rng);
 
   GridFinder incremental = make_finder(EvalBackend::kCompiled, 4);
+  GridFinder batch_incremental = make_finder(EvalBackend::kBatch, 4);
   incremental.sync(graph);
+  batch_incremental.sync(graph);
   const std::size_t after_prefix = incremental.version_space_size();
 
   grow_swan_graph(graph, vertices, 6, user, rng);
   incremental.sync(graph);
+  batch_incremental.sync(graph);
 
   GridFinder fresh = make_finder(EvalBackend::kCompiled, 1);
   fresh.sync(graph);
 
   EXPECT_LE(incremental.version_space_size(), after_prefix);
   EXPECT_EQ(assignments_of(incremental), assignments_of(fresh));
+  // The sharded batch filter (memoized lanes, new constraints only) must land
+  // on the identical version space.
+  EXPECT_EQ(assignments_of(batch_incremental), assignments_of(fresh));
 }
 
 }  // namespace

@@ -78,6 +78,10 @@ pref::PreferenceGraph ground_truth_graph(const sketch::Sketch& sk,
 
 GridFinderConfig config_with_pruning(bool pruning) {
   GridFinderConfig c;
+  // Pruning applies to the scalar backends only (the kBatch default always
+  // runs the sharded exhaustive scan), so pin kCompiled to keep the on/off
+  // comparison meaningful.
+  c.eval_backend = EvalBackend::kCompiled;
   c.analysis_pruning = pruning;
   c.threads = 1;  // determinism is required either way; keep the test lean
   return c;
@@ -102,6 +106,15 @@ void expect_differential(const sketch::Sketch& sk,
   plain.sync(graph);
   expect_identical(pruned.survivors(), plain.survivors());
 
+  // The batch lane engine (which ignores the pruning flag and always runs
+  // the sharded exhaustive scan) must land on the identical sequence —
+  // assignments, hole values AND memoized vertex values.
+  GridFinderConfig batch_config = config_with_pruning(true);
+  batch_config.eval_backend = EvalBackend::kBatch;
+  GridFinder batched(sk, batch_config);
+  batched.sync(graph);
+  expect_identical(batched.survivors(), plain.survivors());
+
   // Same again after growing the graph (incremental filter path) and after
   // a fresh full rebuild against the richer graph.
   pref::PreferenceGraph bigger =
@@ -111,6 +124,9 @@ void expect_differential(const sketch::Sketch& sk,
   pruned2.sync(bigger);
   plain2.sync(bigger);
   expect_identical(pruned2.survivors(), plain2.survivors());
+  GridFinder batched2(sk, batch_config);
+  batched2.sync(bigger);
+  expect_identical(batched2.survivors(), plain2.survivors());
 }
 
 TEST(PruneDifferential, Swan) {
@@ -190,6 +206,9 @@ void expect_synthesis_identical(const sketch::Sketch& sk,
   synth::SynthesisConfig config;
   config.seed = seed;
   config.grid_threads = 1;
+  // The pruning knob only matters on the scalar backends; under the kBatch
+  // default both runs would take the identical always-exhaustive path.
+  config.grid_eval_backend = solver::EvalBackend::kCompiled;
 
   auto run = [&](bool pruning) {
     synth::SynthesisConfig c = config;

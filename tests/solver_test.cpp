@@ -5,6 +5,12 @@
 
 #include <z3++.h>
 
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "pref/graph.h"
 #include "sketch/eval.h"
 #include "sketch/library.h"
@@ -257,6 +263,151 @@ TEST(GridFinder, ShrinksVersionSpaceMonotonically) {
   finder.find_consistent(g);
   EXPECT_LT(finder.version_space_size(), all);
   EXPECT_GT(finder.version_space_size(), 0u);
+}
+
+// --- GridFinder durable state (docs/PERSISTENCE.md @finder, v1 + v2) ----------
+
+// A non-trivial version space to serialize: swan ranked by its ground-truth
+// target on a handful of random scenarios.
+pref::PreferenceGraph state_test_graph(const sketch::Sketch& sk) {
+  const sketch::HoleAssignment target = sketch::swan_target();
+  util::Rng rng(99);
+  pref::PreferenceGraph graph;
+  std::vector<pref::VertexId> ids;
+  std::vector<double> scores;
+  for (int i = 0; i < 8; ++i) {
+    pref::Scenario s;
+    for (const auto& m : sk.metrics()) {
+      s.metrics.push_back(rng.uniform_real(m.lo, m.hi));
+    }
+    ids.push_back(graph.intern(s));
+    scores.push_back(sketch::eval(sk, target, s.metrics));
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      if (std::abs(scores[i] - scores[j]) <= 1e-4) {
+        graph.add_tie(ids[i], ids[j]);
+      } else if (scores[i] > scores[j]) {
+        graph.add_preference(ids[i], ids[j]);
+      } else {
+        graph.add_preference(ids[j], ids[i]);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<sketch::HoleAssignment> grid_assignments(const GridFinder& f) {
+  std::vector<sketch::HoleAssignment> out;
+  for (const Survivor& s : f.survivors()) out.push_back(s.assignment);
+  return out;
+}
+
+TEST(GridFinderState, V2RoundTripIsExact) {
+  const auto& sk = sketch::swan_sketch();
+  GridFinderConfig config;
+  config.threads = 1;
+  GridFinder a(sk, config);
+  a.sync(state_test_graph(sk));
+  ASSERT_GT(a.version_space_size(), 0u);
+
+  const std::string blob = a.save_state();
+  EXPECT_EQ(blob.rfind("gridfinder 2\n", 0), 0u);
+
+  GridFinder b(sk, config);
+  b.restore_state(blob);
+  EXPECT_EQ(grid_assignments(b), grid_assignments(a));
+  // Byte-identical re-serialization: survivors, RNG stream and incremental
+  // cursors all survived, and the shard geometry is deterministic.
+  EXPECT_EQ(b.save_state(), blob);
+}
+
+TEST(GridFinderState, V1BlobsStillRestore) {
+  const auto& sk = sketch::swan_sketch();
+  GridFinderConfig config;
+  config.threads = 1;
+  GridFinder a(sk, config);
+  a.sync(state_test_graph(sk));
+  const std::string v2 = a.save_state();
+
+  // Re-encode a's state in the legacy v1 layout (one bitmap over the whole
+  // candidate space), reusing the rng/seen lines from the v2 blob.
+  std::istringstream in(v2);
+  std::string header, rng_line, seen_line;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, rng_line));
+  ASSERT_TRUE(std::getline(in, seen_line));
+
+  const std::int64_t total = sk.candidate_space_size();
+  std::vector<std::int64_t> stride(sk.holes().size(), 1);
+  for (std::size_t h = 1; h < stride.size(); ++h) {
+    stride[h] = stride[h - 1] * sk.holes()[h - 1].count;
+  }
+  std::vector<unsigned char> bytes(static_cast<std::size_t>((total + 7) / 8),
+                                   0);
+  for (const Survivor& s : a.survivors()) {
+    std::int64_t linear = 0;
+    for (std::size_t h = 0; h < stride.size(); ++h) {
+      linear += s.assignment.index[h] * stride[h];
+    }
+    bytes[static_cast<std::size_t>(linear / 8)] |=
+        static_cast<unsigned char>(1 << (linear % 8));
+  }
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::ostringstream v1;
+  v1 << "gridfinder 1\n"
+     << rng_line << '\n'
+     << seen_line << '\n'
+     << "survivors " << a.version_space_size() << ' ' << total << '\n';
+  for (const unsigned char u : bytes) v1 << kHex[u >> 4] << kHex[u & 0xf];
+  v1 << '\n';
+
+  GridFinder b(sk, config);
+  b.restore_state(v1.str());
+  EXPECT_EQ(grid_assignments(b), grid_assignments(a));
+  // A v1 restore re-serializes in the canonical v2 layout.
+  EXPECT_EQ(b.save_state(), v2);
+}
+
+TEST(GridFinderState, RejectsMalformedBlobs) {
+  const auto& sk = sketch::swan_sketch();
+  GridFinderConfig config;
+  config.threads = 1;
+  GridFinder a(sk, config);
+  a.sync(state_test_graph(sk));
+  const std::string v2 = a.save_state();
+
+  GridFinder b(sk, config);
+  EXPECT_THROW(b.restore_state("gridfinder 3\n"), std::invalid_argument);
+  EXPECT_THROW(b.restore_state("not a finder blob"), std::invalid_argument);
+
+  // Truncated: drop the final shard line.
+  const std::size_t last_line = v2.rfind("shard ");
+  ASSERT_NE(last_line, std::string::npos);
+  EXPECT_THROW(b.restore_state(v2.substr(0, last_line)),
+               std::invalid_argument);
+
+  // Tampered survivor count in the shards header.
+  const std::size_t shards_at = v2.find("shards ");
+  ASSERT_NE(shards_at, std::string::npos);
+  std::istringstream hdr(v2.substr(shards_at));
+  std::string tag;
+  std::size_t n_shards = 0, count = 0;
+  std::int64_t span = 0, total = 0;
+  ASSERT_TRUE(hdr >> tag >> n_shards >> span >> total >> count);
+  std::ostringstream tampered_hdr;
+  tampered_hdr << "shards " << n_shards << ' ' << span << ' ' << total << ' '
+               << (count + 1);
+  std::string tampered = v2;
+  const std::size_t hdr_end = v2.find('\n', shards_at);
+  tampered.replace(shards_at, hdr_end - shards_at, tampered_hdr.str());
+  EXPECT_THROW(b.restore_state(tampered), std::invalid_argument);
+
+  // A failed restore leaves the finder untouched (strong exception safety).
+  GridFinder c(sk, config);
+  c.restore_state(v2);
+  EXPECT_THROW(c.restore_state("gridfinder 3\n"), std::invalid_argument);
+  EXPECT_EQ(c.save_state(), v2);
 }
 
 // --- Equivalence -----------------------------------------------------------------

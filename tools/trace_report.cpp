@@ -105,6 +105,10 @@ struct RunReport {
   long long pruned_regions = 0;
   long long pruned_candidates = 0;
   long long degenerate_dims = 0;
+  // Batched lane evaluator (schema rev 1.5): grid_sync's selected lane ISA
+  // ("scalar" / "avx2") -> sync count, plus the reported lane width.
+  std::map<std::string, long long> lane_isas;
+  long long lane_width = 0;
   // Service events (schema rev 1.4): verb -> (count, errors, total seconds)
   // from serve_request, plus session swap / rehydrate tallies.
   std::map<std::string, std::tuple<long long, long long, double>> serve;
@@ -141,6 +145,12 @@ void absorb(RunReport& run, const JsonObject& obj, const std::string& ev) {
     if (ev == "grid_sync") {
       run.pending_survivors =
           static_cast<long long>(num_or(obj, "survivors", 0));
+      const std::string isa = str_or(obj, "lane_isa", "");
+      if (!isa.empty()) {
+        ++run.lane_isas[isa];
+        run.lane_width = std::max(
+            run.lane_width, static_cast<long long>(num_or(obj, "lane_width", 0)));
+      }
     }
   } else if (ev == "analysis") {
     const std::string kind = str_or(obj, "kind", "?");
@@ -264,6 +274,17 @@ void render_run(std::ostream& os, const RunReport& run) {
        << " refuted region(s), " << run.degenerate_dims
        << " degenerate dim(s), over " << run.prune_events
        << " rebuild(s).\n\n";
+  }
+  if (!run.lane_isas.empty()) {
+    os << "Batched evaluator: ";
+    bool first = true;
+    for (const auto& [isa, count] : run.lane_isas) {
+      if (!first) os << ", ";
+      first = false;
+      os << count << " sync(s) on " << isa;
+    }
+    if (run.lane_width > 0) os << ", " << run.lane_width << " lanes";
+    os << " (docs/EVALUATOR.md).\n\n";
   }
 
   // Solver acceleration: only rendered when the run exercised any of it, so
