@@ -10,6 +10,10 @@
 //   batched         — lane tape, dispatcher-selected kernel (SIMD where the
 //                     host supports it), 1 thread — the production default
 //   batched_parallel— lane tape + fixed-range shards on the pool
+//   distributed     — the same fixed-range shards dispatched to two
+//                     in-process compsynth workers over loopback TCP via
+//                     dist::ShardCoordinator (docs/DISTRIBUTED.md); fails
+//                     if the coordinator fell back to the local scan
 // measuring raw evaluation throughput, a full version-space rebuild
 // (GridFinder::sync from scratch over the 54,571-candidate SWAN grid) and an
 // incremental filter after new answers arrive. The JSON records which lane
@@ -30,11 +34,17 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "obs/metrics.h"
+#include "obs/run_context.h"
 #include "oracle/ground_truth.h"
 #include "pref/graph.h"
+#include "sketch/printer.h"
 #include "sketch/compile.h"
 #include "sketch/eval.h"
 #include "sketch/library.h"
@@ -179,6 +189,54 @@ double time_incremental_sync(EvalBackend backend, int threads,
       *threads_used_out = finder.last_sync_threads();
     }
   }
+  return best;
+}
+
+// Best-of-reps wall time of one full sync dispatched over `n_workers`
+// in-process dist::Worker servers (tcp:0) through a ShardCoordinator — the
+// distributed row of the table (docs/DISTRIBUTED.md). The coordinator/wire
+// overhead is measured for real: requests serialize the graph, responses
+// carry CRC-guarded shard blobs, and the merge reproduces the local order.
+// Fails the bench (returns a negative time) if any sync fell back locally,
+// so the row can never silently report local numbers as distributed.
+double time_full_sync_distributed(
+    int n_workers, const pref::PreferenceGraph& graph, int reps,
+    std::vector<sketch::HoleAssignment>* survivors_out) {
+  obs::MetricsRegistry metrics;
+  obs::RunContext obs;
+  obs.metrics = &metrics;
+
+  std::vector<std::unique_ptr<dist::Worker>> workers;
+  dist::CoordinatorConfig cc;
+  for (int i = 0; i < n_workers; ++i) {
+    dist::WorkerConfig wc;
+    wc.listen = "tcp:0";
+    workers.push_back(std::make_unique<dist::Worker>(wc));
+    workers.back()->start();
+    cc.workers.push_back(workers.back()->endpoint());
+  }
+  cc.sketch_text = sketch::print_sketch(sketch::swan_sketch());
+  cc.obs = obs;
+  dist::ShardCoordinator coordinator(std::move(cc));
+
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    GridFinderConfig config;
+    config.threads = 1;
+    config.shard_backend = &coordinator;
+    GridFinder finder(sketch::swan_sketch(), config);
+    util::Stopwatch watch;
+    finder.sync(graph);
+    best = std::min(best, watch.elapsed_seconds());
+    if (survivors_out != nullptr && r == 0) {
+      *survivors_out = assignments_of(finder);
+    }
+  }
+  for (auto& w : workers) {
+    w->stop();
+    w->wait();
+  }
+  if (metrics.counter("dist.fallbacks").value() != 0) return -1;
   return best;
 }
 
@@ -358,6 +416,18 @@ int run(bool smoke, const std::string& out_path) {
       time_full_sync(EvalBackend::kBatch, 0, before, reps, &got_batch_par,
                      &batch_parallel_threads);
 
+  // The distributed row: the same full sync through a ShardCoordinator and
+  // two in-process workers over loopback TCP. Included in --smoke so CTest
+  // continuously proves the remote merge lands on the identical survivors.
+  constexpr int kDistWorkers = 2;
+  std::vector<sketch::HoleAssignment> got_dist;
+  const double full_dist =
+      time_full_sync_distributed(kDistWorkers, before, reps, &got_dist);
+  if (full_dist < 0) {
+    std::cerr << "FAIL: distributed sync fell back to the local scan\n";
+    return 1;
+  }
+
   if (got_tree != ref || got_seq != ref || got_par != ref) {
     std::cerr << "FAIL: survivor sets differ across configurations\n";
     return 1;
@@ -367,11 +437,16 @@ int run(bool smoke, const std::string& out_path) {
               << ")\n";
     return 1;
   }
+  if (got_dist != ref) {
+    std::cerr << "FAIL: distributed survivor set differs from local\n";
+    return 1;
+  }
   std::cout << "full sync       seed-tree " << baseline << " s, tree(memo) "
             << full_tree << " s, compiled " << full_compiled
             << " s, parallel " << full_parallel << " s, batched(scalar) "
             << full_batch_scalar << " s, batched(" << lane_isa << ") "
             << full_batch << " s, batched+shards " << full_batch_par
+            << " s, distributed(" << kDistWorkers << "w) " << full_dist
             << " s  (" << ref.size() << " survivors; speedup "
             << baseline / full_batch << "x vs seed, "
             << full_compiled / full_batch << "x vs compiled)\n";
@@ -464,7 +539,8 @@ int run(bool smoke, const std::string& out_path) {
        << "    \"parallel\": " << full_parallel << ",\n"
        << "    \"batched_scalar\": " << full_batch_scalar << ",\n"
        << "    \"batched\": " << full_batch << ",\n"
-       << "    \"batched_parallel\": " << full_batch_par << "\n"
+       << "    \"batched_parallel\": " << full_batch_par << ",\n"
+       << "    \"distributed_2_workers\": " << full_dist << "\n"
        << "  },\n"
        << "  \"sync_incremental_seconds\": {\n"
        << "    \"tree\": " << inc_tree << ",\n"

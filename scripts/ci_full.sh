@@ -8,14 +8,16 @@
 #      suite above was filtered (serve_smoke drives every protocol verb
 #      and error code through a live daemon; serve_kill_resume kill -9s
 #      the daemon mid-run and diffs against an uninterrupted reference)
-#   4. the standalone docs checkers (links + code blocks + README index
+#   4. the distributed-sync end-to-end stage (test_dist differential +
+#      fault-injection suite; dist_kill_worker kill -9s a worker mid-sync)
+#   5. the standalone docs checkers (links + code blocks + README index
 #      completeness, which gates docs/SERVICE.md and friends)
-#   5. the concurrency-convention static pass (scripts/check_static.sh)
-#   6. the thread-safety analysis build: with clang++ on PATH, a full
+#   6. the concurrency-convention static pass (scripts/check_static.sh)
+#   7. the thread-safety analysis build: with clang++ on PATH, a full
 #      -Wthread-safety -Werror=thread-safety configure+build in its own
 #      build dir (plus the negative-control ctest); otherwise a named skip
-#   7. the address+undefined sanitizer build/test sweep
-#   8. the ThreadSanitizer build/test sweep (scripts/check_tsan.sh) over
+#   8. the address+undefined sanitizer build/test sweep
+#   9. the ThreadSanitizer build/test sweep (scripts/check_tsan.sh) over
 #      the concurrent paths, including the seeded stress suite
 #
 # Usage:
@@ -36,6 +38,12 @@ ctest --test-dir "$build" -j "$(nproc)" --output-on-failure
 
 echo "== synthesis service end to end =="
 ctest --test-dir "$build" -R '^serve_(smoke|kill_resume)$' --output-on-failure
+
+echo "== distributed sync end to end =="
+# The coordinator/worker fault-tolerance path, re-run explicitly: test_dist
+# is the differential + fault-injection suite, dist_kill_worker kill -9s a
+# live worker mid-sync and diffs against a pure local run.
+ctest --test-dir "$build" -R '^(test_dist|dist_kill_worker)$' --output-on-failure
 
 echo "== docs: links =="
 "$repo/scripts/check_docs_links.sh" "$repo"

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Crash-recovery check for distributed version-space sync
+# (docs/DISTRIBUTED.md §Failure model): kill -9 one of two workers while a
+# synthesis run's full sync is farmed out to them. The run must complete
+# anyway — orphaned shards are re-dispatched to the surviving worker — and
+# the saved preference graph must be byte-identical to a pure local run's,
+# because distribution decides where shards run, never what they produce.
+#
+# Also rehearses the workers' graceful drain: the surviving worker gets
+# SIGTERM and must exit 0 (satellite b of the dist PR).
+#
+# Usage: scripts/dist_kill_worker_test.sh <compsynth_cli> <compsynth_worker> <sketch>
+set -euo pipefail
+
+cli_bin="$1"
+worker_bin="$2"
+sketch="$3"
+
+target='if throughput >= 1 && latency <= 50 then throughput - throughput*latency + 1000 else throughput - 5*throughput*latency'
+
+work="$(mktemp -d)"
+w1_pid=""
+w2_pid=""
+cleanup() {
+  [ -n "$w1_pid" ] && kill -9 "$w1_pid" 2>/dev/null
+  [ -n "$w2_pid" ] && kill -9 "$w2_pid" 2>/dev/null
+  rm -rf "$work"
+  return 0
+}
+trap cleanup EXIT
+
+# Forks the worker in this shell (so wait works on it) and leaves its pid in
+# started_pid and its resolved endpoint in started_ep.
+start_worker() {  # start_worker <logfile> <extra-flags...>
+  local log="$1"
+  shift
+  "$worker_bin" --listen tcp:0 "$@" >"$log" 2>&1 &
+  started_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$log" 2>/dev/null && break
+    sleep 0.1
+  done
+  grep -q "listening on" "$log" || {
+    echo "worker did not come up:" >&2
+    cat "$log" >&2
+    exit 1
+  }
+  started_ep="$(sed -n 's/^listening on //p' "$log" | head -1)"
+}
+
+run_cli() {  # run_cli <save-file> <extra-flags...>
+  local save="$1"
+  shift
+  "$cli_bin" "$sketch" --backend grid --quiet --seed 9 \
+    --target "$target" --save "$save" "$@"
+}
+
+echo "== reference run (local, no workers) =="
+run_cli "$work/ref.graph" >"$work/ref.log"
+
+echo "== distributed run: two workers, one killed -9 mid-sync =="
+# The victim stalls 0.25s before every answer so the sync is reliably still
+# in flight when the kill lands; the survivor is healthy.
+start_worker "$work/w1.log"
+w1_pid="$started_pid"
+ep1="$started_ep"
+start_worker "$work/w2.log" --fault-stall 1 --fault-stall-s 0.25
+w2_pid="$started_pid"
+ep2="$started_ep"
+
+run_cli "$work/dist.graph" --workers "$ep1,$ep2" >"$work/dist.log" &
+cli_pid=$!
+sleep 0.4
+kill -9 "$w2_pid"
+wait "$w2_pid" 2>/dev/null || true
+w2_pid=""
+
+wait "$cli_pid" || {
+  echo "distributed run failed after worker kill:" >&2
+  cat "$work/dist.log" >&2
+  exit 1
+}
+
+cmp "$work/ref.graph" "$work/dist.graph" || {
+  echo "saved graphs differ between local and distributed runs" >&2
+  exit 1
+}
+echo "saved graphs byte-identical after worker crash"
+
+echo "== graceful drain: SIGTERM the surviving worker =="
+kill -TERM "$w1_pid"
+if wait "$w1_pid"; then
+  w1_pid=""
+else
+  status=$?
+  echo "worker exited $status on SIGTERM (want 0):" >&2
+  cat "$work/w1.log" >&2
+  exit 1
+fi
+
+echo "dist_kill_worker_test: PASS"

@@ -1,0 +1,330 @@
+#include "dist/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "dist/wire.h"
+#include "obs/trace.h"
+#include "pref/serialize.h"
+#include "serve/line_client.h"
+#include "solver/grid_finder.h"
+#include "util/log.h"
+#include "util/sync.h"
+#include "util/thread_annotations.h"
+#include "util/timer.h"
+
+namespace compsynth::dist {
+
+namespace {
+
+/// One shard's dispatch state. `attempts` counts dispatches begun (primary,
+/// failure retries and speculative re-issues alike); `done` flips exactly
+/// once, on the first structurally valid response — later arrivals for the
+/// same shard are discarded (idempotent, so any of them is byte-identical).
+struct ShardSlot {
+  int attempts = 0;
+  int inflight = 0;
+  bool done = false;
+  double started_s = -1;  // Sync::clock time of the latest dispatch
+  std::string blob;
+};
+
+}  // namespace
+
+/// Shared state of one sync_shards call. Worker threads exit on their own
+/// (sync decided, or the worker retired), so the caller only joins.
+struct ShardCoordinator::Sync {
+  util::Stopwatch clock;  // one steady timebase for straggler detection
+  std::string job;
+
+  util::Mutex mu;
+  util::CondVar cv;
+  std::vector<ShardSlot> slots GUARDED_BY(mu);
+  std::deque<std::size_t> queue GUARDED_BY(mu);
+  std::size_t completed GUARDED_BY(mu) = 0;
+  /// Any shard exhausted its attempt budget: abort into local fallback.
+  bool failed GUARDED_BY(mu) = false;
+  /// Completed-shard wall times, the straggler baseline.
+  std::vector<double> durations GUARDED_BY(mu);
+};
+
+ShardCoordinator::ShardCoordinator(CoordinatorConfig config)
+    : config_(std::move(config)) {}
+
+std::optional<std::vector<std::string>> ShardCoordinator::sync_shards(
+    const pref::PreferenceGraph& graph,
+    const std::vector<solver::ShardRange>& ranges) {
+  if (ranges.empty()) return std::vector<std::string>{};
+  if (config_.workers.empty()) {
+    config_.obs.count("dist.fallbacks");
+    return std::nullopt;
+  }
+
+  obs::Span span(&config_.obs, "dist_sync");
+  if (span.event() != nullptr) {
+    span.event()->integer("shards", static_cast<long long>(ranges.size()));
+    span.event()->integer("workers",
+                          static_cast<long long>(config_.workers.size()));
+  }
+
+  Sync sync;
+  sync.job = "sync-" + std::to_string(++job_counter_);
+  {
+    const util::MutexLock lk(sync.mu);
+    sync.slots.resize(ranges.size());
+    for (std::size_t k = 0; k < ranges.size(); ++k) sync.queue.push_back(k);
+  }
+  const std::string graph_text = pref::serialize(graph);
+
+  std::vector<std::thread> threads;
+  threads.reserve(config_.workers.size());
+  for (std::size_t w = 0; w < config_.workers.size(); ++w) {
+    threads.emplace_back(
+        [this, &sync, w, &ranges, &graph_text] {
+          worker_loop(sync, w, ranges, graph_text);
+        });
+  }
+  for (std::thread& t : threads) t.join();
+
+  const util::MutexLock lk(sync.mu);
+  const bool ok = sync.completed == sync.slots.size();
+  if (span.event() != nullptr) span.event()->boolean("ok", ok);
+  if (!ok) {
+    // Every worker retired (or some shard ran out of attempts) with work
+    // remaining: decline, and the finder runs the identical sync locally.
+    config_.obs.count("dist.fallbacks");
+    util::log(util::LogLevel::kWarn, "dist: sync ", sync.job,
+              " incomplete (", sync.completed, "/", sync.slots.size(),
+              " shards) — falling back to local scan");
+    return std::nullopt;
+  }
+  std::vector<std::string> records;
+  records.reserve(sync.slots.size());
+  for (const ShardSlot& slot : sync.slots) records.push_back(slot.blob);
+  return records;
+}
+
+void ShardCoordinator::worker_loop(
+    Sync& sync, std::size_t worker_index,
+    const std::vector<solver::ShardRange>& ranges,
+    const std::string& graph_text) {
+  const std::string& endpoint = config_.workers[worker_index];
+  int strikes = 0;
+
+  const auto fail = [&](std::ptrdiff_t shard, const std::string& why) {
+    config_.obs.count("dist.worker_failures");
+    if (config_.obs.tracing()) {
+      obs::TraceEvent ev("worker_fail");
+      ev.str("job", sync.job);
+      ev.str("worker", endpoint);
+      if (shard >= 0) ev.integer("shard", static_cast<long long>(shard));
+      ev.str("why", why);
+      ev.integer("strikes", strikes + 1);
+      config_.obs.emit(ev);
+    }
+    util::log(util::LogLevel::kWarn, "dist: worker ", endpoint, " failed",
+              shard >= 0 ? " shard " + std::to_string(shard) : std::string(),
+              ": ", why);
+    ++strikes;
+  };
+
+  std::unique_ptr<serve::LineClient> client;
+  const auto connect = [&]() -> bool {
+    serve::LineClientConfig cc;
+    cc.endpoint = endpoint;
+    cc.connect_retry = config_.connect_retry;
+    cc.io_timeout_s = config_.shard_deadline_s;
+    try {
+      client = std::make_unique<serve::LineClient>(cc);
+      return true;
+    } catch (const std::exception& ex) {
+      client.reset();
+      fail(-1, ex.what());
+      return false;
+    }
+  };
+  if (!connect()) return;  // never reached a live worker: retire immediately
+
+  double last_io = sync.clock.elapsed_seconds();
+  for (;;) {
+    // Pick work: a queued shard, a straggler to speculate on, a heartbeat,
+    // or nothing left to do.
+    enum class Pick { kShard, kHeartbeat, kExit };
+    Pick pick = Pick::kExit;
+    std::size_t k = 0;
+    bool speculative = false;
+    int attempt = 0;
+    {
+      const util::MutexLock lk(sync.mu);
+      for (;;) {
+        if (sync.failed || sync.completed == sync.slots.size()) break;
+        bool have = false;
+        while (!sync.queue.empty()) {
+          const std::size_t cand = sync.queue.front();
+          sync.queue.pop_front();
+          if (!sync.slots[cand].done) {
+            k = cand;
+            have = true;
+            break;
+          }
+        }
+        if (!have) {
+          // Straggler scan: re-issue a long-running shard once (inflight
+          // cap 2) when it exceeds the adaptive threshold. With no
+          // completed-shard baseline yet, only the hard deadline applies.
+          double threshold = config_.shard_deadline_s;
+          if (!sync.durations.empty()) {
+            std::vector<double> sorted = sync.durations;
+            std::nth_element(sorted.begin(),
+                             sorted.begin() + sorted.size() / 2, sorted.end());
+            const double median = sorted[sorted.size() / 2];
+            threshold = std::max(config_.min_straggler_s,
+                                 config_.straggler_factor * median);
+          }
+          const double now = sync.clock.elapsed_seconds();
+          for (std::size_t i = 0; i < sync.slots.size(); ++i) {
+            const ShardSlot& slot = sync.slots[i];
+            if (!slot.done && slot.inflight == 1 &&
+                slot.attempts < config_.max_shard_attempts &&
+                now - slot.started_s > threshold) {
+              k = i;
+              have = true;
+              speculative = true;
+              break;
+            }
+          }
+        }
+        if (have) {
+          ShardSlot& slot = sync.slots[k];
+          ++slot.attempts;
+          ++slot.inflight;
+          slot.started_s = sync.clock.elapsed_seconds();
+          attempt = slot.attempts;
+          pick = Pick::kShard;
+          break;
+        }
+        if (sync.clock.elapsed_seconds() - last_io >=
+            config_.heartbeat_interval_s) {
+          pick = Pick::kHeartbeat;
+          break;
+        }
+        sync.cv.wait_for(sync.mu, std::chrono::milliseconds(50));
+      }
+    }
+    if (pick == Pick::kExit) return;
+
+    if (pick == Pick::kHeartbeat) {
+      // Idle liveness probe: a dead worker is found now, not on the next
+      // shard it would have silently eaten.
+      last_io = sync.clock.elapsed_seconds();
+      try {
+        client->request(render_simple_request(WireVerb::kPing));
+        continue;
+      } catch (const util::TransientError& ex) {
+        fail(-1, ex.what());
+        if (strikes >= config_.max_worker_strikes || !connect()) return;
+        continue;
+      }
+    }
+
+    // Dispatch shard k.
+    config_.obs.count("dist.shards_dispatched");
+    if (attempt > 1) config_.obs.count("dist.reissues");
+    if (config_.obs.tracing()) {
+      obs::TraceEvent ev(attempt > 1 ? "shard_reissue" : "shard_dispatch");
+      ev.str("job", sync.job);
+      ev.integer("shard", static_cast<long long>(k));
+      ev.str("worker", endpoint);
+      ev.integer("attempt", attempt);
+      if (attempt > 1) ev.boolean("speculative", speculative);
+      config_.obs.emit(ev);
+    }
+    ShardRequest req;
+    req.job = sync.job;
+    req.shard = k;
+    req.lo = ranges[k].lo;
+    req.hi = ranges[k].hi;
+    req.tie = config_.tie_tolerance;
+    req.sketch = config_.sketch_text;
+    req.graph = graph_text;
+
+    const util::Stopwatch shard_watch;
+    bool transport_ok = true;
+    std::string response;
+    std::string why;
+    try {
+      response = client->request(render_shard_request(req));
+    } catch (const util::TransientError& ex) {
+      transport_ok = false;
+      why = ex.what();
+    }
+    last_io = sync.clock.elapsed_seconds();
+
+    std::string blob;
+    if (transport_ok) {
+      const std::optional<ShardResponse> resp =
+          parse_shard_response(response, &why);
+      if (resp && !resp->ok) {
+        why = "worker error " + resp->code + ": " + resp->error;
+      } else if (resp) {
+        // Structural validation with the same parser restore_state uses, so
+        // a torn blob is rejected here exactly as it would be from disk;
+        // then the identity check — the result must be for *this* shard of
+        // *this* sync.
+        try {
+          const solver::GridFinder::ParsedShardBlob decoded =
+              solver::GridFinder::parse_shard_blob(resp->blob);
+          if (resp->job != sync.job || resp->shard != k ||
+              decoded.index != k || decoded.lo != ranges[k].lo ||
+              decoded.hi != ranges[k].hi ||
+              static_cast<long long>(decoded.linears.size()) != resp->count) {
+            why = "shard identity mismatch in response";
+          } else {
+            blob = resp->blob;
+          }
+        } catch (const std::invalid_argument& ex) {
+          why = ex.what();
+        }
+      }
+    }
+
+    // Every record begins with the "shard" tag, so empty = no valid result.
+    const bool valid = !blob.empty();
+    {
+      const util::MutexLock lk(sync.mu);
+      ShardSlot& slot = sync.slots[k];
+      --slot.inflight;
+      if (valid) {
+        if (!slot.done) {  // first valid result wins
+          slot.done = true;
+          slot.blob = std::move(blob);
+          ++sync.completed;
+          const double secs = shard_watch.elapsed_seconds();
+          sync.durations.push_back(secs);
+          config_.obs.count("dist.shards_completed");
+          config_.obs.observe("dist.shard.seconds", secs);
+        }
+      } else if (!slot.done) {
+        if (slot.attempts < config_.max_shard_attempts) {
+          sync.queue.push_back(k);
+        } else if (slot.inflight == 0) {
+          // Out of attempts with nothing still in flight: this shard can
+          // never complete, so the whole sync aborts into local fallback.
+          sync.failed = true;
+        }
+      }
+      sync.cv.notify_all();
+    }
+    if (!valid) {
+      fail(static_cast<std::ptrdiff_t>(k), why);
+      if (strikes >= config_.max_worker_strikes) return;  // retired
+      if (!transport_ok && !connect()) return;  // connection dead for good
+    }
+  }
+}
+
+}  // namespace compsynth::dist

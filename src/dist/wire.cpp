@@ -1,0 +1,191 @@
+#include "dist/wire.h"
+
+#include <cmath>
+
+#include "obs/trace.h"
+#include "util/checksum.h"
+
+namespace compsynth::dist {
+
+namespace {
+
+using obs::JsonObject;
+using obs::JsonValue;
+
+const JsonValue* find(const JsonObject& obj, const std::string& key) {
+  const auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+/// Reads a required non-negative integer-valued number field. Numbers ride
+/// JSON doubles, exact up to 2^53 — far beyond any candidate-space size.
+bool read_int(const JsonObject& obj, const std::string& key, long long* out,
+              std::string* why) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kNumber) {
+    *why = "missing or non-numeric '" + key + "'";
+    return false;
+  }
+  if (v->num != std::floor(v->num) || std::abs(v->num) > 9.0e15) {
+    *why = "non-integral '" + key + "'";
+    return false;
+  }
+  *out = static_cast<long long>(v->num);
+  return true;
+}
+
+bool read_str(const JsonObject& obj, const std::string& key, std::string* out,
+              std::string* why) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    *why = "missing or non-string '" + key + "'";
+    return false;
+  }
+  *out = v->str;
+  return true;
+}
+
+}  // namespace
+
+const char* wire_verb_name(WireVerb verb) {
+  switch (verb) {
+    case WireVerb::kHello:
+      return "hello";
+    case WireVerb::kPing:
+      return "ping";
+    case WireVerb::kShard:
+      return "shard";
+    case WireVerb::kShutdown:
+      return "shutdown";
+  }
+  return "ping";
+}
+
+std::optional<WireVerb> parse_wire_verb(std::string_view name) {
+  if (name == "hello") return WireVerb::kHello;
+  if (name == "ping") return WireVerb::kPing;
+  if (name == "shard") return WireVerb::kShard;
+  if (name == "shutdown") return WireVerb::kShutdown;
+  return std::nullopt;
+}
+
+std::variant<WireRequest, serve::ParseError> parse_wire_request(
+    std::string_view line) {
+  const std::optional<JsonObject> parsed = obs::parse_flat_json(line);
+  if (!parsed) {
+    return serve::ParseError{serve::kErrParse, "not a flat JSON object"};
+  }
+  std::string verb_text;
+  std::string why;
+  if (!read_str(*parsed, "verb", &verb_text, &why)) {
+    return serve::ParseError{serve::kErrVerb, "missing verb"};
+  }
+  const std::optional<WireVerb> verb = parse_wire_verb(verb_text);
+  if (!verb) {
+    return serve::ParseError{serve::kErrVerb, "unknown verb: " + verb_text};
+  }
+  WireRequest req;
+  req.verb = *verb;
+  if (req.verb != WireVerb::kShard) return req;
+
+  ShardRequest& s = req.shard;
+  long long shard = 0;
+  long long lo = 0;
+  long long hi = 0;
+  if (!read_str(*parsed, "job", &s.job, &why) ||
+      !read_int(*parsed, "shard", &shard, &why) ||
+      !read_int(*parsed, "lo", &lo, &why) ||
+      !read_int(*parsed, "hi", &hi, &why) ||
+      !read_str(*parsed, "sketch", &s.sketch, &why) ||
+      !read_str(*parsed, "graph", &s.graph, &why)) {
+    return serve::ParseError{serve::kErrField, why};
+  }
+  if (shard < 0 || lo < 0 || hi <= lo) {
+    return serve::ParseError{serve::kErrField, "bad shard range"};
+  }
+  s.shard = static_cast<std::size_t>(shard);
+  s.lo = lo;
+  s.hi = hi;
+  if (const JsonValue* tie = find(*parsed, "tie");
+      tie != nullptr && tie->kind == JsonValue::Kind::kNumber) {
+    s.tie = tie->num;
+  }
+  return req;
+}
+
+std::string render_shard_request(const ShardRequest& req) {
+  serve::JsonWriter w;
+  w.integer("v", kWireVersion)
+      .str("verb", "shard")
+      .str("job", req.job)
+      .integer("shard", static_cast<long long>(req.shard))
+      .integer("lo", req.lo)
+      .integer("hi", req.hi)
+      .num("tie", req.tie)
+      .str("sketch", req.sketch)
+      .str("graph", req.graph);
+  return w.done();
+}
+
+std::string render_simple_request(WireVerb verb) {
+  serve::JsonWriter w;
+  w.integer("v", kWireVersion).str("verb", wire_verb_name(verb));
+  return w.done();
+}
+
+std::optional<ShardResponse> parse_shard_response(std::string_view line,
+                                                  std::string* why) {
+  const std::optional<JsonObject> parsed = obs::parse_flat_json(line);
+  if (!parsed) {
+    *why = "response is not a flat JSON object";
+    return std::nullopt;
+  }
+  ShardResponse resp;
+  const JsonValue* ok = find(*parsed, "ok");
+  if (ok == nullptr || ok->kind != JsonValue::Kind::kBool) {
+    *why = "missing or non-boolean 'ok'";
+    return std::nullopt;
+  }
+  resp.ok = ok->b;
+  if (!resp.ok) {
+    // Error responses only need code + message; pass them through so the
+    // coordinator's worker_fail event can say what the worker said.
+    read_str(*parsed, "code", &resp.code, why);
+    read_str(*parsed, "error", &resp.error, why);
+    return resp;
+  }
+  long long shard = 0;
+  long long lo = 0;
+  long long hi = 0;
+  long long count = 0;
+  std::string crc;
+  if (!read_str(*parsed, "job", &resp.job, why) ||
+      !read_int(*parsed, "shard", &shard, why) ||
+      !read_int(*parsed, "lo", &lo, why) ||
+      !read_int(*parsed, "hi", &hi, why) ||
+      !read_int(*parsed, "count", &count, why) ||
+      !read_str(*parsed, "crc", &crc, why) ||
+      !read_str(*parsed, "blob", &resp.blob, why)) {
+    return std::nullopt;
+  }
+  if (shard < 0 || count < 0) {
+    *why = "negative 'shard' or 'count'";
+    return std::nullopt;
+  }
+  resp.shard = static_cast<std::size_t>(shard);
+  resp.lo = lo;
+  resp.hi = hi;
+  resp.count = count;
+  if (const JsonValue* secs = find(*parsed, "secs");
+      secs != nullptr && secs->kind == JsonValue::Kind::kNumber) {
+    resp.secs = secs->num;
+  }
+  const std::string actual = util::crc32_hex(util::crc32(resp.blob));
+  if (actual != crc) {
+    *why = "blob CRC mismatch: header " + crc + " vs computed " + actual;
+    return std::nullopt;
+  }
+  return resp;
+}
+
+}  // namespace compsynth::dist

@@ -59,7 +59,12 @@ inline constexpr int kTraceSchemaVersion = 1;
 /// 1.5: batched lane evaluator — grid_sync's "lane_isa" (scalar|avx2) and
 ///      "lane_width" keys when the kBatch backend ran; counters
 ///      grid.lane_evals, grid.batch_groups.
-inline constexpr int kTraceSchemaMinorVersion = 5;
+/// 1.6: distributed shard sync — "shard_dispatch", "shard_reissue",
+///      "worker_fail", "worker_shard", "dist_sync" events; grid_sync's
+///      "distributed" key; counters dist.{shards_dispatched,
+///      shards_completed,reissues,worker_failures,fallbacks},
+///      dist.worker.{requests,faults}, histogram dist.shard.seconds.
+inline constexpr int kTraceSchemaMinorVersion = 6;
 
 /// One field value: integer, double, string or bool.
 struct FieldValue {

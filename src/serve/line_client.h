@@ -1,0 +1,64 @@
+// Blocking client for the line-delimited JSON services in the tree: the
+// synthesis daemon (serve/server.h) and the distributed shard workers
+// (dist/worker.h). One connection, one outstanding request at a time —
+// request() writes a line and blocks for the response line.
+//
+// Two robustness jobs live here so every caller inherits them:
+//
+//  - Connect retry. A client racing a daemon that has forked but not yet
+//    bound sees ECONNREFUSED (tcp) or ENOENT/ECONNREFUSED (unix). The
+//    constructor retries exactly those errnos under a util::RetryPolicy
+//    before giving up, which is what lets tools/compsynth_load start before
+//    compsynth_serve prints its "listening on" line.
+//
+//  - I/O deadlines. With io_timeout_s > 0 every send/recv carries a kernel
+//    timeout (SO_SNDTIMEO/SO_RCVTIMEO); a peer that stalls past it turns
+//    into util::TransientError instead of a hung thread. The coordinator's
+//    per-shard deadline (dist/coordinator.h) is built on this.
+//
+// Transport failures — refused after retries, timeout, EOF mid-response,
+// response longer than the flood guard — all surface as
+// util::TransientError, the same type retry sites already catch.
+#pragma once
+
+#include <string>
+
+#include "util/fault.h"
+
+namespace compsynth::serve {
+
+struct LineClientConfig {
+  /// "unix:<path>" or "tcp:<port>" / "tcp:<host>:<port>" (numeric IPv4
+  /// host; default 127.0.0.1) — the same syntax servers listen on.
+  std::string endpoint;
+  /// Retry schedule for the initial connect; only ECONNREFUSED/ENOENT are
+  /// retried (anything else is a configuration error and throws
+  /// std::runtime_error immediately).
+  util::RetryPolicy connect_retry;
+  /// Per-send/recv kernel timeout in seconds; 0 = block forever.
+  double io_timeout_s = 0;
+};
+
+class LineClient {
+ public:
+  /// Connects (with retry); throws std::runtime_error on a bad endpoint,
+  /// util::TransientError when the peer still refuses after the last
+  /// attempt.
+  explicit LineClient(LineClientConfig config);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Sends `line` (newline appended) and blocks for one response line
+  /// (CR/LF stripped). Throws util::TransientError on any transport
+  /// failure; the connection is dead afterwards.
+  std::string request(const std::string& line);
+
+ private:
+  LineClientConfig config_;
+  int fd_ = -1;
+  std::string buffer_;  // bytes past the last returned response line
+};
+
+}  // namespace compsynth::serve

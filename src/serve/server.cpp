@@ -1,229 +1,33 @@
 #include "serve/server.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
 #include <utility>
+#include <variant>
 
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace compsynth::serve {
 
-namespace {
-
-// One request line is at most this long; longer floods the connection shut.
-constexpr std::size_t kMaxLine = 1 << 20;
-
-[[noreturn]] void throw_errno(const std::string& what) {
-  throw std::runtime_error(what + ": " + std::strerror(errno));
-}
-
-bool send_all(int fd, std::string_view data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-}  // namespace
-
 Server::Server(ServerConfig config, SessionHost& host)
-    : config_(std::move(config)), host_(host) {
-  const std::string& listen = config_.listen;
-  if (listen.rfind("unix:", 0) == 0) {
-    unix_socket_ = true;
-    unix_path_ = listen.substr(5);
-    if (unix_path_.empty()) {
-      throw std::runtime_error("--listen unix: requires a socket path");
-    }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (unix_path_.size() >= sizeof addr.sun_path) {
-      throw std::runtime_error("unix socket path too long: " + unix_path_);
-    }
-    std::strncpy(addr.sun_path, unix_path_.c_str(), sizeof addr.sun_path - 1);
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw_errno("socket");
-    ::unlink(unix_path_.c_str());
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-        0) {
-      throw_errno("bind " + unix_path_);
-    }
-    endpoint_ = "unix:" + unix_path_;
-  } else if (listen.rfind("tcp:", 0) == 0) {
-    std::string host_part = "127.0.0.1";
-    std::string port_part = listen.substr(4);
-    const std::size_t colon = port_part.rfind(':');
-    if (colon != std::string::npos) {
-      host_part = port_part.substr(0, colon);
-      port_part = port_part.substr(colon + 1);
-    }
-    int port = -1;
-    try {
-      port = std::stoi(port_part);
-    } catch (const std::exception&) {
-      port = -1;
-    }
-    if (port < 0 || port > 65535) {
-      throw std::runtime_error("bad tcp port in --listen: " + listen);
-    }
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::inet_pton(AF_INET, host_part.c_str(), &addr.sin_addr) != 1) {
-      throw std::runtime_error("bad tcp host in --listen (numeric IPv4): " +
-                               host_part);
-    }
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) throw_errno("socket");
-    const int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-        0) {
-      throw_errno("bind " + listen);
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof bound;
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-    endpoint_ =
-        "tcp:" + host_part + ":" + std::to_string(ntohs(bound.sin_port));
-  } else {
-    throw std::runtime_error(
-        "--listen must be unix:<path> or tcp:[host:]<port>, got '" + listen +
-        "'");
-  }
-  if (::listen(listen_fd_, config_.backlog) < 0) throw_errno("listen");
-}
+    : config_(std::move(config)),
+      host_(host),
+      line_server_(LineServerConfig{config_.listen, config_.backlog},
+                   [this](const std::string& line, LineControl* ctl) {
+                     bool stop_after = false;
+                     std::string response = handle_line(line, &stop_after);
+                     ctl->stop_after = stop_after;
+                     return response;
+                   }) {}
 
-Server::~Server() {
-  stop();
-  wait();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (unix_socket_) ::unlink(unix_path_.c_str());
-}
+std::string Server::endpoint() const { return line_server_.endpoint(); }
 
-std::string Server::endpoint() const { return endpoint_; }
+void Server::start() { line_server_.start(); }
 
-void Server::start() { accept_thread_ = std::thread([this] { accept_loop(); }); }
-
-void Server::begin_stop() {
-  {
-    const util::MutexLock lk(mu_);
-    if (stopping_) return;
-    stopping_ = true;
-  }
-  // Unblock accept(); on Linux shutdown() on a listening socket makes a
-  // blocked accept return. Closing happens in the destructor.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-}
-
-void Server::stop() {
-  begin_stop();
-  const util::MutexLock lk(mu_);
-  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-}
+void Server::stop() { line_server_.stop(); }
 
 void Server::wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // No new connections can appear now; close out the existing ones.
-  {
-    const util::MutexLock lk(mu_);
-    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  std::vector<std::thread> threads;
-  {
-    const util::MutexLock lk(mu_);
-    threads.swap(conn_threads_);
-  }
-  for (std::thread& t : threads) {
-    if (t.joinable()) t.join();
-  }
+  line_server_.wait();
   host_.drain();
-}
-
-void Server::accept_loop() {
-  for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    {
-      const util::MutexLock lk(mu_);
-      if (stopping_) {
-        if (fd >= 0) ::close(fd);
-        return;
-      }
-      if (fd < 0) {
-        if (errno == EINTR || errno == ECONNABORTED) continue;
-        return;  // listener gone
-      }
-      conn_fds_.insert(fd);
-      conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
-    }
-  }
-}
-
-void Server::connection_loop(int fd) {
-  std::string buffer;
-  char chunk[4096];
-  bool stop_requested = false;
-  for (;;) {
-    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos = 0;
-    for (;;) {
-      const std::size_t nl = buffer.find('\n', pos);
-      if (nl == std::string::npos) break;
-      std::string line = buffer.substr(pos, nl - pos);
-      pos = nl + 1;
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-      bool stop_after = false;
-      const std::string response = handle_line(line, &stop_after);
-      if (!send_all(fd, response) || !send_all(fd, "\n")) {
-        pos = buffer.size();
-        stop_requested = true;  // peer gone; just leave the loop below
-        break;
-      }
-      if (stop_after) {
-        // Shutdown verb: the response is on the wire *before* the stop is
-        // initiated, so the requester always hears the ack.
-        begin_stop();
-        stop_requested = true;
-        break;
-      }
-      {
-        const util::MutexLock lk(mu_);
-        if (stopping_) {
-          stop_requested = true;
-          break;
-        }
-      }
-    }
-    buffer.erase(0, pos);
-    if (stop_requested || buffer.size() > kMaxLine) break;
-  }
-  // Untrack before close: once closed, the kernel may hand the same fd
-  // number to a concurrent accept, and erasing afterwards would drop the
-  // *new* connection's entry (stop() would then never shut it down).
-  {
-    const util::MutexLock lk(mu_);
-    conn_fds_.erase(fd);
-  }
-  ::close(fd);
 }
 
 std::string Server::handle_line(const std::string& line, bool* stop_after) {

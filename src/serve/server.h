@@ -3,26 +3,24 @@
 // SessionHost (docs/SERVICE.md documents the protocol; session_host.h the
 // semantics behind it).
 //
-// Threading: one accept thread plus one thread per connection. Connection
-// threads do only parsing, dispatch and I/O — all synthesis work runs on
-// the host's advance pool — so a connection blocked in a `next` wait costs
-// one mostly-idle thread, and the architect count a daemon can serve is
-// bounded by sessions on disk, not threads.
+// The socket/framing plumbing lives in serve::LineServer (shared with the
+// distributed shard workers, dist/worker.h): one accept thread plus one
+// thread per connection. Connection threads do only parsing, dispatch and
+// I/O — all synthesis work runs on the host's advance pool — so a
+// connection blocked in a `next` wait costs one mostly-idle thread, and the
+// architect count a daemon can serve is bounded by sessions on disk, not
+// threads.
 //
 // Every request is measured: serve.requests / serve.errors counters, a
 // per-verb serve.latency.<verb>.seconds histogram and a "serve_request"
 // trace event (schema rev 1.4, docs/OBSERVABILITY.md).
 #pragma once
 
-#include <set>
 #include <string>
-#include <thread>
-#include <vector>
 
 #include "obs/run_context.h"
+#include "serve/line_server.h"
 #include "serve/session_host.h"
-#include "util/sync.h"
-#include "util/thread_annotations.h"
 
 namespace compsynth::serve {
 
@@ -41,7 +39,6 @@ class Server {
   /// Binds immediately; throws std::runtime_error on a bad endpoint or bind
   /// failure. `host` must outlive the server.
   Server(ServerConfig config, SessionHost& host);
-  ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
@@ -57,29 +54,16 @@ class Server {
   void wait();
 
   /// Initiates shutdown from outside the protocol (signal handlers, tests).
+  /// Graceful: in-flight responses still reach their peers (LineServer
+  /// shuts connections down read-side only).
   void stop();
 
  private:
-  void accept_loop() EXCLUDES(mu_);
-  void connection_loop(int fd) EXCLUDES(mu_);
   std::string handle_line(const std::string& line, bool* stop_after);
-  void begin_stop() EXCLUDES(mu_);
 
   ServerConfig config_;
   SessionHost& host_;
-  // Set in the constructor, read-only afterwards (the accept thread and the
-  // destructor both touch listen_fd_, ordered by start()/join()).
-  int listen_fd_ = -1;
-  bool unix_socket_ = false;
-  std::string unix_path_;
-  std::string endpoint_;
-
-  util::Mutex mu_;
-  bool stopping_ GUARDED_BY(mu_) = false;
-  std::set<int> conn_fds_ GUARDED_BY(mu_);
-  std::vector<std::thread> conn_threads_ GUARDED_BY(mu_);
-  // Joined by wait(); started once by start(). Never detached.
-  std::thread accept_thread_;
+  LineServer line_server_;
 };
 
 }  // namespace compsynth::serve

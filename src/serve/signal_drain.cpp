@@ -1,0 +1,42 @@
+#include "serve/signal_drain.h"
+
+#include <csignal>
+#include <pthread.h>
+
+#include <utility>
+
+namespace compsynth::serve {
+
+SignalDrain::SignalDrain(std::function<void()> on_signal)
+    : on_signal_(std::move(on_signal)) {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, SIGTERM);
+  sigaddset(&set, SIGINT);
+  sigaddset(&set, SIGUSR1);
+  // Block before any other thread exists so every later thread inherits the
+  // mask and only the sigwait thread ever consumes these signals.
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+  waiter_ = std::thread([this, set] {
+    for (;;) {
+      int sig = 0;
+      if (sigwait(&set, &sig) != 0) continue;
+      if (stopping_.load(std::memory_order_acquire)) return;
+      if (sig == SIGTERM || sig == SIGINT) {
+        // First termination signal starts the drain; later ones are
+        // absorbed so a double Ctrl-C can't kill the process mid-flush.
+        if (!signaled_.exchange(true, std::memory_order_acq_rel)) {
+          if (on_signal_) on_signal_();
+        }
+      }
+    }
+  });
+}
+
+SignalDrain::~SignalDrain() {
+  stopping_.store(true, std::memory_order_release);
+  pthread_kill(waiter_.native_handle(), SIGUSR1);
+  if (waiter_.joinable()) waiter_.join();
+}
+
+}  // namespace compsynth::serve

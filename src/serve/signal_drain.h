@@ -1,0 +1,43 @@
+// Graceful SIGTERM/SIGINT handling for the long-running daemons
+// (tools/compsynth_serve.cpp, tools/compsynth_worker.cpp).
+//
+// Construct one SignalDrain *before* spawning any server threads: the
+// constructor blocks SIGTERM/SIGINT/SIGUSR1 in the calling thread (child
+// threads inherit the mask) and starts a dedicated sigwait() thread. When
+// SIGTERM or SIGINT arrives, that thread invokes the callback exactly once —
+// from a normal thread context, not a signal handler, so the callback may
+// take locks, call Server::stop(), flush traces, anything. A second signal
+// while draining is absorbed (the process finishes its drain and exits 0
+// rather than dying mid-flush).
+//
+// SIGUSR1 is reserved as the internal wake-up the destructor uses to retire
+// the sigwait thread when the process shuts down for some other reason.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace compsynth::serve {
+
+class SignalDrain {
+ public:
+  /// `on_signal` runs at most once, on the internal thread, when SIGTERM or
+  /// SIGINT arrives.
+  explicit SignalDrain(std::function<void()> on_signal);
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  /// True once a termination signal has been observed.
+  bool signaled() const { return signaled_.load(std::memory_order_acquire); }
+
+ private:
+  std::function<void()> on_signal_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> signaled_{false};
+  std::thread waiter_;
+};
+
+}  // namespace compsynth::serve

@@ -734,6 +734,7 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
 
   util::ThreadPool* pool = this->pool();
   bool pruned = false;
+  bool distributed = false;
   if (rebuild) {
     survivors_.clear();
     // kBatch always runs the sharded exhaustive scan: interval refutation
@@ -754,41 +755,56 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
       const std::int64_t span_len = shard_span(total);
       const auto n_shards =
           static_cast<std::size_t>((total + span_len - 1) / span_len);
-      std::vector<std::vector<Survivor>> parts(n_shards);
-      std::vector<BatchCounters> tallies(n_shards);
-      if (obs::active(obs_)) shard_secs.assign(n_shards, 0);
-      const auto run_shard = [&](std::size_t k) {
-        const std::int64_t a = static_cast<std::int64_t>(k) * span_len;
-        const std::int64_t b = std::min<std::int64_t>(total, a + span_len);
-        if (shard_secs.empty()) {
-          enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
-        } else {
-          util::Stopwatch shard_watch;
-          enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
-          shard_secs[k] = shard_watch.elapsed_seconds();
-        }
-      };
-      if (pool == nullptr || n_shards <= 1 ||
-          total < kMinParallelCandidates) {
+      // Distribution seam: a configured backend gets first crack at the
+      // fixed-range shards (full rebuilds only — they are pure functions of
+      // sketch + graph + range). Viability callbacks cannot cross the wire,
+      // so their presence pins the scan local. Any backend failure falls
+      // through to the local scan below; a remote sync can change where the
+      // work runs but never whether it completes.
+      if (config_.shard_backend != nullptr && !viability_.concrete) {
+        distributed = rebuild_remote(graph, n_shards, span_len, total);
+      }
+      if (distributed) {
+        shards = n_shards;
+        last_sync_shards_ = n_shards;
         last_sync_threads_ = 1;
-        for (std::size_t k = 0; k < n_shards; ++k) run_shard(k);
       } else {
-        last_sync_threads_ = pool->size();
-        pool->parallel_for(0, n_shards, [&](std::size_t lo, std::size_t hi) {
-          for (std::size_t k = lo; k < hi; ++k) run_shard(k);
-        });
-      }
-      shards = n_shards;
-      last_sync_shards_ = n_shards;
-      std::size_t found = 0;
-      for (const auto& p : parts) found += p.size();
-      survivors_.reserve(found);
-      for (auto& p : parts) {
-        for (Survivor& s : p) survivors_.push_back(std::move(s));
-      }
-      for (const BatchCounters& t : tallies) {
-        batch_tally.lane_evals += t.lane_evals;
-        batch_tally.groups += t.groups;
+        std::vector<std::vector<Survivor>> parts(n_shards);
+        std::vector<BatchCounters> tallies(n_shards);
+        if (obs::active(obs_)) shard_secs.assign(n_shards, 0);
+        const auto run_shard = [&](std::size_t k) {
+          const std::int64_t a = static_cast<std::int64_t>(k) * span_len;
+          const std::int64_t b = std::min<std::int64_t>(total, a + span_len);
+          if (shard_secs.empty()) {
+            enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
+          } else {
+            util::Stopwatch shard_watch;
+            enumerate_range_batch(a, b, graph, parts[k], tallies[k]);
+            shard_secs[k] = shard_watch.elapsed_seconds();
+          }
+        };
+        if (pool == nullptr || n_shards <= 1 ||
+            total < kMinParallelCandidates) {
+          last_sync_threads_ = 1;
+          for (std::size_t k = 0; k < n_shards; ++k) run_shard(k);
+        } else {
+          last_sync_threads_ = pool->size();
+          pool->parallel_for(0, n_shards, [&](std::size_t lo, std::size_t hi) {
+            for (std::size_t k = lo; k < hi; ++k) run_shard(k);
+          });
+        }
+        shards = n_shards;
+        last_sync_shards_ = n_shards;
+        std::size_t found = 0;
+        for (const auto& p : parts) found += p.size();
+        survivors_.reserve(found);
+        for (auto& p : parts) {
+          for (Survivor& s : p) survivors_.push_back(std::move(s));
+        }
+        for (const BatchCounters& t : tallies) {
+          batch_tally.lane_evals += t.lane_evals;
+          batch_tally.groups += t.groups;
+        }
       }
     } else if (pruned) {
       // rebuild_pruned already produced the full survivor sequence (and
@@ -951,10 +967,13 @@ void GridFinder::sync(const pref::PreferenceGraph& graph) {
       if (batch_backend) {
         // Which lane kernel the dispatcher ran (schema rev 1.5): the ISA is
         // selected once at startup, so benches and bug reports can tell the
-        // SIMD and scalar paths apart from the trace alone.
+        // SIMD and scalar paths apart from the trace alone. "distributed"
+        // (schema rev 1.6) marks a full rebuild satisfied by the configured
+        // ShardSyncBackend instead of the local scan.
         e->str("lane_isa", sketch::lane_isa_name(sketch::active_lane_isa()))
             .integer("lane_width",
-                     static_cast<long long>(sketch::kBatchLaneWidth));
+                     static_cast<long long>(sketch::kBatchLaneWidth))
+            .integer("distributed", distributed ? 1 : 0);
       }
       if (!shard_secs.empty()) {
         e->num("shard_min_s", shard_min).num("shard_max_s", shard_max);
@@ -1286,32 +1305,18 @@ std::string GridFinder::save_state() const {
   for (std::size_t h = 1; h < stride.size(); ++h) {
     stride[h] = stride[h - 1] * sketch_.holes()[h - 1].count;
   }
-  // Per-shard bitmaps over shard-relative indices: bit j%8 of byte j/8 marks
-  // candidate lo + j, hex-encoded like v1. The linear index is recomputed
-  // from the assignment (not taken from Survivor::linear) so serialization
-  // never depends on that cache being fresh.
-  struct ShardBlob {
-    std::int64_t lo = 0, hi = 0;
-    std::size_t count = 0;
-    std::string bitmap;
-  };
-  std::vector<ShardBlob> blobs(n_shards);
-  for (std::size_t k = 0; k < n_shards; ++k) {
-    blobs[k].lo = static_cast<std::int64_t>(k) * span_len;
-    blobs[k].hi = std::min<std::int64_t>(total, blobs[k].lo + span_len);
-    blobs[k].bitmap.assign(
-        static_cast<std::size_t>((blobs[k].hi - blobs[k].lo + 7) / 8), '\0');
-  }
+  // Per-shard survivor lists by linear index, rendered through the shared
+  // record encoder (encode_shard_blob — the same lines the dist workers
+  // produce). The linear index is recomputed from the assignment (not taken
+  // from Survivor::linear) so serialization never depends on that cache
+  // being fresh.
+  std::vector<std::vector<std::int64_t>> linears(n_shards);
   for (const Survivor& s : survivors_) {
     std::int64_t linear = 0;
     for (std::size_t h = 0; h < stride.size(); ++h) {
       linear += s.assignment.index[h] * stride[h];
     }
-    ShardBlob& blob = blobs[static_cast<std::size_t>(linear / span_len)];
-    const std::int64_t j = linear - blob.lo;
-    blob.bitmap[static_cast<std::size_t>(j / 8)] |=
-        static_cast<char>(1 << (j % 8));
-    ++blob.count;
+    linears[static_cast<std::size_t>(linear / span_len)].push_back(linear);
   }
   std::ostringstream os;
   os << kGridStateTag << ' ' << kGridStateVersion << '\n'
@@ -1320,17 +1325,162 @@ std::string GridFinder::save_state() const {
      << ties_seen_ << '\n'
      << "shards " << n_shards << ' ' << span_len << ' ' << total << ' '
      << survivors_.size() << '\n';
-  static constexpr char kHex[] = "0123456789abcdef";
   for (std::size_t k = 0; k < n_shards; ++k) {
-    os << "shard " << k << ' ' << blobs[k].lo << ' ' << blobs[k].hi << ' '
-       << blobs[k].count << ' ';
-    for (const char byte : blobs[k].bitmap) {
-      const auto u = static_cast<unsigned char>(byte);
-      os << kHex[u >> 4] << kHex[u & 0xf];
-    }
-    os << '\n';
+    const std::int64_t lo = static_cast<std::int64_t>(k) * span_len;
+    const std::int64_t hi = std::min<std::int64_t>(total, lo + span_len);
+    std::sort(linears[k].begin(), linears[k].end());
+    os << encode_shard_blob(k, lo, hi, linears[k]) << '\n';
   }
   return os.str();
+}
+
+std::string GridFinder::encode_shard_blob(
+    std::size_t index, std::int64_t lo, std::int64_t hi,
+    const std::vector<std::int64_t>& linears) {
+  // Bit j%8 of byte j/8 marks candidate lo + j; lowercase hex, two digits
+  // per byte (low nibble first on the wire via the j%8<4 digit order the
+  // decoder uses — identical to the v1/v2 save-state rendering).
+  std::string bitmap(static_cast<std::size_t>((hi - lo + 7) / 8), '\0');
+  for (const std::int64_t linear : linears) {
+    const std::int64_t j = linear - lo;
+    bitmap[static_cast<std::size_t>(j / 8)] |=
+        static_cast<char>(1 << (j % 8));
+  }
+  std::ostringstream os;
+  os << "shard " << index << ' ' << lo << ' ' << hi << ' ' << linears.size()
+     << ' ';
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char byte : bitmap) {
+    const auto u = static_cast<unsigned char>(byte);
+    os << kHex[u >> 4] << kHex[u & 0xf];
+  }
+  return os.str();
+}
+
+GridFinder::ParsedShardBlob GridFinder::parse_shard_blob(
+    const std::string& record) {
+  const auto bad = [](const char* why) {
+    throw std::invalid_argument(std::string("shard record: ") + why);
+  };
+  std::istringstream in(record);
+  std::string tag, hex;
+  ParsedShardBlob blob;
+  std::size_t count = 0;
+  if (!(in >> tag) || tag != "shard") bad("missing 'shard' tag");
+  if (!(in >> blob.index >> blob.lo >> blob.hi >> count)) {
+    bad("truncated header fields");
+  }
+  if (blob.lo < 0 || blob.hi <= blob.lo) bad("empty or inverted range");
+  if (!(in >> hex)) bad("truncated before bitmap");
+  std::string trailing;
+  if (in >> trailing) bad("trailing garbage after bitmap");
+  const std::size_t bytes =
+      static_cast<std::size_t>((blob.hi - blob.lo + 7) / 8);
+  if (hex.size() != 2 * bytes) {
+    bad(hex.size() < 2 * bytes ? "bitmap truncated mid-record"
+                               : "bitmap longer than the shard range");
+  }
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  blob.linears.reserve(count);
+  for (std::int64_t j = 0; j < blob.hi - blob.lo; ++j) {
+    const char c =
+        hex[static_cast<std::size_t>(j / 8) * 2 + (j % 8 < 4 ? 1 : 0)];
+    const int nib = nibble(c);
+    if (nib < 0) bad("bitmap is not lowercase hex");
+    if ((nib >> (j % 4)) & 1) blob.linears.push_back(blob.lo + j);
+  }
+  if (blob.linears.size() != count) {
+    bad("survivor count disagrees with the bitmap");
+  }
+  return blob;
+}
+
+std::vector<ShardRange> GridFinder::shard_ranges() const {
+  const std::int64_t total = sketch_.candidate_space_size();
+  const std::int64_t span_len = shard_span(total);
+  const auto n_shards =
+      static_cast<std::size_t>((total + span_len - 1) / span_len);
+  std::vector<ShardRange> ranges(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    ranges[k].index = k;
+    ranges[k].lo = static_cast<std::int64_t>(k) * span_len;
+    ranges[k].hi = std::min<std::int64_t>(total, ranges[k].lo + span_len);
+  }
+  return ranges;
+}
+
+std::string GridFinder::sync_shard_blob(const pref::PreferenceGraph& graph,
+                                        std::size_t index, std::int64_t lo,
+                                        std::int64_t hi) const {
+  if (lo < 0 || hi <= lo || hi > sketch_.candidate_space_size()) {
+    throw std::invalid_argument("sync_shard_blob: range outside the grid");
+  }
+  std::vector<Survivor> found;
+  BatchCounters tally;
+  enumerate_range_batch(lo, hi, graph, found, tally);
+  std::vector<std::int64_t> linears;
+  linears.reserve(found.size());
+  for (const Survivor& s : found) linears.push_back(s.linear);
+  return encode_shard_blob(index, lo, hi, linears);
+}
+
+Survivor GridFinder::materialize_survivor(std::int64_t linear) const {
+  const auto& holes = sketch_.holes();
+  Survivor s;
+  s.linear = linear;
+  s.assignment = assignment_at(linear);
+  s.hole_values.resize(holes.size());
+  for (std::size_t h = 0; h < holes.size(); ++h) {
+    s.hole_values[h] = holes[h].value_at(s.assignment.index[h]);
+  }
+  return s;
+}
+
+bool GridFinder::rebuild_remote(const pref::PreferenceGraph& graph,
+                                std::size_t n_shards, std::int64_t span_len,
+                                std::int64_t total) {
+  std::vector<ShardRange> ranges(n_shards);
+  for (std::size_t k = 0; k < n_shards; ++k) {
+    ranges[k].index = k;
+    ranges[k].lo = static_cast<std::int64_t>(k) * span_len;
+    ranges[k].hi = std::min<std::int64_t>(total, ranges[k].lo + span_len);
+  }
+  std::optional<std::vector<std::string>> records;
+  try {
+    records = config_.shard_backend->sync_shards(graph, ranges);
+  } catch (const std::exception& ex) {
+    util::log(util::LogLevel::kWarn,
+              "GridFinder: remote sync failed, falling back to local scan: ",
+              ex.what());
+    return false;
+  }
+  if (!records || records->size() != n_shards) return false;
+  // Decode into a scratch vector first: a torn record must leave survivors_
+  // empty for the local fallback, never half-merged.
+  std::vector<Survivor> merged;
+  try {
+    for (std::size_t k = 0; k < n_shards; ++k) {
+      const ParsedShardBlob blob = parse_shard_blob((*records)[k]);
+      if (blob.index != ranges[k].index || blob.lo != ranges[k].lo ||
+          blob.hi != ranges[k].hi) {
+        throw std::invalid_argument("shard record: range mismatch");
+      }
+      for (const std::int64_t linear : blob.linears) {
+        merged.push_back(materialize_survivor(linear));
+      }
+    }
+  } catch (const std::exception& ex) {
+    util::log(util::LogLevel::kWarn,
+              "GridFinder: rejecting remote shard record (", ex.what(),
+              "); falling back to local scan");
+    return false;
+  }
+  survivors_ = std::move(merged);
+  return true;
 }
 
 void GridFinder::restore_state(const std::string& state) {
@@ -1360,20 +1510,12 @@ void GridFinder::restore_state(const std::string& state) {
     if (c >= 'a' && c <= 'f') return c - 'a' + 10;
     return -1;
   };
-  const auto& holes = sketch_.holes();
   // Decode into a fresh survivor vector first so a throw leaves `this`
   // untouched; hole values are re-materialized from the grid and the vertex
   // memoization restarts empty (value_at fills it deterministically).
   std::vector<Survivor> restored;
   const auto materialize = [&](std::int64_t linear) {
-    Survivor s;
-    s.linear = linear;
-    s.assignment = assignment_at(linear);
-    s.hole_values.resize(holes.size());
-    for (std::size_t h = 0; h < holes.size(); ++h) {
-      s.hole_values[h] = holes[h].value_at(s.assignment.index[h]);
-    }
-    restored.push_back(std::move(s));
+    restored.push_back(materialize_survivor(linear));
   };
 
   std::size_t survivor_count = 0;
@@ -1417,31 +1559,29 @@ void GridFinder::restore_state(const std::string& state) {
     restored.reserve(survivor_count);
     std::int64_t next_lo = 0;
     for (std::size_t k = 0; k < n_shards; ++k) {
-      std::size_t shard_idx = 0, count = 0;
-      std::int64_t lo = 0, hi = 0;
-      std::string hex;
-      if (!(in >> tag >> shard_idx >> lo >> hi >> count >> hex) ||
-          tag != "shard") {
-        bad_grid_state("malformed shard line");
+      // Each shard record is one line; parse_shard_blob is the single
+      // validator for its structure (shared with the dist merge path), so a
+      // blob torn mid-bitmap is rejected with the same specific error here
+      // and there.
+      std::string line;
+      do {
+        if (!std::getline(in, line)) bad_grid_state("missing shard line");
+        while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+          line.pop_back();
+        }
+      } while (line.empty());
+      ParsedShardBlob blob;
+      try {
+        blob = parse_shard_blob(line);
+      } catch (const std::invalid_argument& ex) {
+        bad_grid_state(ex.what());
       }
-      if (shard_idx != k) bad_grid_state("shard lines out of order");
-      if (lo != next_lo || hi <= lo || hi > total) {
+      if (blob.index != k) bad_grid_state("shard lines out of order");
+      if (blob.lo != next_lo || blob.hi > total) {
         bad_grid_state("shards do not tile the candidate space");
       }
-      next_lo = hi;
-      const std::size_t bytes = static_cast<std::size_t>((hi - lo + 7) / 8);
-      if (hex.size() != 2 * bytes) bad_grid_state("bitmap length mismatch");
-      const std::size_t before = restored.size();
-      for (std::int64_t j = 0; j < hi - lo; ++j) {
-        const char c =
-            hex[static_cast<std::size_t>(j / 8) * 2 + (j % 8 < 4 ? 1 : 0)];
-        const int nib = nibble(c);
-        if (nib < 0) bad_grid_state("bitmap is not lowercase hex");
-        if ((nib >> (j % 4)) & 1) materialize(lo + j);
-      }
-      if (restored.size() - before != count) {
-        bad_grid_state("shard survivor count disagrees with its bitmap");
-      }
+      next_lo = blob.hi;
+      for (const std::int64_t linear : blob.linears) materialize(linear);
     }
     if (next_lo != total) {
       bad_grid_state("shards do not tile the candidate space");

@@ -33,6 +33,7 @@
 
 #include "sketch/compile.h"
 #include "solver/finder.h"
+#include "solver/shard_sync.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -90,6 +91,16 @@ struct GridFinderConfig {
   /// interval refutation costs more than it saves at lane-tape speeds
   /// (measured — docs/EVALUATOR.md §Why kBatch skips analysis pruning).
   bool analysis_pruning = true;
+  /// Distribution seam (non-owning; must outlive the finder): when set and
+  /// the kBatch backend performs a *full* rebuild with no Viability callback
+  /// (callbacks cannot cross the wire), sync() asks the backend to compute
+  /// the fixed-range shards remotely and merges the returned records. Any
+  /// backend failure — nullopt, a torn/malformed record, a range mismatch —
+  /// falls back to the local scan, so a configured backend can only change
+  /// where the work runs, never whether the sync completes or what it
+  /// produces (docs/DISTRIBUTED.md §Equivalence). Incremental filters
+  /// always run locally (they mutate survivor memos in place).
+  ShardSyncBackend* shard_backend = nullptr;
 };
 
 /// One version-space member plus everything the engine caches for it.
@@ -162,6 +173,43 @@ class GridFinder final : public CandidateFinder {
   std::string save_state() const override;
   void restore_state(const std::string& state) override;
 
+  /// One decoded `shard <k> <lo> <hi> <count> <hex>` record: the range, and
+  /// the surviving linear candidate indices in ascending order.
+  struct ParsedShardBlob {
+    std::size_t index = 0;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+    std::vector<std::int64_t> linears;
+  };
+
+  /// Parses and structurally validates one serialized shard record (the
+  /// per-shard line of the `gridfinder 2` format and the dist wire blob —
+  /// docs/EVALUATOR.md §Shard state). Throws std::invalid_argument with a
+  /// specific reason on any damage: truncation mid-bitmap, a bitmap whose
+  /// length disagrees with [lo, hi), non-hex bytes, or a `count` field that
+  /// disagrees with the bitmap's population. Shared by restore_state, the
+  /// remote-merge path and the dist coordinator's response validation, so a
+  /// torn blob is rejected identically at every layer.
+  static ParsedShardBlob parse_shard_blob(const std::string& record);
+
+  /// Renders the inverse: linears must lie in [lo, hi) ascending.
+  static std::string encode_shard_blob(std::size_t index, std::int64_t lo,
+                                       std::int64_t hi,
+                                       const std::vector<std::int64_t>& linears);
+
+  /// The machine-independent fixed-range shard list for this sketch's
+  /// candidate space — exactly the geometry a full kBatch sync uses.
+  std::vector<ShardRange> shard_ranges() const;
+
+  /// Computes one shard of a full kBatch sync against `graph` and returns
+  /// its serialized record. Pure: reads only immutable members (the sketch,
+  /// tapes and config), so concurrent calls — the worker side of a
+  /// distributed sync — are safe. Lane evaluation errors propagate as the
+  /// local scan would throw them.
+  std::string sync_shard_blob(const pref::PreferenceGraph& graph,
+                              std::size_t index, std::int64_t lo,
+                              std::int64_t hi) const;
+
  private:
   bool consistent(Survivor& s, const pref::PreferenceGraph& graph,
                   std::size_t first_edge, std::size_t first_tie) const;
@@ -214,6 +262,17 @@ class GridFinder final : public CandidateFinder {
   /// falls back to the exhaustive scan); on true, survivors_ holds exactly
   /// the sequence the exhaustive scan would have produced.
   bool rebuild_pruned(const pref::PreferenceGraph& graph);
+  /// Remote full rebuild through config_.shard_backend: dispatches the
+  /// fixed-range shards, decodes + merges the returned records into
+  /// survivors_ in shard order. Returns false (leaving survivors_ empty,
+  /// exactly as the local path expects it) when the backend declines or any
+  /// record fails validation — the caller then runs the local scan.
+  bool rebuild_remote(const pref::PreferenceGraph& graph,
+                      std::size_t n_shards, std::int64_t span_len,
+                      std::int64_t total);
+  /// Rebuilds a Survivor (assignment + hole values, empty vertex memos —
+  /// value_at refills them deterministically) from its linear index.
+  Survivor materialize_survivor(std::int64_t linear) const;
   std::vector<double> boundary_values(std::span<const double> hole_values,
                                       std::size_t metric) const;
   std::optional<DistinguishingPair> distinguish(const Survivor& a,

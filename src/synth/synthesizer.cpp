@@ -362,6 +362,7 @@ Synthesizer make_grid_based(const sketch::Sketch& sketch, SynthesisConfig config
   grid_config.eval_backend = config.grid_eval_backend;
   grid_config.threads = config.grid_threads;
   grid_config.analysis_pruning = config.grid_analysis_pruning;
+  grid_config.shard_backend = config.grid_shard_backend;
   return Synthesizer(sketch,
                      std::make_unique<solver::GridFinder>(
                          sketch, grid_config, std::move(viability),

@@ -73,6 +73,13 @@ struct SynthesisConfig {
   /// (tests/prune_differential_test.cpp); this is purely a speed knob.
   bool grid_analysis_pruning = true;
 
+  /// Distribution seam for the grid back-end (non-owning; must outlive the
+  /// synthesizer): forwarded to GridFinderConfig::shard_backend so full
+  /// kBatch rebuilds can be farmed out to compsynth_worker processes via a
+  /// dist::ShardCoordinator. Backend failure falls back to the local scan —
+  /// results are byte-identical either way (docs/DISTRIBUTED.md).
+  solver::ShardSyncBackend* grid_shard_backend = nullptr;
+
   /// Cross-query result cache for the Z3 back-end (docs/SOLVER.md §Cache).
   /// When set, make_z3_synthesizer / make_portfolio_synthesizer wire it into
   /// the Z3Finder, which then replays cached verdicts for repeated

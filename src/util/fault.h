@@ -47,13 +47,30 @@ struct FaultPlan {
   /// without the atomic rename protocol (docs/PERSISTENCE.md §Recovery).
   double torn_write_p = 0;
 
+  /// Worker-side faults for the distributed shard path (dist/worker.h,
+  /// docs/DISTRIBUTED.md §Failure model). Probability that a worker drops
+  /// the connection mid-response, leaving the coordinator a torn line.
+  double worker_drop_p = 0;
+  /// Probability that a worker stalls `worker_stall_s` before answering a
+  /// shard request — long enough to trip the coordinator's shard deadline.
+  double worker_stall_p = 0;
+  double worker_stall_s = 0.05;
+  /// Probability that a worker returns a truncated survivor blob (valid
+  /// JSON, matching CRC, bitmap cut mid-record).
+  double worker_truncate_p = 0;
+  /// Probability that a worker crashes right after acking a shard — the
+  /// result lands, then every other in-flight shard on that worker orphans.
+  double worker_crash_after_ack_p = 0;
+
   /// Seed for the injector's private decision stream.
   std::uint64_t seed = 0xFA017;
 
   /// True when any fault can fire.
   bool any() const {
     return oracle_timeout_p > 0 || oracle_slowdown_p > 0 || z3_failure_p > 0 ||
-           z3_slowdown_p > 0 || torn_write_p > 0;
+           z3_slowdown_p > 0 || torn_write_p > 0 || worker_drop_p > 0 ||
+           worker_stall_p > 0 || worker_truncate_p > 0 ||
+           worker_crash_after_ack_p > 0;
   }
 };
 
@@ -71,6 +88,10 @@ class FaultInjector {
   bool z3_failure() { return roll(plan_.z3_failure_p); }
   bool z3_slowdown() { return roll(plan_.z3_slowdown_p); }
   bool torn_write() { return roll(plan_.torn_write_p); }
+  bool worker_drop() { return roll(plan_.worker_drop_p); }
+  bool worker_stall() { return roll(plan_.worker_stall_p); }
+  bool worker_truncate() { return roll(plan_.worker_truncate_p); }
+  bool worker_crash_after_ack() { return roll(plan_.worker_crash_after_ack_p); }
 
   /// Total faults injected so far (all sites).
   long injected() const EXCLUDES(mu_) {

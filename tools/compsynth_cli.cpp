@@ -9,6 +9,12 @@
 //                       (e.g. --target "throughput - 2*latency");
 //                       without it, YOU answer preference queries (1/2/=)
 //   --backend z3|grid   candidate finder (default: z3, the paper's engine)
+//   --workers E1,E2,..  distribute the grid back-end's full version-space
+//                       rebuilds across compsynth_worker endpoints
+//                       (unix:<path> or [tcp:]host:port, comma-separated;
+//                       docs/DISTRIBUTED.md). Implies --backend grid.
+//                       Worker failure falls back to the local scan, so
+//                       results are identical with or without workers.
 //   --portfolio [mode]  race the grid and Z3 finders per query (the solver
 //                       acceleration layer, docs/SOLVER.md §Portfolio);
 //                       mode = race (default) | pin-grid | pin-z3, the pins
@@ -36,10 +42,13 @@
 // 3 on iteration budget exhaustion, 4 on solver give-up, 1 on usage errors.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "dist/coordinator.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "oracle/ground_truth.h"
@@ -58,6 +67,7 @@ struct Options {
   std::optional<std::string> target_expr;
   std::string backend = "z3";
   bool portfolio = false;
+  std::vector<std::string> workers;
   std::optional<std::string> resume_path;
   std::optional<std::string> save_path;
   std::optional<std::string> trace_path;
@@ -68,10 +78,10 @@ struct Options {
 
 void usage(std::ostream& os) {
   os << "usage: compsynth_cli <sketch-file> [--target <expr>] [--backend z3|grid]\n"
-        "       [--portfolio [race|pin-grid|pin-z3]] [--solver-cache [entries]]\n"
-        "       [--no-incremental] [--pairs k] [--initial n] [--max-iters n]\n"
-        "       [--seed n] [--resume file] [--save file] [--trace file]\n"
-        "       [--metrics] [--quiet]\n";
+        "       [--workers ep1,ep2,...] [--portfolio [race|pin-grid|pin-z3]]\n"
+        "       [--solver-cache [entries]] [--no-incremental] [--pairs k]\n"
+        "       [--initial n] [--max-iters n] [--seed n] [--resume file]\n"
+        "       [--save file] [--trace file] [--metrics] [--quiet]\n";
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -96,6 +106,27 @@ std::optional<Options> parse_args(int argc, char** argv) {
         std::cerr << "unknown backend '" << opt.backend << "'\n";
         return std::nullopt;
       }
+    } else if (arg == "--workers") {
+      auto v = need_value(i);
+      if (!v) return std::nullopt;
+      std::string rest = *v;
+      while (!rest.empty()) {
+        const std::size_t comma = rest.find(',');
+        std::string ep = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string()
+                                          : rest.substr(comma + 1);
+        if (ep.empty()) continue;
+        // Bare host:port is sugar for tcp:host:port.
+        if (ep.rfind("unix:", 0) != 0 && ep.rfind("tcp:", 0) != 0) {
+          ep = "tcp:" + ep;
+        }
+        opt.workers.push_back(ep);
+      }
+      if (opt.workers.empty()) {
+        std::cerr << "--workers requires at least one endpoint\n";
+        return std::nullopt;
+      }
+      opt.backend = "grid";  // the distribution seam is grid-only
     } else if (arg == "--portfolio") {
       opt.portfolio = true;
       if (i + 1 < argc) {
@@ -176,7 +207,8 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const sketch::Sketch sk = sketch::parse_sketch(read_file(opt->sketch_path));
+    const std::string sketch_text = read_file(opt->sketch_path);
+    const sketch::Sketch sk = sketch::parse_sketch(sketch_text);
     if (!opt->quiet) {
       std::cout << "loaded sketch '" << sk.name() << "' ("
                 << sk.candidate_space_size() << " candidates)\n";
@@ -204,6 +236,23 @@ int main(int argc, char** argv) {
       config.obs.run_id = sk.name();
     }
     config.obs.seed = config.seed;
+
+    // Distributed version-space sync: the coordinator must outlive the
+    // synthesizer (SynthesisConfig holds a non-owning pointer to it).
+    std::unique_ptr<dist::ShardCoordinator> coordinator;
+    if (!opt->workers.empty()) {
+      dist::CoordinatorConfig cc;
+      cc.workers = opt->workers;
+      cc.sketch_text = sketch_text;
+      cc.tie_tolerance = config.finder.tie_tolerance;
+      cc.obs = config.obs;
+      coordinator = std::make_unique<dist::ShardCoordinator>(std::move(cc));
+      config.grid_shard_backend = coordinator.get();
+      if (!opt->quiet) {
+        std::cout << "distributing grid sync across " << opt->workers.size()
+                  << " worker(s)\n";
+      }
+    }
 
     synth::Synthesizer synthesizer =
         opt->portfolio ? synth::make_portfolio_synthesizer(sk, config)

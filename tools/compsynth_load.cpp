@@ -46,17 +46,10 @@
 // Exit status: 0 when every session reached its goal (done, or K answers
 // with --stop-after-answers), 1 on usage errors, 2 when any session failed
 // or the transport broke.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
 #include <atomic>
-#include <cerrno>
-#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <sstream>
@@ -66,6 +59,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/line_client.h"
 #include "serve/protocol.h"
 #include "sketch/eval.h"
 #include "sketch/parser.h"
@@ -78,86 +72,31 @@ using namespace compsynth;
 
 // --- Blocking line-protocol client -----------------------------------------
 
+// Thin wrapper over serve::LineClient. The connect retry matters: scripts
+// often start compsynth_load the moment they fork the daemon, racing its
+// bind — the first connect then sees ECONNREFUSED (tcp) or ENOENT (unix
+// path not created yet). LineClient retries exactly those errnos with
+// backoff, so the race resolves itself instead of failing the run.
 class Client {
  public:
   explicit Client(const std::string& endpoint) {
-    if (endpoint.rfind("unix:", 0) == 0) {
-      const std::string path = endpoint.substr(5);
-      sockaddr_un addr{};
-      addr.sun_family = AF_UNIX;
-      if (path.empty() || path.size() >= sizeof addr.sun_path) {
-        throw std::runtime_error("bad unix endpoint: " + endpoint);
-      }
-      std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-      if (fd_ < 0 ||
-          ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-        throw std::runtime_error("connect " + endpoint + ": " +
-                                 std::strerror(errno));
-      }
-    } else if (endpoint.rfind("tcp:", 0) == 0) {
-      std::string host = "127.0.0.1";
-      std::string port = endpoint.substr(4);
-      const std::size_t colon = port.rfind(':');
-      if (colon != std::string::npos) {
-        host = port.substr(0, colon);
-        port = port.substr(colon + 1);
-      }
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_port = htons(static_cast<std::uint16_t>(std::stoi(port)));
-      if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-        throw std::runtime_error("bad tcp endpoint (numeric IPv4): " +
-                                 endpoint);
-      }
-      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-      if (fd_ < 0 ||
-          ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-        throw std::runtime_error("connect " + endpoint + ": " +
-                                 std::strerror(errno));
-      }
-    } else {
-      throw std::runtime_error("--connect must be unix:<path> or tcp:...: " +
-                               endpoint);
-    }
-  }
-
-  ~Client() {
-    if (fd_ >= 0) ::close(fd_);
+    serve::LineClientConfig config;
+    config.endpoint = endpoint;
+    config.connect_retry.max_attempts = 25;
+    config.connect_retry.initial_backoff_s = 0.02;
+    config.connect_retry.backoff_multiplier = 1.5;
+    config.connect_retry.max_backoff_s = 0.25;
+    impl_ = std::make_unique<serve::LineClient>(std::move(config));
   }
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
   /// Sends one request line and blocks for the one response line.
-  std::string request(const std::string& line) {
-    std::string out = line;
-    out.push_back('\n');
-    std::size_t sent = 0;
-    while (sent < out.size()) {
-      const ssize_t n = ::send(fd_, out.data() + sent, out.size() - sent, 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) throw std::runtime_error("send failed (daemon gone?)");
-      sent += static_cast<std::size_t>(n);
-    }
-    for (;;) {
-      const std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        std::string response = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return response;
-      }
-      char chunk[4096];
-      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) throw std::runtime_error("connection closed by daemon");
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
+  std::string request(const std::string& line) { return impl_->request(line); }
 
  private:
-  int fd_ = -1;
-  std::string buffer_;
+  std::unique_ptr<serve::LineClient> impl_;
 };
 
 // --- Options ---------------------------------------------------------------

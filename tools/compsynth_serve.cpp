@@ -34,7 +34,8 @@
 //
 // The daemon prints "listening on <endpoint>" once the socket is bound —
 // scripts wait for that line — and exits 0 after a `shutdown` request
-// drains, 1 on usage or startup errors.
+// drains, 1 on usage or startup errors. SIGTERM and SIGINT drain gracefully:
+// in-flight requests are answered, traces/metrics flushed, exit code 0.
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -46,6 +47,7 @@
 #include "obs/trace.h"
 #include "serve/server.h"
 #include "serve/session_host.h"
+#include "serve/signal_drain.h"
 #include "sketch/parser.h"
 #include "util/fault.h"
 #include "util/thread_pool.h"
@@ -191,6 +193,10 @@ int main(int argc, char** argv) {
     server_config.listen = opt->listen;
     server_config.obs = obs;
     serve::Server server(server_config, host);
+    // Constructed before start() so every server thread inherits the signal
+    // mask: SIGTERM/SIGINT initiate the same graceful drain as a shutdown
+    // request (in-flight responses land, traces/metrics flush, exit 0).
+    serve::SignalDrain drain([&server] { server.stop(); });
     server.start();
     std::cout << "listening on " << server.endpoint() << std::endl;
 
